@@ -1,0 +1,18 @@
+package main
+
+import "testing"
+
+func TestMachineByName(t *testing.T) {
+	for _, name := range []string{"A", "a", "B", "b", "reference", "ref"} {
+		m, err := machineByName(name)
+		if err != nil {
+			t.Errorf("machineByName(%q): %v", name, err)
+		}
+		if m.ClockGHz <= 0 {
+			t.Errorf("machineByName(%q) returned zero machine", name)
+		}
+	}
+	if _, err := machineByName("C"); err == nil {
+		t.Error("unknown machine accepted")
+	}
+}

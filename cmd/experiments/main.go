@@ -1,0 +1,59 @@
+// Command experiments regenerates the paper's tables and figures from
+// the simulated substrate.
+//
+//	experiments                  # everything, in paper order
+//	experiments -run tableIV     # one artifact
+//	experiments -list            # available artifact IDs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"hmeans/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	var (
+		runID   = fs.String("run", "", "experiment ID to run (empty = all)")
+		list    = fs.Bool("list", false, "list experiment IDs and exit")
+		runs    = fs.Int("runs", 10, "executions averaged per measurement")
+		somSeed = fs.Uint64("somseed", 2007, "SOM training seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Fprintf(stdout, "%-12s %s\n", e.ID, e.Title)
+		}
+		return nil
+	}
+
+	suite, err := experiments.NewSuite(experiments.Config{Runs: *runs, SOMSeed: *somSeed})
+	if err != nil {
+		return err
+	}
+	if *runID == "" {
+		return experiments.RunAll(suite, stdout)
+	}
+	e, ok := experiments.ByID(*runID)
+	if !ok {
+		return fmt.Errorf("unknown experiment %q (available: %s)", *runID,
+			strings.Join(experiments.IDs(), ", "))
+	}
+	fmt.Fprintf(stdout, "=== %s — %s ===\n", e.ID, e.Title)
+	return e.Run(suite, stdout)
+}

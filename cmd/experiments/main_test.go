@@ -1,0 +1,47 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunList(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-list"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"tableIII", "tableIV", "fig3", "fig7", "ext-stability"} {
+		if !strings.Contains(out.String(), id) {
+			t.Errorf("list missing %s", id)
+		}
+	}
+}
+
+func TestRunSingleExperiment(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-run", "tableIII"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Geometric Mean") {
+		t.Fatalf("tableIII output wrong:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "jvm98.222.mpegaudio") {
+		t.Fatal("workload rows missing")
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	err := run([]string{"-run", "tableIX"}, &strings.Builder{})
+	if err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+	if !strings.Contains(err.Error(), "available") {
+		t.Fatalf("error %q does not list available IDs", err)
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-nope"}, &strings.Builder{}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}

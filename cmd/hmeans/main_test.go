@@ -1,0 +1,169 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"hmeans"
+)
+
+func writeTemp(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunWithClusters(t *testing.T) {
+	scores := writeTemp(t, "scores.csv", "workload,score\na,4\nb,1\nc,1\n")
+	clusters := writeTemp(t, "clusters.csv", "workload,cluster\na,0\nb,1\nc,1\n")
+	var out strings.Builder
+	if err := run([]string{"-scores", scores, "-clusters", clusters}, &out); err != nil {
+		t.Fatal(err)
+	}
+	// HGM of clusters {4} and {1,1}: sqrt(4*1) = 2; plain GM = 4^(1/3).
+	if !strings.Contains(out.String(), "2.0000") {
+		t.Fatalf("unexpected output:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "1.5874") {
+		t.Fatalf("plain GM missing:\n%s", out.String())
+	}
+}
+
+func TestRunWithCharsSweep(t *testing.T) {
+	scores := writeTemp(t, "scores.csv", "workload,score\na,4\nb,3.9\nc,1\nd,0.5\n")
+	chars := writeTemp(t, "chars.csv",
+		"workload,f1,f2\na,9,1\nb,9.1,1.1\nc,2,8\nd,1,9\n")
+	var out strings.Builder
+	if err := run([]string{"-scores", scores, "-chars", chars}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"k", "hierarchical", "plain", "2", "4"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("sweep output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunWithCharsAtK(t *testing.T) {
+	scores := writeTemp(t, "scores.csv", "workload,score\na,4\nb,3.9\nc,1\nd,0.5\n")
+	chars := writeTemp(t, "chars.csv",
+		"workload,f1,f2\na,9,1\nb,9.1,1.1\nc,2,8\nd,1,9\n")
+	var out strings.Builder
+	if err := run([]string{"-scores", scores, "-chars", chars, "-k", "2"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "cluster 0:") || !strings.Contains(out.String(), "cluster 1:") {
+		t.Fatalf("cluster membership missing:\n%s", out.String())
+	}
+}
+
+func TestRunArgErrors(t *testing.T) {
+	scores := writeTemp(t, "scores.csv", "workload,score\na,4\n")
+	clusters := writeTemp(t, "clusters.csv", "workload,cluster\na,0\n")
+	cases := [][]string{
+		{},                  // no -scores
+		{"-scores", scores}, // neither -clusters nor -chars
+		{"-scores", scores, "-clusters", clusters, "-chars", clusters}, // both
+		{"-scores", scores, "-clusters", clusters, "-mean", "median"},  // bad mean
+	}
+	for _, args := range cases {
+		if err := run(args, &strings.Builder{}); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}
+
+func TestParseMean(t *testing.T) {
+	cases := map[string]hmeans.MeanKind{
+		"geometric":  hmeans.Geometric,
+		"arithmetic": hmeans.Arithmetic,
+		"harmonic":   hmeans.Harmonic,
+	}
+	for name, want := range cases {
+		got, err := parseMean(name)
+		if err != nil || got != want {
+			t.Errorf("parseMean(%q) = %v, %v", name, got, err)
+		}
+	}
+	if _, err := parseMean("median"); err == nil {
+		t.Error("bogus mean accepted")
+	}
+}
+
+func TestReadScoresFile(t *testing.T) {
+	path := writeTemp(t, "scores.csv", "workload,score\na,2\nb,8\n")
+	s, err := readScores(path)
+	if err != nil || len(s.Values) != 2 || s.Values[1] != 8 {
+		t.Fatalf("readScores = %+v, %v", s, err)
+	}
+	if _, err := readScores(filepath.Join(t.TempDir(), "missing.csv")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestReadClusteringAlignsByName(t *testing.T) {
+	scoresPath := writeTemp(t, "scores.csv", "workload,score\nx,2\ny,8\nz,4\n")
+	scores, err := readScores(scoresPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cluster file in a different order than the score file.
+	clPath := writeTemp(t, "clusters.csv", "workload,cluster\nz,1\nx,0\ny,0\n")
+	c, err := readClustering(clPath, scores)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 0, 1}
+	for i, w := range want {
+		if c.Labels[i] != w {
+			t.Fatalf("labels = %v, want %v", c.Labels, want)
+		}
+	}
+}
+
+func TestReadClusteringMissingWorkload(t *testing.T) {
+	scoresPath := writeTemp(t, "scores.csv", "workload,score\nx,2\ny,8\n")
+	scores, _ := readScores(scoresPath)
+	clPath := writeTemp(t, "clusters.csv", "workload,cluster\nx,0\n")
+	if _, err := readClustering(clPath, scores); err == nil {
+		t.Error("missing cluster assignment accepted")
+	}
+}
+
+func TestReadTableAlignsByName(t *testing.T) {
+	scoresPath := writeTemp(t, "scores.csv", "workload,score\nx,2\ny,8\n")
+	scores, _ := readScores(scoresPath)
+	charsPath := writeTemp(t, "chars.csv", "workload,f1,f2\ny,3,4\nx,1,2\n")
+	table, kind, err := readTable(charsPath, "counters", scores)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind != hmeans.Counters {
+		t.Errorf("kind = %v", kind)
+	}
+	if table.Rows[0][0] != 1 || table.Rows[1][0] != 3 {
+		t.Fatalf("rows not aligned to score order: %v", table.Rows)
+	}
+	if _, _, err := readTable(charsPath, "nonsense", scores); err == nil {
+		t.Error("bogus kind accepted")
+	}
+	missing := writeTemp(t, "short.csv", "workload,f1\nx,1\n")
+	if _, _, err := readTable(missing, "counters", scores); err == nil {
+		t.Error("missing characterization row accepted")
+	}
+}
+
+func TestReadTableBitsKind(t *testing.T) {
+	scoresPath := writeTemp(t, "scores.csv", "workload,score\nx,2\n")
+	scores, _ := readScores(scoresPath)
+	charsPath := writeTemp(t, "chars.csv", "workload,m1\nx,1\n")
+	_, kind, err := readTable(charsPath, "bits", scores)
+	if err != nil || kind != hmeans.Bits {
+		t.Fatalf("bits kind = %v, %v", kind, err)
+	}
+}

@@ -1,0 +1,126 @@
+// Command report generates a complete scoring report for the
+// simulated suite on one machine: per-workload scores with bootstrap
+// confidence intervals, the detected cluster structure with a
+// recommended cut, and the hierarchical-mean sweep.
+//
+//	report -machine A
+//	report -machine B -chars methods -mean harmonic
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"hmeans"
+	"hmeans/internal/report"
+	"hmeans/internal/rng"
+	"hmeans/internal/simbench"
+	"hmeans/internal/som"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "report:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("report", flag.ContinueOnError)
+	var (
+		machine  = fs.String("machine", "A", "machine to score: A or B")
+		charKind = fs.String("chars", "sar", "characterization: sar, methods or microindep")
+		meanName = fs.String("mean", "geometric", "mean family")
+		runs     = fs.Int("runs", 10, "runs per measurement")
+		seed     = fs.Uint64("seed", 1, "measurement seed")
+		somSeed  = fs.Uint64("somseed", 2007, "SOM training seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var m simbench.Machine
+	switch *machine {
+	case "A", "a":
+		m = simbench.MachineA()
+	case "B", "b":
+		m = simbench.MachineB()
+	default:
+		return fmt.Errorf("unknown machine %q (want A or B)", *machine)
+	}
+	var kind hmeans.MeanKind
+	switch *meanName {
+	case "geometric":
+		kind = hmeans.Geometric
+	case "arithmetic":
+		kind = hmeans.Arithmetic
+	case "harmonic":
+		kind = hmeans.Harmonic
+	default:
+		return fmt.Errorf("unknown mean %q", *meanName)
+	}
+
+	ws, _, err := simbench.CalibratedSuite()
+	if err != nil {
+		return err
+	}
+	ref := simbench.Reference()
+
+	// Measure: scores plus the raw run times behind them.
+	r := rng.New(*seed)
+	scores := make([]float64, len(ws))
+	runTimes := make([][]float64, len(ws))
+	for i := range ws {
+		meas, err := simbench.MeasureTimeStats(&ws[i], m, *runs, 0.95, r)
+		if err != nil {
+			return err
+		}
+		refTime, err := simbench.MeasureTime(&ws[i], ref, *runs, r)
+		if err != nil {
+			return err
+		}
+		scores[i] = refTime / meas.Mean
+		runTimes[i] = meas.Times
+	}
+
+	// Characterize and detect clusters.
+	var (
+		table    *hmeans.Table
+		kindChar hmeans.CharKind
+	)
+	switch *charKind {
+	case "sar":
+		table, err = simbench.SARTable(ws, m, simbench.SARSpec{Seed: *seed})
+	case "methods":
+		table, err = simbench.HprofTable(ws)
+		kindChar = hmeans.Bits
+	case "microindep":
+		table, err = simbench.MicroIndepTable(ws)
+	default:
+		return fmt.Errorf("unknown characterization %q (want sar, methods or microindep)", *charKind)
+	}
+	if err != nil {
+		return err
+	}
+	p, err := hmeans.DetectClusters(table, hmeans.PipelineConfig{
+		Kind: kindChar,
+		SOM:  som.Config{Seed: *somSeed},
+	})
+	if err != nil {
+		return err
+	}
+
+	return report.Write(stdout, report.Input{
+		Title:     fmt.Sprintf("Scoring report: machine %s vs reference (%s characterization)", m.Name, *charKind),
+		Workloads: simbench.WorkloadNames(ws),
+		Scores:    scores,
+		RunTimes:  runTimes,
+		Pipeline:  p,
+		Kind:      kind,
+		KMin:      2,
+		KMax:      8,
+		Seed:      *seed,
+	})
+}

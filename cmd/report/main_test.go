@@ -1,0 +1,61 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunReportMachineA(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-machine", "A"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"Scoring report: machine A",
+		"Per-workload scores",
+		"SciMark2.FFT",
+		"Cluster structure",
+		"Suite scores (geometric mean family)",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}
+
+func TestRunReportMethodsHarmonic(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-machine", "B", "-chars", "methods", "-mean", "harmonic"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "harmonic mean family") {
+		t.Fatal("mean family flag ignored")
+	}
+	if !strings.Contains(out.String(), "methods characterization") {
+		t.Fatal("characterization flag ignored")
+	}
+}
+
+func TestRunReportMicroindep(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-chars", "microindep", "-runs", "4"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "microindep characterization") {
+		t.Fatal("microindep characterization missing")
+	}
+}
+
+func TestRunReportErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"-machine", "Z"},
+		{"-chars", "nope"},
+		{"-mean", "median"},
+		{"-bogusflag"},
+	} {
+		if err := run(args, &strings.Builder{}); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}

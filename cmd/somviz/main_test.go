@@ -1,0 +1,78 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleCSV = `workload,f1,f2,f3
+alpha,9,1,0
+beta,9.2,1.1,0.1
+gamma,2,8,3
+delta,1,9,4
+epsilon,5,5,12
+`
+
+func TestRunFromStdin(t *testing.T) {
+	var out strings.Builder
+	if err := run(nil, strings.NewReader(sampleCSV), &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"SOM", "features after preprocessing",
+		"quantization error", "Dendrogram", "Cluster membership",
+		"alpha", "epsilon", "k=2:",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestRunFromFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "chars.csv")
+	if err := os.WriteFile(path, []byte(sampleCSV), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := run([]string{"-in", path, "-rows", "4", "-cols", "4"}, strings.NewReader(""), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "SOM 4x4") {
+		t.Fatalf("grid flags ignored:\n%s", out.String())
+	}
+}
+
+func TestRunComponentPlane(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-plane", "f1"}, strings.NewReader(sampleCSV), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Component plane of f1") {
+		t.Fatalf("plane missing:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "scale:") {
+		t.Fatal("heatmap scale missing")
+	}
+	if err := run([]string{"-plane", "nosuch"}, strings.NewReader(sampleCSV), &strings.Builder{}); err == nil {
+		t.Fatal("unknown plane feature accepted")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run([]string{"-in", "/no/such/file.csv"}, strings.NewReader(""), &strings.Builder{}); err == nil {
+		t.Error("missing file accepted")
+	}
+	if err := run([]string{"-kind", "bogus"}, strings.NewReader(sampleCSV), &strings.Builder{}); err == nil {
+		t.Error("bad kind accepted")
+	}
+	if err := run(nil, strings.NewReader("garbage"), &strings.Builder{}); err == nil {
+		t.Error("garbage stdin accepted")
+	}
+	if err := run([]string{"-zzz"}, strings.NewReader(""), &strings.Builder{}); err == nil {
+		t.Error("bad flag accepted")
+	}
+}

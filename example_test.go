@@ -1,0 +1,85 @@
+package hmeans_test
+
+import (
+	"fmt"
+
+	"hmeans"
+	"hmeans/internal/som"
+)
+
+// ExampleHGM computes the paper's hierarchical geometric mean on a
+// hand-labelled clustering.
+func ExampleHGM() {
+	// Two clusters: {1, 4} and {2, 8, 32}.
+	scores := []float64{1, 4, 2, 8, 32}
+	clusters, _ := hmeans.NewClustering([]int{0, 0, 1, 1, 1})
+
+	hgm, _ := hmeans.HGM(scores, clusters)
+	plain, _ := hmeans.PlainMean(hmeans.Geometric, scores)
+	fmt.Printf("HGM: %.2f\n", hgm)
+	fmt.Printf("plain GM: %.2f\n", plain)
+	// Output:
+	// HGM: 4.00
+	// plain GM: 4.59
+}
+
+// ExampleHierarchicalMean shows the degeneracy property: singleton
+// clusters reduce every hierarchical mean to its plain counterpart.
+func ExampleHierarchicalMean() {
+	scores := []float64{2, 4, 8}
+	h, _ := hmeans.HierarchicalMean(hmeans.Geometric, scores, hmeans.Singletons(3))
+	p, _ := hmeans.PlainMean(hmeans.Geometric, scores)
+	fmt.Println(h == p)
+	// Output:
+	// true
+}
+
+// ExampleEquivalentWeights shows that the hierarchical mean is a
+// weighted mean with objectively derived weights.
+func ExampleEquivalentWeights() {
+	clusters, _ := hmeans.NewClustering([]int{0, 1, 1})
+	for _, w := range hmeans.EquivalentWeights(clusters) {
+		fmt.Printf("%.2f\n", w)
+	}
+	// Output:
+	// 0.50
+	// 0.25
+	// 0.25
+}
+
+// ExampleDetectClusters runs the full pipeline on a tiny
+// characterization table and scores at a chosen cut.
+func ExampleDetectClusters() {
+	table, _ := hmeans.NewTable(
+		[]string{"w1", "w2", "w3", "w4"},
+		[]string{"cpu", "mem"},
+		[][]float64{{9, 1}, {9.1, 1.2}, {2, 8}, {1, 9}},
+	)
+	// SkipSOM keeps this tiny example fully deterministic.
+	p, _ := hmeans.DetectClusters(table, hmeans.PipelineConfig{
+		SkipSOM: true,
+		SOM:     som.Config{Seed: 1},
+	})
+	c, _ := p.ClusteringAtK(2)
+	fmt.Println(c.Labels[0] == c.Labels[1]) // w1, w2 together
+	fmt.Println(c.Labels[2] == c.Labels[3]) // w3, w4 together
+	// Output:
+	// true
+	// true
+}
+
+// ExampleRedundancySweep demonstrates the malicious-tweak defence.
+func ExampleRedundancySweep() {
+	scores := []float64{9, 1, 1}
+	clusters, _ := hmeans.NewClustering([]int{0, 1, 2})
+	sweep, _ := hmeans.RedundancySweep(hmeans.Geometric, scores, clusters, 0, 3)
+	for _, imp := range sweep {
+		fmt.Printf("clones=%d plain=%.2f hierarchical=%.2f\n",
+			imp.Copies, imp.Plain, imp.Hierarchical)
+	}
+	// Output:
+	// clones=0 plain=2.08 hierarchical=2.08
+	// clones=1 plain=3.00 hierarchical=2.08
+	// clones=2 plain=3.74 hierarchical=2.08
+	// clones=3 plain=4.33 hierarchical=2.08
+}

@@ -1,0 +1,97 @@
+// Machine comparison: the paper's full case study as a program.
+//
+// Two machines run the hypothetical SPECjvm2007-like suite (five
+// SPECjvm98 workloads, five SciMark2 kernels, three DaCapo
+// programs). The plain geometric mean says machine A beats machine B
+// by 8% — but the five SciMark2 kernels are redundant with each
+// other, and they happen to be the workloads where A has no
+// advantage, so the plain mean understates A. The pipeline detects
+// the redundancy from OS-level counters and the hierarchical
+// geometric mean corrects for it.
+//
+//	go run ./examples/machine-comparison
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"hmeans"
+	"hmeans/internal/simbench"
+	"hmeans/internal/som"
+	"hmeans/internal/viz"
+)
+
+func main() {
+	// 1. Measure: 10 runs per workload per machine, averaged, scored
+	//    as speedup over the reference machine (exactly the paper's
+	//    Section IV-B protocol, on the simulated substrate).
+	workloads, _, err := simbench.CalibratedSuite()
+	if err != nil {
+		log.Fatal(err)
+	}
+	ref := simbench.Reference()
+	speedA, err := simbench.MeasuredSpeedups(workloads, simbench.MachineA(), ref, 10, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	speedB, err := simbench.MeasuredSpeedups(workloads, simbench.MachineB(), ref, 10, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Characterize: collect SAR counters on machine A, average the
+	//    samples into one characteristic vector per workload.
+	table, err := simbench.SARTable(workloads, simbench.MachineA(), simbench.SARSpec{Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Detect clusters: preprocessing → SOM → complete-linkage
+	//    hierarchical clustering of the map positions.
+	pipeline, err := hmeans.DetectClusters(table, hmeans.PipelineConfig{
+		SOM: som.Config{Seed: 2007},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Workload distribution on the SOM (machine A, SAR counters):")
+	if err := viz.SOMMap(os.Stdout, pipeline.Map, pipeline.Workloads, pipeline.Prepared.Vectors()); err != nil {
+		log.Fatal(err)
+	}
+
+	// 4. Score: hierarchical geometric mean across cluster counts.
+	plainA, _ := hmeans.PlainMean(hmeans.Geometric, speedA)
+	plainB, _ := hmeans.PlainMean(hmeans.Geometric, speedB)
+	fmt.Printf("\nplain GM:  A=%.2f  B=%.2f  ratio=%.2f\n\n", plainA, plainB, plainA/plainB)
+
+	t := viz.NewTable("clusters", "A", "B", "ratio")
+	for k := 2; k <= 8; k++ {
+		hgmA, err := pipeline.ScoreAtK(hmeans.Geometric, speedA, k)
+		if err != nil {
+			log.Fatal(err)
+		}
+		hgmB, err := pipeline.ScoreAtK(hmeans.Geometric, speedB, k)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := t.AddRowf(fmt.Sprintf("%d", k), "%.2f", hgmA, hgmB, hgmA/hgmB); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := t.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+
+	// 5. Inspect a recommended cut.
+	members, err := pipeline.ClusterMembers(5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nclusters at k=5:")
+	for label, ms := range members {
+		fmt.Printf("  %d: %v\n", label, ms)
+	}
+}

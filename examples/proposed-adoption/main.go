@@ -1,0 +1,122 @@
+// Proposed adoption: the consortium decision the paper is really
+// about, run BEFORE the merger instead of after. Two candidate
+// workloads are proposed for the next suite release: another
+// self-contained numeric kernel, and a genuinely new streaming-media
+// server workload. The pipeline quantifies what each would do to the
+// suite's diversity — and therefore whether adopting it adds
+// information or just redundancy.
+//
+//	go run ./examples/proposed-adoption
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hmeans"
+	"hmeans/internal/cluster"
+	"hmeans/internal/simbench"
+	"hmeans/internal/som"
+)
+
+func main() {
+	base, _, err := simbench.CalibratedSuite()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Candidate 1: yet another numeric kernel built on the same
+	// self-contained math library as the five SciMark2 members.
+	jacobi, err := simbench.NewWorkload("SciMark2.Jacobi", simbench.SciMark2, simbench.Demand{
+		WorkGOps: 66, FPFraction: 0.88, WorkingSetKB: 90, FootprintMB: 5,
+		MemIntensity: 0.42, AllocIntensity: 0.01, IOIntensity: 0.005,
+		Parallelism: 1, CodeComplexity: 0.55, SyscallIntensity: 0.02,
+	}, []string{"java.lang", "scimark.kernel", "scimark.sor"})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Candidate 2: a streaming media server — network-heavy,
+	// multi-threaded, moderate FP — behaviour the suite does not
+	// have yet.
+	streamer, err := simbench.NewWorkload("Media.streamd", simbench.DaCapo, simbench.Demand{
+		WorkGOps: 70, FPFraction: 0.25, WorkingSetKB: 1400, FootprintMB: 180,
+		MemIntensity: 0.7, AllocIntensity: 0.35, IOIntensity: 0.45,
+		NetIntensity: 0.8, Parallelism: 2, CodeComplexity: 1.3, SyscallIntensity: 0.5,
+	}, []string{"java.lang", "java.util", "java.io", "java.net", "dacapo.harness"})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Evaluating two proposed additions to the 13-workload suite")
+	fmt.Println("(characterization: SAR counters on machine A; clustering at the recommended k)")
+	fmt.Println()
+	evaluate(base, "base suite (13 workloads)")
+	for _, candidate := range []simbench.Workload{jacobi, streamer} {
+		extended, err := simbench.ExtendSuite(base, candidate)
+		if err != nil {
+			log.Fatal(err)
+		}
+		evaluate(extended, "+ "+candidate.Name)
+	}
+}
+
+// evaluate clusters a suite at its own natural cut (best silhouette)
+// and prints the diversity summary; for an extended suite it renders
+// the adoption verdict by where the newcomer landed.
+func evaluate(ws []simbench.Workload, label string) {
+	tab, err := simbench.SARTable(ws, simbench.MachineA(), simbench.SARSpec{Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	p, err := hmeans.DetectClusters(tab, hmeans.PipelineConfig{SOM: som.Config{Seed: 2007}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Cut each suite at its own geometrically natural cluster count
+	// so before/after comparisons reflect structure, not a fixed k.
+	sweep, err := p.Dendrogram.QualitySweep(p.Positions, 2, 9)
+	if err != nil {
+		log.Fatal(err)
+	}
+	k, err := cluster.RecommendK(sweep)
+	if err != nil {
+		log.Fatal(err)
+	}
+	c, err := p.ClusteringAtK(k)
+	if err != nil {
+		log.Fatal(err)
+	}
+	d, err := hmeans.AnalyzeDiversity(c)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-28s natural k=%d, effective clusters %.2f, redundancy %.0f%%, largest cluster %.0f%%\n",
+		label, k, d.EffectiveClusters, 100*d.Redundancy, 100*d.LargestClusterShare)
+	if len(ws) <= 13 {
+		fmt.Println()
+		return
+	}
+	// Adoption verdict: a candidate that joins an existing
+	// multi-member cluster only deepens redundancy; one that stands
+	// alone brings new behaviour.
+	newcomer := ws[len(ws)-1].Name
+	members, err := p.ClusterMembers(k)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, ms := range members {
+		for _, m := range ms {
+			if m != newcomer {
+				continue
+			}
+			fmt.Printf("    %s clusters with: %v\n", newcomer, ms)
+			if len(ms) > 1 {
+				fmt.Println("    verdict: MOSTLY REDUNDANT — inflates an existing cluster")
+			} else {
+				fmt.Println("    verdict: ADDS DIVERSITY — worth adopting")
+			}
+		}
+	}
+	fmt.Println()
+}

@@ -1,0 +1,149 @@
+// Suite evaluation: use the clustering machinery to evaluate a NEW
+// benchmark suite for redundancy before adopting it — the paper's
+// second use case ("analyze the inherent redundancy and cluster
+// characteristics in a quantitative manner for evaluating a new
+// benchmark suite").
+//
+// The program merges the SPECjvm98-like workloads with the SciMark2
+// kernels (the merger the paper worries about), characterizes every
+// workload by its Java method utilization — a machine-independent
+// view — and reports, per candidate cluster count: the cluster
+// sizes, the silhouette quality, and which source suites coagulate.
+//
+//	go run ./examples/suite-evaluation
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"hmeans"
+	"hmeans/internal/cluster"
+	"hmeans/internal/simbench"
+	"hmeans/internal/som"
+	"hmeans/internal/vecmath"
+	"hmeans/internal/viz"
+)
+
+func main() {
+	workloads, _, err := simbench.CalibratedSuite()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Architecture-independent characterization: method-usage bits.
+	table, err := simbench.HprofTable(workloads)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pipeline, err := hmeans.DetectClusters(table, hmeans.PipelineConfig{
+		Kind: hmeans.Bits,
+		SOM:  som.Config{Seed: 2007},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("characterization: %d methods observed, %d kept after filtering\n",
+		len(table.Features), len(pipeline.Prepared.Features))
+	fmt.Printf("(dropped %d single-user and %d universal methods)\n\n",
+		len(pipeline.Report.DroppedSingleUser), len(pipeline.Report.DroppedUniversal))
+
+	// Quantify redundancy per cut: silhouette (cluster quality) and
+	// suite coagulation.
+	dm := vecmath.DistanceMatrix(vecmath.Euclidean, pipeline.Positions)
+	t := viz.NewTable("k", "silhouette", "cluster sizes", "single-suite clusters")
+	for k := 2; k <= 8; k++ {
+		a, err := pipeline.Dendrogram.CutK(k)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sil, err := cluster.Silhouette(dm, a)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sizes := a.Sizes()
+		pure := 0
+		for _, members := range a.Members() {
+			suites := map[simbench.SourceSuite]bool{}
+			for _, idx := range members {
+				suites[workloads[idx].Suite] = true
+			}
+			if len(suites) == 1 && len(members) > 1 {
+				pure++
+			}
+		}
+		if err := t.AddRow(fmt.Sprintf("%d", k),
+			fmt.Sprintf("%.3f", sil),
+			strings.Trim(fmt.Sprint(sizes), "[]"),
+			fmt.Sprintf("%d", pure)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := t.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+
+	// The verdict the paper reaches: the SciMark2 adoption set forms
+	// an exclusive cluster — its members are mutually redundant.
+	fmt.Println("\ncluster membership at k=6:")
+	members, err := pipeline.ClusterMembers(6)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for label, ms := range members {
+		fmt.Printf("  %d: %v\n", label, ms)
+	}
+	fmt.Println("\nA cluster that contains exactly one source suite's adoption")
+	fmt.Println("set (here: all five SciMark2 kernels) is artificial")
+	fmt.Println("redundancy: the merger injected five workloads that behave")
+	fmt.Println("as one. Score with hierarchical means, or drop members.")
+
+	// Quantitative verdict: effective diversity of the merged suite.
+	if c, err := pipeline.ClusteringAtK(6); err == nil {
+		if d, err := hmeans.AnalyzeDiversity(c); err == nil {
+			fmt.Printf("\nsuite diversity at k=6: %.1f effective clusters for %d workloads "+
+				"(redundancy %.0f%%, largest cluster holds %.0f%%)\n",
+				d.EffectiveClusters, d.Workloads, 100*d.Redundancy, 100*d.LargestClusterShare)
+		}
+	}
+
+	// Mechanized cluster-count recommendation: silhouette quality
+	// with the paper's "ratio fluctuation dampens" tie-break.
+	speedA, err := simbench.MeasuredSpeedups(workloads, simbench.MachineA(), simbench.Reference(), 10, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	speedB, err := simbench.MeasuredSpeedups(workloads, simbench.MachineB(), simbench.Reference(), 10, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rec, err := pipeline.RecommendK(hmeans.Geometric, speedA, speedB, 2, 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nrecommended cluster count: k=%d\n", rec.K)
+
+	// The alternative treatment: subset instead of reweight. One
+	// representative (medoid) per cluster replaces the whole suite.
+	subset, err := hmeans.SelectSubset(pipeline.Positions, mustClustering(pipeline, rec.K))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("subset (one representative per cluster):")
+	for label, idx := range subset.Representatives {
+		fmt.Printf("  cluster %d -> %s\n", label, workloads[idx].Name)
+	}
+	if e, err := hmeans.SubsetError(hmeans.Geometric, speedA, subset); err == nil {
+		fmt.Printf("subset GM vs full-suite HGM on machine A: %.1f%% apart\n", 100*e)
+	}
+}
+
+func mustClustering(p *hmeans.Pipeline, k int) hmeans.Clustering {
+	c, err := p.ClusteringAtK(k)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return c
+}

@@ -1,0 +1,100 @@
+package hmeans_test
+
+import (
+	"strings"
+	"testing"
+
+	"hmeans"
+)
+
+func TestFacadeBootstrapCIs(t *testing.T) {
+	a := []float64{4.75, 5.32, 3.97, 6.50, 2.57, 1.09, 1.19, 0.75, 1.22, 0.71, 1.16, 5.12, 1.88}
+	b := []float64{3.99, 3.65, 2.37, 6.11, 1.41, 1.07, 0.90, 0.98, 1.31, 0.90, 2.31, 2.77, 2.62}
+	iv, err := hmeans.BootstrapScoreCI(a, 0.95, 400, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !iv.Contains(iv.Point) || iv.Width() <= 0 {
+		t.Fatalf("score CI %+v", iv)
+	}
+	ratio, err := hmeans.BootstrapRatioCI(a, b, 0.95, 400, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio.Point < 1.0 || ratio.Point > 1.2 {
+		t.Fatalf("ratio point %v", ratio.Point)
+	}
+	p, obs, err := hmeans.PairedPermutationTest(a, b, 1000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p <= 0 || p > 1 || obs <= 0 {
+		t.Fatalf("permutation p=%v obs=%v", p, obs)
+	}
+}
+
+func TestFacadeNestedMeanAndImportance(t *testing.T) {
+	table, err := hmeans.NewTable(
+		[]string{"a", "b", "c", "d"},
+		[]string{"f1", "f2"},
+		[][]float64{{9, 1}, {9.1, 1.1}, {2, 8}, {1, 9}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := hmeans.DetectClusters(table, hmeans.PipelineConfig{SkipSOM: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scores := []float64{4, 4.2, 1.5, 1.2}
+	nested, err := hmeans.NestedMean(hmeans.Geometric, scores, p.Dendrogram, []int{2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nested <= 0 {
+		t.Fatalf("nested mean %v", nested)
+	}
+	c, err := p.ClusteringAtK(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	imp, err := hmeans.FeatureImportance(p.Prepared, c.Labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(imp) == 0 || imp[0].EtaSquared < 0 || imp[0].EtaSquared > 1 {
+		t.Fatalf("importance = %+v", imp)
+	}
+}
+
+func TestFacadeWriteReport(t *testing.T) {
+	table, err := hmeans.NewTable(
+		[]string{"a", "b", "c", "d"},
+		[]string{"f1", "f2"},
+		[][]float64{{9, 1}, {9.1, 1.1}, {2, 8}, {1, 9}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cfg hmeans.PipelineConfig
+	cfg.SkipSOM = true
+	cfg.SOM = hmeans.SOMConfig{Seed: 4}
+	p, err := hmeans.DetectClusters(table, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	err = hmeans.WriteReport(&sb, hmeans.ReportInput{
+		Workloads: []string{"a", "b", "c", "d"},
+		Scores:    []float64{4, 4.1, 1.5, 1.2},
+		Pipeline:  p,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Per-workload scores", "Cluster structure", "Suite scores"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Fatalf("report missing %q:\n%s", want, sb.String())
+		}
+	}
+}

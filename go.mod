@@ -1,0 +1,3 @@
+module hmeans
+
+go 1.22

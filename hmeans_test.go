@@ -1,0 +1,150 @@
+package hmeans_test
+
+import (
+	"math"
+	"testing"
+
+	"hmeans"
+)
+
+func TestFacadeScoring(t *testing.T) {
+	scores := []float64{1, 4, 2, 8, 32}
+	c, err := hmeans.NewClustering([]int{0, 0, 1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := hmeans.HGM(scores, c)
+	if err != nil || math.Abs(got-4) > 1e-12 {
+		t.Fatalf("HGM = %v, %v; want 4", got, err)
+	}
+	plain, err := hmeans.PlainMean(hmeans.Geometric, scores)
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, err := hmeans.HierarchicalMean(hmeans.Geometric, scores, hmeans.Singletons(5))
+	if err != nil || math.Abs(single-plain) > 1e-12 {
+		t.Fatalf("singleton degeneracy broken: %v vs %v", single, plain)
+	}
+	one, err := hmeans.HGM(scores, hmeans.OneCluster(5))
+	if err != nil || math.Abs(one-plain) > 1e-12 {
+		t.Fatalf("one-cluster degeneracy broken: %v vs %v", one, plain)
+	}
+}
+
+func TestFacadeMeanFamilies(t *testing.T) {
+	scores := []float64{1, 2, 4, 8}
+	c, _ := hmeans.NewClustering([]int{0, 0, 1, 1})
+	hh, _ := hmeans.HHM(scores, c)
+	hg, _ := hmeans.HGM(scores, c)
+	ha, _ := hmeans.HAM(scores, c)
+	if !(hh <= hg && hg <= ha) {
+		t.Fatalf("mean inequality violated: %v %v %v", hh, hg, ha)
+	}
+}
+
+func TestFacadePipeline(t *testing.T) {
+	table, err := hmeans.NewTable(
+		[]string{"redundant1", "redundant2", "distinct1", "distinct2"},
+		[]string{"cpu", "mem", "io"},
+		[][]float64{
+			{10, 1, 0},
+			{10.4, 1.2, 0.1},
+			{2, 8, 3},
+			{1, 2, 9},
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := hmeans.DetectClusters(table, hmeans.PipelineConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := p.ClusteringAtK(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Labels[0] != c.Labels[1] {
+		t.Fatalf("redundant workloads not clustered: %v", c.Labels)
+	}
+	score, err := p.ScoreAtK(hmeans.Geometric, []float64{4, 4.1, 2, 1}, 3)
+	if err != nil || score <= 0 {
+		t.Fatalf("ScoreAtK = %v, %v", score, err)
+	}
+}
+
+func TestFacadeBits(t *testing.T) {
+	table, err := hmeans.FromBits(
+		[]string{"w1", "w2", "w3"},
+		[]string{"m1", "m2", "m3", "m4"},
+		[][]bool{
+			{true, true, false, true},
+			{true, true, false, false},
+			{true, false, true, false},
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := hmeans.DetectClusters(table, hmeans.PipelineConfig{Kind: hmeans.Bits}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeRedundancySweep(t *testing.T) {
+	scores := []float64{9, 1, 1}
+	c, _ := hmeans.NewClustering([]int{0, 1, 2})
+	sweep, err := hmeans.RedundancySweep(hmeans.Geometric, scores, c, 0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sweep) != 6 {
+		t.Fatalf("sweep length %d", len(sweep))
+	}
+	if sweep[5].Plain <= sweep[0].Plain {
+		t.Fatal("plain mean did not inflate")
+	}
+	if math.Abs(sweep[5].Hierarchical-sweep[0].Hierarchical) > 1e-12 {
+		t.Fatal("hierarchical mean drifted")
+	}
+}
+
+func TestFacadeEquivalentWeights(t *testing.T) {
+	c, _ := hmeans.NewClustering([]int{0, 0, 1})
+	ws := hmeans.EquivalentWeights(c)
+	sum := 0.0
+	for _, w := range ws {
+		sum += w
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Fatalf("weights sum %v", sum)
+	}
+}
+
+func TestFacadeDiversityAndSensitivity(t *testing.T) {
+	c, err := hmeans.NewClustering([]int{0, 0, 0, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := hmeans.AnalyzeDiversity(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Clusters != 3 || d.Workloads != 5 || d.LargestClusterShare != 3.0/5 {
+		t.Fatalf("diversity = %+v", d)
+	}
+	s, err := hmeans.ClusteringSensitivity(hmeans.Geometric, []float64{1, 1.1, 0.9, 5, 9}, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.MaxAbsShift <= 0 || s.Evaluated == 0 {
+		t.Fatalf("sensitivity = %+v", s)
+	}
+}
+
+func TestFacadeInjectRedundancy(t *testing.T) {
+	scores := []float64{2, 8}
+	c, _ := hmeans.NewClustering([]int{0, 1})
+	s2, c2, err := hmeans.InjectRedundancy(scores, c, 1, 2)
+	if err != nil || len(s2) != 4 || c2.K != 2 {
+		t.Fatalf("InjectRedundancy = %v, %v, %v", s2, c2, err)
+	}
+}

@@ -1,0 +1,160 @@
+package hmeans_test
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"hmeans"
+	"hmeans/internal/dataio"
+	"hmeans/internal/simbench"
+	"hmeans/internal/som"
+)
+
+// TestEndToEndCSVRoundTrip simulates the documented shell pipeline
+// (benchsim -emit sar | hmeans -chars …) in-process: the simulated
+// substrate emits CSVs, dataio reads them back, and the public facade
+// scores the suite.
+func TestEndToEndCSVRoundTrip(t *testing.T) {
+	ws, _, err := simbench.CalibratedSuite()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := simbench.Reference()
+
+	// benchsim -emit speedups -machine A
+	speedups, err := simbench.MeasuredSpeedups(ws, simbench.MachineA(), ref, 10, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var scoreCSV strings.Builder
+	if err := dataio.WriteScores(&scoreCSV, dataio.Scores{
+		Workloads: simbench.WorkloadNames(ws), Values: speedups,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// benchsim -emit sar -machine A
+	sar, err := simbench.SARTable(ws, simbench.MachineA(), simbench.SARSpec{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var charCSV strings.Builder
+	if err := dataio.WriteMatrix(&charCSV, dataio.Matrix{
+		Workloads: sar.Workloads, Features: sar.Features, Rows: sar.Rows,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// hmeans -scores … -chars …
+	scores, err := dataio.ReadScores(strings.NewReader(scoreCSV.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	matrix, err := dataio.ReadMatrix(strings.NewReader(charCSV.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	table, err := hmeans.NewTable(matrix.Workloads, matrix.Features, matrix.Rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := hmeans.DetectClusters(table, hmeans.PipelineConfig{SOM: som.Config{Seed: 2007}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Degeneracy through the full stack: HGM at k=n equals plain GM.
+	plain, err := hmeans.PlainMean(hmeans.Geometric, scores.Values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	atN, err := p.ScoreAtK(hmeans.Geometric, scores.Values, len(ws))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(atN-plain) > 1e-9 {
+		t.Fatalf("k=n HGM %v != plain GM %v", atN, plain)
+	}
+
+	// And the headline behaviour: some moderate cut scores the suite
+	// visibly above the plain GM (redundant SciMark cluster collapsed).
+	improved := false
+	for k := 3; k <= 7; k++ {
+		h, err := p.ScoreAtK(hmeans.Geometric, scores.Values, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h > plain*1.05 {
+			improved = true
+		}
+	}
+	if !improved {
+		t.Fatal("no cut moved the score away from the plain GM")
+	}
+}
+
+// TestReferenceMapWorkflow exercises the publish-and-reuse workflow:
+// a consortium trains the reference map once, publishes it, and a
+// vendor places the workloads on the loaded copy, getting identical
+// clusters.
+func TestReferenceMapWorkflow(t *testing.T) {
+	ws, _, err := simbench.CalibratedSuite()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sar, err := simbench.SARTable(ws, simbench.MachineB(), simbench.SARSpec{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := hmeans.DetectClusters(sar, hmeans.PipelineConfig{SOM: som.Config{Seed: 11}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var published strings.Builder
+	if err := p.Map.Save(&published); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := som.Load(strings.NewReader(published.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	vectors := p.Prepared.Vectors()
+	for i, v := range vectors {
+		r1, c1 := p.Map.BMU(v)
+		r2, c2 := loaded.BMU(v)
+		if r1 != r2 || c1 != c2 {
+			t.Fatalf("workload %d placed differently on the published map", i)
+		}
+	}
+}
+
+// TestConsistencyBetweenFacadeAndSubstrate guards the invariant that
+// the plain GM computed through the facade matches the paper's value
+// on the default measurement campaign.
+func TestConsistencyBetweenFacadeAndSubstrate(t *testing.T) {
+	ws, _, err := simbench.CalibratedSuite()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := simbench.Reference()
+	sa, err := simbench.MeasuredSpeedups(ws, simbench.MachineA(), ref, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := simbench.MeasuredSpeedups(ws, simbench.MachineB(), ref, 10, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gmA, err := hmeans.PlainMean(hmeans.Geometric, sa)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gmB, err := hmeans.PlainMean(hmeans.Geometric, sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(gmA-2.10) > 0.05 || math.Abs(gmB-1.94) > 0.05 {
+		t.Fatalf("plain GMs (%v, %v) drifted from the paper's (2.10, 1.94)", gmA, gmB)
+	}
+}

@@ -1,0 +1,181 @@
+// Package chars implements the workload-characterization layer:
+// turning raw measurements (operating-system counters or Java
+// method-utilization bits) into the standardized characteristic
+// vectors the SOM consumes.
+//
+// It reproduces the paper's two preprocessing recipes:
+//
+//   - SAR counters (Section IV-C, first approach): average the
+//     per-run samples into one value per counter, discard counters
+//     that do not vary across workloads, and z-standardize each
+//     counter.
+//   - Java method utilization (second approach): one bit per known
+//     method, discard methods used by exactly one workload or by all
+//     workloads (both extremes "tend to bias the SOM learning
+//     process"), and z-standardize the remaining bit columns.
+package chars
+
+import (
+	"errors"
+	"fmt"
+
+	"hmeans/internal/stat"
+	"hmeans/internal/vecmath"
+)
+
+// Table is a workloads × features characterization matrix with named
+// axes.
+type Table struct {
+	// Workloads names each row.
+	Workloads []string
+	// Features names each column.
+	Features []string
+	// Rows holds one characteristic vector per workload.
+	Rows [][]float64
+}
+
+// NewTable validates and wraps a characterization matrix. The data is
+// not copied.
+func NewTable(workloads, features []string, rows [][]float64) (*Table, error) {
+	if len(workloads) == 0 {
+		return nil, errors.New("chars: no workloads")
+	}
+	if len(rows) != len(workloads) {
+		return nil, fmt.Errorf("chars: %d rows for %d workloads", len(rows), len(workloads))
+	}
+	for i, r := range rows {
+		if len(r) != len(features) {
+			return nil, fmt.Errorf("chars: row %d has %d values for %d features", i, len(r), len(features))
+		}
+	}
+	return &Table{Workloads: workloads, Features: features, Rows: rows}, nil
+}
+
+// FromBits builds a Table from a boolean usage matrix (1.0 for used,
+// 0.0 for unused), e.g. hprof method coverage.
+func FromBits(workloads, features []string, bits [][]bool) (*Table, error) {
+	rows := make([][]float64, len(bits))
+	for i, b := range bits {
+		rows[i] = make([]float64, len(b))
+		for j, set := range b {
+			if set {
+				rows[i][j] = 1
+			}
+		}
+	}
+	return NewTable(workloads, features, rows)
+}
+
+// Clone returns a deep copy of the table.
+func (t *Table) Clone() *Table {
+	rows := make([][]float64, len(t.Rows))
+	for i, r := range t.Rows {
+		rows[i] = append([]float64(nil), r...)
+	}
+	return &Table{
+		Workloads: append([]string(nil), t.Workloads...),
+		Features:  append([]string(nil), t.Features...),
+		Rows:      rows,
+	}
+}
+
+// Vectors returns the rows as vecmath vectors (views, not copies).
+func (t *Table) Vectors() []vecmath.Vector {
+	out := make([]vecmath.Vector, len(t.Rows))
+	for i, r := range t.Rows {
+		out[i] = vecmath.Vector(r)
+	}
+	return out
+}
+
+// Report describes what preprocessing removed.
+type Report struct {
+	// DroppedConstant lists features discarded because they did not
+	// vary across workloads.
+	DroppedConstant []string
+	// DroppedSingleUser lists bit features used by exactly one
+	// workload.
+	DroppedSingleUser []string
+	// DroppedUniversal lists bit features used by every workload.
+	DroppedUniversal []string
+	// Kept is the number of surviving features.
+	Kept int
+}
+
+// PreprocessCounters applies the paper's counter recipe to a copy of
+// t: drop constant features, then z-standardize each surviving
+// column. The input table is unchanged.
+func PreprocessCounters(t *Table) (*Table, Report) {
+	work := t.Clone()
+	var rep Report
+	varied := stat.StandardizeColumns(work.Rows)
+	keep := make([]bool, len(varied))
+	for j, v := range varied {
+		keep[j] = v
+		if !v {
+			rep.DroppedConstant = append(rep.DroppedConstant, work.Features[j])
+		}
+	}
+	work.Rows = stat.DropColumns(work.Rows, keep)
+	work.Features = filterNames(work.Features, keep)
+	rep.Kept = len(work.Features)
+	return work, rep
+}
+
+// PreprocessBits applies the paper's method-utilization recipe to a
+// copy of t: drop bit features used by exactly one workload or by all
+// workloads, then z-standardize the remaining columns. Values are
+// treated as set when non-zero. The input table is unchanged.
+func PreprocessBits(t *Table) (*Table, Report) {
+	work := t.Clone()
+	var rep Report
+	n := len(work.Rows)
+	cols := len(work.Features)
+	keep := make([]bool, cols)
+	for j := 0; j < cols; j++ {
+		users := 0
+		for i := 0; i < n; i++ {
+			if work.Rows[i][j] != 0 {
+				users++
+			}
+		}
+		switch {
+		case users <= 1:
+			rep.DroppedSingleUser = append(rep.DroppedSingleUser, work.Features[j])
+		case users == n:
+			rep.DroppedUniversal = append(rep.DroppedUniversal, work.Features[j])
+		default:
+			keep[j] = true
+		}
+	}
+	work.Rows = stat.DropColumns(work.Rows, keep)
+	work.Features = filterNames(work.Features, keep)
+	varied := stat.StandardizeColumns(work.Rows)
+	// A kept bit column always varies (some users, some non-users),
+	// but guard against degenerate inputs anyway.
+	keep2 := make([]bool, len(varied))
+	anyDropped := false
+	for j, v := range varied {
+		keep2[j] = v
+		if !v {
+			anyDropped = true
+			rep.DroppedConstant = append(rep.DroppedConstant, work.Features[j])
+		}
+	}
+	if anyDropped {
+		work.Rows = stat.DropColumns(work.Rows, keep2)
+		work.Features = filterNames(work.Features, keep2)
+	}
+	rep.Kept = len(work.Features)
+	return work, rep
+}
+
+func filterNames(names []string, keep []bool) []string {
+	out := make([]string, 0, len(names))
+	for j, k := range keep {
+		if k {
+			out = append(out, names[j])
+		}
+	}
+	return out
+}

@@ -1,0 +1,164 @@
+package chars
+
+import (
+	"math"
+	"testing"
+)
+
+func mustTable(t *testing.T, workloads, features []string, rows [][]float64) *Table {
+	t.Helper()
+	tab, err := NewTable(workloads, features, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tab
+}
+
+func TestNewTableValidation(t *testing.T) {
+	if _, err := NewTable(nil, nil, nil); err == nil {
+		t.Error("empty workloads accepted")
+	}
+	if _, err := NewTable([]string{"a"}, []string{"f"}, nil); err == nil {
+		t.Error("row-count mismatch accepted")
+	}
+	if _, err := NewTable([]string{"a"}, []string{"f", "g"}, [][]float64{{1}}); err == nil {
+		t.Error("ragged row accepted")
+	}
+}
+
+func TestPreprocessCountersDropsConstantAndStandardizes(t *testing.T) {
+	tab := mustTable(t,
+		[]string{"w1", "w2", "w3"},
+		[]string{"cpu", "const", "faults"},
+		[][]float64{
+			{1, 5, 100},
+			{2, 5, 300},
+			{3, 5, 200},
+		})
+	out, rep := PreprocessCounters(tab)
+	if len(rep.DroppedConstant) != 1 || rep.DroppedConstant[0] != "const" {
+		t.Fatalf("DroppedConstant = %v", rep.DroppedConstant)
+	}
+	if rep.Kept != 2 || len(out.Features) != 2 {
+		t.Fatalf("Kept = %d, features = %v", rep.Kept, out.Features)
+	}
+	// Surviving columns are z-scores: mean 0, sd 1.
+	for j := 0; j < 2; j++ {
+		sum, sumSq := 0.0, 0.0
+		for i := range out.Rows {
+			sum += out.Rows[i][j]
+			sumSq += out.Rows[i][j] * out.Rows[i][j]
+		}
+		if math.Abs(sum) > 1e-9 || math.Abs(sumSq/3-1) > 1e-9 {
+			t.Fatalf("column %d not standardized: sum=%v sumSq=%v", j, sum, sumSq)
+		}
+	}
+	// Original untouched.
+	if tab.Rows[0][0] != 1 || len(tab.Features) != 3 {
+		t.Fatal("PreprocessCounters mutated its input")
+	}
+}
+
+func TestPreprocessBitsFilters(t *testing.T) {
+	tab, err := FromBits(
+		[]string{"w1", "w2", "w3"},
+		[]string{"onlyW1", "everyone", "shared12", "shared23", "nobody"},
+		[][]bool{
+			{true, true, true, false, false},
+			{false, true, true, true, false},
+			{false, true, false, true, false},
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, rep := PreprocessBits(tab)
+	if len(rep.DroppedSingleUser) != 2 { // onlyW1 (1 user) and nobody (0 users)
+		t.Fatalf("DroppedSingleUser = %v", rep.DroppedSingleUser)
+	}
+	if len(rep.DroppedUniversal) != 1 || rep.DroppedUniversal[0] != "everyone" {
+		t.Fatalf("DroppedUniversal = %v", rep.DroppedUniversal)
+	}
+	if rep.Kept != 2 {
+		t.Fatalf("Kept = %d, want 2 (shared12, shared23)", rep.Kept)
+	}
+	wantFeatures := map[string]bool{"shared12": true, "shared23": true}
+	for _, f := range out.Features {
+		if !wantFeatures[f] {
+			t.Fatalf("unexpected surviving feature %q", f)
+		}
+	}
+}
+
+func TestPreprocessBitsStandardizes(t *testing.T) {
+	tab, _ := FromBits(
+		[]string{"a", "b", "c", "d"},
+		[]string{"f"},
+		[][]bool{{true}, {true}, {false}, {false}})
+	out, rep := PreprocessBits(tab)
+	if rep.Kept != 1 {
+		t.Fatalf("Kept = %d", rep.Kept)
+	}
+	// z-scores of {1,1,0,0}: ±1.
+	for i, want := range []float64{1, 1, -1, -1} {
+		if math.Abs(out.Rows[i][0]-want) > 1e-9 {
+			t.Fatalf("standardized bits = %v", out.Rows)
+		}
+	}
+}
+
+func TestVectorsShareStorage(t *testing.T) {
+	tab := mustTable(t, []string{"w"}, []string{"f"}, [][]float64{{7}})
+	v := tab.Vectors()
+	v[0][0] = 9
+	if tab.Rows[0][0] != 9 {
+		t.Fatal("Vectors should view the table rows")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	tab := mustTable(t, []string{"w"}, []string{"f"}, [][]float64{{7}})
+	c := tab.Clone()
+	c.Rows[0][0] = 1
+	c.Features[0] = "x"
+	if tab.Rows[0][0] != 7 || tab.Features[0] != "f" {
+		t.Fatal("Clone aliases original")
+	}
+}
+
+func TestAverageSamples(t *testing.T) {
+	got, err := AverageSamples([][]float64{{1, 10}, {3, 20}, {5, 30}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 3 || got[1] != 20 {
+		t.Fatalf("AverageSamples = %v, want [3 20]", got)
+	}
+	if _, err := AverageSamples(nil); err == nil {
+		t.Error("empty samples accepted")
+	}
+	if _, err := AverageSamples([][]float64{{1}, {1, 2}}); err == nil {
+		t.Error("ragged samples accepted")
+	}
+}
+
+func TestFeatureSpread(t *testing.T) {
+	tab := mustTable(t, []string{"a", "b"}, []string{"f", "g"}, [][]float64{{1, 5}, {4, 5}})
+	spread := tab.FeatureSpread()
+	if spread[0] != 3 || spread[1] != 0 {
+		t.Fatalf("FeatureSpread = %v, want [3 0]", spread)
+	}
+}
+
+func TestPreprocessBitsAllDegenerate(t *testing.T) {
+	tab, _ := FromBits([]string{"a", "b"}, []string{"all", "none"},
+		[][]bool{{true, false}, {true, false}})
+	out, rep := PreprocessBits(tab)
+	if rep.Kept != 0 || len(out.Features) != 0 {
+		t.Fatalf("degenerate table kept %d features", rep.Kept)
+	}
+	for _, r := range out.Rows {
+		if len(r) != 0 {
+			t.Fatal("rows not emptied")
+		}
+	}
+}

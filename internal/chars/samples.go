@@ -1,0 +1,56 @@
+package chars
+
+import (
+	"errors"
+	"fmt"
+
+	"hmeans/internal/stat"
+)
+
+// AverageSamples collapses repeated measurements into one
+// characteristic value per feature, the paper's treatment of the 15
+// SAR samples collected per counter per run ("the average value of
+// those samples was used as a representative counter value").
+//
+// samples[run][feature] holds one sampled vector per run; all runs
+// must have the same width.
+func AverageSamples(samples [][]float64) ([]float64, error) {
+	if len(samples) == 0 {
+		return nil, errors.New("chars: no samples")
+	}
+	width := len(samples[0])
+	out := make([]float64, width)
+	for i, s := range samples {
+		if len(s) != width {
+			return nil, fmt.Errorf("chars: sample %d has width %d, want %d", i, len(s), width)
+		}
+		for j, v := range s {
+			out[j] += v
+		}
+	}
+	for j := range out {
+		out[j] /= float64(len(samples))
+	}
+	return out, nil
+}
+
+// FeatureSpread reports, per feature, the population coefficient of
+// dispersion max-min across workloads — a quick way to inspect which
+// counters actually distinguish the suite.
+func (t *Table) FeatureSpread() []float64 {
+	if len(t.Rows) == 0 {
+		return nil
+	}
+	out := make([]float64, len(t.Features))
+	col := make([]float64, len(t.Rows))
+	for j := range t.Features {
+		for i := range t.Rows {
+			col[i] = t.Rows[i][j]
+		}
+		rg, err := stat.Range(col)
+		if err == nil {
+			out[j] = rg
+		}
+	}
+	return out
+}

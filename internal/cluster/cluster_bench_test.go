@@ -1,0 +1,76 @@
+package cluster
+
+import (
+	"testing"
+
+	"hmeans/internal/vecmath"
+)
+
+func BenchmarkDendrogramSuiteScale(b *testing.B) {
+	pts := randomPoints(13, 2, 1)
+	for _, l := range []Linkage{Complete, Single, Average, Ward} {
+		l := l
+		b.Run(l.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := NewDendrogram(pts, vecmath.Euclidean, l); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkDendrogramLarge(b *testing.B) {
+	// 200 points: the O(n³) naive agglomeration at a size well past
+	// any benchmark suite, to keep the scaling behaviour visible.
+	pts := randomPoints(200, 4, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := NewDendrogram(pts, vecmath.Euclidean, Complete); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCutK(b *testing.B) {
+	pts := randomPoints(100, 3, 3)
+	d, err := NewDendrogram(pts, vecmath.Euclidean, Complete)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := d.CutK(i%99 + 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSilhouette(b *testing.B) {
+	pts := randomPoints(100, 3, 4)
+	dm := vecmath.DistanceMatrix(vecmath.Euclidean, pts)
+	d, err := FromDistanceMatrix(dm, Complete)
+	if err != nil {
+		b.Fatal(err)
+	}
+	a, err := d.CutK(6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Silhouette(dm, a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkKMeansSuiteScale(b *testing.B) {
+	pts := randomPoints(13, 2, 5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := KMeans(pts, 6, uint64(i), 3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

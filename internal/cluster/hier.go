@@ -1,0 +1,157 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"hmeans/internal/vecmath"
+)
+
+// ErrNoPoints is returned when clustering is requested on an empty
+// point set.
+var ErrNoPoints = errors.New("cluster: no points")
+
+// Merge records one agglomeration step. Cluster ids follow the
+// scipy/R convention: ids 0..n-1 are the leaves (input points); the
+// merge at step s creates cluster id n+s.
+type Merge struct {
+	// A and B are the ids of the merged clusters, with A < B.
+	A, B int
+	// Distance is the linkage distance at which the merge happened —
+	// the "merging distance" on the dendrogram's y-axis.
+	Distance float64
+	// Size is the number of leaves in the new cluster.
+	Size int
+}
+
+// Dendrogram is the full merge tree of an agglomerative clustering of
+// n points: exactly n−1 merges, ordered by execution (non-decreasing
+// distance for the standard linkages on a metric).
+type Dendrogram struct {
+	n       int
+	linkage Linkage
+	merges  []Merge
+}
+
+// NewDendrogram runs bottom-up agglomerative clustering over the
+// given points under metric m and the selected linkage, following the
+// paper's algorithm: start with singleton clusters, repeatedly merge
+// the closest pair until one cluster remains.
+func NewDendrogram(points []vecmath.Vector, m vecmath.Metric, l Linkage) (*Dendrogram, error) {
+	if len(points) == 0 {
+		return nil, ErrNoPoints
+	}
+	dm := vecmath.DistanceMatrix(m, points)
+	return FromDistanceMatrix(dm, l)
+}
+
+// FromDistanceMatrix clusters from a precomputed symmetric distance
+// matrix. Ward linkage interprets the entries as Euclidean distances
+// (they are squared internally and merge heights are reported back on
+// the original scale).
+func FromDistanceMatrix(dm *vecmath.Matrix, l Linkage) (*Dendrogram, error) {
+	n := dm.Rows()
+	if n == 0 || dm.Cols() != n {
+		return nil, fmt.Errorf("cluster: distance matrix must be square and non-empty, got %dx%d", dm.Rows(), dm.Cols())
+	}
+	if !dm.IsSymmetric(1e-9) {
+		return nil, errors.New("cluster: distance matrix is not symmetric")
+	}
+	d := &Dendrogram{n: n, linkage: l, merges: make([]Merge, 0, n-1)}
+	if n == 1 {
+		return d, nil
+	}
+
+	// Working pairwise distances between *active* clusters, indexed
+	// by slot in [0, n); slot i initially holds leaf i. After a merge
+	// the merged cluster reuses the lower slot and the higher slot is
+	// deactivated.
+	dist := make([][]float64, n)
+	for i := range dist {
+		dist[i] = make([]float64, n)
+		for j := 0; j < n; j++ {
+			v := dm.At(i, j)
+			if v < 0 || math.IsNaN(v) {
+				return nil, fmt.Errorf("cluster: invalid distance %v at (%d,%d)", v, i, j)
+			}
+			if l == Ward {
+				v *= v
+			}
+			dist[i][j] = v
+		}
+	}
+	active := make([]bool, n)
+	id := make([]int, n)   // cluster id held by each slot
+	size := make([]int, n) // leaf count per slot
+	for i := range active {
+		active[i] = true
+		id[i] = i
+		size[i] = 1
+	}
+
+	nextID := n
+	for step := 0; step < n-1; step++ {
+		// Find the closest active pair. O(n²) per step is fine at the
+		// scale of benchmark suites (tens of workloads) and keeps the
+		// algorithm a faithful transcription of the paper's pseudo
+		// code.
+		bi, bj, best := -1, -1, math.Inf(1)
+		for i := 0; i < n; i++ {
+			if !active[i] {
+				continue
+			}
+			for j := i + 1; j < n; j++ {
+				if !active[j] {
+					continue
+				}
+				if dist[i][j] < best {
+					bi, bj, best = i, j, dist[i][j]
+				}
+			}
+		}
+		// Update distances from the merged cluster (slot bi) to every
+		// other active cluster via Lance–Williams.
+		for k := 0; k < n; k++ {
+			if !active[k] || k == bi || k == bj {
+				continue
+			}
+			nd := l.update(dist[bi][k], dist[bj][k], dist[bi][bj], size[bi], size[bj], size[k])
+			dist[bi][k] = nd
+			dist[k][bi] = nd
+		}
+		height := best
+		if l == Ward {
+			height = math.Sqrt(best)
+		}
+		a, b := id[bi], id[bj]
+		if a > b {
+			a, b = b, a
+		}
+		d.merges = append(d.merges, Merge{A: a, B: b, Distance: height, Size: size[bi] + size[bj]})
+		size[bi] += size[bj]
+		id[bi] = nextID
+		nextID++
+		active[bj] = false
+	}
+	return d, nil
+}
+
+// Len returns the number of clustered points (leaves).
+func (d *Dendrogram) Len() int { return d.n }
+
+// Linkage returns the linkage the dendrogram was built with.
+func (d *Dendrogram) Linkage() Linkage { return d.linkage }
+
+// Merges returns the merge sequence. The slice is shared; callers
+// must not modify it.
+func (d *Dendrogram) Merges() []Merge { return d.merges }
+
+// MergeDistances returns the n−1 merge heights in execution order.
+func (d *Dendrogram) MergeDistances() []float64 {
+	out := make([]float64, len(d.merges))
+	for i, m := range d.merges {
+		out[i] = m.Distance
+	}
+	return out
+}

@@ -1,0 +1,140 @@
+package cluster
+
+import (
+	"errors"
+	"math"
+
+	"hmeans/internal/vecmath"
+)
+
+// DaviesBouldin returns the Davies–Bouldin index of an assignment
+// over the points: the mean, over clusters, of the worst ratio
+// (s_i + s_j) / d(c_i, c_j), where s is mean within-cluster distance
+// to the centroid and d is centroid separation. Lower is better.
+// Singleton clusters have s = 0. It requires at least 2 clusters.
+func DaviesBouldin(points []vecmath.Vector, a Assignment) (float64, error) {
+	if len(points) != len(a.Labels) {
+		return 0, errors.New("cluster: assignment length does not match points")
+	}
+	if a.K < 2 {
+		return 0, errors.New("cluster: Davies-Bouldin needs at least 2 clusters")
+	}
+	dim := len(points[0])
+	centroids := make([]vecmath.Vector, a.K)
+	counts := make([]int, a.K)
+	for c := range centroids {
+		centroids[c] = vecmath.NewVector(dim)
+	}
+	for i, p := range points {
+		centroids[a.Labels[i]].AXPYInPlace(1, p)
+		counts[a.Labels[i]]++
+	}
+	for c := range centroids {
+		if counts[c] == 0 {
+			return 0, errors.New("cluster: empty cluster")
+		}
+		centroids[c] = centroids[c].Scale(1 / float64(counts[c]))
+	}
+	scatter := make([]float64, a.K)
+	for i, p := range points {
+		scatter[a.Labels[i]] += vecmath.EuclideanDistance(p, centroids[a.Labels[i]])
+	}
+	for c := range scatter {
+		scatter[c] /= float64(counts[c])
+	}
+	sum := 0.0
+	for i := 0; i < a.K; i++ {
+		worst := 0.0
+		for j := 0; j < a.K; j++ {
+			if i == j {
+				continue
+			}
+			sep := vecmath.EuclideanDistance(centroids[i], centroids[j])
+			if sep == 0 {
+				// Coincident centroids: infinitely bad split.
+				worst = math.Inf(1)
+				continue
+			}
+			if r := (scatter[i] + scatter[j]) / sep; r > worst {
+				worst = r
+			}
+		}
+		sum += worst
+	}
+	return sum / float64(a.K), nil
+}
+
+// KQuality bundles the cluster-count diagnostics for one cut.
+type KQuality struct {
+	K             int
+	Silhouette    float64
+	DaviesBouldin float64
+	// MergeGap is the gap between the merging distance that creates
+	// this cut and the next merge — a wide plateau marks a "natural"
+	// cluster count on the dendrogram, the signal the paper reads
+	// off its figures by eye.
+	MergeGap float64
+}
+
+// QualitySweep evaluates every cut in [kMin, kMax] with silhouette,
+// Davies–Bouldin and the dendrogram merge-gap. Points must be the
+// same ones the dendrogram was built from.
+func (d *Dendrogram) QualitySweep(points []vecmath.Vector, kMin, kMax int) ([]KQuality, error) {
+	if len(points) != d.n {
+		return nil, errors.New("cluster: points do not match dendrogram")
+	}
+	dm := vecmath.DistanceMatrix(vecmath.Euclidean, points)
+	var out []KQuality
+	for k := kMin; k <= kMax && k <= d.n; k++ {
+		if k < 2 {
+			continue
+		}
+		a, err := d.CutK(k)
+		if err != nil {
+			return nil, err
+		}
+		sil, err := Silhouette(dm, a)
+		if err != nil {
+			return nil, err
+		}
+		db, err := DaviesBouldin(points, a)
+		if err != nil {
+			return nil, err
+		}
+		q := KQuality{K: k, Silhouette: sil, DaviesBouldin: db}
+		if _, lo, hi, ok := d.DistanceForK(k); ok {
+			if math.IsInf(hi, 1) {
+				q.MergeGap = math.Inf(1)
+			} else {
+				q.MergeGap = hi - lo
+			}
+		}
+		out = append(out, q)
+	}
+	if len(out) == 0 {
+		return nil, errors.New("cluster: empty quality sweep")
+	}
+	return out, nil
+}
+
+// RecommendK picks a cluster count from a quality sweep: the k with
+// the best silhouette, with Davies–Bouldin as the tie-breaker. This
+// mechanizes the judgment call the paper makes by inspecting the
+// dendrogram and the score fluctuation ("we recommend the 6 clusters
+// case as the norm since it aligns well with the SOM analysis
+// results").
+func RecommendK(sweep []KQuality) (int, error) {
+	if len(sweep) == 0 {
+		return 0, errors.New("cluster: empty sweep")
+	}
+	best := sweep[0]
+	for _, q := range sweep[1:] {
+		switch {
+		case q.Silhouette > best.Silhouette+1e-12:
+			best = q
+		case math.Abs(q.Silhouette-best.Silhouette) <= 1e-12 && q.DaviesBouldin < best.DaviesBouldin:
+			best = q
+		}
+	}
+	return best.K, nil
+}

@@ -1,0 +1,121 @@
+package cluster
+
+import (
+	"errors"
+
+	"hmeans/internal/stat"
+	"hmeans/internal/vecmath"
+)
+
+// Silhouette returns the mean silhouette coefficient of an assignment
+// over the given distance matrix: for each point, (b−a)/max(a,b)
+// where a is the mean distance to its own cluster and b the smallest
+// mean distance to another cluster. Values near 1 indicate tight,
+// well-separated clusters; singleton clusters contribute 0 (the
+// standard convention). It requires 2 <= k <= n−1 to be meaningful
+// and returns an error otherwise.
+func Silhouette(dm *vecmath.Matrix, a Assignment) (float64, error) {
+	n := dm.Rows()
+	if len(a.Labels) != n {
+		return 0, errors.New("cluster: assignment length does not match distance matrix")
+	}
+	if a.K < 2 {
+		return 0, errors.New("cluster: silhouette needs at least 2 clusters")
+	}
+	sizes := a.Sizes()
+	total := 0.0
+	for i := 0; i < n; i++ {
+		li := a.Labels[i]
+		if sizes[li] == 1 {
+			continue // contributes 0
+		}
+		// Mean distance to every cluster.
+		sums := make([]float64, a.K)
+		for j := 0; j < n; j++ {
+			if j != i {
+				sums[a.Labels[j]] += dm.At(i, j)
+			}
+		}
+		own := sums[li] / float64(sizes[li]-1)
+		best := -1.0
+		for c := 0; c < a.K; c++ {
+			if c == li || sizes[c] == 0 {
+				continue
+			}
+			m := sums[c] / float64(sizes[c])
+			if best < 0 || m < best {
+				best = m
+			}
+		}
+		if best < 0 {
+			continue
+		}
+		den := own
+		if best > den {
+			den = best
+		}
+		if den > 0 {
+			total += (best - own) / den
+		}
+	}
+	return total / float64(n), nil
+}
+
+// CopheneticDistances returns the n(n−1)/2 cophenetic distances of
+// the dendrogram — for each pair of leaves, the merge height at which
+// they first share a cluster — in the row-major upper-triangle order
+// (0,1), (0,2), …, (1,2), ….
+func (d *Dendrogram) CopheneticDistances() []float64 {
+	// membership tracks, per cluster id, its leaves. Building the
+	// list incrementally over merges is O(n²) total, fine at suite
+	// scale.
+	leaves := make(map[int][]int, 2*d.n)
+	for i := 0; i < d.n; i++ {
+		leaves[i] = []int{i}
+	}
+	coph := vecmath.NewMatrix(maxIntc(d.n, 1), maxIntc(d.n, 1))
+	for s, m := range d.merges {
+		la, lb := leaves[m.A], leaves[m.B]
+		for _, x := range la {
+			for _, y := range lb {
+				coph.Set(x, y, m.Distance)
+				coph.Set(y, x, m.Distance)
+			}
+		}
+		merged := append(append([]int{}, la...), lb...)
+		leaves[d.n+s] = merged
+		delete(leaves, m.A)
+		delete(leaves, m.B)
+	}
+	out := make([]float64, 0, d.n*(d.n-1)/2)
+	for i := 0; i < d.n; i++ {
+		for j := i + 1; j < d.n; j++ {
+			out = append(out, coph.At(i, j))
+		}
+	}
+	return out
+}
+
+// CopheneticCorrelation returns the Pearson correlation between the
+// original pairwise distances and the dendrogram's cophenetic
+// distances — the standard measure of how faithfully a hierarchical
+// clustering preserves the input geometry.
+func (d *Dendrogram) CopheneticCorrelation(dm *vecmath.Matrix) (float64, error) {
+	if dm.Rows() != d.n {
+		return 0, errors.New("cluster: distance matrix does not match dendrogram")
+	}
+	orig := make([]float64, 0, d.n*(d.n-1)/2)
+	for i := 0; i < d.n; i++ {
+		for j := i + 1; j < d.n; j++ {
+			orig = append(orig, dm.At(i, j))
+		}
+	}
+	return stat.Pearson(orig, d.CopheneticDistances())
+}
+
+func maxIntc(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,58 @@
+package cluster
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// dendrogramJSON is the serialized form of a merge tree.
+type dendrogramJSON struct {
+	N       int     `json:"n"`
+	Linkage Linkage `json:"linkage"`
+	Merges  []Merge `json:"merges"`
+}
+
+// Save writes the dendrogram as JSON. Together with som.Map.Save this
+// lets a consortium publish the *reference clustering* the paper says
+// must be fixed before hierarchical means can be a standard: vendors
+// reload the tree and cut it identically.
+func (d *Dendrogram) Save(w io.Writer) error {
+	return json.NewEncoder(w).Encode(dendrogramJSON{N: d.n, Linkage: d.linkage, Merges: d.merges})
+}
+
+// LoadDendrogram reads a dendrogram saved with Save, validating its
+// structure (n−1 merges referencing valid cluster ids exactly once
+// each).
+func LoadDendrogram(r io.Reader) (*Dendrogram, error) {
+	var in dendrogramJSON
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("cluster: decoding dendrogram: %w", err)
+	}
+	if in.N < 1 {
+		return nil, errors.New("cluster: saved dendrogram has no leaves")
+	}
+	if len(in.Merges) != in.N-1 {
+		return nil, fmt.Errorf("cluster: %d merges for %d leaves, want %d", len(in.Merges), in.N, in.N-1)
+	}
+	used := make([]bool, 2*in.N-1)
+	for s, m := range in.Merges {
+		limit := in.N + s // ids created before this step
+		if m.A < 0 || m.B < 0 || m.A >= limit || m.B >= limit || m.A == m.B {
+			return nil, fmt.Errorf("cluster: merge %d references invalid ids (%d, %d)", s, m.A, m.B)
+		}
+		if used[m.A] || used[m.B] {
+			return nil, fmt.Errorf("cluster: merge %d reuses a consumed cluster id", s)
+		}
+		used[m.A] = true
+		used[m.B] = true
+		if m.Distance < 0 {
+			return nil, fmt.Errorf("cluster: merge %d has negative distance", s)
+		}
+		if s > 0 && m.Distance < in.Merges[s-1].Distance {
+			return nil, fmt.Errorf("cluster: merge distances not monotone at step %d", s)
+		}
+	}
+	return &Dendrogram{n: in.N, linkage: in.Linkage, merges: in.Merges}, nil
+}

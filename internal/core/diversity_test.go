@@ -1,0 +1,149 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestAnalyzeDiversitySingletons(t *testing.T) {
+	d, err := AnalyzeDiversity(Singletons(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(d.EffectiveClusters, 8, 1e-9) {
+		t.Errorf("effective clusters = %v, want 8", d.EffectiveClusters)
+	}
+	if math.Abs(d.Redundancy) > 1e-9 {
+		t.Errorf("redundancy of singletons = %v, want 0", d.Redundancy)
+	}
+	if d.LargestClusterShare != 1.0/8 {
+		t.Errorf("largest share = %v", d.LargestClusterShare)
+	}
+}
+
+func TestAnalyzeDiversityOneCluster(t *testing.T) {
+	d, err := AnalyzeDiversity(OneCluster(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(d.EffectiveClusters, 1, 1e-9) {
+		t.Errorf("effective clusters = %v, want 1", d.EffectiveClusters)
+	}
+	if !almostEqual(d.Redundancy, 1-1.0/8, 1e-9) {
+		t.Errorf("redundancy = %v, want 7/8", d.Redundancy)
+	}
+	if d.LargestClusterShare != 1 {
+		t.Errorf("largest share = %v, want 1", d.LargestClusterShare)
+	}
+}
+
+func TestAnalyzeDiversityPaperCase(t *testing.T) {
+	// 13 workloads, SciMark's 5 in one cluster, the rest singletons:
+	// 9 clusters, unbalanced.
+	labels := []int{0, 1, 2, 3, 4, 5, 5, 5, 5, 5, 6, 7, 8}
+	c, err := NewClustering(labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := AnalyzeDiversity(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Clusters != 9 || d.Workloads != 13 {
+		t.Fatalf("shape %+v", d)
+	}
+	// Effective diversity must sit strictly between 1 and 9 and the
+	// largest share must expose the adoption set.
+	if d.EffectiveClusters <= 1 || d.EffectiveClusters >= 9 {
+		t.Errorf("effective clusters = %v", d.EffectiveClusters)
+	}
+	if !almostEqual(d.LargestClusterShare, 5.0/13, 1e-9) {
+		t.Errorf("largest share = %v, want 5/13", d.LargestClusterShare)
+	}
+	if d.Redundancy <= 0 {
+		t.Errorf("redundancy = %v, want positive", d.Redundancy)
+	}
+}
+
+func TestAnalyzeDiversityErrors(t *testing.T) {
+	if _, err := AnalyzeDiversity(Clustering{}); err == nil {
+		t.Error("empty clustering accepted")
+	}
+	if _, err := AnalyzeDiversity(Clustering{Labels: []int{0, 0}, K: 2}); err == nil {
+		t.Error("empty cluster accepted")
+	}
+}
+
+// Property: 1 <= EffectiveClusters <= K <= n, and redundancy in
+// [0, 1).
+func TestDiversityBounds(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		if len(raw) > 40 {
+			raw = raw[:40]
+		}
+		labels := make([]int, len(raw))
+		for i, v := range raw {
+			labels[i] = int(v) % (len(raw)/2 + 1)
+		}
+		c, err := NewClustering(canonLabels(labels))
+		if err != nil {
+			return false
+		}
+		d, err := AnalyzeDiversity(c)
+		if err != nil {
+			return false
+		}
+		return d.EffectiveClusters >= 1-1e-9 &&
+			d.EffectiveClusters <= float64(d.Clusters)+1e-9 &&
+			d.Clusters <= d.Workloads &&
+			d.Redundancy >= -1e-9 && d.Redundancy < 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// canonLabels densifies arbitrary labels for NewClustering.
+func canonLabels(labels []int) []int {
+	remap := map[int]int{}
+	out := make([]int, len(labels))
+	next := 0
+	for i, l := range labels {
+		n, ok := remap[l]
+		if !ok {
+			n = next
+			remap[l] = n
+			next++
+		}
+		out[i] = n
+	}
+	return out
+}
+
+func TestDiversitySweep(t *testing.T) {
+	p, err := DetectClusters(syntheticSuite(t), pipelineConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sweep, err := p.DiversitySweep(1, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sweep) != 6 {
+		t.Fatalf("sweep length %d", len(sweep))
+	}
+	// Effective diversity is non-decreasing as cuts refine.
+	for i := 1; i < len(sweep); i++ {
+		if sweep[i].EffectiveClusters < sweep[i-1].EffectiveClusters-1e-9 {
+			t.Fatalf("effective diversity fell from %v to %v",
+				sweep[i-1].EffectiveClusters, sweep[i].EffectiveClusters)
+		}
+	}
+	if _, err := p.DiversitySweep(9, 12); err == nil {
+		t.Error("out-of-range sweep accepted")
+	}
+}

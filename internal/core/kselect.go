@@ -1,0 +1,117 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"hmeans/internal/cluster"
+)
+
+// KRecommendation explains a recommended cluster count.
+type KRecommendation struct {
+	// K is the recommended cluster count.
+	K int
+	// Quality holds the geometric diagnostics of every candidate.
+	Quality []cluster.KQuality
+	// RatioDamping[k] is the paper's score-stability signal: the
+	// mean absolute change of the A/B score ratio between k−1, k and
+	// k+1 (lower = the ratio has "dampened" around this k).
+	RatioDamping map[int]float64
+}
+
+// RecommendK mechanizes the paper's Section V-B.1 judgment: pick the
+// cluster count where (1) the clustering is geometrically sound
+// (silhouette on the reduced positions) and (2) "the fluctuation of
+// ratio values tends to dampen". scoresA and scoresB are the two
+// machines' per-workload scores; the sweep covers [kMin, kMax].
+//
+// The combined criterion ranks candidates by silhouette and breaks
+// near-ties (within tol of the best silhouette) toward the smallest
+// ratio damping.
+func (p *Pipeline) RecommendK(kind MeanKind, scoresA, scoresB []float64, kMin, kMax int) (KRecommendation, error) {
+	var rec KRecommendation
+	if kMin < 2 {
+		kMin = 2
+	}
+	n := p.Dendrogram.Len()
+	if kMax > n {
+		kMax = n
+	}
+	if kMin > kMax {
+		return rec, fmt.Errorf("core: empty recommendation range [%d, %d]", kMin, kMax)
+	}
+	quality, err := p.Dendrogram.QualitySweep(p.Positions, kMin, kMax)
+	if err != nil {
+		return rec, err
+	}
+	rec.Quality = quality
+
+	// Ratio per k over the extended range [kMin-1, kMax+1] so the
+	// damping of edge candidates is well defined.
+	lo, hi := kMin-1, kMax+1
+	if lo < 1 {
+		lo = 1
+	}
+	if hi > n {
+		hi = n
+	}
+	ratio := make(map[int]float64)
+	for k := lo; k <= hi; k++ {
+		a, err := p.ScoreAtK(kind, scoresA, k)
+		if err != nil {
+			return rec, err
+		}
+		b, err := p.ScoreAtK(kind, scoresB, k)
+		if err != nil {
+			return rec, err
+		}
+		if b <= 0 {
+			return rec, errors.New("core: non-positive score ratio denominator")
+		}
+		ratio[k] = a / b
+	}
+	rec.RatioDamping = make(map[int]float64)
+	for k := kMin; k <= kMax; k++ {
+		var sum float64
+		var terms int
+		if r, ok := ratio[k-1]; ok {
+			sum += math.Abs(ratio[k] - r)
+			terms++
+		}
+		if r, ok := ratio[k+1]; ok {
+			sum += math.Abs(ratio[k] - r)
+			terms++
+		}
+		if terms > 0 {
+			rec.RatioDamping[k] = sum / float64(terms)
+		}
+	}
+
+	// Rank: silhouette first; within tol of the best, least damping.
+	const tol = 0.05
+	bestSil := math.Inf(-1)
+	for _, q := range quality {
+		if q.Silhouette > bestSil {
+			bestSil = q.Silhouette
+		}
+	}
+	bestK, bestDamp := 0, math.Inf(1)
+	for _, q := range quality {
+		if q.Silhouette < bestSil-tol {
+			continue
+		}
+		d, ok := rec.RatioDamping[q.K]
+		if !ok {
+			d = math.Inf(1)
+		}
+		if d < bestDamp {
+			bestK, bestDamp = q.K, d
+		}
+	}
+	if bestK == 0 {
+		bestK = quality[0].K
+	}
+	rec.K = bestK
+	return rec, nil
+}

@@ -1,0 +1,161 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"hmeans/internal/vecmath"
+)
+
+func TestRecommendKPipeline(t *testing.T) {
+	p, err := DetectClusters(syntheticSuite(t), pipelineConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	scoresA := []float64{4, 4.1, 3.9, 1.5, 1.4, 0.8}
+	scoresB := []float64{2, 2.1, 2.0, 1.5, 1.6, 1.2}
+	rec, err := p.RecommendK(Geometric, scoresA, scoresB, 2, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.K < 2 || rec.K > 6 {
+		t.Fatalf("recommended k = %d out of range", rec.K)
+	}
+	if len(rec.Quality) == 0 {
+		t.Fatal("no quality diagnostics")
+	}
+	if len(rec.RatioDamping) == 0 {
+		t.Fatal("no damping diagnostics")
+	}
+	for k, d := range rec.RatioDamping {
+		if d < 0 {
+			t.Fatalf("negative damping at k=%d: %v", k, d)
+		}
+	}
+	// The synthetic suite has 3 intrinsic clusters; the
+	// recommendation should find a geometrically sound cut (the
+	// recommended k's silhouette must be within tolerance of the
+	// best).
+	bestSil := math.Inf(-1)
+	var recSil float64
+	for _, q := range rec.Quality {
+		if q.Silhouette > bestSil {
+			bestSil = q.Silhouette
+		}
+		if q.K == rec.K {
+			recSil = q.Silhouette
+		}
+	}
+	if recSil < bestSil-0.05-1e-12 {
+		t.Fatalf("recommended k=%d has silhouette %v, best is %v", rec.K, recSil, bestSil)
+	}
+}
+
+func TestRecommendKErrors(t *testing.T) {
+	p, err := DetectClusters(syntheticSuite(t), pipelineConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	scores := []float64{4, 4.1, 3.9, 1.5, 1.4, 0.8}
+	if _, err := p.RecommendK(Geometric, scores, scores, 9, 12); err == nil {
+		t.Error("empty range accepted")
+	}
+	if _, err := p.RecommendK(Geometric, scores[:2], scores, 2, 4); err == nil {
+		t.Error("short score vector accepted")
+	}
+}
+
+func TestSelectSubsetMedoids(t *testing.T) {
+	positions := []vecmath.Vector{
+		{0, 0}, {1, 0}, {0.4, 0}, // cluster 0: medoid is index 2
+		{10, 10}, // cluster 1: singleton
+	}
+	c, err := NewClustering([]int{0, 0, 0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := SelectSubset(positions, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Representatives) != 2 {
+		t.Fatalf("representatives = %v", s.Representatives)
+	}
+	if s.Representatives[0] != 2 {
+		t.Fatalf("cluster 0 medoid = %d, want 2", s.Representatives[0])
+	}
+	if s.Representatives[1] != 3 {
+		t.Fatalf("cluster 1 representative = %d, want 3", s.Representatives[1])
+	}
+}
+
+func TestSelectSubsetErrors(t *testing.T) {
+	c, _ := NewClustering([]int{0, 1})
+	if _, err := SelectSubset([]vecmath.Vector{{1}}, c); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := SelectSubset(nil, Clustering{}); err == nil {
+		t.Error("empty suite accepted")
+	}
+	bad := Clustering{Labels: []int{0, 7}, K: 2}
+	if _, err := SelectSubset([]vecmath.Vector{{1}, {2}}, bad); err == nil {
+		t.Error("out-of-range label accepted")
+	}
+}
+
+func TestSubsetScores(t *testing.T) {
+	positions := []vecmath.Vector{{0}, {0.1}, {5}}
+	c, _ := NewClustering([]int{0, 0, 1})
+	s, err := SelectSubset(positions, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scores, err := s.Scores([]float64{2, 4, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scores) != 2 || scores[1] != 8 {
+		t.Fatalf("subset scores = %v", scores)
+	}
+	if _, err := s.Scores([]float64{1}); err == nil {
+		t.Error("short score vector accepted")
+	}
+}
+
+func TestSubsetErrorZeroWhenClustersUniform(t *testing.T) {
+	// When each cluster's members share one score, the medoid's score
+	// is the cluster's inner mean — subsetting is exact.
+	positions := []vecmath.Vector{{0}, {0.1}, {5}, {5.1}}
+	c, _ := NewClustering([]int{0, 0, 1, 1})
+	s, err := SelectSubset(positions, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := []float64{3, 3, 7, 7}
+	e, err := SubsetError(Geometric, full, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e > 1e-12 {
+		t.Fatalf("subset error = %v, want 0", e)
+	}
+}
+
+func TestSubsetErrorBoundedOnRealisticSpread(t *testing.T) {
+	positions := []vecmath.Vector{{0}, {0.1}, {0.2}, {5}, {9}}
+	c, _ := NewClustering([]int{0, 0, 0, 1, 2})
+	s, err := SelectSubset(positions, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := []float64{2.0, 2.2, 1.9, 5, 0.7}
+	e, err := SubsetError(Geometric, full, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The within-cluster spread is ~10%, so the one-per-cluster
+	// approximation must stay within a few percent.
+	if e > 0.1 {
+		t.Fatalf("subset error = %v, suspiciously large", e)
+	}
+}

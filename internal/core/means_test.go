@@ -1,0 +1,315 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"hmeans/internal/stat"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	if a == b {
+		return true
+	}
+	return math.Abs(a-b) <= tol*math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+}
+
+// paperExample reproduces the HGM definition by hand on a small
+// instance: clusters {1, 4} and {2, 8, 32}.
+func TestHGMByHand(t *testing.T) {
+	scores := []float64{1, 4, 2, 8, 32}
+	c, err := NewClustering([]int{0, 0, 1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// inner GMs: √4 = 2, ∛(2·8·32) = 8; outer GM: √16 = 4.
+	got, err := HGM(scores, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(got, 4, 1e-12) {
+		t.Fatalf("HGM = %v, want 4", got)
+	}
+}
+
+func TestHAMByHand(t *testing.T) {
+	scores := []float64{1, 3, 10, 20, 30}
+	c, _ := NewClustering([]int{0, 0, 1, 1, 1})
+	// inner AMs: 2 and 20; outer: 11.
+	got, err := HAM(scores, c)
+	if err != nil || !almostEqual(got, 11, 1e-12) {
+		t.Fatalf("HAM = %v, %v; want 11", got, err)
+	}
+}
+
+func TestHHMByHand(t *testing.T) {
+	scores := []float64{1, 1.0 / 3.0, 0.5, 0.25}
+	c, _ := NewClustering([]int{0, 0, 1, 1})
+	// inner HMs: 2/(1+3) = 0.5 and 2/(2+4) = 1/3; outer: 2/(2+3) = 0.4.
+	got, err := HHM(scores, c)
+	if err != nil || !almostEqual(got, 0.4, 1e-12) {
+		t.Fatalf("HHM = %v, %v; want 0.4", got, err)
+	}
+}
+
+// positiveScores builds a valid score vector from quick-check input.
+func positiveScores(raw []float64, minLen int) []float64 {
+	xs := make([]float64, 0, len(raw)+minLen)
+	for _, v := range raw {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			continue
+		}
+		xs = append(xs, math.Abs(math.Mod(v, 20))+0.25)
+	}
+	for len(xs) < minLen {
+		xs = append(xs, float64(len(xs))+0.5)
+	}
+	return xs
+}
+
+// Property (degeneracy, paper Section II): with singleton clusters
+// every hierarchical mean equals its plain counterpart.
+func TestSingletonDegeneracy(t *testing.T) {
+	for _, kind := range []MeanKind{Geometric, Arithmetic, Harmonic} {
+		kind := kind
+		f := func(raw []float64) bool {
+			xs := positiveScores(raw, 1)
+			h, err1 := HierarchicalMean(kind, xs, Singletons(len(xs)))
+			p, err2 := PlainMean(kind, xs)
+			return err1 == nil && err2 == nil && almostEqual(h, p, 1e-9)
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+	}
+}
+
+// Property: with one cluster the hierarchical mean is the plain mean
+// of that cluster.
+func TestOneClusterDegeneracy(t *testing.T) {
+	for _, kind := range []MeanKind{Geometric, Arithmetic, Harmonic} {
+		kind := kind
+		f := func(raw []float64) bool {
+			xs := positiveScores(raw, 1)
+			h, err1 := HierarchicalMean(kind, xs, OneCluster(len(xs)))
+			p, err2 := PlainMean(kind, xs)
+			return err1 == nil && err2 == nil && almostEqual(h, p, 1e-9)
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+	}
+}
+
+// Property: hierarchical means are invariant under workload
+// permutation (relabelling does not change the score).
+func TestPermutationInvariance(t *testing.T) {
+	f := func(raw []float64, seed uint64) bool {
+		xs := positiveScores(raw, 4)
+		n := len(xs)
+		labels := make([]int, n)
+		for i := range labels {
+			labels[i] = i % 3
+		}
+		c, err := NewClustering(labels)
+		if err != nil {
+			return false
+		}
+		before, err := HGM(xs, c)
+		if err != nil {
+			return false
+		}
+		// Apply a deterministic rotation permutation.
+		rot := int(seed%uint64(n-1)) + 1
+		xs2 := make([]float64, n)
+		l2 := make([]int, n)
+		for i := range xs {
+			xs2[(i+rot)%n] = xs[i]
+			l2[(i+rot)%n] = labels[i]
+		}
+		c2, err := NewClustering(l2)
+		if err != nil {
+			return false
+		}
+		after, err := HGM(xs2, c2)
+		return err == nil && almostEqual(before, after, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: HHM <= HGM <= HAM on any clustering (the hierarchical
+// extension of the Pythagorean mean inequality — it holds at both
+// levels).
+func TestHierarchicalMeanInequality(t *testing.T) {
+	f := func(raw []float64, kRaw uint8) bool {
+		xs := positiveScores(raw, 3)
+		k := int(kRaw)%3 + 1
+		labels := make([]int, len(xs))
+		for i := range labels {
+			labels[i] = i % k
+		}
+		c, err := NewClustering(labels)
+		if err != nil {
+			return false
+		}
+		hh, e1 := HHM(xs, c)
+		hg, e2 := HGM(xs, c)
+		ha, e3 := HAM(xs, c)
+		if e1 != nil || e2 != nil || e3 != nil {
+			return false
+		}
+		return hh <= hg*(1+1e-9) && hg <= ha*(1+1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: HGM is scale-equivariant.
+func TestHGMScaleEquivariance(t *testing.T) {
+	f := func(raw []float64, cRaw float64) bool {
+		xs := positiveScores(raw, 4)
+		scale := math.Abs(math.Mod(cRaw, 8)) + 0.25
+		labels := make([]int, len(xs))
+		for i := range labels {
+			labels[i] = i % 2
+		}
+		c, _ := NewClustering(labels)
+		g1, err1 := HGM(xs, c)
+		scaled := make([]float64, len(xs))
+		for i, x := range xs {
+			scaled[i] = scale * x
+		}
+		g2, err2 := HGM(scaled, c)
+		return err1 == nil && err2 == nil && almostEqual(g2, scale*g1, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the hierarchical mean equals the weighted mean under
+// EquivalentWeights, for all three families.
+func TestEquivalentWeightsIdentity(t *testing.T) {
+	weightedMean := func(kind MeanKind, xs, ws []float64) (float64, error) {
+		switch kind {
+		case Geometric:
+			return stat.WeightedGeometricMean(xs, ws)
+		case Arithmetic:
+			return stat.WeightedArithmeticMean(xs, ws)
+		default:
+			return stat.WeightedHarmonicMean(xs, ws)
+		}
+	}
+	for _, kind := range []MeanKind{Geometric, Arithmetic, Harmonic} {
+		kind := kind
+		f := func(raw []float64) bool {
+			xs := positiveScores(raw, 5)
+			labels := make([]int, len(xs))
+			for i := range labels {
+				labels[i] = i % 3
+			}
+			c, _ := NewClustering(labels)
+			h, err1 := HierarchicalMean(kind, xs, c)
+			w, err2 := weightedMean(kind, xs, EquivalentWeights(c))
+			return err1 == nil && err2 == nil && almostEqual(h, w, 1e-9)
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+	}
+}
+
+func TestEquivalentWeightsSumToOne(t *testing.T) {
+	c, _ := NewClustering([]int{0, 0, 1, 2, 2, 2})
+	ws := EquivalentWeights(c)
+	sum := 0.0
+	for _, w := range ws {
+		sum += w
+	}
+	if !almostEqual(sum, 1, 1e-12) {
+		t.Fatalf("weights sum to %v, want 1", sum)
+	}
+	// Cluster of size 1 (label 1) gets weight 1/3; size-2 members 1/6.
+	if !almostEqual(ws[2], 1.0/3.0, 1e-12) || !almostEqual(ws[0], 1.0/6.0, 1e-12) {
+		t.Fatalf("weights = %v", ws)
+	}
+}
+
+func TestNewClusteringValidation(t *testing.T) {
+	if _, err := NewClustering(nil); err == nil {
+		t.Error("empty labels accepted")
+	}
+	if _, err := NewClustering([]int{0, -1}); err == nil {
+		t.Error("negative label accepted")
+	}
+	if _, err := NewClustering([]int{0, 2}); err == nil {
+		t.Error("sparse labels accepted")
+	}
+	c, err := NewClustering([]int{1, 0, 1})
+	if err != nil || c.K != 2 {
+		t.Fatalf("valid clustering rejected: %v (K=%d)", err, c.K)
+	}
+}
+
+func TestNewClusteringCopiesLabels(t *testing.T) {
+	labels := []int{0, 1}
+	c, _ := NewClustering(labels)
+	labels[0] = 99
+	if c.Labels[0] != 0 {
+		t.Fatal("NewClustering aliases caller's slice")
+	}
+}
+
+func TestHierarchicalMeanErrors(t *testing.T) {
+	c, _ := NewClustering([]int{0, 1})
+	if _, err := HGM([]float64{1}, c); err == nil {
+		t.Error("score/label length mismatch accepted")
+	}
+	if _, err := HGM([]float64{1, -2}, c); err == nil {
+		t.Error("negative score accepted by HGM")
+	}
+	if _, err := HierarchicalMean(MeanKind(9), []float64{1, 2}, c); err == nil {
+		t.Error("unknown mean kind accepted")
+	}
+	// Clustering with an out-of-range label (constructed directly).
+	bad := Clustering{Labels: []int{0, 5}, K: 2}
+	if _, err := HGM([]float64{1, 2}, bad); err == nil {
+		t.Error("out-of-range label accepted")
+	}
+	empty := Clustering{Labels: []int{0, 0}, K: 2}
+	if _, err := HGM([]float64{1, 2}, empty); err == nil {
+		t.Error("empty cluster accepted")
+	}
+}
+
+func TestMeanKindString(t *testing.T) {
+	if Geometric.String() != "geometric" || Arithmetic.String() != "arithmetic" ||
+		Harmonic.String() != "harmonic" || MeanKind(7).String() != "unknown" {
+		t.Fatal("MeanKind.String names wrong")
+	}
+}
+
+// The paper's central claim in miniature: two redundant workloads
+// that both benefit from some feature drag the plain mean up twice;
+// clustering them cancels the double count.
+func TestRedundancyCancellation(t *testing.T) {
+	// Workloads: two clones scoring 4, two distinct scoring 1.
+	scores := []float64{4, 4, 1, 1}
+	plain, _ := PlainMean(Geometric, scores) // √(16·1) = 2
+	c, _ := NewClustering([]int{0, 0, 1, 2})
+	hier, _ := HGM(scores, c) // ∛(4·1·1) = 4^(1/3)
+	if !almostEqual(plain, 2, 1e-12) {
+		t.Fatalf("plain GM = %v, want 2", plain)
+	}
+	want := math.Pow(4, 1.0/3.0)
+	if !almostEqual(hier, want, 1e-12) {
+		t.Fatalf("HGM = %v, want %v", hier, want)
+	}
+	if hier >= plain {
+		t.Fatal("clustering the redundant pair should reduce their pull on the score")
+	}
+}

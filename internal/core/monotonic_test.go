@@ -1,0 +1,110 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// Property: every hierarchical mean is strictly monotone in each
+// individual score — improving any workload can never lower the suite
+// score (a fairness property a scoring metric must have; a metric
+// violating it would punish vendors for optimizing).
+func TestHierarchicalMeanMonotoneInScores(t *testing.T) {
+	for _, kind := range []MeanKind{Geometric, Arithmetic, Harmonic} {
+		kind := kind
+		f := func(raw []float64, idxRaw uint8, bumpRaw float64) bool {
+			xs := positiveScores(raw, 4)
+			labels := make([]int, len(xs))
+			for i := range labels {
+				labels[i] = i % 3
+			}
+			c, err := NewClustering(labels)
+			if err != nil {
+				return false
+			}
+			before, err := HierarchicalMean(kind, xs, c)
+			if err != nil {
+				return false
+			}
+			idx := int(idxRaw) % len(xs)
+			bump := math.Abs(math.Mod(bumpRaw, 5)) + 0.01
+			xs[idx] += bump
+			after, err := HierarchicalMean(kind, xs, c)
+			if err != nil {
+				return false
+			}
+			return after > before
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+	}
+}
+
+// Property: the hierarchical mean lies between the min and max
+// workload score (it is a mean at both levels).
+func TestHierarchicalMeanBounded(t *testing.T) {
+	f := func(raw []float64, kRaw uint8) bool {
+		xs := positiveScores(raw, 3)
+		k := int(kRaw)%3 + 1
+		labels := make([]int, len(xs))
+		for i := range labels {
+			labels[i] = i % k
+		}
+		c, err := NewClustering(labels)
+		if err != nil {
+			return false
+		}
+		lo, hi := xs[0], xs[0]
+		for _, x := range xs {
+			if x < lo {
+				lo = x
+			}
+			if x > hi {
+				hi = x
+			}
+		}
+		for _, kind := range []MeanKind{Geometric, Arithmetic, Harmonic} {
+			v, err := HierarchicalMean(kind, xs, c)
+			if err != nil || v < lo-1e-9 || v > hi+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: merging two clusters of equal inner mean leaves the HGM
+// unchanged only when the cluster count compensates — concretely,
+// splitting a cluster into two equal-mean halves must *raise* the
+// weight of that behaviour and therefore pull the score toward it.
+func TestSplittingMovesScoreTowardSplitBehaviour(t *testing.T) {
+	// Suite: {8, 8} (fast pair) + {1} (slow). One cluster for the
+	// pair: HGM = sqrt(8·1) ≈ 2.83. Split the pair into singletons:
+	// HGM = (8·8·1)^(1/3) = 4 — the duplicated behaviour now counts
+	// twice and drags the score its way.
+	scores := []float64{8, 8, 1}
+	paired, _ := NewClustering([]int{0, 0, 1})
+	split := Singletons(3)
+	hPaired, err := HGM(scores, paired)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hSplit, err := HGM(scores, split)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(hSplit > hPaired) {
+		t.Fatalf("split %v should exceed paired %v", hSplit, hPaired)
+	}
+	if math.Abs(hPaired-math.Sqrt(8)) > 1e-12 {
+		t.Fatalf("paired HGM = %v, want sqrt(8)", hPaired)
+	}
+	if math.Abs(hSplit-4) > 1e-12 {
+		t.Fatalf("split HGM = %v, want 4", hSplit)
+	}
+}

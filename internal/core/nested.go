@@ -1,0 +1,101 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"hmeans/internal/cluster"
+)
+
+// NestedMean generalizes the hierarchical means to more than two
+// levels: cut the same dendrogram at several cluster counts
+// k₁ < k₂ < … and average bottom-up — workloads within a kₘ-cluster
+// first, those representatives within their kₘ₋₁-cluster next, and so
+// on, finishing with one outer mean across the k₁ groups. With a
+// single level this is exactly HierarchicalMean; with levels = [k, n]
+// it degenerates the same way. The cuts nest by construction (they
+// come from one merge tree), which is what makes the recursion well
+// defined.
+//
+// The paper stops at two levels; deeper nesting answers the follow-up
+// question its bioinformatics/data-mining example raises — when the
+// adoption sets themselves group into families, each family should
+// count once at the top.
+func NestedMean(kind MeanKind, scores []float64, d *cluster.Dendrogram, levels []int) (float64, error) {
+	if d == nil {
+		return 0, errors.New("core: nil dendrogram")
+	}
+	if len(scores) != d.Len() {
+		return 0, fmt.Errorf("core: %d scores for %d workloads", len(scores), d.Len())
+	}
+	if len(levels) == 0 {
+		return 0, errors.New("core: no levels")
+	}
+	ks := append([]int(nil), levels...)
+	sort.Ints(ks)
+	for i, k := range ks {
+		if k < 1 || k > d.Len() {
+			return 0, fmt.Errorf("core: level %d out of range [1, %d]", k, d.Len())
+		}
+		if i > 0 && k == ks[i-1] {
+			return 0, fmt.Errorf("core: duplicate level %d", k)
+		}
+	}
+
+	// Start with the finest level: reduce workloads to one
+	// representative per finest cluster.
+	finest, err := d.CutK(ks[len(ks)-1])
+	if err != nil {
+		return 0, err
+	}
+	reps := make([]float64, finest.K)
+	for label, members := range finest.Members() {
+		vals := make([]float64, len(members))
+		for i, m := range members {
+			vals[i] = scores[m]
+		}
+		rep, err := kind.plain(vals)
+		if err != nil {
+			return 0, fmt.Errorf("core: level k=%d cluster %d: %w", finest.K, label, err)
+		}
+		reps[label] = rep
+	}
+	// repOf[i] tracks which current representative workload i belongs
+	// to, so coarser cuts can group representatives via any member.
+	repOf := append([]int(nil), finest.Labels...)
+
+	// Walk levels coarse-ward. For each coarser cut, group the
+	// current representatives by the coarser label of (any of) their
+	// members; nesting guarantees consistency.
+	for li := len(ks) - 2; li >= 0; li-- {
+		coarse, err := d.CutK(ks[li])
+		if err != nil {
+			return 0, err
+		}
+		groups := make(map[int][]float64)
+		seen := make(map[int]int) // current rep -> coarse label
+		for i, r := range repOf {
+			cl := coarse.Labels[i]
+			if prev, ok := seen[r]; ok {
+				if prev != cl {
+					return 0, errors.New("core: cuts are not nested")
+				}
+				continue
+			}
+			seen[r] = cl
+			groups[cl] = append(groups[cl], reps[r])
+		}
+		newReps := make([]float64, coarse.K)
+		for cl := 0; cl < coarse.K; cl++ {
+			rep, err := kind.plain(groups[cl])
+			if err != nil {
+				return 0, fmt.Errorf("core: level k=%d cluster %d: %w", coarse.K, cl, err)
+			}
+			newReps[cl] = rep
+		}
+		reps = newReps
+		repOf = append([]int(nil), coarse.Labels...)
+	}
+	return kind.plain(reps)
+}

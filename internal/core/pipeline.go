@@ -1,0 +1,177 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"hmeans/internal/chars"
+	"hmeans/internal/cluster"
+	"hmeans/internal/som"
+	"hmeans/internal/vecmath"
+)
+
+// CharKind tells the pipeline which preprocessing recipe a
+// characterization table needs.
+type CharKind int
+
+const (
+	// Counters marks continuous measurements (SAR-style): constant
+	// features are dropped, the rest standardized.
+	Counters CharKind = iota
+	// Bits marks usage bit vectors (hprof-style): single-user and
+	// universal features are dropped, the rest standardized.
+	Bits
+)
+
+// PipelineConfig configures the full cluster-detection pipeline of
+// the paper's Section III: characterization preprocessing → SOM
+// dimension reduction → hierarchical clustering of the SOM positions.
+type PipelineConfig struct {
+	// Kind selects the preprocessing recipe.
+	Kind CharKind
+	// SOM configures the dimension-reduction map. Zero values take
+	// the package defaults.
+	SOM som.Config
+	// Linkage is the cluster-to-cluster distance (default Complete,
+	// the paper's choice).
+	Linkage cluster.Linkage
+	// Metric is the point-to-point distance (default Euclidean, the
+	// paper's choice).
+	Metric vecmath.Metric
+	// SkipSOM clusters the preprocessed characteristic vectors
+	// directly instead of their SOM positions — the PCA-free ablation
+	// baseline.
+	SkipSOM bool
+	// SoftPlacement clusters the SOM's interpolated (inverse-
+	// distance-weighted) positions instead of hard BMU cells. Soft
+	// positions vary continuously, so two workloads that share a BMU
+	// cell keep a small non-zero distance instead of collapsing to
+	// exactly zero — useful when the downstream analysis needs
+	// within-cell structure. Ignored with SkipSOM.
+	SoftPlacement bool
+}
+
+// Pipeline is the result of cluster detection over one
+// characterization: everything downstream scoring needs, plus the
+// intermediate artifacts the paper visualizes (SOM map, dendrogram).
+type Pipeline struct {
+	// Workloads names the rows, in score order.
+	Workloads []string
+	// Prepared is the preprocessed characterization table.
+	Prepared *chars.Table
+	// Report describes what preprocessing dropped.
+	Report chars.Report
+	// Map is the trained SOM (nil when SkipSOM was set).
+	Map *som.Map
+	// Positions are the per-workload points handed to clustering
+	// (SOM grid positions, or raw vectors when SkipSOM).
+	Positions []vecmath.Vector
+	// Dendrogram is the hierarchical clustering of Positions.
+	Dendrogram *cluster.Dendrogram
+}
+
+// DetectClusters runs the paper's cluster-detection pipeline on a raw
+// characterization table.
+func DetectClusters(table *chars.Table, cfg PipelineConfig) (*Pipeline, error) {
+	if table == nil || len(table.Rows) == 0 {
+		return nil, errors.New("core: empty characterization table")
+	}
+	p := &Pipeline{Workloads: append([]string(nil), table.Workloads...)}
+	switch cfg.Kind {
+	case Bits:
+		p.Prepared, p.Report = chars.PreprocessBits(table)
+	default:
+		p.Prepared, p.Report = chars.PreprocessCounters(table)
+	}
+	if len(p.Prepared.Features) == 0 {
+		return nil, errors.New("core: preprocessing discarded every feature; nothing to cluster on")
+	}
+	vectors := p.Prepared.Vectors()
+	if cfg.SkipSOM {
+		p.Positions = vectors
+	} else {
+		if cfg.SOM.Rows == 0 && cfg.SOM.Cols == 0 {
+			// Size the grid to the sample count (≈5√n units): large
+			// fixed grids magnify tight workload blobs across many
+			// cells and destabilize the downstream clustering.
+			cfg.SOM.Rows, cfg.SOM.Cols = som.GridFor(len(vectors))
+		}
+		m, err := som.Train(cfg.SOM, vectors)
+		if err != nil {
+			return nil, fmt.Errorf("core: SOM training: %w", err)
+		}
+		p.Map = m
+		if cfg.SoftPlacement {
+			p.Positions = m.SoftPlacements(vectors)
+		} else {
+			p.Positions = m.Placements(vectors)
+		}
+	}
+	d, err := cluster.NewDendrogram(p.Positions, cfg.Metric, cfg.Linkage)
+	if err != nil {
+		return nil, fmt.Errorf("core: clustering: %w", err)
+	}
+	p.Dendrogram = d
+	return p, nil
+}
+
+// ClusteringAtK cuts the pipeline's dendrogram into exactly k
+// clusters and returns it as a scoring Clustering.
+func (p *Pipeline) ClusteringAtK(k int) (Clustering, error) {
+	a, err := p.Dendrogram.CutK(k)
+	if err != nil {
+		return Clustering{}, err
+	}
+	return Clustering{Labels: a.Labels, K: a.K}, nil
+}
+
+// ClusteringAtDistance cuts the dendrogram at a merging distance.
+func (p *Pipeline) ClusteringAtDistance(d float64) Clustering {
+	a := p.Dendrogram.CutDistance(d)
+	return Clustering{Labels: a.Labels, K: a.K}
+}
+
+// ScoreAtK computes the hierarchical mean of the scores under the
+// k-cluster cut.
+func (p *Pipeline) ScoreAtK(kind MeanKind, scores []float64, k int) (float64, error) {
+	c, err := p.ClusteringAtK(k)
+	if err != nil {
+		return 0, err
+	}
+	return HierarchicalMean(kind, scores, c)
+}
+
+// ScoreSweep computes the hierarchical mean for every k in
+// [kMin, kMax] (clamped to the valid range), the sweep of the paper's
+// Tables IV–VI. The returned map is keyed by k.
+func (p *Pipeline) ScoreSweep(kind MeanKind, scores []float64, kMin, kMax int) (map[int]float64, error) {
+	if kMin > kMax {
+		return nil, fmt.Errorf("core: empty sweep range [%d, %d]", kMin, kMax)
+	}
+	out := make(map[int]float64)
+	for k := kMin; k <= kMax; k++ {
+		if k < 1 || k > p.Dendrogram.Len() {
+			continue
+		}
+		s, err := p.ScoreAtK(kind, scores, k)
+		if err != nil {
+			return nil, err
+		}
+		out[k] = s
+	}
+	return out, nil
+}
+
+// ClusterMembers returns, for a k-cut, the workload names per
+// cluster.
+func (p *Pipeline) ClusterMembers(k int) ([][]string, error) {
+	a, err := p.Dendrogram.CutK(k)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]string, a.K)
+	for i, l := range a.Labels {
+		out[l] = append(out[l], p.Workloads[i])
+	}
+	return out, nil
+}

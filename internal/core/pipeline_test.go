@@ -1,0 +1,221 @@
+package core
+
+import (
+	"testing"
+
+	"hmeans/internal/chars"
+	"hmeans/internal/som"
+)
+
+// syntheticSuite builds a counter table with an obvious structure:
+// workloads 0-2 are near-identical ("redundant kernels"), 3-4 form a
+// second group, 5 is an outlier.
+func syntheticSuite(t *testing.T) *chars.Table {
+	t.Helper()
+	names := []string{"k0", "k1", "k2", "g0", "g1", "solo"}
+	features := []string{"f0", "f1", "f2", "const"}
+	rows := [][]float64{
+		{10, 1, 0.2, 7},
+		{10.2, 1.1, 0.2, 7},
+		{9.9, 0.9, 0.25, 7},
+		{2, 8, 5, 7},
+		{2.2, 7.8, 5.2, 7},
+		{-5, -5, 12, 7},
+	}
+	tab, err := chars.NewTable(names, features, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tab
+}
+
+func pipelineConfig() PipelineConfig {
+	// Grid shape left zero: the pipeline sizes it to the sample
+	// count (GridFor), which is what keeps BMU geometry stable.
+	return PipelineConfig{
+		SOM: som.Config{Steps: 6000, Seed: 11},
+	}
+}
+
+func TestDetectClustersEndToEnd(t *testing.T) {
+	p, err := DetectClusters(syntheticSuite(t), pipelineConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Map == nil || p.Dendrogram == nil {
+		t.Fatal("pipeline missing artifacts")
+	}
+	if len(p.Report.DroppedConstant) != 1 {
+		t.Fatalf("constant feature not dropped: %+v", p.Report)
+	}
+	if len(p.Positions) != 6 {
+		t.Fatalf("positions = %d, want 6", len(p.Positions))
+	}
+	// At k=3 the redundant kernels must share a cluster and the
+	// outlier must not join them.
+	c, err := p.ClusteringAtK(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.K != 3 {
+		t.Fatalf("K = %d, want 3", c.K)
+	}
+	if c.Labels[0] != c.Labels[1] || c.Labels[1] != c.Labels[2] {
+		t.Fatalf("redundant kernels split: %v", c.Labels)
+	}
+	if c.Labels[5] == c.Labels[0] || c.Labels[5] == c.Labels[3] {
+		t.Fatalf("outlier absorbed: %v", c.Labels)
+	}
+}
+
+func TestPipelineSkipSOM(t *testing.T) {
+	cfg := pipelineConfig()
+	cfg.SkipSOM = true
+	p, err := DetectClusters(syntheticSuite(t), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Map != nil {
+		t.Fatal("SkipSOM still trained a map")
+	}
+	c, err := p.ClusteringAtK(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Labels[0] != c.Labels[1] || c.Labels[1] != c.Labels[2] {
+		t.Fatalf("redundant kernels split without SOM: %v", c.Labels)
+	}
+}
+
+func TestPipelineSoftPlacement(t *testing.T) {
+	cfg := pipelineConfig()
+	cfg.SoftPlacement = true
+	p, err := DetectClusters(syntheticSuite(t), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Map == nil {
+		t.Fatal("soft placement still needs a trained map")
+	}
+	// Soft positions live on the grid but are generally fractional.
+	fractional := false
+	for _, pos := range p.Positions {
+		if len(pos) != 2 {
+			t.Fatalf("position %v not 2-D", pos)
+		}
+		if pos[0] < 0 || pos[0] > float64(p.Map.Rows()-1) ||
+			pos[1] < 0 || pos[1] > float64(p.Map.Cols()-1) {
+			t.Fatalf("position %v outside the grid", pos)
+		}
+		if pos[0] != float64(int(pos[0])) || pos[1] != float64(int(pos[1])) {
+			fractional = true
+		}
+	}
+	if !fractional {
+		t.Error("soft placement produced only integer cells — looks like hard BMUs")
+	}
+	// Clustering still works on soft positions.
+	c, err := p.ClusteringAtK(3)
+	if err != nil || c.K != 3 {
+		t.Fatalf("ClusteringAtK on soft positions: %+v, %v", c, err)
+	}
+}
+
+func TestPipelineBits(t *testing.T) {
+	tab, err := chars.FromBits(
+		[]string{"a", "b", "c", "d"},
+		[]string{"m1", "m2", "m3", "m4", "m5"},
+		[][]bool{
+			{true, true, false, true, false},
+			{true, true, false, true, false},
+			{true, false, true, false, false},
+			{true, false, true, false, true},
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := pipelineConfig()
+	cfg.Kind = Bits
+	p, err := DetectClusters(tab, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// m1 (universal) and m5 (single user) must be gone.
+	if len(p.Report.DroppedUniversal) != 1 || len(p.Report.DroppedSingleUser) != 1 {
+		t.Fatalf("bit filters wrong: %+v", p.Report)
+	}
+	c, err := p.ClusteringAtK(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Labels[0] != c.Labels[1] || c.Labels[2] != c.Labels[3] || c.Labels[0] == c.Labels[2] {
+		t.Fatalf("bit clustering wrong: %v", c.Labels)
+	}
+}
+
+func TestPipelineErrors(t *testing.T) {
+	if _, err := DetectClusters(nil, pipelineConfig()); err == nil {
+		t.Error("nil table accepted")
+	}
+	// All-constant table: preprocessing leaves nothing.
+	tab, _ := chars.NewTable([]string{"a", "b"}, []string{"f"}, [][]float64{{1}, {1}})
+	if _, err := DetectClusters(tab, pipelineConfig()); err == nil {
+		t.Error("feature-free table accepted")
+	}
+}
+
+func TestScoreSweep(t *testing.T) {
+	p, err := DetectClusters(syntheticSuite(t), pipelineConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	scores := []float64{4, 4.2, 3.9, 1.5, 1.4, 0.8}
+	sweep, err := p.ScoreSweep(Geometric, scores, 2, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// n = 6, so valid k are 2..6.
+	if len(sweep) != 5 {
+		t.Fatalf("sweep has %d entries, want 5", len(sweep))
+	}
+	// k = n must equal the plain GM (degeneracy through the whole
+	// pipeline).
+	plain, _ := PlainMean(Geometric, scores)
+	if !almostEqual(sweep[6], plain, 1e-9) {
+		t.Fatalf("sweep[n] = %v, plain GM = %v", sweep[6], plain)
+	}
+	if _, err := p.ScoreSweep(Geometric, scores, 5, 2); err == nil {
+		t.Error("inverted sweep range accepted")
+	}
+}
+
+func TestClusterMembers(t *testing.T) {
+	p, err := DetectClusters(syntheticSuite(t), pipelineConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	members, err := p.ClusterMembers(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, m := range members {
+		total += len(m)
+	}
+	if len(members) != 3 || total != 6 {
+		t.Fatalf("members = %v", members)
+	}
+}
+
+func TestClusteringAtDistance(t *testing.T) {
+	p, err := DetectClusters(syntheticSuite(t), pipelineConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At distance 0 everything in the same SOM cell merges but not
+	// more; at a huge distance everything merges.
+	all := p.ClusteringAtDistance(1e9)
+	if all.K != 1 {
+		t.Fatalf("K at huge distance = %d, want 1", all.K)
+	}
+}

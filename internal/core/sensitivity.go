@@ -1,0 +1,66 @@
+package core
+
+import (
+	"errors"
+	"math"
+)
+
+// Sensitivity reports how much a suite score can move when the
+// clustering itself is slightly wrong — the practical worry with any
+// cluster-derived metric: a workload near a cluster boundary might
+// plausibly belong next door.
+type Sensitivity struct {
+	// Base is the hierarchical mean under the given clustering.
+	Base float64
+	// MaxAbsShift is the largest |score − Base| over all single-
+	// workload reassignments that keep the clustering valid.
+	MaxAbsShift float64
+	// WorstWorkload and WorstTarget identify the reassignment that
+	// produces MaxAbsShift (workload index moved to target label).
+	WorstWorkload, WorstTarget int
+	// Evaluated counts the reassignments tried.
+	Evaluated int
+}
+
+// ClusteringSensitivity evaluates every single-workload reassignment
+// (move workload i from its cluster to any other existing cluster,
+// provided its source cluster does not become empty) and reports the
+// worst score shift. A small MaxAbsShift means the hierarchical mean
+// is robust to plausible clustering mistakes at this cut.
+func ClusteringSensitivity(kind MeanKind, scores []float64, c Clustering) (Sensitivity, error) {
+	base, err := HierarchicalMean(kind, scores, c)
+	if err != nil {
+		return Sensitivity{}, err
+	}
+	if c.K < 2 {
+		return Sensitivity{}, errors.New("core: sensitivity needs at least 2 clusters")
+	}
+	sizes := c.Sizes()
+	res := Sensitivity{Base: base, WorstWorkload: -1, WorstTarget: -1}
+	labels := append([]int(nil), c.Labels...)
+	for i, orig := range c.Labels {
+		if sizes[orig] == 1 {
+			continue // moving it would empty the cluster
+		}
+		for target := 0; target < c.K; target++ {
+			if target == orig {
+				continue
+			}
+			labels[i] = target
+			moved := Clustering{Labels: labels, K: c.K}
+			v, err := HierarchicalMean(kind, scores, moved)
+			if err != nil {
+				labels[i] = orig
+				return Sensitivity{}, err
+			}
+			res.Evaluated++
+			if shift := math.Abs(v - base); shift > res.MaxAbsShift {
+				res.MaxAbsShift = shift
+				res.WorstWorkload = i
+				res.WorstTarget = target
+			}
+		}
+		labels[i] = orig
+	}
+	return res, nil
+}

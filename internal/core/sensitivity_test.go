@@ -1,0 +1,91 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestClusteringSensitivityBasic(t *testing.T) {
+	scores := []float64{4, 4.2, 1, 1.1, 8}
+	c, err := NewClustering([]int{0, 0, 1, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ClusteringSensitivity(Geometric, scores, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, _ := HGM(scores, c)
+	if res.Base != base {
+		t.Fatalf("base = %v, want %v", res.Base, base)
+	}
+	// Workload 4 is a singleton: it cannot move. The four others can
+	// each go to 2 targets: 8 evaluations.
+	if res.Evaluated != 8 {
+		t.Fatalf("evaluated %d reassignments, want 8", res.Evaluated)
+	}
+	if res.MaxAbsShift <= 0 {
+		t.Fatal("no shift detected for a clearly movable clustering")
+	}
+	if res.WorstWorkload < 0 || res.WorstWorkload > 3 {
+		t.Fatalf("worst workload = %d", res.WorstWorkload)
+	}
+	// Verify the reported worst shift is reproducible.
+	labels := append([]int(nil), c.Labels...)
+	labels[res.WorstWorkload] = res.WorstTarget
+	moved := Clustering{Labels: labels, K: c.K}
+	v, err := HierarchicalMean(Geometric, scores, moved)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(math.Abs(v-base)-res.MaxAbsShift) > 1e-12 {
+		t.Fatalf("reported shift %v, recomputed %v", res.MaxAbsShift, math.Abs(v-base))
+	}
+}
+
+func TestClusteringSensitivityNeedsTwoClusters(t *testing.T) {
+	if _, err := ClusteringSensitivity(Geometric, []float64{1, 2}, OneCluster(2)); err == nil {
+		t.Fatal("K=1 accepted")
+	}
+}
+
+func TestClusteringSensitivityTightClustersRobust(t *testing.T) {
+	// When cluster members have near-identical scores, moving one
+	// barely changes the inner means: the score is robust.
+	tight := []float64{2, 2.001, 2.002, 5, 5.001, 5.002}
+	c, _ := NewClustering([]int{0, 0, 0, 1, 1, 1})
+	res, err := ClusteringSensitivity(Geometric, tight, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A wrong assignment pulls a 2 into the 5-cluster (or vice
+	// versa), which does move the mean — but proportionally to the
+	// cluster gap, bounded well below the gap itself.
+	if res.MaxAbsShift > 1 {
+		t.Fatalf("shift %v too large", res.MaxAbsShift)
+	}
+	loose := []float64{1, 4, 2, 3, 9, 5}
+	c2, _ := NewClustering([]int{0, 0, 0, 1, 1, 1})
+	res2, err := ClusteringSensitivity(Geometric, loose, c2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.MaxAbsShift <= res.MaxAbsShift {
+		t.Fatalf("loose clustering (%v) should be more sensitive than tight (%v)",
+			res2.MaxAbsShift, res.MaxAbsShift)
+	}
+}
+
+func TestClusteringSensitivityDoesNotMutate(t *testing.T) {
+	scores := []float64{1, 2, 3, 4}
+	c, _ := NewClustering([]int{0, 0, 1, 1})
+	want := append([]int(nil), c.Labels...)
+	if _, err := ClusteringSensitivity(Arithmetic, scores, c); err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if c.Labels[i] != want[i] {
+			t.Fatal("sensitivity analysis mutated the clustering")
+		}
+	}
+}

@@ -1,0 +1,93 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"hmeans/internal/vecmath"
+)
+
+// Subset is a cluster-based suite reduction: one representative
+// workload per cluster, the application of workload-cluster analysis
+// the paper's related work ([10], [11]) pursues. Where the
+// hierarchical means keep all workloads and reweight, subsetting
+// keeps one per cluster and drops the rest — useful when each run is
+// expensive (e.g. RTL simulation).
+type Subset struct {
+	// Representatives holds one workload index per cluster, ordered
+	// by cluster label.
+	Representatives []int
+	// Clustering is the partition the subset was drawn from.
+	Clustering Clustering
+}
+
+// SelectSubset picks, from each cluster, the medoid — the member
+// minimizing the total distance to its cluster mates in the reduced
+// space. positions must align with the clustering's workloads.
+func SelectSubset(positions []vecmath.Vector, c Clustering) (Subset, error) {
+	if len(positions) != len(c.Labels) {
+		return Subset{}, fmt.Errorf("core: %d positions for %d workloads", len(positions), len(c.Labels))
+	}
+	if len(positions) == 0 {
+		return Subset{}, errors.New("core: empty suite")
+	}
+	members := make([][]int, c.K)
+	for i, l := range c.Labels {
+		if l < 0 || l >= c.K {
+			return Subset{}, fmt.Errorf("core: label %d out of range", l)
+		}
+		members[l] = append(members[l], i)
+	}
+	reps := make([]int, c.K)
+	for label, ms := range members {
+		if len(ms) == 0 {
+			return Subset{}, fmt.Errorf("core: cluster %d is empty", label)
+		}
+		best, bestCost := ms[0], math.Inf(1)
+		for _, i := range ms {
+			cost := 0.0
+			for _, j := range ms {
+				cost += vecmath.EuclideanDistance(positions[i], positions[j])
+			}
+			if cost < bestCost {
+				best, bestCost = i, cost
+			}
+		}
+		reps[label] = best
+	}
+	return Subset{Representatives: reps, Clustering: c}, nil
+}
+
+// Scores extracts the representatives' scores from the full score
+// vector, in cluster-label order.
+func (s Subset) Scores(full []float64) ([]float64, error) {
+	if len(full) != len(s.Clustering.Labels) {
+		return nil, fmt.Errorf("core: %d scores for %d workloads", len(full), len(s.Clustering.Labels))
+	}
+	out := make([]float64, len(s.Representatives))
+	for i, idx := range s.Representatives {
+		out[i] = full[idx]
+	}
+	return out, nil
+}
+
+// SubsetError compares the subset's plain mean against the full
+// suite's hierarchical mean of the same family — how well one-per-
+// cluster approximates reweight-per-cluster. Returns the relative
+// error |subset/hier − 1|.
+func SubsetError(kind MeanKind, full []float64, s Subset) (float64, error) {
+	subScores, err := s.Scores(full)
+	if err != nil {
+		return 0, err
+	}
+	sub, err := PlainMean(kind, subScores)
+	if err != nil {
+		return 0, err
+	}
+	hier, err := HierarchicalMean(kind, full, s.Clustering)
+	if err != nil {
+		return 0, err
+	}
+	return math.Abs(sub/hier - 1), nil
+}

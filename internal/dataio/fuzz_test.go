@@ -1,0 +1,80 @@
+package dataio
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzReadScores asserts the parser never panics and that successful
+// parses are internally consistent.
+func FuzzReadScores(f *testing.F) {
+	f.Add("workload,score\na,1.5\nb,2\n")
+	f.Add("a,1\n")
+	f.Add("")
+	f.Add("x,y,z\n1,2,3\n")
+	f.Add("a,NaN\n")
+	f.Add(",,\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		s, err := ReadScores(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if len(s.Workloads) != len(s.Values) {
+			t.Fatalf("inconsistent parse: %d names, %d values", len(s.Workloads), len(s.Values))
+		}
+		if len(s.Values) == 0 {
+			t.Fatal("successful parse with no scores")
+		}
+		// Round trip: write and reparse must preserve the data.
+		var sb strings.Builder
+		if err := WriteScores(&sb, s); err != nil {
+			t.Fatalf("write-back failed: %v", err)
+		}
+		back, err := ReadScores(strings.NewReader(sb.String()))
+		if err != nil {
+			t.Fatalf("reparse failed: %v", err)
+		}
+		if len(back.Values) != len(s.Values) {
+			t.Fatalf("round trip changed length: %d -> %d", len(s.Values), len(back.Values))
+		}
+	})
+}
+
+// FuzzReadMatrix asserts the matrix parser never panics and keeps
+// rows rectangular.
+func FuzzReadMatrix(f *testing.F) {
+	f.Add("workload,f1,f2\na,1,2\nb,3,4\n")
+	f.Add("workload\n")
+	f.Add("w,f\nx,bad\n")
+	f.Add("w,f\nx,1\ny,2,3\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		m, err := ReadMatrix(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if len(m.Workloads) != len(m.Rows) {
+			t.Fatal("names/rows mismatch")
+		}
+		for _, row := range m.Rows {
+			if len(row) != len(m.Features) {
+				t.Fatal("ragged parse accepted")
+			}
+		}
+	})
+}
+
+// FuzzReadClusters asserts the cluster parser never panics.
+func FuzzReadClusters(f *testing.F) {
+	f.Add("workload,cluster\na,0\nb,1\n")
+	f.Add("a,-3\n")
+	f.Add("a,9999999999999999999999\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		c, err := ReadClusters(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if len(c.Workloads) != len(c.Labels) {
+			t.Fatal("names/labels mismatch")
+		}
+	})
+}

@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"hmeans/internal/core"
+	"hmeans/internal/stat"
+	"hmeans/internal/viz"
+)
+
+// ConfidenceResult attaches workload-sampling confidence intervals to
+// the headline comparison: if the consortium had happened to select a
+// slightly different set of workloads from the same behaviour
+// population, how different could the A/B ratio look?
+type ConfidenceResult struct {
+	// PlainRatio is the plain-GM ratio with its paired-bootstrap
+	// interval over workloads.
+	PlainRatio stat.Interval
+	// HGMRatio is the ratio of hierarchical geometric means at the
+	// recommended cut, with an interval obtained by resampling
+	// clusters (the exchangeable unit once redundancy is modelled).
+	HGMRatio stat.Interval
+	// PValue is the paired-permutation p-value for the plain-GM
+	// difference (null: the machines are per-workload exchangeable).
+	PValue float64
+	// K is the cut used for the HGM.
+	K int
+}
+
+// Confidence computes both intervals on the given characterization's
+// clustering.
+func (s *Suite) Confidence(ch Characterization, k int, level float64, resamples int, seed uint64) (ConfidenceResult, error) {
+	var res ConfidenceResult
+	res.K = k
+	plain, err := stat.BootstrapRatioCI(s.SpeedupsA, s.SpeedupsB, level, resamples, seed)
+	if err != nil {
+		return res, err
+	}
+	res.PlainRatio = plain
+	if res.PValue, _, err = stat.PairedPermutationTest(s.SpeedupsA, s.SpeedupsB, 4000, seed+2); err != nil {
+		return res, err
+	}
+
+	// For the HGM the exchangeable unit is the cluster: compute each
+	// cluster's inner GM per machine, then bootstrap the outer mean
+	// ratio over those representatives.
+	p, err := s.Pipeline(ch)
+	if err != nil {
+		return res, err
+	}
+	c, err := p.ClusteringAtK(k)
+	if err != nil {
+		return res, err
+	}
+	repA := make([]float64, 0, c.K)
+	repB := make([]float64, 0, c.K)
+	byLabel := make([][]int, c.K)
+	for i, l := range c.Labels {
+		byLabel[l] = append(byLabel[l], i)
+	}
+	for _, members := range byLabel {
+		var xs, ys []float64
+		for _, i := range members {
+			xs = append(xs, s.SpeedupsA[i])
+			ys = append(ys, s.SpeedupsB[i])
+		}
+		ga, err := core.PlainMean(core.Geometric, xs)
+		if err != nil {
+			return res, err
+		}
+		gb, err := core.PlainMean(core.Geometric, ys)
+		if err != nil {
+			return res, err
+		}
+		repA = append(repA, ga)
+		repB = append(repB, gb)
+	}
+	hgm, err := stat.BootstrapRatioCI(repA, repB, level, resamples, seed+1)
+	if err != nil {
+		return res, err
+	}
+	res.HGMRatio = hgm
+	return res, nil
+}
+
+// RenderConfidence writes the workload-sampling confidence analysis
+// for the SAR-A clustering at k=6.
+func (s *Suite) RenderConfidence(w io.Writer) error {
+	res, err := s.Confidence(SARMachineA, 6, 0.95, 2000, 11)
+	if err != nil {
+		return err
+	}
+	t := viz.NewTable("score ratio (A/B)", "point", "95% CI")
+	if err := t.AddRow("plain GM, bootstrap over workloads",
+		fmt.Sprintf("%.3f", res.PlainRatio.Point),
+		fmt.Sprintf("[%.3f, %.3f]", res.PlainRatio.Lo, res.PlainRatio.Hi)); err != nil {
+		return err
+	}
+	if err := t.AddRow(fmt.Sprintf("HGM (k=%d), bootstrap over clusters", res.K),
+		fmt.Sprintf("%.3f", res.HGMRatio.Point),
+		fmt.Sprintf("[%.3f, %.3f]", res.HGMRatio.Lo, res.HGMRatio.Hi)); err != nil {
+		return err
+	}
+	if err := t.Render(w); err != nil {
+		return err
+	}
+	verdict := "the interval includes 1.0 — the suite cannot certify a winner"
+	if !res.PlainRatio.Contains(1) {
+		verdict = "the interval excludes 1.0 — machine A's win is robust to workload selection"
+	}
+	if _, err := fmt.Fprintf(w, "plain-GM verdict: %s\n", verdict); err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "paired permutation test (null: machines exchangeable): p = %.3f\n", res.PValue)
+	return err
+}

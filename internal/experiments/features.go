@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"hmeans/internal/chars"
+	"hmeans/internal/viz"
+)
+
+// RenderFeatureImportance answers the interpretability question the
+// paper's figures raise but cannot answer: *which counters* make the
+// clusters? For the SAR-A clustering at k=6 it ranks the preprocessed
+// counters by η² (variance explained by the cluster labels) and
+// prints the strongest and weakest discriminators.
+func (s *Suite) RenderFeatureImportance(w io.Writer) error {
+	p, err := s.Pipeline(SARMachineA)
+	if err != nil {
+		return err
+	}
+	c, err := p.ClusteringAtK(6)
+	if err != nil {
+		return err
+	}
+	scores, err := chars.FeatureImportance(p.Prepared, c.Labels)
+	if err != nil {
+		return err
+	}
+	// Synthetic SAR channels come in families (net.rxpck.00..11 share
+	// one latent); aggregate to the family level so the ranking names
+	// twelve behaviours, not twelve copies of one.
+	type famScore struct {
+		name string
+		best float64
+	}
+	famIdx := map[string]int{}
+	var fams []famScore
+	for _, sc := range scores {
+		fam := sc.Feature
+		if i := strings.LastIndexByte(fam, '.'); i >= 0 {
+			fam = fam[:i]
+		}
+		if idx, ok := famIdx[fam]; ok {
+			if sc.EtaSquared > fams[idx].best {
+				fams[idx].best = sc.EtaSquared
+			}
+			continue
+		}
+		famIdx[fam] = len(fams)
+		fams = append(fams, famScore{name: fam, best: sc.EtaSquared})
+	}
+	sort.SliceStable(fams, func(a, b int) bool { return fams[a].best > fams[b].best })
+	t := viz.NewTable("rank", "counter family", "best eta^2")
+	show := 10
+	if show > len(fams) {
+		show = len(fams)
+	}
+	for i := 0; i < show; i++ {
+		if err := t.AddRow(fmt.Sprintf("%d", i+1), fams[i].name,
+			fmt.Sprintf("%.3f", fams[i].best)); err != nil {
+			return err
+		}
+	}
+	if err := t.Render(w); err != nil {
+		return err
+	}
+	weak := fams[len(fams)-1]
+	_, err = fmt.Fprintf(w, "(%d counters in %d families; weakest family: %s at %.3f)\n",
+		len(scores), len(fams), weak.name, weak.best)
+	return err
+}

@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"hmeans/internal/viz"
+)
+
+// RenderFigureMap writes the SOM workload-distribution figure for the
+// given characterization: Figure 3 (SARMachineA), Figure 5
+// (SARMachineB) or Figure 7 (MethodBits). Shared cells — the paper's
+// "darker cells" — are listed below the grid.
+func (s *Suite) RenderFigureMap(w io.Writer, ch Characterization) error {
+	p, err := s.Pipeline(ch)
+	if err != nil {
+		return err
+	}
+	if p.Map == nil {
+		return fmt.Errorf("experiments: pipeline %s has no SOM", ch)
+	}
+	vectors := p.Prepared.Vectors()
+	if err := viz.SOMMap(w, p.Map, p.Workloads, vectors); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, "\nShared cells (particularly similar workloads):"); err != nil {
+		return err
+	}
+	return viz.HitSummary(w, p.Map, p.Workloads, vectors)
+}
+
+// RenderFigureDendrogram writes the clustering dendrogram for the
+// given characterization: Figure 4 (SARMachineA), Figure 6
+// (SARMachineB) or Figure 8 (MethodBits), followed by the cluster
+// membership at every cut in the sweep.
+func (s *Suite) RenderFigureDendrogram(w io.Writer, ch Characterization) error {
+	p, err := s.Pipeline(ch)
+	if err != nil {
+		return err
+	}
+	if err := viz.Dendrogram(w, p.Dendrogram, p.Workloads); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, "\nCluster membership by cut:"); err != nil {
+		return err
+	}
+	return viz.CutTable(w, p.Dendrogram, p.Workloads, s.Config.KMin, s.Config.KMax)
+}
+
+// RenderCalibration reports the execution-model fit: per workload,
+// the relative error of the analytic model before residual
+// calibration (see simbench.CalibrationResult).
+func (s *Suite) RenderCalibration(w io.Writer) error {
+	t := viz.NewTable("Workload", "model err A", "model err B")
+	for i := range s.Workloads {
+		name := s.Workloads[i].Name
+		errs := s.Calibration.ModelRelErr[name]
+		if err := t.AddRowf(name, "%.2f", errs["A"], errs["B"]); err != nil {
+			return err
+		}
+	}
+	if err := t.Render(w); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "mean pre-residual model error: %.3f\n", s.Calibration.MeanRelErr)
+	return err
+}

@@ -1,0 +1,41 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"hmeans/internal/core"
+	"hmeans/internal/viz"
+)
+
+// RenderSensitivity reports, per characterization and per cut, how
+// much the machine-A HGM could move if one workload were assigned to
+// a neighbouring cluster — the "is the score robust to plausible
+// clustering mistakes" diagnostic built on
+// core.ClusteringSensitivity.
+func (s *Suite) RenderSensitivity(w io.Writer) error {
+	t := viz.NewTable("characterization", "k", "HGM(A)", "worst single-move shift", "shift %")
+	for _, ch := range []Characterization{SARMachineA, SARMachineB, MethodBits} {
+		p, err := s.Pipeline(ch)
+		if err != nil {
+			return err
+		}
+		for _, k := range []int{4, 6, 8} {
+			c, err := p.ClusteringAtK(k)
+			if err != nil {
+				return err
+			}
+			res, err := core.ClusteringSensitivity(core.Geometric, s.SpeedupsA, c)
+			if err != nil {
+				return err
+			}
+			if err := t.AddRow(string(ch), fmt.Sprintf("%d", k),
+				fmt.Sprintf("%.2f", res.Base),
+				fmt.Sprintf("%.3f", res.MaxAbsShift),
+				fmt.Sprintf("%.1f%%", 100*res.MaxAbsShift/res.Base)); err != nil {
+				return err
+			}
+		}
+	}
+	return t.Render(w)
+}

@@ -1,0 +1,182 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"hmeans/internal/core"
+	"hmeans/internal/viz"
+)
+
+// SpeedupRow is one line of Table III.
+type SpeedupRow struct {
+	Workload string
+	A, B     float64
+	Ratio    float64
+}
+
+// TableIIIResult holds the per-workload speedups and the plain
+// geometric means (the paper's baseline score).
+type TableIIIResult struct {
+	Rows     []SpeedupRow
+	GMA, GMB float64
+	GMRatio  float64
+}
+
+// TableIII computes the measured per-workload speedups on machines A
+// and B and their plain geometric means.
+func (s *Suite) TableIII() (TableIIIResult, error) {
+	var res TableIIIResult
+	for i := range s.Workloads {
+		res.Rows = append(res.Rows, SpeedupRow{
+			Workload: s.Workloads[i].Name,
+			A:        s.SpeedupsA[i],
+			B:        s.SpeedupsB[i],
+			Ratio:    s.SpeedupsA[i] / s.SpeedupsB[i],
+		})
+	}
+	var err error
+	if res.GMA, err = core.PlainMean(core.Geometric, s.SpeedupsA); err != nil {
+		return res, err
+	}
+	if res.GMB, err = core.PlainMean(core.Geometric, s.SpeedupsB); err != nil {
+		return res, err
+	}
+	res.GMRatio = res.GMA / res.GMB
+	return res, nil
+}
+
+// RenderTableIII writes Table III in the paper's layout.
+func (s *Suite) RenderTableIII(w io.Writer) error {
+	res, err := s.TableIII()
+	if err != nil {
+		return err
+	}
+	t := viz.NewTable("", "A", "B", "ratio(=A/B)")
+	for _, r := range res.Rows {
+		if err := t.AddRowf(r.Workload, "%.2f", r.A, r.B, r.Ratio); err != nil {
+			return err
+		}
+	}
+	if err := t.AddRowf("Geometric Mean", "%.2f", res.GMA, res.GMB, res.GMRatio); err != nil {
+		return err
+	}
+	return t.Render(w)
+}
+
+// HGMRow is one line of Tables IV-VI: the hierarchical geometric
+// means on both machines at one cluster count.
+type HGMRow struct {
+	K     int
+	A, B  float64
+	Ratio float64
+	// Members lists the workload names per cluster at this cut.
+	Members [][]string
+}
+
+// HGMTableResult is a full cluster-count sweep plus the plain-GM
+// baseline row.
+type HGMTableResult struct {
+	Characterization Characterization
+	Rows             []HGMRow
+	GMA, GMB         float64
+	GMRatio          float64
+}
+
+// HGMTable computes the paper's Table IV (SARMachineA), Table V
+// (SARMachineB) or Table VI (MethodBits): the hierarchical geometric
+// mean of both machines' scores under the clustering from the given
+// characterization, for every k in the configured sweep.
+func (s *Suite) HGMTable(ch Characterization) (HGMTableResult, error) {
+	res := HGMTableResult{Characterization: ch}
+	p, err := s.Pipeline(ch)
+	if err != nil {
+		return res, err
+	}
+	for k := s.Config.KMin; k <= s.Config.KMax && k <= len(s.Workloads); k++ {
+		a, err := p.ScoreAtK(core.Geometric, s.SpeedupsA, k)
+		if err != nil {
+			return res, err
+		}
+		b, err := p.ScoreAtK(core.Geometric, s.SpeedupsB, k)
+		if err != nil {
+			return res, err
+		}
+		members, err := p.ClusterMembers(k)
+		if err != nil {
+			return res, err
+		}
+		res.Rows = append(res.Rows, HGMRow{K: k, A: a, B: b, Ratio: a / b, Members: members})
+	}
+	if res.GMA, err = core.PlainMean(core.Geometric, s.SpeedupsA); err != nil {
+		return res, err
+	}
+	if res.GMB, err = core.PlainMean(core.Geometric, s.SpeedupsB); err != nil {
+		return res, err
+	}
+	res.GMRatio = res.GMA / res.GMB
+	return res, nil
+}
+
+// RenderHGMTable writes an HGM sweep in the layout of Tables IV-VI.
+func (s *Suite) RenderHGMTable(w io.Writer, ch Characterization) error {
+	res, err := s.HGMTable(ch)
+	if err != nil {
+		return err
+	}
+	t := viz.NewTable("", "A", "B", "ratio(=A/B)")
+	for _, r := range res.Rows {
+		if err := t.AddRowf(fmt.Sprintf("%d Clusters", r.K), "%.2f", r.A, r.B, r.Ratio); err != nil {
+			return err
+		}
+	}
+	if err := t.AddRowf("Geometric Mean", "%.2f", res.GMA, res.GMB, res.GMRatio); err != nil {
+		return err
+	}
+	return t.Render(w)
+}
+
+// SciMarkExclusiveKs returns the cluster counts (within the sweep)
+// at which the five SciMark2 workloads form a cluster that is exactly
+// themselves — the paper's headline clustering observation.
+func (s *Suite) SciMarkExclusiveKs(ch Characterization) ([]int, error) {
+	p, err := s.Pipeline(ch)
+	if err != nil {
+		return nil, err
+	}
+	sci := map[int]bool{}
+	for i := range s.Workloads {
+		if s.Workloads[i].Suite == "SciMark2" {
+			sci[i] = true
+		}
+	}
+	var out []int
+	for k := s.Config.KMin; k <= s.Config.KMax && k <= len(s.Workloads); k++ {
+		c, err := p.ClusteringAtK(k)
+		if err != nil {
+			return nil, err
+		}
+		// Find the label of the first SciMark member, then require
+		// the label set to be exactly the SciMark set.
+		var label = -1
+		for i := range s.Workloads {
+			if sci[i] {
+				label = c.Labels[i]
+				break
+			}
+		}
+		exclusive := true
+		for i, l := range c.Labels {
+			if sci[i] != (l == label) {
+				exclusive = false
+				break
+			}
+		}
+		if exclusive {
+			out = append(out, k)
+		}
+	}
+	sort.Ints(out)
+	return out, nil
+}

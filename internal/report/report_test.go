@@ -1,0 +1,151 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"hmeans/internal/chars"
+	"hmeans/internal/core"
+	"hmeans/internal/rng"
+	"hmeans/internal/som"
+)
+
+func testInput(t *testing.T) Input {
+	t.Helper()
+	names := []string{"alpha", "beta", "kernel1", "kernel2", "kernel3"}
+	features := []string{"f1", "f2", "f3"}
+	rows := [][]float64{
+		{9, 1, 2},
+		{1, 8, 3},
+		{4, 4, 9},
+		{4.2, 4.1, 9.1},
+		{3.9, 4.0, 8.8},
+	}
+	tab, err := chars.NewTable(names, features, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// SkipSOM: with only five workloads there is no dimensionality to
+	// reduce, and clustering the standardized vectors directly is
+	// deterministic.
+	p, err := core.DetectClusters(tab, core.PipelineConfig{SkipSOM: true, SOM: som.Config{Seed: 9}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Per-run times behind each score.
+	r := rng.New(4)
+	runs := make([][]float64, len(names))
+	for i := range runs {
+		runs[i] = make([]float64, 10)
+		for j := range runs[i] {
+			runs[i][j] = 10 + 0.2*r.NormFloat64()
+		}
+	}
+	return Input{
+		Title:     "Test suite report",
+		Workloads: names,
+		Scores:    []float64{2.5, 1.8, 0.9, 1.0, 0.95},
+		RunTimes:  runs,
+		Pipeline:  p,
+	}
+}
+
+func TestWriteFullReport(t *testing.T) {
+	var sb strings.Builder
+	if err := Write(&sb, testInput(t)); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"Test suite report",
+		"Per-workload scores",
+		"kernel2",
+		"95% CI",
+		"Cluster structure",
+		"redundancy group",
+		"robustness:",
+		"cut diagnostics",
+		"Suite scores",
+		"plain",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+	// The three kernels are near-identical; the recommended cut must
+	// group them (the redundancy-group marker must appear on a line
+	// with all three kernels).
+	found := false
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "redundancy group") &&
+			strings.Contains(line, "kernel1") &&
+			strings.Contains(line, "kernel2") &&
+			strings.Contains(line, "kernel3") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("kernels not grouped in report:\n%s", out)
+	}
+}
+
+func TestWriteWithoutRunTimes(t *testing.T) {
+	in := testInput(t)
+	in.RunTimes = nil
+	var sb strings.Builder
+	if err := Write(&sb, in); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "]s") {
+		t.Error("CI column rendered without run data")
+	}
+}
+
+func TestWriteValidation(t *testing.T) {
+	in := testInput(t)
+	bad := in
+	bad.Scores = bad.Scores[:2]
+	if err := Write(&strings.Builder{}, bad); err == nil {
+		t.Error("score/workload mismatch accepted")
+	}
+	bad2 := in
+	bad2.Pipeline = nil
+	if err := Write(&strings.Builder{}, bad2); err == nil {
+		t.Error("nil pipeline accepted")
+	}
+	bad3 := in
+	bad3.Workloads = nil
+	bad3.Scores = nil
+	if err := Write(&strings.Builder{}, bad3); err == nil {
+		t.Error("empty suite accepted")
+	}
+	bad4 := in
+	bad4.RunTimes = bad4.RunTimes[:1]
+	if err := Write(&strings.Builder{}, bad4); err == nil {
+		t.Error("run-time shape mismatch accepted")
+	}
+}
+
+func TestDefaultTitle(t *testing.T) {
+	in := testInput(t)
+	in.Title = ""
+	var sb strings.Builder
+	if err := Write(&sb, in); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "Benchmark suite scoring report") {
+		t.Error("default title missing")
+	}
+}
+
+func TestMeanFamilySelectable(t *testing.T) {
+	in := testInput(t)
+	in.Kind = core.Harmonic
+	var sb strings.Builder
+	if err := Write(&sb, in); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "harmonic mean family") {
+		t.Error("mean family not reported")
+	}
+}

@@ -1,0 +1,96 @@
+package simbench
+
+// CPU2006Like is the source-suite label for the second case study.
+const CPU2006Like SourceSuite = "CPU2006-like"
+
+// CPU2006LikeWorkloads returns a second, non-Java case-study suite in
+// the mould of SPEC CPU2006: native integer and floating-point
+// programs. It exists to exercise the paper's generalization path —
+// "For non-Java workloads, other microarchitecture independent
+// workload features such as instruction mix, memory strides, etc. can
+// be used instead" — with a composition that has its own planted
+// artificial redundancy: three LZ-family compression codecs adopted
+// together (the bzip2/gzip/xz situation), which should coagulate
+// under micro-independent characterization exactly the way SciMark2
+// does in the Java suite.
+//
+// These workloads carry no Java method domains (they are native
+// binaries), so only the demand-driven characterizations (SAR,
+// micro-independent) apply; HprofTable must not be used with them.
+func CPU2006LikeWorkloads() []Workload {
+	w := func(name string, d Demand) Workload {
+		return Workload{
+			Name:        name,
+			Suite:       CPU2006Like,
+			Version:     "1.0",
+			InputSet:    "ref",
+			Description: "native CPU2006-like workload",
+			Demand:      d,
+		}
+	}
+	return []Workload{
+		// Integer side.
+		w("int.compiler", Demand{ // gcc-like
+			WorkGOps: 80, FPFraction: 0.01, WorkingSetKB: 2200, FootprintMB: 90,
+			MemIntensity: 0.9, AllocIntensity: 0.5, IOIntensity: 0.08,
+			Parallelism: 1, CodeComplexity: 1.8, SyscallIntensity: 0.08,
+		}),
+		w("int.pathfinder", Demand{ // astar/mcf-like: pointer chasing
+			WorkGOps: 70, FPFraction: 0.02, WorkingSetKB: 3600, FootprintMB: 320,
+			MemIntensity: 1.2, AllocIntensity: 0.25, IOIntensity: 0.01,
+			Parallelism: 1, CodeComplexity: 1.1, SyscallIntensity: 0.03,
+		}),
+		w("int.interpreter", Demand{ // perlbench-like
+			WorkGOps: 75, FPFraction: 0.02, WorkingSetKB: 1400, FootprintMB: 110,
+			MemIntensity: 0.8, AllocIntensity: 0.6, IOIntensity: 0.1,
+			Parallelism: 1, CodeComplexity: 1.7, SyscallIntensity: 0.1,
+		}),
+		w("int.gamesearch", Demand{ // gobmk-like: branchy search
+			WorkGOps: 65, FPFraction: 0.01, WorkingSetKB: 900, FootprintMB: 30,
+			MemIntensity: 0.6, AllocIntensity: 0.1, IOIntensity: 0.01,
+			Parallelism: 1, CodeComplexity: 1.5, SyscallIntensity: 0.02,
+		}),
+		// The planted adoption set: three codecs from one family.
+		w("int.lzA", Demand{
+			WorkGOps: 90, FPFraction: 0.01, WorkingSetKB: 700, FootprintMB: 24,
+			MemIntensity: 0.55, AllocIntensity: 0.03, IOIntensity: 0.12,
+			Parallelism: 1, CodeComplexity: 0.9, SyscallIntensity: 0.05,
+		}),
+		w("int.lzB", Demand{
+			WorkGOps: 95, FPFraction: 0.01, WorkingSetKB: 760, FootprintMB: 26,
+			MemIntensity: 0.58, AllocIntensity: 0.03, IOIntensity: 0.11,
+			Parallelism: 1, CodeComplexity: 0.9, SyscallIntensity: 0.05,
+		}),
+		w("int.lzC", Demand{
+			WorkGOps: 85, FPFraction: 0.01, WorkingSetKB: 660, FootprintMB: 22,
+			MemIntensity: 0.53, AllocIntensity: 0.04, IOIntensity: 0.13,
+			Parallelism: 1, CodeComplexity: 0.95, SyscallIntensity: 0.05,
+		}),
+		// Floating-point side.
+		w("fp.fluid", Demand{ // lbm/bwaves-like: streaming FP
+			WorkGOps: 110, FPFraction: 0.85, WorkingSetKB: 3800, FootprintMB: 240,
+			MemIntensity: 0.95, AllocIntensity: 0.02, IOIntensity: 0.02,
+			Parallelism: 1, CodeComplexity: 0.6, SyscallIntensity: 0.02,
+		}),
+		w("fp.molecular", Demand{ // namd-like: cache-resident FP
+			WorkGOps: 100, FPFraction: 0.88, WorkingSetKB: 450, FootprintMB: 40,
+			MemIntensity: 0.45, AllocIntensity: 0.02, IOIntensity: 0.01,
+			Parallelism: 1, CodeComplexity: 0.7, SyscallIntensity: 0.02,
+		}),
+		w("fp.lattice", Demand{ // milc-like: strided FP
+			WorkGOps: 95, FPFraction: 0.82, WorkingSetKB: 2600, FootprintMB: 180,
+			MemIntensity: 0.85, AllocIntensity: 0.02, IOIntensity: 0.02,
+			Parallelism: 1, CodeComplexity: 0.65, SyscallIntensity: 0.02,
+		}),
+		w("fp.raytrace", Demand{ // povray-like: FP + branchy
+			WorkGOps: 85, FPFraction: 0.6, WorkingSetKB: 1100, FootprintMB: 60,
+			MemIntensity: 0.6, AllocIntensity: 0.15, IOIntensity: 0.05,
+			Parallelism: 1, CodeComplexity: 1.3, SyscallIntensity: 0.04,
+		}),
+		w("fp.weather", Demand{ // wrf-like: mixed FP with IO
+			WorkGOps: 105, FPFraction: 0.7, WorkingSetKB: 2900, FootprintMB: 210,
+			MemIntensity: 0.8, AllocIntensity: 0.05, IOIntensity: 0.2,
+			Parallelism: 1, CodeComplexity: 1.0, SyscallIntensity: 0.08,
+		}),
+	}
+}

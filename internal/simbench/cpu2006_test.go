@@ -1,0 +1,95 @@
+package simbench
+
+import (
+	"math"
+	"testing"
+
+	"hmeans/internal/vecmath"
+)
+
+func TestCPU2006LikeWorkloads(t *testing.T) {
+	ws := CPU2006LikeWorkloads()
+	if len(ws) != 12 {
+		t.Fatalf("suite has %d workloads", len(ws))
+	}
+	seen := map[string]bool{}
+	for i := range ws {
+		w := &ws[i]
+		if seen[w.Name] {
+			t.Fatalf("duplicate %s", w.Name)
+		}
+		seen[w.Name] = true
+		if w.Suite != CPU2006Like {
+			t.Errorf("%s has suite %s", w.Name, w.Suite)
+		}
+		if err := validateDemand(w.Demand); err != nil {
+			t.Errorf("%s: %v", w.Name, err)
+		}
+		// The native workloads must run through the execution model
+		// and SAR sampler.
+		for _, m := range []Machine{MachineA(), MachineB(), Reference()} {
+			if sec := ExecutionTime(w, m); sec <= 0 || math.IsNaN(sec) {
+				t.Errorf("%s on %s: time %v", w.Name, m.Name, sec)
+			}
+		}
+		if len(SampleSAR(w, MachineA(), SARSpec{Seed: 1})) != 15 {
+			t.Errorf("%s: SAR sampling failed", w.Name)
+		}
+	}
+}
+
+func TestCPU2006CodecsCoherent(t *testing.T) {
+	// The planted adoption set must be mutually closer in
+	// micro-independent space than to any other workload.
+	ws := CPU2006LikeWorkloads()
+	tab, err := MicroIndepTable(ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Standardize columns.
+	cols := len(tab.Features)
+	for j := 0; j < cols; j++ {
+		var sum, sumSq float64
+		for i := range tab.Rows {
+			sum += tab.Rows[i][j]
+			sumSq += tab.Rows[i][j] * tab.Rows[i][j]
+		}
+		mean := sum / float64(len(tab.Rows))
+		sd := math.Sqrt(sumSq/float64(len(tab.Rows)) - mean*mean)
+		for i := range tab.Rows {
+			if sd > 0 {
+				tab.Rows[i][j] = (tab.Rows[i][j] - mean) / sd
+			} else {
+				tab.Rows[i][j] = 0
+			}
+		}
+	}
+	vecs := tab.Vectors()
+	isLZ := func(i int) bool {
+		n := tab.Workloads[i]
+		return n == "int.lzA" || n == "int.lzB" || n == "int.lzC"
+	}
+	var maxWithin float64
+	minAcross := math.Inf(1)
+	for i := range vecs {
+		if !isLZ(i) {
+			continue
+		}
+		for j := range vecs {
+			if i == j {
+				continue
+			}
+			d := vecmath.EuclideanDistance(vecs[i], vecs[j])
+			if isLZ(j) {
+				if d > maxWithin {
+					maxWithin = d
+				}
+			} else if d < minAcross {
+				minAcross = d
+			}
+		}
+	}
+	if maxWithin >= minAcross {
+		t.Fatalf("codecs not coherent: within %v >= across %v", maxWithin, minAcross)
+	}
+}

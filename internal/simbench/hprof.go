@@ -1,0 +1,148 @@
+package simbench
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+
+	"hmeans/internal/chars"
+)
+
+// methodDomain describes one library/package domain in the synthetic
+// Java method universe.
+type methodDomain struct {
+	// prefix becomes the package part of generated method names.
+	prefix string
+	// count is how many methods the domain contains.
+	count int
+	// coveragePct is the probability (in percent) that a given user
+	// of the domain calls a given method.
+	coveragePct int
+}
+
+// methodDomains is the synthetic method universe. Domain sizes are
+// loosely modelled on the real libraries (java.util is bigger than
+// a SciMark kernel). The scimark.* domains are the self-contained
+// math library the paper calls out: SciMark2 workloads "heavily rely
+// on self contained math libraries", which is why they coagulate
+// into a single SOM cell under method-utilization characterization.
+var methodDomains = map[string]methodDomain{
+	"java.lang":          {prefix: "java.lang", count: 60, coveragePct: 80},
+	"java.util":          {prefix: "java.util", count: 45, coveragePct: 75},
+	"java.io":            {prefix: "java.io", count: 30, coveragePct: 70},
+	"java.net":           {prefix: "java.net", count: 16, coveragePct: 75},
+	"jvm98.harness":      {prefix: "spec.harness", count: 14, coveragePct: 90},
+	"dacapo.harness":     {prefix: "dacapo.harness", count: 14, coveragePct: 90},
+	"scimark.kernel":     {prefix: "jnt.scimark2.kernel", count: 28, coveragePct: 95},
+	"scimark.fft":        {prefix: "jnt.scimark2.FFT", count: 8, coveragePct: 100},
+	"scimark.lu":         {prefix: "jnt.scimark2.LU", count: 8, coveragePct: 100},
+	"scimark.montecarlo": {prefix: "jnt.scimark2.MonteCarlo", count: 6, coveragePct: 100},
+	"scimark.sor":        {prefix: "jnt.scimark2.SOR", count: 6, coveragePct: 100},
+	"scimark.sparse":     {prefix: "jnt.scimark2.SparseCompRow", count: 8, coveragePct: 100},
+	"compress":           {prefix: "spec.benchmarks._201_compress", count: 16, coveragePct: 95},
+	"jess":               {prefix: "spec.benchmarks._202_jess.jess", count: 32, coveragePct: 90},
+	"javac":              {prefix: "spec.benchmarks._213_javac", count: 42, coveragePct: 90},
+	"mpegaudio":          {prefix: "spec.benchmarks._222_mpegaudio", count: 22, coveragePct: 95},
+	"mtrt":               {prefix: "spec.benchmarks._205_raytrace", count: 26, coveragePct: 90},
+	"jdbc.sql":           {prefix: "org.hsqldb", count: 36, coveragePct: 85},
+	"awt.graphics":       {prefix: "org.jfree.chart", count: 40, coveragePct: 85},
+	"pdf":                {prefix: "com.lowagie.text.pdf", count: 16, coveragePct: 85},
+	"xml":                {prefix: "org.apache.xalan", count: 36, coveragePct: 85},
+}
+
+// methodVerbs lends the generated names some realism.
+var methodVerbs = []string{
+	"init", "get", "set", "compute", "update", "read", "write", "parse",
+	"next", "apply", "resolve", "visit", "transform", "render", "hash",
+	"copy", "index", "scan", "emit", "flush",
+}
+
+// domainMethodNames returns the fully qualified method names of a
+// domain, deterministically.
+func domainMethodNames(key string) []string {
+	d, ok := methodDomains[key]
+	if !ok {
+		return nil
+	}
+	out := make([]string, d.count)
+	for i := 0; i < d.count; i++ {
+		out[i] = fmt.Sprintf("%s.C%d.%s%d", d.prefix, i/8, methodVerbs[i%len(methodVerbs)], i)
+	}
+	return out
+}
+
+// coverageGroup returns the identity under which a workload draws its
+// method-coverage decisions. The five SciMark2 kernels share one
+// group: they are builds of the same self-contained numeric harness,
+// so they call identical subsets of every shared library. All other
+// workloads decide independently.
+func coverageGroup(w *Workload) string {
+	if w.Suite == SciMark2 {
+		return "scimark-shared"
+	}
+	return w.Name
+}
+
+// usesMethod decides deterministically whether the workload's
+// coverage group calls the method.
+func usesMethod(group, domainKey, method string) bool {
+	d := methodDomains[domainKey]
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s|%s|%s", group, domainKey, method)
+	return int(h.Sum64()%100) < d.coveragePct
+}
+
+// MethodProfile returns the sorted list of method names the workload
+// calls, the synthetic analogue of an hprof coverage dump.
+func MethodProfile(w *Workload) []string {
+	group := coverageGroup(w)
+	var out []string
+	for _, dk := range w.MethodDomains {
+		for _, m := range domainMethodNames(dk) {
+			if usesMethod(group, dk, m) {
+				out = append(out, m)
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// MethodUniverse returns the sorted union of all method names that
+// appear in any of the given workloads' profiles — "a list of the
+// complete method names that appear on the hprof result".
+func MethodUniverse(ws []Workload) []string {
+	seen := map[string]bool{}
+	for i := range ws {
+		for _, m := range MethodProfile(&ws[i]) {
+			seen[m] = true
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for m := range seen {
+		out = append(out, m)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// HprofTable builds the paper's second characterization: a bit vector
+// per workload over the union of observed methods (1 = the workload
+// calls the method). The degenerate-bit filtering and standardization
+// are applied later by chars.PreprocessBits.
+func HprofTable(ws []Workload) (*chars.Table, error) {
+	universe := MethodUniverse(ws)
+	index := make(map[string]int, len(universe))
+	for i, m := range universe {
+		index[m] = i
+	}
+	bits := make([][]bool, len(ws))
+	for i := range ws {
+		row := make([]bool, len(universe))
+		for _, m := range MethodProfile(&ws[i]) {
+			row[index[m]] = true
+		}
+		bits[i] = row
+	}
+	return chars.FromBits(WorkloadNames(ws), universe, bits)
+}

@@ -1,0 +1,184 @@
+package simbench
+
+import (
+	"sort"
+	"strings"
+	"testing"
+)
+
+func TestMethodProfileDeterministic(t *testing.T) {
+	ws := BaseWorkloads()
+	p1 := MethodProfile(&ws[0])
+	p2 := MethodProfile(&ws[0])
+	if len(p1) == 0 {
+		t.Fatal("empty method profile")
+	}
+	if len(p1) != len(p2) {
+		t.Fatal("profile not deterministic")
+	}
+	for i := range p1 {
+		if p1[i] != p2[i] {
+			t.Fatal("profile not deterministic")
+		}
+	}
+	if !sort.StringsAreSorted(p1) {
+		t.Fatal("profile not sorted")
+	}
+}
+
+func TestSciMarkProfilesIdenticalOnSharedDomains(t *testing.T) {
+	// The five SciMark2 kernels share a coverage group, so their use
+	// of shared domains (java.lang, scimark.kernel) must be
+	// identical; only their kernel-private domains differ. This is
+	// what makes them land on a single SOM cell in the paper's
+	// Figure 7.
+	ws := BaseWorkloads()
+	sharedOf := func(w *Workload) []string {
+		var out []string
+		for _, m := range MethodProfile(w) {
+			if strings.HasPrefix(m, "java.lang") || strings.HasPrefix(m, "jnt.scimark2.kernel") {
+				out = append(out, m)
+			}
+		}
+		return out
+	}
+	base := sharedOf(&ws[5]) // FFT
+	for i := 6; i <= 9; i++ {
+		got := sharedOf(&ws[i])
+		if len(got) != len(base) {
+			t.Fatalf("%s shared-domain profile differs in size from FFT", ws[i].Name)
+		}
+		for j := range got {
+			if got[j] != base[j] {
+				t.Fatalf("%s shared-domain profile differs from FFT at %q", ws[i].Name, got[j])
+			}
+		}
+	}
+	// Sanity: two non-SciMark workloads must NOT have identical
+	// java.lang usage (independent coverage groups).
+	jl := func(w *Workload) string {
+		var sb strings.Builder
+		for _, m := range MethodProfile(w) {
+			if strings.HasPrefix(m, "java.lang") {
+				sb.WriteString(m)
+				sb.WriteByte('\n')
+			}
+		}
+		return sb.String()
+	}
+	if jl(&ws[0]) == jl(&ws[1]) {
+		t.Fatal("independent workloads have identical java.lang usage")
+	}
+}
+
+func TestMethodUniverseCoversProfiles(t *testing.T) {
+	ws := BaseWorkloads()
+	universe := MethodUniverse(ws)
+	if len(universe) < 200 {
+		t.Fatalf("universe has %d methods, suspiciously small", len(universe))
+	}
+	index := map[string]bool{}
+	for _, m := range universe {
+		index[m] = true
+	}
+	for i := range ws {
+		for _, m := range MethodProfile(&ws[i]) {
+			if !index[m] {
+				t.Fatalf("method %s of %s missing from universe", m, ws[i].Name)
+			}
+		}
+	}
+}
+
+func TestHprofTableBits(t *testing.T) {
+	ws := BaseWorkloads()
+	tab, err := HprofTable(ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 13 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	// Every value is 0 or 1, every row non-empty, every column used
+	// by at least one workload (universe = union of profiles).
+	for i, row := range tab.Rows {
+		ones := 0
+		for _, v := range row {
+			if v != 0 && v != 1 {
+				t.Fatalf("non-bit value %v", v)
+			}
+			if v == 1 {
+				ones++
+			}
+		}
+		if ones == 0 {
+			t.Fatalf("workload %s uses no methods", tab.Workloads[i])
+		}
+	}
+	for j := range tab.Features {
+		used := false
+		for i := range tab.Rows {
+			if tab.Rows[i][j] == 1 {
+				used = true
+				break
+			}
+		}
+		if !used {
+			t.Fatalf("method %s in universe but unused", tab.Features[j])
+		}
+	}
+}
+
+func TestSciMarkRowsIdenticalAfterKernelDomainRemoval(t *testing.T) {
+	// In the full bit table the SciMark rows differ only on their
+	// kernel-private methods — exactly the bits the paper's
+	// preprocessing drops as single-user. Verify the premise here:
+	// restricted to methods used by ≥2 workloads, SciMark rows are
+	// identical.
+	ws := BaseWorkloads()
+	tab, err := HprofTable(ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range tab.Features {
+		users := 0
+		for i := range tab.Rows {
+			if tab.Rows[i][j] == 1 {
+				users++
+			}
+		}
+		if users < 2 {
+			continue
+		}
+		for i := 6; i <= 9; i++ {
+			if tab.Rows[i][j] != tab.Rows[5][j] {
+				t.Fatalf("SciMark rows differ on shared method %s", tab.Features[j])
+			}
+		}
+	}
+}
+
+func TestDomainMethodNames(t *testing.T) {
+	names := domainMethodNames("java.lang")
+	if len(names) != methodDomains["java.lang"].count {
+		t.Fatalf("domain size %d", len(names))
+	}
+	for _, n := range names {
+		if !strings.HasPrefix(n, "java.lang.") {
+			t.Fatalf("bad method name %q", n)
+		}
+	}
+	if domainMethodNames("no-such-domain") != nil {
+		t.Fatal("unknown domain should return nil")
+	}
+}
+
+func TestWorkloadDomainsExist(t *testing.T) {
+	for _, w := range BaseWorkloads() {
+		for _, d := range w.MethodDomains {
+			if _, ok := methodDomains[d]; !ok {
+				t.Fatalf("%s references unknown domain %q", w.Name, d)
+			}
+		}
+	}
+}

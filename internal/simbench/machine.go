@@ -1,0 +1,111 @@
+// Package simbench is the simulated benchmarking substrate standing
+// in for the paper's physical testbed (Table II) and real Java
+// workloads (Table I).
+//
+// The paper measured a hypothetical SPECjvm2007-like suite on three
+// machines (a dual Xeon "A", a Pentium 4 "B" and an UltraSPARC
+// reference). We do not have that hardware, so this package models
+// it: each workload carries a resource-demand profile, each machine a
+// capability profile, and an analytic execution model derives run
+// times from the two. A calibration pass (calibrate.go) fits the
+// per-workload demands — plus small per-machine residuals, exactly as
+// one calibrates an architectural simulator against silicon — so the
+// suite reproduces the paper's Table III speedups. The same demand
+// profiles drive the synthetic SAR counter sampler (sar.go) and the
+// hprof-style method profiler (hprof.go) used for workload
+// characterization, so "similar" workloads are similar for the same
+// underlying reason in every view the pipeline sees.
+package simbench
+
+// Machine models one hardware/JVM configuration from the paper's
+// Table II.
+type Machine struct {
+	// Name identifies the machine ("A", "B", "reference").
+	Name string
+	// CPU is a human-readable processor description.
+	CPU string
+	// ClockGHz is the core clock.
+	ClockGHz float64
+	// Cores is the number of hardware threads the JVM can use
+	// (HyperThreading was disabled in the paper's setup).
+	Cores int
+	// L2KB is the last-level cache size in KiB.
+	L2KB float64
+	// BusMHz is the front-side bus speed.
+	BusMHz float64
+	// MemoryMB is the installed RAM.
+	MemoryMB float64
+	// IntIPC and FPIPC are sustained instructions-per-cycle for
+	// integer-dominated and floating-point-dominated code.
+	IntIPC, FPIPC float64
+	// MemLatencyNS is the main-memory access latency seen by a
+	// last-level cache miss.
+	MemLatencyNS float64
+	// JITQuality scales generated-code quality (1.0 = the model's
+	// baseline JIT; the JRockit machines run a stronger compiler
+	// than the reference HotSpot of 2006).
+	JITQuality float64
+	// OS and JVM document the software stack (Table II metadata).
+	OS, JVM string
+}
+
+// MachineA returns the paper's machine A: dual Intel Xeon, 3.00 GHz,
+// 2 MB L2, 800 MHz bus, 2 GB memory, JRockit R26.4.
+func MachineA() Machine {
+	return Machine{
+		Name:         "A",
+		CPU:          "Dual Intel Xeon 3.00 GHz (HT disabled)",
+		ClockGHz:     3.0,
+		Cores:        2,
+		L2KB:         2048,
+		BusMHz:       800,
+		MemoryMB:     2048,
+		IntIPC:       1.05,
+		FPIPC:        0.45,
+		MemLatencyNS: 95,
+		JITQuality:   1.35,
+		OS:           "Red Hat Enterprise Linux WS 4 (2.6.9-34.0.1.ELsmp)",
+		JVM:          "BEA JRockit R26.4.0-jdk1.5.0_06 (32 bit)",
+	}
+}
+
+// MachineB returns the paper's machine B: Intel Pentium 4, 3.00 GHz,
+// 512 KB L2, 800 MHz bus, 512 MB memory, JRockit R26.4.
+func MachineB() Machine {
+	return Machine{
+		Name:         "B",
+		CPU:          "Intel Pentium 4 3.00 GHz (HT disabled)",
+		ClockGHz:     3.0,
+		Cores:        1,
+		L2KB:         512,
+		BusMHz:       800,
+		MemoryMB:     512,
+		IntIPC:       0.95,
+		FPIPC:        0.42,
+		MemLatencyNS: 90,
+		JITQuality:   1.35,
+		OS:           "Red Hat Enterprise Linux WS 4 (2.6.9-42.0.3.ELsmp)",
+		JVM:          "BEA JRockit R26.4.0-jdk1.5.0_06 (32 bit)",
+	}
+}
+
+// Reference returns the paper's reference machine: Sun UltraSPARC III
+// Cu 1.2 GHz, 8 MB external L2, 1 GB memory, HotSpot 1.5. Workload
+// scores are execution-time speedups over this machine.
+func Reference() Machine {
+	return Machine{
+		Name:         "reference",
+		CPU:          "Sun UltraSPARC III Cu 1.2 GHz",
+		ClockGHz:     1.2,
+		Cores:        1,
+		L2KB:         8192,
+		BusMHz:       800,
+		MemoryMB:     1024,
+		IntIPC:       0.9,
+		FPIPC:        1.15,
+		MemLatencyNS: 140,
+		JITQuality:   1.0,
+		OS:           "Solaris 8",
+		JVM:          "Sun Java HotSpot build 1.5.0_09-b01",
+	}
+}

@@ -1,0 +1,94 @@
+package simbench
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Manifest is the serializable definition of a benchmark suite: the
+// file format through which users bring their own workloads to the
+// CLI tools without recompiling. Calibration residuals are part of
+// the manifest so a calibrated suite round-trips exactly.
+type Manifest struct {
+	// Name labels the suite.
+	Name string `json:"name"`
+	// Workloads defines the members.
+	Workloads []ManifestWorkload `json:"workloads"`
+}
+
+// ManifestWorkload is one suite member in manifest form.
+type ManifestWorkload struct {
+	Name          string             `json:"name"`
+	Suite         SourceSuite        `json:"suite"`
+	Version       string             `json:"version,omitempty"`
+	InputSet      string             `json:"inputSet,omitempty"`
+	Description   string             `json:"description,omitempty"`
+	Demand        Demand             `json:"demand"`
+	MethodDomains []string           `json:"methodDomains"`
+	Affinity      map[string]float64 `json:"affinity,omitempty"`
+}
+
+// SaveSuite writes the workloads as a JSON manifest.
+func SaveSuite(w io.Writer, name string, ws []Workload) error {
+	m := Manifest{Name: name, Workloads: make([]ManifestWorkload, len(ws))}
+	for i := range ws {
+		wl := &ws[i]
+		m.Workloads[i] = ManifestWorkload{
+			Name:          wl.Name,
+			Suite:         wl.Suite,
+			Version:       wl.Version,
+			InputSet:      wl.InputSet,
+			Description:   wl.Description,
+			Demand:        wl.Demand,
+			MethodDomains: wl.MethodDomains,
+			Affinity:      wl.affinity,
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(m)
+}
+
+// LoadSuite reads and validates a JSON suite manifest.
+func LoadSuite(r io.Reader) (string, []Workload, error) {
+	var m Manifest
+	if err := json.NewDecoder(r).Decode(&m); err != nil {
+		return "", nil, fmt.Errorf("simbench: decoding suite manifest: %w", err)
+	}
+	if len(m.Workloads) == 0 {
+		return "", nil, errors.New("simbench: manifest defines no workloads")
+	}
+	out := make([]Workload, 0, len(m.Workloads))
+	seen := make(map[string]bool, len(m.Workloads))
+	for i, mw := range m.Workloads {
+		if seen[mw.Name] {
+			return "", nil, fmt.Errorf("simbench: manifest workload %d duplicates name %q", i, mw.Name)
+		}
+		w, err := NewWorkload(mw.Name, mw.Suite, mw.Demand, mw.MethodDomains)
+		if err != nil {
+			return "", nil, fmt.Errorf("simbench: manifest workload %d: %w", i, err)
+		}
+		if mw.Version != "" {
+			w.Version = mw.Version
+		}
+		if mw.InputSet != "" {
+			w.InputSet = mw.InputSet
+		}
+		if mw.Description != "" {
+			w.Description = mw.Description
+		}
+		if mw.Affinity != nil {
+			for machine, f := range mw.Affinity {
+				if f <= 0 {
+					return "", nil, fmt.Errorf("simbench: manifest workload %q has non-positive affinity for %q", mw.Name, machine)
+				}
+			}
+			w.affinity = mw.Affinity
+		}
+		seen[mw.Name] = true
+		out = append(out, w)
+	}
+	return m.Name, out, nil
+}

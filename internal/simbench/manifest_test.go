@@ -1,0 +1,85 @@
+package simbench
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestManifestRoundTrip(t *testing.T) {
+	ws, _, err := CalibratedSuite()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := SaveSuite(&buf, "specjvm2007-sim", ws); err != nil {
+		t.Fatal(err)
+	}
+	name, back, err := LoadSuite(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "specjvm2007-sim" || len(back) != len(ws) {
+		t.Fatalf("round trip: name=%q n=%d", name, len(back))
+	}
+	// Calibration residuals must survive: modelled speedups after
+	// the round trip equal the originals exactly.
+	a, ref := MachineA(), Reference()
+	for i := range ws {
+		if back[i].Name != ws[i].Name {
+			t.Fatalf("order changed: %s vs %s", back[i].Name, ws[i].Name)
+		}
+		s1 := Speedup(&ws[i], a, ref)
+		s2 := Speedup(&back[i], a, ref)
+		if math.Abs(s1-s2) > 1e-12 {
+			t.Fatalf("%s speedup changed through manifest: %v vs %v", ws[i].Name, s1, s2)
+		}
+		if back[i].Description != ws[i].Description || back[i].Version != ws[i].Version {
+			t.Fatalf("%s metadata lost", ws[i].Name)
+		}
+	}
+}
+
+func TestLoadSuiteValidation(t *testing.T) {
+	cases := []string{
+		"not json",
+		`{"name":"x","workloads":[]}`,
+		`{"name":"x","workloads":[{"name":"","suite":"S","demand":{},"methodDomains":["java.lang"]}]}`,
+		`{"name":"x","workloads":[
+			{"name":"a","suite":"S","demand":{"WorkGOps":1,"FPFraction":0.1,"WorkingSetKB":10,"FootprintMB":1,"Parallelism":1,"CodeComplexity":1},"methodDomains":["java.lang"]},
+			{"name":"a","suite":"S","demand":{"WorkGOps":1,"FPFraction":0.1,"WorkingSetKB":10,"FootprintMB":1,"Parallelism":1,"CodeComplexity":1},"methodDomains":["java.lang"]}]}`,
+		`{"name":"x","workloads":[{"name":"a","suite":"S","demand":{"WorkGOps":1,"FPFraction":0.1,"WorkingSetKB":10,"FootprintMB":1,"Parallelism":1,"CodeComplexity":1},"methodDomains":["java.lang"],"affinity":{"A":-1}}]}`,
+	}
+	for i, c := range cases {
+		if _, _, err := LoadSuite(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestLoadSuiteMinimal(t *testing.T) {
+	manifest := `{
+	  "name": "tiny",
+	  "workloads": [{
+	    "name": "k1", "suite": "Custom",
+	    "demand": {"WorkGOps": 10, "FPFraction": 0.5, "WorkingSetKB": 64,
+	               "FootprintMB": 4, "MemIntensity": 0.3, "Parallelism": 1,
+	               "CodeComplexity": 1},
+	    "methodDomains": ["java.lang"]
+	  }]
+	}`
+	name, ws, err := LoadSuite(strings.NewReader(manifest))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "tiny" || len(ws) != 1 {
+		t.Fatalf("parsed %q, %d workloads", name, len(ws))
+	}
+	if ws[0].Affinity("A") != 1 {
+		t.Fatal("missing affinity should default to 1")
+	}
+	if sec := ExecutionTime(&ws[0], MachineB()); sec <= 0 {
+		t.Fatalf("execution time %v", sec)
+	}
+}

@@ -1,0 +1,85 @@
+package simbench
+
+import (
+	"math"
+
+	"hmeans/internal/chars"
+)
+
+// MicroIndepTable builds the characterization the paper proposes as
+// future work for non-Java workloads (Section V-C: "By employing
+// other microarchitecture independent workload features, e.g.,
+// instruction mix, memory stride, etc., we expect the workload
+// clusters to appear similar over a variety of machines"): a vector
+// of program-intrinsic features — instruction mix, memory-stride
+// distribution, footprint, branch behaviour, parallelism — derived
+// from each workload's demand profile and from nothing
+// machine-specific. Unlike the SAR view, this table is identical no
+// matter which machine the suite runs on.
+func MicroIndepTable(ws []Workload) (*chars.Table, error) {
+	features := []string{
+		// Instruction mix (fractions of dynamic instructions).
+		"mix.int", "mix.fp", "mix.load", "mix.store", "mix.branch",
+		// Memory behaviour.
+		"mem.stride1", "mem.stride8", "mem.strideRand",
+		"mem.log2WorkingSetKB", "mem.log2FootprintMB", "mem.accessPerOp",
+		// Control behaviour.
+		"ctl.branchEntropy", "ctl.codeComplexity",
+		// Runtime behaviour (still machine-independent: properties of
+		// the program, not of the host).
+		"rt.allocPerOp", "rt.ioPerOp", "rt.netPerOp", "rt.syscallPerOp",
+		"rt.threads",
+	}
+	rows := make([][]float64, len(ws))
+	for i := range ws {
+		rows[i] = microIndepVector(&ws[i].Demand)
+	}
+	return chars.NewTable(WorkloadNames(ws), features, rows)
+}
+
+// microIndepVector derives the feature vector from a demand profile.
+// The derivations are simple program-structure arguments: memory
+// accesses split into loads and stores ~2:1; branch density rises
+// with code complexity; stride regularity falls as the working set's
+// access pattern becomes pointer-driven (approximated by the ratio of
+// memory intensity to working-set compactness).
+func microIndepVector(d *Demand) []float64 {
+	// Fraction of dynamic instructions that touch memory: an op with
+	// MemIntensity accesses per operation spends m/(1+m) of its
+	// instruction stream on loads/stores.
+	memFrac := d.MemIntensity / (1 + d.MemIntensity)
+	loads := memFrac * 2 / 3
+	stores := memFrac / 3
+	branch := (0.08 + 0.09*d.CodeComplexity) * (1 - memFrac)
+	compute := 1 - memFrac - branch
+	intOps := compute * (1 - d.FPFraction)
+	fpOps := compute * d.FPFraction
+
+	// Stride distribution: numeric kernels with small working sets
+	// stream unit-stride; large-footprint object-graph code chases
+	// pointers (random strides). The middle ground strides regularly
+	// but coarsely (row-major grids, records).
+	irregular := clamp01(0.15 + 0.5*math.Log1p(d.AllocIntensity*4) + 0.000_15*d.FootprintMB)
+	stride1 := (1 - irregular) * (1 - 0.3*d.FPFraction)
+	stride8 := (1 - irregular) * 0.3 * d.FPFraction
+	strideRand := irregular
+
+	return []float64{
+		intOps, fpOps, loads, stores, branch,
+		stride1, stride8, strideRand,
+		math.Log2(d.WorkingSetKB), math.Log2(d.FootprintMB), d.MemIntensity,
+		clamp01(0.2 + 0.35*d.CodeComplexity), d.CodeComplexity,
+		d.AllocIntensity, d.IOIntensity, d.NetIntensity, d.SyscallIntensity,
+		d.Parallelism,
+	}
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}

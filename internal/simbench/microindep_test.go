@@ -1,0 +1,131 @@
+package simbench
+
+import (
+	"math"
+	"testing"
+
+	"hmeans/internal/vecmath"
+)
+
+func TestMicroIndepTableShape(t *testing.T) {
+	ws, _, err := CalibratedSuite()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := MicroIndepTable(ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 13 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	if len(tab.Features) != len(tab.Rows[0]) {
+		t.Fatalf("feature names %d != row width %d", len(tab.Features), len(tab.Rows[0]))
+	}
+	for i, row := range tab.Rows {
+		for j, v := range row {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("invalid value at (%s, %s): %v", tab.Workloads[i], tab.Features[j], v)
+			}
+		}
+	}
+}
+
+func TestMicroIndepMachineIndependence(t *testing.T) {
+	// By construction the table uses no machine input; guard that the
+	// instruction-mix fractions are a proper distribution anyway.
+	ws, _, _ := CalibratedSuite()
+	tab, err := MicroIndepTable(ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// mix.* are columns 0..4 and must sum to ~1.
+	for i, row := range tab.Rows {
+		sum := row[0] + row[1] + row[2] + row[3] + row[4]
+		if math.Abs(sum-1) > 0.06 {
+			t.Errorf("%s instruction mix sums to %v", tab.Workloads[i], sum)
+		}
+	}
+	// Stride fractions are a distribution too.
+	for i, row := range tab.Rows {
+		sum := row[5] + row[6] + row[7]
+		if sum < 0.6 || sum > 1.1 {
+			t.Errorf("%s stride distribution sums to %v", tab.Workloads[i], sum)
+		}
+	}
+}
+
+func TestMicroIndepSciMarkCoherent(t *testing.T) {
+	// The paper's expectation: under microarchitecture-independent
+	// features the SciMark kernels stay mutually similar.
+	ws, _, _ := CalibratedSuite()
+	tab, err := MicroIndepTable(ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Standardize columns (copy) before measuring distances.
+	work := tab.Clone()
+	cols := len(work.Features)
+	for j := 0; j < cols; j++ {
+		var sum, sumSq float64
+		for i := range work.Rows {
+			sum += work.Rows[i][j]
+			sumSq += work.Rows[i][j] * work.Rows[i][j]
+		}
+		mean := sum / float64(len(work.Rows))
+		sd := math.Sqrt(sumSq/float64(len(work.Rows)) - mean*mean)
+		for i := range work.Rows {
+			if sd > 0 {
+				work.Rows[i][j] = (work.Rows[i][j] - mean) / sd
+			} else {
+				work.Rows[i][j] = 0
+			}
+		}
+	}
+	vecs := work.Vectors()
+	var maxWithin float64
+	minAcross := math.Inf(1)
+	for i := 5; i <= 9; i++ {
+		for j := i + 1; j <= 9; j++ {
+			if d := vecmath.EuclideanDistance(vecs[i], vecs[j]); d > maxWithin {
+				maxWithin = d
+			}
+		}
+		for j := 0; j < 13; j++ {
+			if j >= 5 && j <= 9 {
+				continue
+			}
+			if d := vecmath.EuclideanDistance(vecs[i], vecs[j]); d < minAcross {
+				minAcross = d
+			}
+		}
+	}
+	if maxWithin >= minAcross {
+		t.Fatalf("SciMark not coherent in micro-independent space: within %v >= across %v",
+			maxWithin, minAcross)
+	}
+}
+
+func TestMicroIndepFPSeparation(t *testing.T) {
+	// FP fraction must separate mpegaudio/SciMark (high FP) from
+	// compress/javac/xalan (integer).
+	ws, _, _ := CalibratedSuite()
+	tab, _ := MicroIndepTable(ws)
+	fpIdx := -1
+	for j, f := range tab.Features {
+		if f == "mix.fp" {
+			fpIdx = j
+		}
+	}
+	if fpIdx < 0 {
+		t.Fatal("mix.fp feature missing")
+	}
+	byName := map[string]float64{}
+	for i, name := range tab.Workloads {
+		byName[name] = tab.Rows[i][fpIdx]
+	}
+	if byName["SciMark2.LU"] <= byName["jvm98.213.javac"] {
+		t.Fatalf("LU fp (%v) should exceed javac fp (%v)",
+			byName["SciMark2.LU"], byName["jvm98.213.javac"])
+	}
+}

@@ -1,0 +1,76 @@
+package simbench
+
+import "math"
+
+// ExecutionTime returns the modelled wall-clock seconds for one run
+// of w on m, without measurement noise and without calibration
+// residuals. The model is deliberately simple but physically shaped —
+// every term corresponds to a mechanism the paper's machines actually
+// differ in (cache capacity, memory capacity, core count, JIT,
+// clock):
+//
+//	cpi    = 1/ipc(mix) + memStallCycles
+//	time   = Work·cpi / clock · (1 + paging + gc + io) / (jit · par)
+//
+// Absolute times are only plausible, not validated; the methodology
+// consumes speedups (ratios), which Calibrate fits to Table III.
+func ExecutionTime(w *Workload, m Machine) float64 {
+	d := w.Demand
+
+	// Instruction throughput for the workload's int/FP mix.
+	ipc := (1-d.FPFraction)*m.IntIPC + d.FPFraction*m.FPIPC
+
+	// Cache behaviour: the fraction of the working set that spills
+	// out of L2 turns MemIntensity accesses into memory stalls.
+	spill := spillFraction(d.WorkingSetKB, m.L2KB)
+	latencyCycles := m.MemLatencyNS * m.ClockGHz // ns × cycles/ns
+	memStall := d.MemIntensity * spill * latencyCycles * 0.02
+
+	cpi := 1/ipc + memStall
+
+	// Memory-capacity pressure: once the live heap approaches
+	// physical memory, the OS pages and the GC runs hot.
+	occupancy := d.FootprintMB / m.MemoryMB
+	paging := 0.0
+	if occupancy > 0.5 {
+		paging = 4 * (occupancy - 0.5) * (occupancy - 0.5)
+	}
+	gc := d.AllocIntensity * (0.15 + 0.6*occupancy)
+
+	// I/O and network time scales with bus speed only weakly; treat
+	// it as a fixed fraction of work per intensity unit.
+	io := 0.4*d.IOIntensity + 0.3*d.NetIntensity + 0.2*d.SyscallIntensity
+
+	// JIT quality helps complex object-oriented code the most.
+	jit := math.Pow(m.JITQuality, d.CodeComplexity)
+
+	// Thread-level parallelism: only as many threads as cores help,
+	// with 70% scaling efficiency.
+	eff := math.Min(d.Parallelism, float64(m.Cores))
+	par := 1 + 0.7*(eff-1)
+
+	seconds := d.WorkGOps * cpi / m.ClockGHz * (1 + paging + gc + io) / (jit * par)
+	// Calibration residual (1.0 when uncalibrated).
+	return seconds / w.Affinity(m.Name)
+}
+
+// spillFraction estimates how much of a working set misses in a
+// cache of the given capacity: 0 when it fits, saturating toward 1 as
+// the set grows to ~32× the cache.
+func spillFraction(wsKB, cacheKB float64) float64 {
+	if wsKB <= cacheKB {
+		return 0
+	}
+	f := math.Log(wsKB/cacheKB) / math.Log(32)
+	if f > 1 {
+		return 1
+	}
+	return f
+}
+
+// Speedup returns the modelled execution-time speedup of w on m over
+// the reference machine ref: time(ref)/time(m) — the paper's
+// individual-workload score metric.
+func Speedup(w *Workload, m, ref Machine) float64 {
+	return ExecutionTime(w, ref) / ExecutionTime(w, m)
+}

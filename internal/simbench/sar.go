@@ -1,0 +1,212 @@
+package simbench
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+
+	"hmeans/internal/chars"
+	"hmeans/internal/rng"
+)
+
+// SARSpec configures the synthetic SAR sampling campaign.
+type SARSpec struct {
+	// Samples per run; the paper collected 15 at even intervals.
+	Samples int
+	// Noise is the relative per-sample measurement noise. Zero means
+	// the default 4%.
+	Noise float64
+	// Seed drives the sampling noise.
+	Seed uint64
+}
+
+func (s SARSpec) withDefaults() SARSpec {
+	if s.Samples <= 0 {
+		s.Samples = 15
+	}
+	if s.Noise <= 0 {
+		s.Noise = 0.04
+	}
+	return s
+}
+
+// latentFactors condenses a workload×machine pairing into the
+// OS-visible activity levels SAR observes. Every channel family in
+// the synthetic counter set is an affine expansion of one of these.
+type latentFactors struct {
+	cpuUser, cpuSys, cpuIOWait float64
+	ctxsw, intr                float64
+	pgfault, majflt, swap      float64
+	memUsedPct, cached         float64
+	ioTPS, ioRead, ioWrite     float64
+	netRx, netTx               float64
+	runq, procs                float64
+	busTraffic                 float64
+}
+
+// latents derives the OS activity profile of w running on m from the
+// same demand model the execution times use. The shapes matter more
+// than the magnitudes: workloads with similar demands must land on
+// similar vectors (the SciMark2 kernels), and memory pressure must be
+// machine-dependent (DaCapo on the 512 MB machine B pages; on the
+// 2 GB machine A it does not) so clusterings can legitimately differ
+// across machines, as the paper observed.
+func latents(w *Workload, m Machine) latentFactors {
+	d := w.Demand
+	spill := spillFraction(d.WorkingSetKB, m.L2KB)
+	occupancy := d.FootprintMB / m.MemoryMB
+	paging := 0.0
+	if occupancy > 0.5 {
+		paging = 4 * (occupancy - 0.5) * (occupancy - 0.5)
+	}
+	sysLoad := 0.25*d.IOIntensity + 0.20*d.NetIntensity + 0.35*d.SyscallIntensity + 0.25*d.AllocIntensity + paging
+	busy := 1 / (1 + sysLoad)
+	var f latentFactors
+	f.cpuUser = 100 * busy * (0.75 + 0.25*(1-spill))
+	f.cpuSys = 100 * sysLoad / (1 + sysLoad) * 0.8
+	f.cpuIOWait = 100 * (0.5*d.IOIntensity + paging) / (1 + sysLoad)
+	f.ctxsw = 800*d.SyscallIntensity + 500*d.NetIntensity + 300*(d.Parallelism-1) + 50
+	f.intr = 400*d.IOIntensity + 350*d.NetIntensity + 120
+	f.pgfault = 900*d.AllocIntensity + 200*occupancy + 20
+	// Reclaim pressure rises smoothly with memory occupancy well
+	// before outright thrashing: the OS starts evicting and faulting
+	// pages back in. This keeps memory-hungry workloads visibly
+	// machine-dependent even when they stop short of the paging knee.
+	f.majflt = 400*paging + 150*occupancy*occupancy
+	f.swap = 900*paging + 350*occupancy*occupancy
+	f.memUsedPct = 100 * math.Min(0.97, 0.15+occupancy)
+	f.cached = 100 * math.Min(0.9, 0.1+0.6*d.IOIntensity)
+	f.ioTPS = 300*d.IOIntensity + 60*d.AllocIntensity
+	f.ioRead = 2000 * d.IOIntensity
+	f.ioWrite = 1400*d.IOIntensity + 300*d.AllocIntensity
+	f.netRx = 2500 * d.NetIntensity
+	f.netTx = 2200 * d.NetIntensity
+	f.runq = math.Min(d.Parallelism, float64(m.Cores)) + 0.5*sysLoad
+	f.procs = 40 + 10*d.Parallelism
+	// Front-side-bus traffic: last-level cache misses per operation.
+	// This is the most machine-dependent channel family — the same
+	// workload fits machine A's 2 MB L2 but spills machine B's
+	// 512 KB — and is what lets clusterings legitimately differ per
+	// machine, as the paper observed.
+	f.busTraffic = 3000*d.MemIntensity*spill + 40
+	return f
+}
+
+// channelFamily expands one latent into several named counters with
+// deterministic per-channel gains, imitating SAR's many related
+// channels (per-device transfer rates, per-queue depths, …).
+type channelFamily struct {
+	name  string
+	value func(latentFactors) float64
+	width int
+}
+
+func sarFamilies() []channelFamily {
+	return []channelFamily{
+		{"cpu.user", func(f latentFactors) float64 { return f.cpuUser }, 12},
+		{"cpu.sys", func(f latentFactors) float64 { return f.cpuSys }, 12},
+		{"cpu.iowait", func(f latentFactors) float64 { return f.cpuIOWait }, 8},
+		{"proc.cswch", func(f latentFactors) float64 { return f.ctxsw }, 12},
+		{"irq.intr", func(f latentFactors) float64 { return f.intr }, 12},
+		{"mem.pgfault", func(f latentFactors) float64 { return f.pgfault }, 14},
+		{"mem.majflt", func(f latentFactors) float64 { return f.majflt }, 8},
+		{"swap.pswp", func(f latentFactors) float64 { return f.swap }, 8},
+		{"mem.usedpct", func(f latentFactors) float64 { return f.memUsedPct }, 10},
+		{"mem.cached", func(f latentFactors) float64 { return f.cached }, 8},
+		{"io.tps", func(f latentFactors) float64 { return f.ioTPS }, 14},
+		{"io.bread", func(f latentFactors) float64 { return f.ioRead }, 10},
+		{"io.bwrtn", func(f latentFactors) float64 { return f.ioWrite }, 10},
+		{"net.rxpck", func(f latentFactors) float64 { return f.netRx }, 12},
+		{"net.txpck", func(f latentFactors) float64 { return f.netTx }, 12},
+		{"queue.runq", func(f latentFactors) float64 { return f.runq }, 10},
+		{"proc.plist", func(f latentFactors) float64 { return f.procs }, 8},
+		{"mem.bustraf", func(f latentFactors) float64 { return f.busTraffic }, 14},
+	}
+}
+
+// constChannels is the number of counters that never vary across
+// workloads (kernel build constants, fixed table sizes, …); they
+// exercise the characterization stage's drop-constant filter.
+const constChannels = 12
+
+// SARCounterNames returns the names of every synthetic counter in
+// sampling order.
+func SARCounterNames() []string {
+	var names []string
+	for _, fam := range sarFamilies() {
+		for c := 0; c < fam.width; c++ {
+			names = append(names, fmt.Sprintf("%s.%02d", fam.name, c))
+		}
+	}
+	for c := 0; c < constChannels; c++ {
+		names = append(names, fmt.Sprintf("const.%02d", c))
+	}
+	return names
+}
+
+// channelGain returns the deterministic per-channel multiplier in
+// [0.4, 1.6] that differentiates members of a family.
+func channelGain(family string, idx int) float64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s/%d", family, idx)
+	return 0.4 + 1.2*float64(h.Sum64()%10000)/10000
+}
+
+// SampleSAR simulates one SAR campaign for w on m: spec.Samples
+// vectors of counter values at even intervals across the run. Row
+// order matches SARCounterNames.
+func SampleSAR(w *Workload, m Machine, spec SARSpec) [][]float64 {
+	spec = spec.withDefaults()
+	f := latents(w, m)
+	// Per-(workload, machine) noise stream, independent of other
+	// workloads so adding a workload never perturbs existing data.
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s@%s/%d", w.Name, m.Name, spec.Seed)
+	r := rng.New(h.Sum64())
+	families := sarFamilies()
+	rows := make([][]float64, spec.Samples)
+	for s := range rows {
+		// Each sample observes the workload in whatever phase it is
+		// in at that point of the run (warmup / GC burst / IO flush /
+		// steady); the latents are modulated accordingly.
+		t := 0.0
+		if spec.Samples > 1 {
+			t = float64(s) / float64(spec.Samples-1)
+		}
+		fs := phaseModulation(f, PhaseAt(w, t, s))
+		row := make([]float64, 0, len(SARCounterNames()))
+		for _, fam := range families {
+			base := fam.value(fs)
+			for c := 0; c < fam.width; c++ {
+				v := base * channelGain(fam.name, c) * (1 + spec.Noise*r.NormFloat64())
+				if v < 0 {
+					v = 0
+				}
+				row = append(row, v)
+			}
+		}
+		for c := 0; c < constChannels; c++ {
+			row = append(row, 64) // constant across all workloads
+		}
+		rows[s] = row
+	}
+	return rows
+}
+
+// SARTable runs the full characterization campaign of the paper's
+// Section IV-C (first approach) for every workload on machine m:
+// sample all counters, average the samples into one representative
+// value per counter, and return the raw workloads×counters table
+// (preprocessing — drop-constant and standardization — is the
+// chars package's job).
+func SARTable(ws []Workload, m Machine, spec SARSpec) (*chars.Table, error) {
+	rows := make([][]float64, len(ws))
+	for i := range ws {
+		avg, err := chars.AverageSamples(SampleSAR(&ws[i], m, spec))
+		if err != nil {
+			return nil, fmt.Errorf("simbench: averaging SAR samples for %s: %w", ws[i].Name, err)
+		}
+		rows[i] = avg
+	}
+	return chars.NewTable(WorkloadNames(ws), SARCounterNames(), rows)
+}

@@ -1,0 +1,206 @@
+package simbench
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"hmeans/internal/vecmath"
+)
+
+func TestSARCounterNames(t *testing.T) {
+	names := SARCounterNames()
+	// The paper used "a couple hundred counters"; our synthetic set
+	// must be in that regime.
+	if len(names) < 150 || len(names) > 300 {
+		t.Fatalf("counter count = %d, want a couple hundred", len(names))
+	}
+	seen := map[string]bool{}
+	consts := 0
+	for _, n := range names {
+		if seen[n] {
+			t.Fatalf("duplicate counter name %q", n)
+		}
+		seen[n] = true
+		if strings.HasPrefix(n, "const.") {
+			consts++
+		}
+	}
+	if consts != constChannels {
+		t.Fatalf("constant channels = %d, want %d", consts, constChannels)
+	}
+}
+
+func TestSampleSARShapeAndDeterminism(t *testing.T) {
+	ws, _, _ := CalibratedSuite()
+	spec := SARSpec{Seed: 5}
+	s1 := SampleSAR(&ws[0], MachineA(), spec)
+	s2 := SampleSAR(&ws[0], MachineA(), spec)
+	if len(s1) != 15 {
+		t.Fatalf("samples = %d, want 15 (paper's campaign)", len(s1))
+	}
+	names := SARCounterNames()
+	for i := range s1 {
+		if len(s1[i]) != len(names) {
+			t.Fatalf("sample %d width %d, want %d", i, len(s1[i]), len(names))
+		}
+		for j := range s1[i] {
+			if s1[i][j] != s2[i][j] {
+				t.Fatal("SAR sampling is not deterministic")
+			}
+			if s1[i][j] < 0 || math.IsNaN(s1[i][j]) {
+				t.Fatalf("invalid counter value %v", s1[i][j])
+			}
+		}
+	}
+}
+
+func TestSARConstantChannelsConstant(t *testing.T) {
+	ws, _, _ := CalibratedSuite()
+	tab, err := SARTable(ws, MachineB(), SARSpec{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j, name := range tab.Features {
+		if !strings.HasPrefix(name, "const.") {
+			continue
+		}
+		for i := 1; i < len(tab.Rows); i++ {
+			if tab.Rows[i][j] != tab.Rows[0][j] {
+				t.Fatalf("constant channel %s varies", name)
+			}
+		}
+	}
+}
+
+func TestSARNoiseIndependentPerWorkload(t *testing.T) {
+	// Adding a workload must not change another workload's samples:
+	// noise streams are keyed per (workload, machine, seed).
+	ws, _, _ := CalibratedSuite()
+	spec := SARSpec{Seed: 9}
+	solo := SampleSAR(&ws[2], MachineA(), spec)
+	again := SampleSAR(&ws[2], MachineA(), spec)
+	for i := range solo {
+		for j := range solo[i] {
+			if solo[i][j] != again[i][j] {
+				t.Fatal("per-workload noise stream not stable")
+			}
+		}
+	}
+}
+
+// sciMarkCoherence checks the load-bearing property of the synthetic
+// SAR view: the five SciMark2 kernels must be mutually closer than
+// they are to the rest of the suite.
+func TestSciMarkCoherentInSARSpace(t *testing.T) {
+	ws, _, _ := CalibratedSuite()
+	for _, m := range []Machine{MachineA(), MachineB()} {
+		tab, err := SARTable(ws, m, SARSpec{Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Standardize a copy (as the pipeline would).
+		work := tab.Clone()
+		vecs := make([]vecmath.Vector, len(work.Rows))
+		// Column-standardize manually to avoid importing chars here.
+		cols := len(work.Features)
+		for j := 0; j < cols; j++ {
+			var sum, sumSq float64
+			for i := range work.Rows {
+				sum += work.Rows[i][j]
+				sumSq += work.Rows[i][j] * work.Rows[i][j]
+			}
+			mean := sum / float64(len(work.Rows))
+			sd := math.Sqrt(sumSq/float64(len(work.Rows)) - mean*mean)
+			for i := range work.Rows {
+				if sd > 0 {
+					work.Rows[i][j] = (work.Rows[i][j] - mean) / sd
+				} else {
+					work.Rows[i][j] = 0
+				}
+			}
+		}
+		for i := range work.Rows {
+			vecs[i] = vecmath.Vector(work.Rows[i])
+		}
+		// SciMark indices are 5..9 in suite order.
+		var within, across []float64
+		for i := 5; i <= 9; i++ {
+			for j := 5; j <= 9; j++ {
+				if i < j {
+					within = append(within, vecmath.EuclideanDistance(vecs[i], vecs[j]))
+				}
+			}
+			for j := 0; j < 13; j++ {
+				if j < 5 || j > 9 {
+					across = append(across, vecmath.EuclideanDistance(vecs[i], vecs[j]))
+				}
+			}
+		}
+		maxWithin, minAcross := 0.0, math.Inf(1)
+		for _, d := range within {
+			if d > maxWithin {
+				maxWithin = d
+			}
+		}
+		for _, d := range across {
+			if d < minAcross {
+				minAcross = d
+			}
+		}
+		if maxWithin >= minAcross {
+			t.Fatalf("machine %s: SciMark2 not coherent: maxWithin %v >= minAcross %v",
+				m.Name, maxWithin, minAcross)
+		}
+	}
+}
+
+func TestMachineDependentCharacterization(t *testing.T) {
+	// The same workload must look different on A and B (the paper's
+	// machine-dependence finding) — at minimum hsqldb, which pages on
+	// B but not on A.
+	ws, _, _ := CalibratedSuite()
+	var hsqldb *Workload
+	for i := range ws {
+		if ws[i].Name == "DaCapo.hsqldb" {
+			hsqldb = &ws[i]
+		}
+	}
+	fa := latents(hsqldb, MachineA())
+	fb := latents(hsqldb, MachineB())
+	if fb.swap <= fa.swap {
+		t.Fatalf("hsqldb swap activity on B (%v) should exceed A (%v)", fb.swap, fa.swap)
+	}
+	if fb.majflt <= fa.majflt {
+		t.Fatalf("hsqldb major faults on B (%v) should exceed A (%v)", fb.majflt, fa.majflt)
+	}
+}
+
+func TestSARTableShape(t *testing.T) {
+	ws, _, _ := CalibratedSuite()
+	tab, err := SARTable(ws, MachineA(), SARSpec{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Workloads) != 13 || len(tab.Rows) != 13 {
+		t.Fatalf("table shape %dx%d", len(tab.Rows), len(tab.Features))
+	}
+	if len(tab.Features) != len(SARCounterNames()) {
+		t.Fatalf("feature count %d != counter count %d", len(tab.Features), len(SARCounterNames()))
+	}
+}
+
+func TestChannelGainRange(t *testing.T) {
+	for i := 0; i < 50; i++ {
+		g := channelGain("cpu.user", i)
+		if g < 0.4 || g > 1.6 {
+			t.Fatalf("gain %v out of range", g)
+		}
+	}
+	if channelGain("cpu.user", 0) == channelGain("cpu.user", 1) {
+		t.Fatal("gains not differentiated per channel")
+	}
+	if channelGain("cpu.user", 0) != channelGain("cpu.user", 0) {
+		t.Fatal("gain not deterministic")
+	}
+}

@@ -1,0 +1,86 @@
+package simbench
+
+import (
+	"testing"
+
+	"hmeans/internal/rng"
+)
+
+func BenchmarkExecutionTime(b *testing.B) {
+	ws, _, err := CalibratedSuite()
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := MachineA()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ExecutionTime(&ws[i%len(ws)], m)
+	}
+}
+
+func BenchmarkCalibration(b *testing.B) {
+	machines := []Machine{MachineA(), MachineB()}
+	ref := Reference()
+	targets := TableIIITargets()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Calibrate(BaseWorkloads(), machines, ref, targets); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSampleSAR(b *testing.B) {
+	ws, _, err := CalibratedSuite()
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := MachineA()
+	spec := SARSpec{Seed: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SampleSAR(&ws[i%len(ws)], m, spec)
+	}
+}
+
+func BenchmarkSARTable(b *testing.B) {
+	ws, _, err := CalibratedSuite()
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := MachineB()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SARTable(ws, m, SARSpec{Seed: uint64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHprofTable(b *testing.B) {
+	ws, _, err := CalibratedSuite()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := HprofTable(ws); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMeasureTime(b *testing.B) {
+	ws, _, err := CalibratedSuite()
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := MachineA()
+	r := rng.New(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := MeasureTime(&ws[i%len(ws)], m, 10, r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,283 @@
+package simbench
+
+import (
+	"math"
+	"testing"
+
+	"hmeans/internal/rng"
+)
+
+func TestBaseWorkloadsMetadata(t *testing.T) {
+	ws := BaseWorkloads()
+	if len(ws) != 13 {
+		t.Fatalf("suite has %d workloads, want 13 (Table I)", len(ws))
+	}
+	counts := map[SourceSuite]int{}
+	seen := map[string]bool{}
+	for i := range ws {
+		w := &ws[i]
+		counts[w.Suite]++
+		if seen[w.Name] {
+			t.Fatalf("duplicate workload name %q", w.Name)
+		}
+		seen[w.Name] = true
+		if w.Description == "" || w.Version == "" || w.InputSet == "" {
+			t.Errorf("%s missing Table I metadata", w.Name)
+		}
+		if len(w.MethodDomains) == 0 {
+			t.Errorf("%s has no method domains", w.Name)
+		}
+		d := w.Demand
+		if d.WorkGOps <= 0 || d.FPFraction < 0 || d.FPFraction > 1 ||
+			d.WorkingSetKB <= 0 || d.FootprintMB <= 0 || d.Parallelism < 1 {
+			t.Errorf("%s has implausible demand %+v", w.Name, d)
+		}
+	}
+	if counts[SPECjvm98] != 5 || counts[SciMark2] != 5 || counts[DaCapo] != 3 {
+		t.Fatalf("suite composition = %v, want 5/5/3", counts)
+	}
+}
+
+func TestMachinesMatchTableII(t *testing.T) {
+	a, b, ref := MachineA(), MachineB(), Reference()
+	if a.L2KB != 2048 || a.MemoryMB != 2048 || a.Cores != 2 || a.ClockGHz != 3.0 {
+		t.Errorf("machine A spec wrong: %+v", a)
+	}
+	if b.L2KB != 512 || b.MemoryMB != 512 || b.Cores != 1 || b.ClockGHz != 3.0 {
+		t.Errorf("machine B spec wrong: %+v", b)
+	}
+	if ref.L2KB != 8192 || ref.MemoryMB != 1024 || ref.ClockGHz != 1.2 {
+		t.Errorf("reference spec wrong: %+v", ref)
+	}
+}
+
+func TestExecutionTimePositiveAndFinite(t *testing.T) {
+	ws := BaseWorkloads()
+	for _, m := range []Machine{MachineA(), MachineB(), Reference()} {
+		for i := range ws {
+			sec := ExecutionTime(&ws[i], m)
+			if sec <= 0 || math.IsNaN(sec) || math.IsInf(sec, 0) {
+				t.Fatalf("time of %s on %s = %v", ws[i].Name, m.Name, sec)
+			}
+		}
+	}
+}
+
+func TestSpillFraction(t *testing.T) {
+	if f := spillFraction(100, 2048); f != 0 {
+		t.Errorf("fitting working set spills %v", f)
+	}
+	if f := spillFraction(2048*40, 2048); f != 1 {
+		t.Errorf("40x working set spill = %v, want 1", f)
+	}
+	mid := spillFraction(4096, 2048)
+	if mid <= 0 || mid >= 1 {
+		t.Errorf("2x working set spill = %v, want in (0,1)", mid)
+	}
+}
+
+func TestCacheSizeMonotonicity(t *testing.T) {
+	// A machine with a bigger L2 must never be slower, all else equal.
+	ws := BaseWorkloads()
+	small := MachineB()
+	big := MachineB()
+	big.Name = "B-bigcache"
+	big.L2KB = 8192
+	for i := range ws {
+		if ExecutionTime(&ws[i], big) > ExecutionTime(&ws[i], small)+1e-12 {
+			t.Fatalf("%s slower with bigger cache", ws[i].Name)
+		}
+	}
+}
+
+func TestMemoryPressureHurts(t *testing.T) {
+	// hsqldb (260 MB footprint) must suffer on a 512 MB machine
+	// relative to a 2 GB one beyond the pure cache effect.
+	ws := BaseWorkloads()
+	var hsqldb *Workload
+	for i := range ws {
+		if ws[i].Name == "DaCapo.hsqldb" {
+			hsqldb = &ws[i]
+		}
+	}
+	tight := MachineA()
+	tight.Name = "A-tight"
+	tight.MemoryMB = 320
+	if ExecutionTime(hsqldb, tight) <= ExecutionTime(hsqldb, MachineA()) {
+		t.Fatal("memory pressure did not slow hsqldb down")
+	}
+}
+
+func TestParallelismHelpsOnlyMultithreaded(t *testing.T) {
+	ws := BaseWorkloads()
+	uni := MachineA()
+	uni.Name = "A-1core"
+	uni.Cores = 1
+	for i := range ws {
+		w := &ws[i]
+		t2, t1 := ExecutionTime(w, MachineA()), ExecutionTime(w, uni)
+		if w.Demand.Parallelism > 1 {
+			if t2 >= t1 {
+				t.Errorf("%s (parallel) not helped by second core", w.Name)
+			}
+		} else if math.Abs(t2-t1) > 1e-12 {
+			t.Errorf("%s (serial) affected by core count", w.Name)
+		}
+	}
+}
+
+func TestCalibrationHitsTableIII(t *testing.T) {
+	ws, res, err := CalibratedSuite()
+	if err != nil {
+		t.Fatal(err)
+	}
+	targets := TableIIITargets()
+	a, b, ref := MachineA(), MachineB(), Reference()
+	for i := range ws {
+		w := &ws[i]
+		tgt := targets[w.Name]
+		if got := Speedup(w, a, ref); math.Abs(got/tgt["A"]-1) > 1e-9 {
+			t.Errorf("%s on A: %v, want %v", w.Name, got, tgt["A"])
+		}
+		if got := Speedup(w, b, ref); math.Abs(got/tgt["B"]-1) > 1e-9 {
+			t.Errorf("%s on B: %v, want %v", w.Name, got, tgt["B"])
+		}
+	}
+	// The analytic model must do real explanatory work on its own:
+	// after the demand fit the mean residual must be well under 2x.
+	if res.MeanRelErr > 0.6 {
+		t.Errorf("mean pre-residual model error %v too large", res.MeanRelErr)
+	}
+}
+
+func TestCalibrateErrors(t *testing.T) {
+	if _, err := Calibrate(BaseWorkloads(), nil, Reference(), TableIIITargets()); err == nil {
+		t.Error("no machines accepted")
+	}
+	bad := map[string]map[string]float64{"jvm98.201.compress": {"A": -1, "B": 2}}
+	if _, err := Calibrate(BaseWorkloads(), []Machine{MachineA(), MachineB()}, Reference(), bad); err == nil {
+		t.Error("negative target accepted")
+	}
+}
+
+func TestCalibrateLeavesUntargetedWorkloadsAlone(t *testing.T) {
+	ws := BaseWorkloads()[:2]
+	targets := map[string]map[string]float64{ws[0].Name: {"A": 2, "B": 3}}
+	res, err := Calibrate(ws, []Machine{MachineA(), MachineB()}, Reference(), targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Workloads[1].affinity != nil {
+		t.Error("untargeted workload was calibrated")
+	}
+	if res.Workloads[1].Affinity("A") != 1 {
+		t.Error("uncalibrated affinity != 1")
+	}
+	if got := Speedup(&res.Workloads[0], MachineA(), Reference()); math.Abs(got-2) > 1e-9 {
+		t.Errorf("targeted workload speedup = %v, want 2", got)
+	}
+}
+
+func TestCalibratedSuiteReturnsCopies(t *testing.T) {
+	ws1, _, err := CalibratedSuite()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws1[0].Name = "corrupted"
+	ws2, _, _ := CalibratedSuite()
+	if ws2[0].Name == "corrupted" {
+		t.Fatal("CalibratedSuite exposes shared state")
+	}
+}
+
+func TestRunNoiseAndDeterminism(t *testing.T) {
+	ws, _, _ := CalibratedSuite()
+	w := &ws[0]
+	m := MachineA()
+	base := ExecutionTime(w, m)
+	r := rng.New(7)
+	sawDifferent := false
+	for i := 0; i < 50; i++ {
+		got := Run(w, m, r).Seconds
+		if got < base*0.85 || got > base*1.15 {
+			t.Fatalf("run time %v wildly off base %v", got, base)
+		}
+		if got != base {
+			sawDifferent = true
+		}
+	}
+	if !sawDifferent {
+		t.Fatal("run noise never fired")
+	}
+	// Same seed → same sequence.
+	a, b := rng.New(3), rng.New(3)
+	for i := 0; i < 10; i++ {
+		if Run(w, m, a).Seconds != Run(w, m, b).Seconds {
+			t.Fatal("Run is not deterministic per seed")
+		}
+	}
+}
+
+func TestMeasureTimeAveragesToModel(t *testing.T) {
+	ws, _, _ := CalibratedSuite()
+	w := &ws[3]
+	m := MachineB()
+	base := ExecutionTime(w, m)
+	got, err := MeasureTime(w, m, 400, rng.New(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got/base-1) > 0.01 {
+		t.Fatalf("mean of 400 runs %v is far from model %v", got, base)
+	}
+	if _, err := MeasureTime(w, m, 0, rng.New(1)); err == nil {
+		t.Error("zero runs accepted")
+	}
+}
+
+func TestMeasureTimeStats(t *testing.T) {
+	ws, _, _ := CalibratedSuite()
+	w := &ws[1]
+	m := MachineA()
+	meas, err := MeasureTimeStats(w, m, 30, 0.95, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(meas.Times) != 30 {
+		t.Fatalf("times = %d", len(meas.Times))
+	}
+	if !meas.CI.Contains(meas.Mean) {
+		t.Fatalf("CI %v..%v excludes the mean %v", meas.CI.Lo, meas.CI.Hi, meas.Mean)
+	}
+	base := ExecutionTime(w, m)
+	if !meas.CI.Contains(base) {
+		t.Fatalf("CI %v..%v excludes the model time %v", meas.CI.Lo, meas.CI.Hi, base)
+	}
+	if meas.CI.Width() <= 0 || meas.CI.Width() > base*0.1 {
+		t.Fatalf("implausible CI width %v for base %v", meas.CI.Width(), base)
+	}
+	if _, err := MeasureTimeStats(w, m, 1, 0.95, rng.New(1)); err == nil {
+		t.Error("single run accepted")
+	}
+}
+
+func TestMeasuredSpeedupsCloseToTableIII(t *testing.T) {
+	ws, _, err := CalibratedSuite()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := MeasuredSpeedups(ws, MachineA(), Reference(), 10, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	targets := TableIIITargets()
+	for i := range ws {
+		want := targets[ws[i].Name]["A"]
+		if math.Abs(got[i]/want-1) > 0.05 {
+			t.Errorf("%s measured %v, Table III %v", ws[i].Name, got[i], want)
+		}
+	}
+	if _, err := MeasuredSpeedups(nil, MachineA(), Reference(), 10, 1); err == nil {
+		t.Error("empty workload list accepted")
+	}
+}

@@ -1,0 +1,236 @@
+package simbench
+
+// SourceSuite identifies which existing benchmark a workload was
+// adopted from, mirroring Table I's composition of the hypothetical
+// SPECjvm2007-like suite.
+type SourceSuite string
+
+const (
+	SPECjvm98 SourceSuite = "SPECjvm98"
+	SciMark2  SourceSuite = "SciMark2"
+	DaCapo    SourceSuite = "DaCapo"
+)
+
+// Demand is a workload's resource-demand profile. The execution
+// model (model.go), the SAR sampler (sar.go) and the hprof profiler
+// (hprof.go) all derive their outputs from this one profile, so the
+// three views of a workload stay mutually consistent.
+type Demand struct {
+	// WorkGOps is the total abstract work in giga-operations on the
+	// reference machine's instruction mix.
+	WorkGOps float64
+	// FPFraction is the share of work that is floating-point.
+	FPFraction float64
+	// WorkingSetKB is the hot working set contending for L2.
+	WorkingSetKB float64
+	// FootprintMB is the total live heap, contending for RAM.
+	FootprintMB float64
+	// MemIntensity is memory accesses per operation (drives cache
+	// miss stalls and bus traffic).
+	MemIntensity float64
+	// AllocIntensity is object allocation per operation (drives GC
+	// activity, page faults and system time).
+	AllocIntensity float64
+	// IOIntensity is file/device traffic per operation.
+	IOIntensity float64
+	// NetIntensity is network-ish traffic per operation (loopback
+	// JDBC, socket chatter).
+	NetIntensity float64
+	// Parallelism is the effective number of runnable threads
+	// (mtrt is the suite's only truly multi-threaded member).
+	Parallelism float64
+	// CodeComplexity scales how much a strong JIT helps: large
+	// branchy object-oriented code (javac, chart) benefits more than
+	// tight numeric kernels.
+	CodeComplexity float64
+	// SyscallIntensity drives context switches and interrupts.
+	SyscallIntensity float64
+}
+
+// Workload is one member of the simulated suite.
+type Workload struct {
+	// Name is the qualified workload name as the paper prints it,
+	// e.g. "jvm98.201.compress" or "SciMark2.FFT".
+	Name string
+	// Suite is the source benchmark suite.
+	Suite SourceSuite
+	// Version and InputSet carry Table I's metadata.
+	Version, InputSet string
+	// Description summarizes what the real workload does.
+	Description string
+	// Demand is the resource-demand profile driving the simulation.
+	Demand Demand
+	// MethodDomains lists the library domains whose methods this
+	// workload exercises; hprof.go expands them into a method-usage
+	// bit vector.
+	MethodDomains []string
+	// affinity holds the calibrated per-machine residual factors
+	// (machine name → multiplicative speed adjustment) fitted by
+	// Calibrate; nil means uncalibrated.
+	affinity map[string]float64
+}
+
+// Affinity returns the calibrated residual factor for machine name
+// (1.0 when uncalibrated): the model's execution time is divided by
+// it.
+func (w *Workload) Affinity(name string) float64 {
+	if w.affinity == nil {
+		return 1
+	}
+	if f, ok := w.affinity[name]; ok {
+		return f
+	}
+	return 1
+}
+
+// BaseWorkloads returns the 13 members of the hypothetical suite of
+// Table I with their nominal (pre-calibration) demand profiles. The
+// profiles encode the qualitative knowledge the paper states or that
+// is well documented for these workloads: the five SciMark2 kernels
+// are small-footprint, FP-heavy, self-contained numeric loops (and
+// therefore mutually redundant); SPECjvm98 members span compression,
+// rule evaluation, compilation, audio decoding and ray tracing; the
+// DaCapo members are long-running, allocation-heavy programs.
+func BaseWorkloads() []Workload {
+	return []Workload{
+		{
+			Name: "jvm98.201.compress", Suite: SPECjvm98, Version: "1.04", InputSet: "s100",
+			Description: "Java port of 129.compress (modified Lempel-Ziv, LZW)",
+			Demand: Demand{
+				WorkGOps: 95, FPFraction: 0.05, WorkingSetKB: 640, FootprintMB: 30,
+				MemIntensity: 0.55, AllocIntensity: 0.04, IOIntensity: 0.10,
+				Parallelism: 1, CodeComplexity: 0.9, SyscallIntensity: 0.05,
+			},
+			MethodDomains: []string{"java.lang", "java.io", "jvm98.harness", "compress"},
+		},
+		{
+			Name: "jvm98.202.jess", Suite: SPECjvm98, Version: "1.04", InputSet: "s100",
+			Description: "Java Expert Shell System solving CLIPS puzzles with if-then rules",
+			Demand: Demand{
+				WorkGOps: 60, FPFraction: 0.04, WorkingSetKB: 900, FootprintMB: 40,
+				MemIntensity: 0.75, AllocIntensity: 0.45, IOIntensity: 0.02,
+				Parallelism: 1, CodeComplexity: 1.5, SyscallIntensity: 0.08,
+			},
+			MethodDomains: []string{"java.lang", "java.util", "jvm98.harness", "jess"},
+		},
+		{
+			Name: "jvm98.213.javac", Suite: SPECjvm98, Version: "1.04", InputSet: "s100",
+			Description: "The Java compiler from JDK 1.0.2",
+			Demand: Demand{
+				WorkGOps: 55, FPFraction: 0.02, WorkingSetKB: 1800, FootprintMB: 70,
+				MemIntensity: 0.95, AllocIntensity: 0.70, IOIntensity: 0.06,
+				Parallelism: 1, CodeComplexity: 1.7, SyscallIntensity: 0.10,
+			},
+			MethodDomains: []string{"java.lang", "java.util", "java.io", "jvm98.harness", "javac"},
+		},
+		{
+			Name: "jvm98.222.mpegaudio", Suite: SPECjvm98, Version: "1.04", InputSet: "s100",
+			Description: "Decompresses ISO MPEG Layer-3 audio files",
+			Demand: Demand{
+				WorkGOps: 110, FPFraction: 0.55, WorkingSetKB: 220, FootprintMB: 12,
+				MemIntensity: 0.35, AllocIntensity: 0.02, IOIntensity: 0.12,
+				Parallelism: 1, CodeComplexity: 1.0, SyscallIntensity: 0.04,
+			},
+			MethodDomains: []string{"java.lang", "java.io", "jvm98.harness", "mpegaudio"},
+		},
+		{
+			Name: "jvm98.227.mtrt", Suite: SPECjvm98, Version: "1.04", InputSet: "s100",
+			Description: "Multi-threaded raytracer rendering a dinosaur scene",
+			Demand: Demand{
+				WorkGOps: 50, FPFraction: 0.45, WorkingSetKB: 1100, FootprintMB: 35,
+				MemIntensity: 0.70, AllocIntensity: 0.40, IOIntensity: 0.02,
+				Parallelism: 2, CodeComplexity: 1.4, SyscallIntensity: 0.12,
+			},
+			MethodDomains: []string{"java.lang", "java.util", "jvm98.harness", "mtrt"},
+		},
+		{
+			Name: "SciMark2.FFT", Suite: SciMark2, Version: "2.0", InputSet: "regular",
+			Description: "1-D forward transform of 4K complex numbers (complex arithmetic, shuffling, trigonometric functions)",
+			Demand: Demand{
+				WorkGOps: 70, FPFraction: 0.85, WorkingSetKB: 80, FootprintMB: 6,
+				MemIntensity: 0.40, AllocIntensity: 0.01, IOIntensity: 0.005,
+				Parallelism: 1, CodeComplexity: 0.6, SyscallIntensity: 0.02,
+			},
+			MethodDomains: []string{"java.lang", "scimark.kernel", "scimark.fft"},
+		},
+		{
+			Name: "SciMark2.LU", Suite: SciMark2, Version: "2.0", InputSet: "regular",
+			Description: "LU factorization of a dense 100x100 matrix with partial pivoting (BLAS-style kernels)",
+			Demand: Demand{
+				WorkGOps: 75, FPFraction: 0.88, WorkingSetKB: 90, FootprintMB: 6,
+				MemIntensity: 0.45, AllocIntensity: 0.01, IOIntensity: 0.005,
+				Parallelism: 1, CodeComplexity: 0.6, SyscallIntensity: 0.02,
+			},
+			MethodDomains: []string{"java.lang", "scimark.kernel", "scimark.lu"},
+		},
+		{
+			Name: "SciMark2.MonteCarlo", Suite: SciMark2, Version: "2.0", InputSet: "regular",
+			Description: "Approximates Pi by integrating the quarter circle with random points",
+			Demand: Demand{
+				WorkGOps: 65, FPFraction: 0.90, WorkingSetKB: 40, FootprintMB: 5,
+				MemIntensity: 0.30, AllocIntensity: 0.01, IOIntensity: 0.005,
+				Parallelism: 1, CodeComplexity: 0.55, SyscallIntensity: 0.02,
+			},
+			MethodDomains: []string{"java.lang", "scimark.kernel", "scimark.montecarlo"},
+		},
+		{
+			Name: "SciMark2.SOR", Suite: SciMark2, Version: "2.0", InputSet: "regular",
+			Description: "Jacobi successive over-relaxation on a 100x100 grid (finite-difference access patterns)",
+			Demand: Demand{
+				WorkGOps: 68, FPFraction: 0.90, WorkingSetKB: 85, FootprintMB: 5,
+				MemIntensity: 0.42, AllocIntensity: 0.01, IOIntensity: 0.005,
+				Parallelism: 1, CodeComplexity: 0.55, SyscallIntensity: 0.02,
+			},
+			MethodDomains: []string{"java.lang", "scimark.kernel", "scimark.sor"},
+		},
+		{
+			Name: "SciMark2.Sparse", Suite: SciMark2, Version: "2.0", InputSet: "regular",
+			Description: "Sparse matrix-vector multiply in compressed-row format (indirection addressing)",
+			Demand: Demand{
+				WorkGOps: 62, FPFraction: 0.82, WorkingSetKB: 130, FootprintMB: 6,
+				MemIntensity: 0.60, AllocIntensity: 0.01, IOIntensity: 0.005,
+				Parallelism: 1, CodeComplexity: 0.6, SyscallIntensity: 0.02,
+			},
+			MethodDomains: []string{"java.lang", "scimark.kernel", "scimark.sparse"},
+		},
+		{
+			Name: "DaCapo.hsqldb", Suite: DaCapo, Version: "2006-08", InputSet: "default",
+			Description: "JDBCbench-like in-memory banking transactions against HSQLDB",
+			Demand: Demand{
+				WorkGOps: 45, FPFraction: 0.03, WorkingSetKB: 2600, FootprintMB: 260,
+				MemIntensity: 1.00, AllocIntensity: 0.85, IOIntensity: 0.10,
+				NetIntensity: 0.30, Parallelism: 1, CodeComplexity: 1.6, SyscallIntensity: 0.45,
+			},
+			MethodDomains: []string{"java.lang", "java.util", "java.io", "java.net", "dacapo.harness", "jdbc.sql"},
+		},
+		{
+			Name: "DaCapo.chart", Suite: DaCapo, Version: "2006-08", InputSet: "default",
+			Description: "JFreeChart plotting complex line graphs rendered as PDF",
+			Demand: Demand{
+				WorkGOps: 65, FPFraction: 0.30, WorkingSetKB: 1500, FootprintMB: 120,
+				MemIntensity: 0.80, AllocIntensity: 0.75, IOIntensity: 0.25,
+				Parallelism: 1, CodeComplexity: 1.8, SyscallIntensity: 0.18,
+			},
+			MethodDomains: []string{"java.lang", "java.util", "java.io", "dacapo.harness", "awt.graphics", "pdf"},
+		},
+		{
+			Name: "DaCapo.xalan", Suite: DaCapo, Version: "2006-08", InputSet: "default",
+			Description: "Transforms XML documents into HTML",
+			Demand: Demand{
+				WorkGOps: 55, FPFraction: 0.02, WorkingSetKB: 2100, FootprintMB: 160,
+				MemIntensity: 0.90, AllocIntensity: 0.80, IOIntensity: 0.30,
+				Parallelism: 1, CodeComplexity: 1.5, SyscallIntensity: 0.30,
+			},
+			MethodDomains: []string{"java.lang", "java.util", "java.io", "dacapo.harness", "xml"},
+		},
+	}
+}
+
+// WorkloadNames returns the names of ws in order.
+func WorkloadNames(ws []Workload) []string {
+	out := make([]string, len(ws))
+	for i := range ws {
+		out[i] = ws[i].Name
+	}
+	return out
+}

@@ -1,0 +1,73 @@
+package som
+
+import (
+	"hmeans/internal/vecmath"
+)
+
+// QuantizationError returns the mean Euclidean distance between each
+// sample and its BMU weight — the standard SOM fit measure. Lower is
+// better; zero means every sample sits exactly on a unit.
+func (m *Map) QuantizationError(samples []vecmath.Vector) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, s := range samples {
+		r, c := m.BMU(s)
+		sum += vecmath.EuclideanDistance(s, m.Weight(r, c))
+	}
+	return sum / float64(len(samples))
+}
+
+// TopographicError returns the fraction of samples whose first and
+// second BMUs are not grid-adjacent (8-neighbourhood). It measures
+// how faithfully the map preserves input-space topology; 0 is a
+// perfectly topology-preserving map.
+func (m *Map) TopographicError(samples []vecmath.Vector) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	bad := 0
+	for _, s := range samples {
+		first, second := m.twoBMUs(s)
+		r1, c1 := first/m.cols, first%m.cols
+		r2, c2 := second/m.cols, second%m.cols
+		dr, dc := r1-r2, c1-c2
+		if dr < 0 {
+			dr = -dr
+		}
+		if dc < 0 {
+			dc = -dc
+		}
+		if dr > 1 || dc > 1 {
+			bad++
+		}
+	}
+	return float64(bad) / float64(len(samples))
+}
+
+// UMatrix returns the unified distance matrix: for each unit, the
+// mean input-space distance between its weight and the weights of its
+// grid neighbours (4-neighbourhood). High values mark cluster
+// boundaries on the map; the matrix is the standard SOM
+// visualization companion.
+func (m *Map) UMatrix() [][]float64 {
+	u := make([][]float64, m.rows)
+	for r := range u {
+		u[r] = make([]float64, m.cols)
+		for c := range u[r] {
+			sum, cnt := 0.0, 0
+			w := m.Weight(r, c)
+			for _, d := range [4][2]int{{-1, 0}, {1, 0}, {0, -1}, {0, 1}} {
+				nr, nc := r+d[0], c+d[1]
+				if nr < 0 || nr >= m.rows || nc < 0 || nc >= m.cols {
+					continue
+				}
+				sum += vecmath.EuclideanDistance(w, m.Weight(nr, nc))
+				cnt++
+			}
+			u[r][c] = sum / float64(cnt)
+		}
+	}
+	return u
+}

@@ -1,0 +1,243 @@
+// Package som implements the Self-Organizing Map (Kohonen map) used
+// by the paper as its dimension-reduction stage.
+//
+// A SOM is a 2-D grid of units; each unit i carries a weight vector
+// w_i in the input space and a fixed location vector r_i on the grid.
+// Training is competitive: for each input x the best matching unit
+// (BMU) — the unit whose weight is nearest in Euclidean distance — and
+// its grid neighbours are pulled toward x:
+//
+//	w_i(n+1) = w_i(n) + h_ci(n) [x(n) − w_i(n)]
+//	h_ci(n)  = α(n) · exp(−‖r_c − r_i‖² / 2σ²(n))
+//
+// with learning rate α(n) and neighbourhood radius σ(n) both
+// monotonically decreasing in the step number n, exactly the update
+// rule of the paper's Section III-A. After training, each workload
+// maps to its BMU cell; workloads that share or neighbour a cell are
+// similar in the original high-dimensional space.
+package som
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"hmeans/internal/vecmath"
+)
+
+// Config describes a map and its training regime.
+type Config struct {
+	// Rows and Cols give the unit-grid shape. The paper uses small
+	// 2-D maps (its figures are ~10×10).
+	Rows, Cols int
+	// Steps is the number of sequential training steps (input
+	// presentations). If zero, 500 × number of units is used, a
+	// common heuristic from Kohonen's SOM_PAK.
+	Steps int
+	// Alpha0 is the initial learning-rate factor α(0). Zero means
+	// 0.5.
+	Alpha0 float64
+	// Sigma0 is the initial neighbourhood radius σ(0) in grid cells.
+	// Zero means half the larger grid dimension.
+	Sigma0 float64
+	// LearningDecay selects the α(n) schedule (default Exponential).
+	LearningDecay Decay
+	// RadiusDecay selects the σ(n) schedule (default Exponential).
+	RadiusDecay Decay
+	// Init selects weight initialization (default InitPCA, falling
+	// back to random when the data cannot support a PCA plane).
+	Init InitMode
+	// SigmaFinal is the neighbourhood radius at the end of training.
+	// Zero means the package floor (0.75). Larger values keep the
+	// weight surface smoother, which limits how much grid area a
+	// tight blob of samples can claim.
+	SigmaFinal float64
+	// Algorithm selects the training algorithm: Sequential is the
+	// paper's classic on-line competitive loop; Batch recomputes all
+	// weights per epoch as kernel-weighted sample means, is fully
+	// deterministic, and avoids grid-magnification of tight sample
+	// blobs (see trainBatch). Default Sequential.
+	Algorithm Algorithm
+	// Seed drives sample-selection order and random initialization.
+	Seed uint64
+}
+
+// Algorithm selects the SOM training procedure.
+type Algorithm int
+
+const (
+	// Sequential is classic on-line competitive learning (the
+	// paper's pseudo code).
+	Sequential Algorithm = iota
+	// Batch is the deterministic batch-update variant.
+	Batch
+)
+
+// String returns the algorithm's name.
+func (a Algorithm) String() string {
+	switch a {
+	case Sequential:
+		return "sequential"
+	case Batch:
+		return "batch"
+	default:
+		return "unknown"
+	}
+}
+
+// InitMode selects the weight initialization strategy.
+type InitMode int
+
+const (
+	// InitPCA spans the grid across the plane of the two leading
+	// principal components (the paper's choice). Falls back to
+	// InitRandom when the inputs have fewer than two usable
+	// components (e.g. fewer than three samples).
+	InitPCA InitMode = iota
+	// InitRandom draws each weight from a small Gaussian around the
+	// data mean.
+	InitRandom
+)
+
+// GridFor returns a recommended grid shape for n samples using the
+// SOM Toolbox heuristic of ≈5√n units. Grids much larger than this
+// (e.g. 100 units for 13 workloads) magnify tight sample blobs across
+// many cells and make the BMU geometry — and therefore the clustering
+// the paper builds on it — fragile to the training seed.
+func GridFor(n int) (rows, cols int) {
+	if n < 1 {
+		n = 1
+	}
+	units := int(math.Ceil(5 * math.Sqrt(float64(n))))
+	cols = int(math.Sqrt(float64(units)))
+	if cols < 2 {
+		cols = 2
+	}
+	rows = (units + cols - 1) / cols
+	if rows < 2 {
+		rows = 2
+	}
+	return rows, cols
+}
+
+// Map is a trained (or initialized) self-organizing map.
+type Map struct {
+	rows, cols int
+	dim        int
+	// weights[u] is the weight vector of unit u = r*cols + c.
+	weights []vecmath.Vector
+	// locations[u] is the fixed grid location vector of unit u.
+	locations []vecmath.Vector
+}
+
+// ErrNoData is returned when training is attempted on an empty
+// sample set.
+var ErrNoData = errors.New("som: no training samples")
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.Rows <= 0 {
+		out.Rows = 10
+	}
+	if out.Cols <= 0 {
+		out.Cols = 10
+	}
+	if out.Steps <= 0 {
+		out.Steps = 500 * out.Rows * out.Cols
+	}
+	if out.Alpha0 <= 0 {
+		out.Alpha0 = 0.5
+	}
+	if out.Sigma0 <= 0 {
+		big := out.Rows
+		if out.Cols > big {
+			big = out.Cols
+		}
+		out.Sigma0 = float64(big) / 2
+	}
+	return out
+}
+
+// newMap allocates the unit grid with zero weights.
+func newMap(rows, cols, dim int) *Map {
+	m := &Map{
+		rows:      rows,
+		cols:      cols,
+		dim:       dim,
+		weights:   make([]vecmath.Vector, rows*cols),
+		locations: make([]vecmath.Vector, rows*cols),
+	}
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			u := r*cols + c
+			m.weights[u] = vecmath.NewVector(dim)
+			m.locations[u] = vecmath.Vector{float64(r), float64(c)}
+		}
+	}
+	return m
+}
+
+// Rows returns the grid height.
+func (m *Map) Rows() int { return m.rows }
+
+// Cols returns the grid width.
+func (m *Map) Cols() int { return m.cols }
+
+// Dim returns the input dimensionality.
+func (m *Map) Dim() int { return m.dim }
+
+// Weight returns the weight vector of the unit at grid row r,
+// column c. The returned vector is a live view; callers must not
+// modify it.
+func (m *Map) Weight(r, c int) vecmath.Vector { return m.weights[r*m.cols+c] }
+
+// Location returns the grid location vector of unit (r, c).
+func (m *Map) Location(r, c int) vecmath.Vector { return m.locations[r*m.cols+c] }
+
+// BMU returns the grid coordinates of the best matching unit for x:
+// the unit minimizing Euclidean distance between x and its weight
+// vector. Ties break toward the lower unit index, which keeps
+// training deterministic.
+func (m *Map) BMU(x vecmath.Vector) (row, col int) {
+	if len(x) != m.dim {
+		panic(fmt.Sprintf("som: input dim %d != map dim %d", len(x), m.dim))
+	}
+	best, bestDist := 0, vecmath.SquaredEuclidean(x, m.weights[0])
+	for u := 1; u < len(m.weights); u++ {
+		if d := vecmath.SquaredEuclidean(x, m.weights[u]); d < bestDist {
+			best, bestDist = u, d
+		}
+	}
+	return best / m.cols, best % m.cols
+}
+
+// secondBMU returns the unit indices of the two closest units, used
+// by the topographic-error quality measure.
+func (m *Map) twoBMUs(x vecmath.Vector) (first, second int) {
+	d0 := vecmath.SquaredEuclidean(x, m.weights[0])
+	d1 := vecmath.SquaredEuclidean(x, m.weights[1])
+	if d1 < d0 {
+		first, second = 1, 0
+		d0, d1 = d1, d0
+	} else {
+		first, second = 0, 1
+	}
+	for u := 2; u < len(m.weights); u++ {
+		d := vecmath.SquaredEuclidean(x, m.weights[u])
+		switch {
+		case d < d0:
+			second, d1 = first, d0
+			first, d0 = u, d
+		case d < d1:
+			second, d1 = u, d
+		}
+	}
+	return first, second
+}
+
+// Position returns the BMU grid coordinates of x as a 2-D vector;
+// this is the "reduced dimension" the clustering stage consumes.
+func (m *Map) Position(x vecmath.Vector) vecmath.Vector {
+	r, c := m.BMU(x)
+	return vecmath.Vector{float64(r), float64(c)}
+}

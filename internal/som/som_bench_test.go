@@ -1,0 +1,69 @@
+package som
+
+import (
+	"testing"
+
+	"hmeans/internal/vecmath"
+)
+
+func benchSamples(n, dim int) []vecmath.Vector {
+	samples, _ := twoBlobs(n/2, dim, 6, 99)
+	return samples
+}
+
+func BenchmarkTrainSequentialSuiteScale(b *testing.B) {
+	// 13 workloads × ~160 standardized counters, the paper's scale.
+	samples := benchSamples(14, 160)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Train(Config{Rows: 5, Cols: 4, Seed: 1}, samples); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTrainBatchSuiteScale(b *testing.B) {
+	samples := benchSamples(14, 160)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Train(Config{Rows: 5, Cols: 4, Seed: 1, Algorithm: Batch}, samples); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBMU(b *testing.B) {
+	samples := benchSamples(14, 160)
+	m, err := Train(Config{Rows: 10, Cols: 10, Steps: 2000, Seed: 1}, samples)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.BMU(samples[i%len(samples)])
+	}
+}
+
+func BenchmarkQuantizationError(b *testing.B) {
+	samples := benchSamples(14, 160)
+	m, err := Train(Config{Rows: 6, Cols: 6, Steps: 2000, Seed: 1}, samples)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.QuantizationError(samples)
+	}
+}
+
+func BenchmarkUMatrix(b *testing.B) {
+	samples := benchSamples(14, 160)
+	m, err := Train(Config{Rows: 10, Cols: 10, Steps: 2000, Seed: 1}, samples)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.UMatrix()
+	}
+}

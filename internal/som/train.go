@@ -1,0 +1,250 @@
+package som
+
+import (
+	"fmt"
+	"math"
+
+	"hmeans/internal/rng"
+	"hmeans/internal/vecmath"
+)
+
+// Train builds and trains a map on the sample set according to cfg.
+// Samples must be non-empty and rectangular. The input slices are
+// read but never modified or retained.
+func Train(cfg Config, samples []vecmath.Vector) (*Map, error) {
+	if len(samples) == 0 {
+		return nil, ErrNoData
+	}
+	dim := len(samples[0])
+	if dim == 0 {
+		return nil, fmt.Errorf("som: zero-dimensional samples")
+	}
+	for i, s := range samples {
+		if len(s) != dim {
+			return nil, fmt.Errorf("som: sample %d has dim %d, want %d", i, len(s), dim)
+		}
+	}
+	c := cfg.withDefaults()
+	m := newMap(c.Rows, c.Cols, dim)
+	r := rng.New(c.Seed)
+
+	switch c.Init {
+	case InitRandom:
+		m.initRandom(samples, r)
+	default:
+		if !m.initPCA(samples) {
+			m.initRandom(samples, r)
+		}
+	}
+
+	if c.Algorithm == Batch {
+		m.trainBatch(c, samples)
+	} else {
+		m.trainSequential(c, samples, r)
+	}
+	return m, nil
+}
+
+// kernelCutoff is the smallest neighbourhood-kernel value that
+// participates in a batch update; see trainBatch for why far tails
+// must not capture unvisited units.
+const kernelCutoff = 0.05
+
+// trainBatch runs the batch SOM algorithm: each epoch assigns every
+// sample to its BMU, then recomputes every unit's weight as the
+// kernel-weighted mean of all samples,
+//
+//	w_i = Σ_j h(i, c_j) x_j / Σ_j h(i, c_j),
+//
+// with the neighbourhood radius annealed across epochs. Batch
+// training is deterministic (no sample-order randomness), converges
+// in tens of epochs, and — because each unit's weight is a smooth
+// kernel average — does not magnify tight sample blobs across the
+// grid the way a fully converged sequential run does. That makes it
+// the right default for the paper's use case: tiny sample counts
+// (one vector per workload) where BMU geometry is the product the
+// clustering stage consumes.
+func (m *Map) trainBatch(c Config, samples []vecmath.Vector) {
+	floor := c.SigmaFinal
+	if floor <= 0 {
+		floor = sigmaFloor
+	}
+	epochs := c.Steps / maxInt(1, len(samples))
+	if epochs < 10 {
+		epochs = 10
+	}
+	if epochs > 200 {
+		epochs = 200
+	}
+	num := make([]vecmath.Vector, len(m.weights))
+	den := make([]float64, len(m.weights))
+	for i := range num {
+		num[i] = vecmath.NewVector(m.dim)
+	}
+	for e := 0; e < epochs; e++ {
+		t := float64(e) / float64(epochs)
+		sigma := c.RadiusDecay.value(c.Sigma0, floor, t)
+		inv2s2 := 1 / (2 * sigma * sigma)
+		for i := range num {
+			for j := range num[i] {
+				num[i][j] = 0
+			}
+			den[i] = 0
+		}
+		for _, x := range samples {
+			br, bc := m.BMU(x)
+			for gr := 0; gr < m.rows; gr++ {
+				for gc := 0; gc < m.cols; gc++ {
+					dr, dc := float64(gr-br), float64(gc-bc)
+					h := math.Exp(-(dr*dr + dc*dc) * inv2s2)
+					if h < kernelCutoff {
+						continue
+					}
+					u := gr*m.cols + gc
+					num[u].AXPYInPlace(h, x)
+					den[u] += h
+				}
+			}
+		}
+		for u, w := range m.weights {
+			if den[u] < kernelCutoff {
+				// The unit is outside every sample's effective
+				// neighbourhood this epoch. Keep its weight: far
+				// units must retain the ordered (PCA-interpolated)
+				// surface rather than be captured by whichever
+				// sample's kernel tail happens to dominate — that
+				// capture is what creates grid-wide weight plateaus
+				// and scatters near-identical samples' BMUs.
+				continue
+			}
+			for j := range w {
+				w[j] = num[u][j] / den[u]
+			}
+		}
+	}
+}
+
+// trainSequential runs the classic on-line SOM loop: at every step a
+// random sample is presented, its BMU located, and the BMU
+// neighbourhood pulled toward the sample with the Gaussian kernel
+// h_ci(n) = α(n)·exp(−‖r_c − r_i‖²/2σ²(n)).
+func (m *Map) trainSequential(c Config, samples []vecmath.Vector, r *rng.Source) {
+	diff := vecmath.NewVector(m.dim) // scratch: x − w_i
+	for n := 0; n < c.Steps; n++ {
+		t := float64(n) / float64(c.Steps)
+		alpha := c.LearningDecay.value(c.Alpha0, alphaFloor, t)
+		floor := c.SigmaFinal
+		if floor <= 0 {
+			floor = sigmaFloor
+		}
+		sigma := c.RadiusDecay.value(c.Sigma0, floor, t)
+		x := samples[r.Intn(len(samples))]
+		br, bc := m.BMU(x)
+		m.updateNeighbourhood(x, br, bc, alpha, sigma, diff)
+	}
+}
+
+// updateNeighbourhood applies the weight update around BMU (br, bc).
+// Units farther than cutoff·σ contribute a negligible kernel value
+// and are skipped; this bounds the work per step without changing
+// the result materially.
+func (m *Map) updateNeighbourhood(x vecmath.Vector, br, bc int, alpha, sigma float64, diff vecmath.Vector) {
+	const cutoff = 3.0
+	reach := int(math.Ceil(cutoff * sigma))
+	r0, r1 := maxInt(0, br-reach), minInt(m.rows-1, br+reach)
+	c0, c1 := maxInt(0, bc-reach), minInt(m.cols-1, bc+reach)
+	inv2s2 := 1 / (2 * sigma * sigma)
+	for gr := r0; gr <= r1; gr++ {
+		for gc := c0; gc <= c1; gc++ {
+			dr, dc := float64(gr-br), float64(gc-bc)
+			h := alpha * math.Exp(-(dr*dr+dc*dc)*inv2s2)
+			if h < 1e-9 {
+				continue
+			}
+			w := m.weights[gr*m.cols+gc]
+			for j := range w {
+				diff[j] = x[j] - w[j]
+			}
+			w.AXPYInPlace(h, diff)
+		}
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Placements maps every sample to its BMU grid position. The result
+// is the 2-D point set handed to hierarchical clustering.
+func (m *Map) Placements(samples []vecmath.Vector) []vecmath.Vector {
+	out := make([]vecmath.Vector, len(samples))
+	for i, s := range samples {
+		out[i] = m.Position(s)
+	}
+	return out
+}
+
+// SoftPosition returns an interpolated grid position for x: the
+// inverse-distance-weighted (power 4) centroid of all unit locations,
+//
+//	pos(x) = Σ_u (1/d(x,w_u)⁴) r_u / Σ_u (1/d(x,w_u)⁴).
+//
+// Unlike the hard BMU cell, the soft position is stable on weight
+// plateaus: when a tight blob of samples owns a flat region of the
+// map, every member's soft position collapses to (nearly) the same
+// plateau centroid instead of scattering across it on microscopic
+// weight noise. An exact weight match returns that unit's location.
+// The weighting is self-scaling — no bandwidth parameter — because
+// only the *ratios* of distances matter.
+func (m *Map) SoftPosition(x vecmath.Vector) vecmath.Vector {
+	if len(x) != m.dim {
+		panic(fmt.Sprintf("som: input dim %d != map dim %d", len(x), m.dim))
+	}
+	var wsum float64
+	pos := vecmath.NewVector(2)
+	for u, w := range m.weights {
+		d2 := vecmath.SquaredEuclidean(x, w)
+		if d2 == 0 {
+			return m.locations[u].Clone()
+		}
+		wt := 1 / (d2 * d2)
+		wsum += wt
+		pos.AXPYInPlace(wt, m.locations[u])
+	}
+	return pos.Scale(1 / wsum)
+}
+
+// SoftPlacements maps every sample to its soft (interpolated) grid
+// position; see SoftPosition.
+func (m *Map) SoftPlacements(samples []vecmath.Vector) []vecmath.Vector {
+	out := make([]vecmath.Vector, len(samples))
+	for i, s := range samples {
+		out[i] = m.SoftPosition(s)
+	}
+	return out
+}
+
+// HitMap returns a Rows×Cols matrix counting how many samples map to
+// each unit; cells with count ≥ 2 are the "darker cells" of the
+// paper's figures (particularly similar workloads).
+func (m *Map) HitMap(samples []vecmath.Vector) [][]int {
+	hits := make([][]int, m.rows)
+	for r := range hits {
+		hits[r] = make([]int, m.cols)
+	}
+	for _, s := range samples {
+		r, c := m.BMU(s)
+		hits[r][c]++
+	}
+	return hits
+}

@@ -1,0 +1,139 @@
+// Package stat provides the descriptive statistics used by the
+// hierarchical-means pipeline: the three Pythagorean means and their
+// weighted forms, dispersion measures, standardization, quantiles and
+// correlation.
+//
+// Every mean follows the same contract: it returns an error (rather
+// than NaN) on empty input or on domain violations (non-positive
+// values for the geometric and harmonic means), because in this
+// library a malformed score vector is a caller bug that must surface
+// at the scoring boundary, not three layers later as a silent NaN in
+// a published benchmark number.
+package stat
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrEmpty is returned by aggregate functions invoked on an empty
+// sample.
+var ErrEmpty = errors.New("stat: empty sample")
+
+// ErrDomain is returned when a sample value lies outside the domain
+// of the requested statistic (e.g. a non-positive score passed to the
+// geometric mean).
+var ErrDomain = errors.New("stat: value outside statistic domain")
+
+// ArithmeticMean returns the arithmetic mean of xs.
+func ArithmeticMean(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs)), nil
+}
+
+// GeometricMean returns the geometric mean of xs. All values must be
+// strictly positive. The computation works in log space so that long
+// products of large speedups cannot overflow.
+func GeometricMean(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	logSum := 0.0
+	for _, x := range xs {
+		if x <= 0 || math.IsNaN(x) || math.IsInf(x, 0) {
+			return 0, fmt.Errorf("%w: geometric mean requires finite positive values, got %v", ErrDomain, x)
+		}
+		logSum += math.Log(x)
+	}
+	return math.Exp(logSum / float64(len(xs))), nil
+}
+
+// HarmonicMean returns the harmonic mean of xs. All values must be
+// strictly positive.
+func HarmonicMean(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	invSum := 0.0
+	for _, x := range xs {
+		if x <= 0 || math.IsNaN(x) || math.IsInf(x, 0) {
+			return 0, fmt.Errorf("%w: harmonic mean requires finite positive values, got %v", ErrDomain, x)
+		}
+		invSum += 1 / x
+	}
+	return float64(len(xs)) / invSum, nil
+}
+
+// WeightedArithmeticMean returns sum(w_i * x_i) / sum(w_i). Weights
+// must be non-negative with a positive sum. This is the paper's
+// "weighted mean" workaround that the hierarchical means replace.
+func WeightedArithmeticMean(xs, ws []float64) (float64, error) {
+	if err := checkWeights(xs, ws); err != nil {
+		return 0, err
+	}
+	var num, den float64
+	for i, x := range xs {
+		num += ws[i] * x
+		den += ws[i]
+	}
+	return num / den, nil
+}
+
+// WeightedGeometricMean returns exp(sum(w_i * ln x_i) / sum(w_i)).
+func WeightedGeometricMean(xs, ws []float64) (float64, error) {
+	if err := checkWeights(xs, ws); err != nil {
+		return 0, err
+	}
+	var num, den float64
+	for i, x := range xs {
+		if x <= 0 || math.IsNaN(x) || math.IsInf(x, 0) {
+			return 0, fmt.Errorf("%w: weighted geometric mean requires finite positive values, got %v", ErrDomain, x)
+		}
+		num += ws[i] * math.Log(x)
+		den += ws[i]
+	}
+	return math.Exp(num / den), nil
+}
+
+// WeightedHarmonicMean returns sum(w_i) / sum(w_i / x_i).
+func WeightedHarmonicMean(xs, ws []float64) (float64, error) {
+	if err := checkWeights(xs, ws); err != nil {
+		return 0, err
+	}
+	var num, den float64
+	for i, x := range xs {
+		if x <= 0 || math.IsNaN(x) || math.IsInf(x, 0) {
+			return 0, fmt.Errorf("%w: weighted harmonic mean requires finite positive values, got %v", ErrDomain, x)
+		}
+		num += ws[i]
+		den += ws[i] / x
+	}
+	return num / den, nil
+}
+
+func checkWeights(xs, ws []float64) error {
+	if len(xs) == 0 {
+		return ErrEmpty
+	}
+	if len(xs) != len(ws) {
+		return fmt.Errorf("stat: %d values but %d weights", len(xs), len(ws))
+	}
+	sum := 0.0
+	for _, w := range ws {
+		if w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+			return fmt.Errorf("%w: weights must be finite and non-negative, got %v", ErrDomain, w)
+		}
+		sum += w
+	}
+	if sum <= 0 {
+		return fmt.Errorf("%w: weight sum must be positive", ErrDomain)
+	}
+	return nil
+}

@@ -1,0 +1,203 @@
+package stat
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+const eps = 1e-12
+
+func almostEqual(a, b, tol float64) bool {
+	if a == b {
+		return true
+	}
+	return math.Abs(a-b) <= tol*math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+}
+
+// positiveSample converts arbitrary quick-check input into a non-empty
+// slice of values in (0, ~100], the domain shared by all three means.
+func positiveSample(raw []float64) []float64 {
+	xs := make([]float64, 0, len(raw)+1)
+	for _, v := range raw {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			continue
+		}
+		xs = append(xs, math.Abs(math.Mod(v, 100))+0.5)
+	}
+	if len(xs) == 0 {
+		xs = append(xs, 1.0)
+	}
+	return xs
+}
+
+func TestArithmeticMeanBasic(t *testing.T) {
+	got, err := ArithmeticMean([]float64{1, 2, 3, 4})
+	if err != nil || got != 2.5 {
+		t.Fatalf("ArithmeticMean = %v, %v; want 2.5, nil", got, err)
+	}
+}
+
+func TestGeometricMeanBasic(t *testing.T) {
+	got, err := GeometricMean([]float64{1, 4, 16})
+	if err != nil || !almostEqual(got, 4, eps) {
+		t.Fatalf("GeometricMean = %v, %v; want 4, nil", got, err)
+	}
+}
+
+func TestHarmonicMeanBasic(t *testing.T) {
+	got, err := HarmonicMean([]float64{1, 2, 4})
+	want := 3.0 / (1 + 0.5 + 0.25)
+	if err != nil || !almostEqual(got, want, eps) {
+		t.Fatalf("HarmonicMean = %v, %v; want %v, nil", got, err, want)
+	}
+}
+
+func TestMeansEmptyInput(t *testing.T) {
+	if _, err := ArithmeticMean(nil); !errors.Is(err, ErrEmpty) {
+		t.Errorf("ArithmeticMean(nil) err = %v, want ErrEmpty", err)
+	}
+	if _, err := GeometricMean(nil); !errors.Is(err, ErrEmpty) {
+		t.Errorf("GeometricMean(nil) err = %v, want ErrEmpty", err)
+	}
+	if _, err := HarmonicMean(nil); !errors.Is(err, ErrEmpty) {
+		t.Errorf("HarmonicMean(nil) err = %v, want ErrEmpty", err)
+	}
+}
+
+func TestGeometricMeanDomain(t *testing.T) {
+	for _, bad := range [][]float64{{1, 0, 2}, {1, -3}, {math.NaN()}, {math.Inf(1)}} {
+		if _, err := GeometricMean(bad); !errors.Is(err, ErrDomain) {
+			t.Errorf("GeometricMean(%v) err = %v, want ErrDomain", bad, err)
+		}
+	}
+}
+
+func TestHarmonicMeanDomain(t *testing.T) {
+	for _, bad := range [][]float64{{1, 0}, {-1}, {math.NaN()}} {
+		if _, err := HarmonicMean(bad); !errors.Is(err, ErrDomain) {
+			t.Errorf("HarmonicMean(%v) err = %v, want ErrDomain", bad, err)
+		}
+	}
+}
+
+func TestGeometricMeanNoOverflow(t *testing.T) {
+	// 400 values of 1e300 would overflow a naive product.
+	xs := make([]float64, 400)
+	for i := range xs {
+		xs[i] = 1e300
+	}
+	got, err := GeometricMean(xs)
+	if err != nil || !almostEqual(got, 1e300, 1e-9) {
+		t.Fatalf("GeometricMean(large) = %v, %v; want 1e300", got, err)
+	}
+}
+
+// Property: HM <= GM <= AM for positive samples (AM-GM-HM inequality).
+func TestPythagoreanMeanInequality(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := positiveSample(raw)
+		am, err1 := ArithmeticMean(xs)
+		gm, err2 := GeometricMean(xs)
+		hm, err3 := HarmonicMean(xs)
+		if err1 != nil || err2 != nil || err3 != nil {
+			return false
+		}
+		return hm <= gm*(1+1e-9) && gm <= am*(1+1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: all three means lie between min and max of the sample.
+func TestMeansBounded(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := positiveSample(raw)
+		lo, _ := Min(xs)
+		hi, _ := Max(xs)
+		for _, fn := range []func([]float64) (float64, error){ArithmeticMean, GeometricMean, HarmonicMean} {
+			m, err := fn(xs)
+			if err != nil || m < lo-1e-9 || m > hi+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: geometric mean is scale-equivariant: GM(c*x) = c*GM(x).
+func TestGeometricMeanScaleEquivariance(t *testing.T) {
+	f := func(raw []float64, cRaw float64) bool {
+		xs := positiveSample(raw)
+		c := math.Abs(math.Mod(cRaw, 10)) + 0.5
+		scaled := make([]float64, len(xs))
+		for i, x := range xs {
+			scaled[i] = c * x
+		}
+		g1, _ := GeometricMean(xs)
+		g2, _ := GeometricMean(scaled)
+		return almostEqual(g2, c*g1, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWeightedMeansUniformWeightsMatchPlain(t *testing.T) {
+	xs := []float64{1.3, 2.7, 0.4, 9.2}
+	ws := []float64{2, 2, 2, 2}
+	am, _ := ArithmeticMean(xs)
+	gm, _ := GeometricMean(xs)
+	hm, _ := HarmonicMean(xs)
+	wam, err := WeightedArithmeticMean(xs, ws)
+	if err != nil || !almostEqual(wam, am, eps) {
+		t.Errorf("WAM uniform = %v, want %v (err %v)", wam, am, err)
+	}
+	wgm, err := WeightedGeometricMean(xs, ws)
+	if err != nil || !almostEqual(wgm, gm, 1e-9) {
+		t.Errorf("WGM uniform = %v, want %v (err %v)", wgm, gm, err)
+	}
+	whm, err := WeightedHarmonicMean(xs, ws)
+	if err != nil || !almostEqual(whm, hm, 1e-9) {
+		t.Errorf("WHM uniform = %v, want %v (err %v)", whm, hm, err)
+	}
+}
+
+func TestWeightedMeanZeroWeightDropsValue(t *testing.T) {
+	got, err := WeightedArithmeticMean([]float64{5, 1000}, []float64{1, 0})
+	if err != nil || got != 5 {
+		t.Fatalf("WAM with zero weight = %v, %v; want 5", got, err)
+	}
+}
+
+func TestWeightedMeanErrors(t *testing.T) {
+	if _, err := WeightedArithmeticMean([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch not detected")
+	}
+	if _, err := WeightedArithmeticMean([]float64{1}, []float64{-1}); !errors.Is(err, ErrDomain) {
+		t.Error("negative weight not rejected")
+	}
+	if _, err := WeightedArithmeticMean([]float64{1, 2}, []float64{0, 0}); !errors.Is(err, ErrDomain) {
+		t.Error("all-zero weights not rejected")
+	}
+	if _, err := WeightedGeometricMean([]float64{0}, []float64{1}); !errors.Is(err, ErrDomain) {
+		t.Error("WGM zero value not rejected")
+	}
+	if _, err := WeightedHarmonicMean([]float64{-2}, []float64{1}); !errors.Is(err, ErrDomain) {
+		t.Error("WHM negative value not rejected")
+	}
+}
+
+func TestSingleElementMeans(t *testing.T) {
+	for _, fn := range []func([]float64) (float64, error){ArithmeticMean, GeometricMean, HarmonicMean} {
+		got, err := fn([]float64{3.7})
+		if err != nil || !almostEqual(got, 3.7, eps) {
+			t.Errorf("mean of single element = %v, %v; want 3.7", got, err)
+		}
+	}
+}

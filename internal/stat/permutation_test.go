@@ -1,0 +1,101 @@
+package stat
+
+import (
+	"errors"
+	"testing"
+
+	"hmeans/internal/rng"
+)
+
+func TestPermutationDetectsClearDifference(t *testing.T) {
+	// Machine X is 2x faster on every one of 20 workloads: the null
+	// should be decisively rejected.
+	r := rng.New(1)
+	n := 20
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := range xs {
+		base := 1 + 3*r.Float64()
+		ys[i] = base
+		xs[i] = 2 * base * (1 + 0.05*r.NormFloat64())
+	}
+	p, obs, err := PairedPermutationTest(xs, ys, 2000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obs <= 0 {
+		t.Fatalf("observed statistic %v", obs)
+	}
+	if p > 0.01 {
+		t.Fatalf("p = %v for a 2x-everywhere difference", p)
+	}
+}
+
+func TestPermutationAcceptsNull(t *testing.T) {
+	// Symmetric noise around equality: p must not be small.
+	r := rng.New(2)
+	n := 15
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := range xs {
+		base := 1 + 3*r.Float64()
+		xs[i] = base * (1 + 0.2*r.NormFloat64())
+		ys[i] = base * (1 + 0.2*r.NormFloat64())
+	}
+	p, _, err := PairedPermutationTest(xs, ys, 2000, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p < 0.05 {
+		t.Fatalf("p = %v under the null", p)
+	}
+}
+
+func TestPermutationPaperSuite(t *testing.T) {
+	// The paper's Table III speedups: 13 workloads, ratio 1.08. The
+	// permutation test must agree with the bootstrap CI's verdict
+	// that this is not significant at the usual level.
+	a := []float64{4.75, 5.32, 3.97, 6.50, 2.57, 1.09, 1.19, 0.75, 1.22, 0.71, 1.16, 5.12, 1.88}
+	b := []float64{3.99, 3.65, 2.37, 6.11, 1.41, 1.07, 0.90, 0.98, 1.31, 0.90, 2.31, 2.77, 2.62}
+	p, obs, err := PairedPermutationTest(a, b, 4000, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obs <= 0 {
+		t.Fatal("zero observed statistic")
+	}
+	if p < 0.05 {
+		t.Fatalf("p = %v; 13 workloads at ratio 1.08 should not be significant", p)
+	}
+}
+
+func TestPermutationDeterministic(t *testing.T) {
+	xs := []float64{2, 3, 4, 5}
+	ys := []float64{1, 2, 3, 4}
+	p1, o1, err := PairedPermutationTest(xs, ys, 500, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, o2, err := PairedPermutationTest(xs, ys, 500, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 != p2 || o1 != o2 {
+		t.Fatal("permutation test not deterministic per seed")
+	}
+}
+
+func TestPermutationErrors(t *testing.T) {
+	if _, _, err := PairedPermutationTest(nil, nil, 100, 1); !errors.Is(err, ErrEmpty) {
+		t.Error("empty input accepted")
+	}
+	if _, _, err := PairedPermutationTest([]float64{1}, []float64{1, 2}, 100, 1); !errors.Is(err, ErrDomain) {
+		t.Error("length mismatch accepted")
+	}
+	if _, _, err := PairedPermutationTest([]float64{1}, []float64{1}, 5, 1); !errors.Is(err, ErrDomain) {
+		t.Error("too few permutations accepted")
+	}
+	if _, _, err := PairedPermutationTest([]float64{-1}, []float64{1}, 100, 1); err == nil {
+		t.Error("negative score accepted")
+	}
+}

@@ -1,0 +1,72 @@
+package stat
+
+import (
+	"fmt"
+
+	"hmeans/internal/rng"
+)
+
+// BootstrapRatioCI estimates a confidence interval for the ratio of
+// geometric means GM(xs)/GM(ys) by paired bootstrap over positions:
+// each resample draws the same workload indices for both vectors, so
+// the per-workload pairing (same program on two machines) is
+// preserved. This answers the question every suite comparison should
+// ask explicitly: given the workload sample we have, how sure are we
+// about the headline ratio?
+func BootstrapRatioCI(xs, ys []float64, level float64, resamples int, seed uint64) (Interval, error) {
+	if len(xs) == 0 {
+		return Interval{}, ErrEmpty
+	}
+	if len(xs) != len(ys) {
+		return Interval{}, fmt.Errorf("%w: %d vs %d paired values", ErrDomain, len(xs), len(ys))
+	}
+	if level <= 0 || level >= 1 {
+		return Interval{}, fmt.Errorf("%w: confidence level %v", ErrDomain, level)
+	}
+	if resamples < 10 {
+		return Interval{}, fmt.Errorf("%w: need at least 10 resamples", ErrDomain)
+	}
+	ratio := func(a, b []float64) (float64, error) {
+		ga, err := GeometricMean(a)
+		if err != nil {
+			return 0, err
+		}
+		gb, err := GeometricMean(b)
+		if err != nil {
+			return 0, err
+		}
+		return ga / gb, nil
+	}
+	point, err := ratio(xs, ys)
+	if err != nil {
+		return Interval{}, err
+	}
+	r := rng.New(seed)
+	sa := make([]float64, len(xs))
+	sb := make([]float64, len(ys))
+	values := make([]float64, 0, resamples)
+	for b := 0; b < resamples; b++ {
+		for i := range sa {
+			j := r.Intn(len(xs))
+			sa[i], sb[i] = xs[j], ys[j]
+		}
+		v, err := ratio(sa, sb)
+		if err != nil {
+			continue
+		}
+		values = append(values, v)
+	}
+	if len(values) < resamples/2 {
+		return Interval{}, fmt.Errorf("stat: only %d of %d ratio resamples were valid", len(values), resamples)
+	}
+	alpha := (1 - level) / 2
+	lo, err := Quantile(values, alpha)
+	if err != nil {
+		return Interval{}, err
+	}
+	hi, err := Quantile(values, 1-alpha)
+	if err != nil {
+		return Interval{}, err
+	}
+	return Interval{Lo: lo, Hi: hi, Point: point, Level: level}, nil
+}

@@ -1,0 +1,84 @@
+package stat
+
+import (
+	"errors"
+	"testing"
+
+	"hmeans/internal/rng"
+)
+
+func TestBootstrapRatioCIBasic(t *testing.T) {
+	// ys = xs / 1.5 everywhere: the ratio is exactly 1.5 with zero
+	// sampling variance, so the interval must collapse onto 1.5.
+	xs := []float64{3, 6, 1.5, 9, 4.5}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = x / 1.5
+	}
+	iv, err := BootstrapRatioCI(xs, ys, 0.95, 300, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(iv.Point, 1.5, 1e-12) {
+		t.Fatalf("point = %v", iv.Point)
+	}
+	if !almostEqual(iv.Lo, 1.5, 1e-9) || !almostEqual(iv.Hi, 1.5, 1e-9) {
+		t.Fatalf("constant-ratio interval = [%v, %v]", iv.Lo, iv.Hi)
+	}
+}
+
+func TestBootstrapRatioCIVariedRatios(t *testing.T) {
+	r := rng.New(3)
+	n := 30
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := range xs {
+		base := 1 + 4*r.Float64()
+		xs[i] = base * (1.2 + 0.5*r.Float64()) // A roughly 1.2-1.7x faster
+		ys[i] = base
+	}
+	iv, err := BootstrapRatioCI(xs, ys, 0.95, 800, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iv.Lo >= iv.Hi || !iv.Contains(iv.Point) {
+		t.Fatalf("interval %+v malformed", iv)
+	}
+	// The true ratio band excludes 1: the comparison is significant.
+	if iv.Contains(1) {
+		t.Fatalf("interval %v..%v should exclude 1 for a clear winner", iv.Lo, iv.Hi)
+	}
+}
+
+func TestBootstrapRatioCIPairing(t *testing.T) {
+	// Anti-correlated pairs: unpaired resampling would wildly inflate
+	// the variance; paired resampling keeps the ratio interval tight
+	// around the true value even though both vectors vary 10x.
+	xs := []float64{1, 10, 2, 20, 4, 40}
+	ys := []float64{0.5, 5, 1, 10, 2, 20} // exactly half each
+	iv, err := BootstrapRatioCI(xs, ys, 0.95, 400, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(iv.Point, 2, 1e-12) || iv.Width() > 1e-9 {
+		t.Fatalf("paired interval = %+v, want exactly 2", iv)
+	}
+}
+
+func TestBootstrapRatioCIErrors(t *testing.T) {
+	if _, err := BootstrapRatioCI(nil, nil, 0.95, 100, 1); !errors.Is(err, ErrEmpty) {
+		t.Error("empty input accepted")
+	}
+	if _, err := BootstrapRatioCI([]float64{1}, []float64{1, 2}, 0.95, 100, 1); !errors.Is(err, ErrDomain) {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := BootstrapRatioCI([]float64{1}, []float64{1}, 2, 100, 1); !errors.Is(err, ErrDomain) {
+		t.Error("bad level accepted")
+	}
+	if _, err := BootstrapRatioCI([]float64{1}, []float64{1}, 0.9, 2, 1); !errors.Is(err, ErrDomain) {
+		t.Error("too few resamples accepted")
+	}
+	if _, err := BootstrapRatioCI([]float64{-1}, []float64{1}, 0.9, 100, 1); err == nil {
+		t.Error("negative score accepted")
+	}
+}

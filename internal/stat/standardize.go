@@ -1,0 +1,72 @@
+package stat
+
+import "math"
+
+// Standardize returns (x - mean) / stddev for each element, the
+// z-score transform the paper applies to every counter channel before
+// cluster analysis. If the standard deviation is zero (a constant
+// feature) the zero vector is returned with ok=false so callers can
+// drop the feature, mirroring the paper's "counters that did not vary
+// over workloads were discarded".
+func Standardize(xs []float64) (zs []float64, ok bool) {
+	zs = make([]float64, len(xs))
+	if len(xs) == 0 {
+		return zs, false
+	}
+	mean, _ := ArithmeticMean(xs)
+	sd, _ := StdDev(xs)
+	if sd == 0 || math.IsNaN(sd) {
+		return zs, false
+	}
+	for i, x := range xs {
+		zs[i] = (x - mean) / sd
+	}
+	return zs, true
+}
+
+// StandardizeColumns z-standardizes each column of the row-major
+// matrix rows in place and reports, per column, whether the column
+// varied (constant columns are zeroed and flagged false). All rows
+// must have equal length; rows may be empty.
+func StandardizeColumns(rows [][]float64) (varied []bool) {
+	if len(rows) == 0 {
+		return nil
+	}
+	cols := len(rows[0])
+	varied = make([]bool, cols)
+	col := make([]float64, len(rows))
+	for j := 0; j < cols; j++ {
+		for i, row := range rows {
+			col[i] = row[j]
+		}
+		z, ok := Standardize(col)
+		varied[j] = ok
+		for i := range rows {
+			rows[i][j] = z[i]
+		}
+	}
+	return varied
+}
+
+// DropColumns returns a copy of the row-major matrix rows with only
+// the columns whose keep flag is true. It is used to discard constant
+// counters and the degenerate method-utilization bits before SOM
+// training.
+func DropColumns(rows [][]float64, keep []bool) [][]float64 {
+	kept := 0
+	for _, k := range keep {
+		if k {
+			kept++
+		}
+	}
+	out := make([][]float64, len(rows))
+	for i, row := range rows {
+		out[i] = make([]float64, 0, kept)
+		for j, k := range keep {
+			if k {
+				out[i] = append(out[i], row[j])
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,116 @@
+package stat
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestStandardizeBasic(t *testing.T) {
+	zs, ok := Standardize([]float64{1, 2, 3, 4, 5})
+	if !ok {
+		t.Fatal("Standardize reported constant input")
+	}
+	mean, _ := ArithmeticMean(zs)
+	sd, _ := StdDev(zs)
+	if math.Abs(mean) > eps || math.Abs(sd-1) > eps {
+		t.Fatalf("standardized mean/sd = %v/%v; want 0/1", mean, sd)
+	}
+}
+
+func TestStandardizeConstant(t *testing.T) {
+	zs, ok := Standardize([]float64{7, 7, 7})
+	if ok {
+		t.Fatal("constant column reported as varying")
+	}
+	for _, z := range zs {
+		if z != 0 {
+			t.Fatalf("constant column not zeroed: %v", zs)
+		}
+	}
+}
+
+func TestStandardizeEmpty(t *testing.T) {
+	zs, ok := Standardize(nil)
+	if ok || len(zs) != 0 {
+		t.Fatalf("Standardize(nil) = %v, %v; want empty, false", zs, ok)
+	}
+}
+
+func TestStandardizeColumns(t *testing.T) {
+	rows := [][]float64{
+		{1, 5, 100},
+		{2, 5, 200},
+		{3, 5, 300},
+	}
+	varied := StandardizeColumns(rows)
+	if !varied[0] || varied[1] || !varied[2] {
+		t.Fatalf("varied flags = %v; want [true false true]", varied)
+	}
+	// Column 1 (constant) must be zeroed.
+	for i := range rows {
+		if rows[i][1] != 0 {
+			t.Fatalf("constant column not zeroed: %v", rows)
+		}
+	}
+	// Column 0 and 2 have the same shape, so identical z-scores.
+	for i := range rows {
+		if !almostEqual(rows[i][0], rows[i][2], eps) {
+			t.Fatalf("equal-shape columns standardized differently: %v", rows)
+		}
+	}
+}
+
+func TestDropColumns(t *testing.T) {
+	rows := [][]float64{{1, 2, 3}, {4, 5, 6}}
+	out := DropColumns(rows, []bool{true, false, true})
+	want := [][]float64{{1, 3}, {4, 6}}
+	for i := range want {
+		for j := range want[i] {
+			if out[i][j] != want[i][j] {
+				t.Fatalf("DropColumns = %v; want %v", out, want)
+			}
+		}
+	}
+	// Original must be untouched.
+	if len(rows[0]) != 3 {
+		t.Fatal("DropColumns mutated its input")
+	}
+}
+
+func TestDropColumnsAll(t *testing.T) {
+	rows := [][]float64{{1, 2}, {3, 4}}
+	out := DropColumns(rows, []bool{false, false})
+	if len(out) != 2 || len(out[0]) != 0 || len(out[1]) != 0 {
+		t.Fatalf("DropColumns all-false = %v; want rows of length 0", out)
+	}
+}
+
+// Property: standardization is idempotent (z(z(x)) == z(x)) for
+// non-constant input.
+func TestStandardizeIdempotent(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := positiveSample(raw)
+		if len(xs) < 2 {
+			return true
+		}
+		xs[0] += 1 // ensure non-constant
+		z1, ok := Standardize(xs)
+		if !ok {
+			return true
+		}
+		z2, ok2 := Standardize(z1)
+		if !ok2 {
+			return false
+		}
+		for i := range z1 {
+			if !almostEqual(z1[i], z2[i], 1e-9) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

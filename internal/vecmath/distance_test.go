@@ -1,0 +1,121 @@
+package vecmath
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDistanceValues(t *testing.T) {
+	v := Vector{0, 0}
+	w := Vector{3, 4}
+	cases := []struct {
+		m    Metric
+		want float64
+	}{
+		{Euclidean, 5},
+		{Manhattan, 7},
+		{Chebyshev, 4},
+	}
+	for _, c := range cases {
+		if got := Distance(c.m, v, w); !almostEqual(got, c.want, 1e-12) {
+			t.Errorf("%v distance = %v, want %v", c.m, got, c.want)
+		}
+	}
+}
+
+func TestCosineDistance(t *testing.T) {
+	if got := Distance(Cosine, Vector{1, 0}, Vector{2, 0}); !almostEqual(got, 0, 1e-12) {
+		t.Errorf("parallel cosine distance = %v, want 0", got)
+	}
+	if got := Distance(Cosine, Vector{1, 0}, Vector{0, 1}); !almostEqual(got, 1, 1e-12) {
+		t.Errorf("orthogonal cosine distance = %v, want 1", got)
+	}
+	if got := Distance(Cosine, Vector{1, 0}, Vector{-1, 0}); !almostEqual(got, 2, 1e-12) {
+		t.Errorf("antiparallel cosine distance = %v, want 2", got)
+	}
+	if got := Distance(Cosine, Vector{0, 0}, Vector{1, 1}); got != 1 {
+		t.Errorf("zero-vector cosine distance = %v, want 1", got)
+	}
+}
+
+func TestMetricString(t *testing.T) {
+	names := map[Metric]string{Euclidean: "euclidean", Manhattan: "manhattan", Chebyshev: "chebyshev", Cosine: "cosine", Metric(99): "unknown"}
+	for m, want := range names {
+		if m.String() != want {
+			t.Errorf("Metric(%d).String() = %q, want %q", m, m.String(), want)
+		}
+	}
+}
+
+func TestSquaredEuclideanConsistent(t *testing.T) {
+	v := Vector{1, 2, 3}
+	w := Vector{4, 6, 3}
+	d := EuclideanDistance(v, w)
+	if !almostEqual(d*d, SquaredEuclidean(v, w), 1e-12) {
+		t.Error("EuclideanDistance² != SquaredEuclidean")
+	}
+}
+
+func TestDistanceMatrixProperties(t *testing.T) {
+	pts := []Vector{{0, 0}, {1, 0}, {0, 2}, {3, 3}}
+	dm := DistanceMatrix(Euclidean, pts)
+	n := len(pts)
+	for i := 0; i < n; i++ {
+		if dm.At(i, i) != 0 {
+			t.Errorf("diagonal (%d,%d) = %v, want 0", i, i, dm.At(i, i))
+		}
+		for j := 0; j < n; j++ {
+			if dm.At(i, j) != dm.At(j, i) {
+				t.Errorf("asymmetry at (%d,%d)", i, j)
+			}
+		}
+	}
+	if !almostEqual(dm.At(0, 1), 1, 1e-12) || !almostEqual(dm.At(0, 2), 2, 1e-12) {
+		t.Errorf("wrong distances: %v, %v", dm.At(0, 1), dm.At(0, 2))
+	}
+}
+
+// Property: metric axioms (symmetry, identity, triangle inequality)
+// for the three Minkowski metrics.
+func TestMetricAxioms(t *testing.T) {
+	for _, m := range []Metric{Euclidean, Manhattan, Chebyshev} {
+		m := m
+		f := func(rawA, rawB, rawC []float64) bool {
+			a := cleanVec(rawA, 4)
+			b := cleanVec(rawB, 4)
+			c := cleanVec(rawC, 4)
+			dab := Distance(m, a, b)
+			dba := Distance(m, b, a)
+			dac := Distance(m, a, c)
+			dcb := Distance(m, c, b)
+			if !almostEqual(dab, dba, 1e-9) {
+				return false
+			}
+			if Distance(m, a, a) != 0 {
+				return false
+			}
+			return dab <= dac+dcb+1e-6
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+			t.Fatalf("metric %v: %v", m, err)
+		}
+	}
+}
+
+// Property: Euclidean distance is invariant under translation.
+func TestEuclideanTranslationInvariance(t *testing.T) {
+	f := func(rawA, rawB []float64, shiftRaw float64) bool {
+		a := cleanVec(rawA, 4)
+		b := cleanVec(rawB, 4)
+		shift := math.Mod(shiftRaw, 100)
+		if math.IsNaN(shift) {
+			shift = 0
+		}
+		sv := Vector{shift, shift, shift, shift}
+		return almostEqual(EuclideanDistance(a, b), EuclideanDistance(a.Add(sv), b.Add(sv)), 1e-7)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,111 @@
+package vecmath
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"hmeans/internal/rng"
+)
+
+// randomPSD builds a random symmetric positive-semidefinite matrix
+// as BᵀB.
+func randomPSD(n int, seed uint64) *Matrix {
+	r := rng.New(seed)
+	b := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			b.Set(i, j, r.NormFloat64())
+		}
+	}
+	return b.Transpose().Mul(b)
+}
+
+func TestTopEigenMatchesJacobi(t *testing.T) {
+	for _, n := range []int{3, 6, 12, 25} {
+		a := randomPSD(n, uint64(n)*7)
+		full, err := SymmetricEigen(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		top, err := TopEigen(a, 2, 1)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		for c := 0; c < 2; c++ {
+			if !almostEqual(top.Values[c], full.Values[c], 1e-6) {
+				t.Fatalf("n=%d comp %d: λ=%v, Jacobi %v", n, c, top.Values[c], full.Values[c])
+			}
+			// Vectors match up to sign.
+			dot := math.Abs(top.Vectors[c].Dot(full.Vectors[c]))
+			if !almostEqual(dot, 1, 1e-5) {
+				t.Fatalf("n=%d comp %d: |cos| = %v", n, c, dot)
+			}
+		}
+	}
+}
+
+func TestTopEigenDiagonal(t *testing.T) {
+	a := FromRows([][]float64{{5, 0, 0}, {0, 2, 0}, {0, 0, 9}})
+	top, err := TopEigen(a, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(top.Values[0], 9, 1e-8) || !almostEqual(top.Values[1], 5, 1e-8) {
+		t.Fatalf("values = %v, want [9 5]", top.Values)
+	}
+}
+
+func TestTopEigenRankDeficient(t *testing.T) {
+	// Rank-1 matrix: second eigenvalue is zero; the solver must not
+	// spin forever.
+	v := Vector{1, 2, 3}.Normalize()
+	a := NewMatrix(3, 3)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			a.Set(i, j, 4*v[i]*v[j])
+		}
+	}
+	top, err := TopEigen(a, 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(top.Values[0], 4, 1e-8) {
+		t.Fatalf("λ1 = %v, want 4", top.Values[0])
+	}
+	if math.Abs(top.Values[1]) > 1e-6 {
+		t.Fatalf("λ2 = %v, want ~0", top.Values[1])
+	}
+}
+
+func TestTopEigenErrors(t *testing.T) {
+	asym := FromRows([][]float64{{1, 2}, {3, 4}})
+	if _, err := TopEigen(asym, 1, 1); !errors.Is(err, ErrNotSymmetric) {
+		t.Error("asymmetric matrix accepted")
+	}
+	a := randomPSD(3, 1)
+	if _, err := TopEigen(a, 0, 1); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := TopEigen(a, 4, 1); err == nil {
+		t.Error("k>n accepted")
+	}
+}
+
+func BenchmarkTopEigen2VsJacobi(b *testing.B) {
+	a := randomPSD(150, 9)
+	b.Run("power-top2", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := TopEigen(a, 2, 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("jacobi-full", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := SymmetricEigen(a); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

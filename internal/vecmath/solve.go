@@ -1,0 +1,76 @@
+package vecmath
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrSingular is returned when a linear system has no unique solution.
+var ErrSingular = errors.New("vecmath: singular matrix")
+
+// Solve returns x such that a·x = b, using Gaussian elimination with
+// partial pivoting. a must be square and is not modified. It is used
+// by the calibration fitter's least-squares normal equations.
+func Solve(a *Matrix, b Vector) (Vector, error) {
+	n := a.Rows()
+	if a.Cols() != n {
+		return nil, errors.New("vecmath: Solve requires a square matrix")
+	}
+	if len(b) != n {
+		return nil, errors.New("vecmath: Solve dimension mismatch")
+	}
+	// Augmented working copies.
+	w := a.Clone()
+	x := b.Clone()
+	for col := 0; col < n; col++ {
+		// Partial pivot: pick the largest |entry| in this column.
+		pivot := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(w.At(r, col)) > math.Abs(w.At(pivot, col)) {
+				pivot = r
+			}
+		}
+		if math.Abs(w.At(pivot, col)) < 1e-14 {
+			return nil, ErrSingular
+		}
+		if pivot != col {
+			for j := 0; j < n; j++ {
+				tmp := w.At(col, j)
+				w.Set(col, j, w.At(pivot, j))
+				w.Set(pivot, j, tmp)
+			}
+			x[col], x[pivot] = x[pivot], x[col]
+		}
+		// Eliminate below.
+		for r := col + 1; r < n; r++ {
+			f := w.At(r, col) / w.At(col, col)
+			if f == 0 {
+				continue
+			}
+			for j := col; j < n; j++ {
+				w.Set(r, j, w.At(r, j)-f*w.At(col, j))
+			}
+			x[r] -= f * x[col]
+		}
+	}
+	// Back substitution.
+	for r := n - 1; r >= 0; r-- {
+		sum := x[r]
+		for j := r + 1; j < n; j++ {
+			sum -= w.At(r, j) * x[j]
+		}
+		x[r] = sum / w.At(r, r)
+	}
+	return x, nil
+}
+
+// LeastSquares returns x minimizing ‖a·x − b‖₂ via the normal
+// equations (aᵀa)x = aᵀb. a has one row per observation; the system
+// must be over- or exactly determined with full column rank.
+func LeastSquares(a *Matrix, b Vector) (Vector, error) {
+	if a.Rows() != len(b) {
+		return nil, errors.New("vecmath: LeastSquares dimension mismatch")
+	}
+	at := a.Transpose()
+	return Solve(at.Mul(a), at.MulVec(b))
+}

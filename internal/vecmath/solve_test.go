@@ -1,0 +1,136 @@
+package vecmath
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"hmeans/internal/rng"
+)
+
+func TestSolveKnown(t *testing.T) {
+	a := FromRows([][]float64{{2, 1}, {1, 3}})
+	x, err := Solve(a, Vector{5, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(x[0], 1, 1e-9) || !almostEqual(x[1], 3, 1e-9) {
+		t.Fatalf("x = %v, want [1 3]", x)
+	}
+}
+
+func TestSolveNeedsPivoting(t *testing.T) {
+	// Zero pivot at (0,0) forces a row swap.
+	a := FromRows([][]float64{{0, 1}, {1, 0}})
+	x, err := Solve(a, Vector{2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(x[0], 3, 1e-12) || !almostEqual(x[1], 2, 1e-12) {
+		t.Fatalf("x = %v, want [3 2]", x)
+	}
+}
+
+func TestSolveSingular(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {2, 4}})
+	if _, err := Solve(a, Vector{1, 2}); !errors.Is(err, ErrSingular) {
+		t.Fatalf("err = %v, want ErrSingular", err)
+	}
+}
+
+func TestSolveShapeErrors(t *testing.T) {
+	if _, err := Solve(NewMatrix(2, 3), Vector{1, 2}); err == nil {
+		t.Error("non-square matrix accepted")
+	}
+	if _, err := Solve(NewMatrix(2, 2), Vector{1}); err == nil {
+		t.Error("wrong-length b accepted")
+	}
+}
+
+func TestSolveDoesNotMutate(t *testing.T) {
+	a := FromRows([][]float64{{2, 1}, {1, 3}})
+	b := Vector{5, 10}
+	if _, err := Solve(a, b); err != nil {
+		t.Fatal(err)
+	}
+	if a.At(0, 0) != 2 || a.At(1, 1) != 3 || b[0] != 5 {
+		t.Fatal("Solve mutated its inputs")
+	}
+}
+
+// Property: for random well-conditioned systems, a·x ≈ b.
+func TestSolveResidual(t *testing.T) {
+	f := func(seed uint64) bool {
+		n := int(seed%5) + 2
+		r := rng.New(seed)
+		a := NewMatrix(n, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				a.Set(i, j, r.NormFloat64())
+			}
+			a.Set(i, i, a.At(i, i)+float64(n)) // diagonal dominance
+		}
+		b := make(Vector, n)
+		for i := range b {
+			b[i] = r.NormFloat64() * 10
+		}
+		x, err := Solve(a, b)
+		if err != nil {
+			return false
+		}
+		res := a.MulVec(x).Sub(b)
+		return res.Norm() < 1e-8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLeastSquaresExact(t *testing.T) {
+	// Overdetermined but consistent: y = 2x + 1 sampled at 4 points.
+	a := FromRows([][]float64{{1, 1}, {2, 1}, {3, 1}, {4, 1}})
+	b := Vector{3, 5, 7, 9}
+	x, err := LeastSquares(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(x[0], 2, 1e-9) || !almostEqual(x[1], 1, 1e-9) {
+		t.Fatalf("fit = %v, want [2 1]", x)
+	}
+}
+
+func TestLeastSquaresRegression(t *testing.T) {
+	// Noisy fit must minimize the residual: compare against the
+	// closed-form simple-regression solution.
+	xs := []float64{0, 1, 2, 3, 4}
+	ys := []float64{1.1, 2.9, 5.2, 6.8, 9.1}
+	a := NewMatrix(len(xs), 2)
+	for i, x := range xs {
+		a.Set(i, 0, x)
+		a.Set(i, 1, 1)
+	}
+	got, err := LeastSquares(a, Vector(ys))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Closed form.
+	var sx, sy, sxx, sxy float64
+	n := float64(len(xs))
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+		sxx += xs[i] * xs[i]
+		sxy += xs[i] * ys[i]
+	}
+	slope := (n*sxy - sx*sy) / (n*sxx - sx*sx)
+	intercept := (sy - slope*sx) / n
+	if !almostEqual(got[0], slope, 1e-9) || !almostEqual(got[1], intercept, 1e-9) {
+		t.Fatalf("fit = %v, want [%v %v]", got, slope, intercept)
+	}
+}
+
+func TestLeastSquaresDimensionMismatch(t *testing.T) {
+	if _, err := LeastSquares(NewMatrix(3, 2), Vector{1, 2}); err == nil {
+		t.Error("dimension mismatch accepted")
+	}
+}

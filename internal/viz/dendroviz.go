@@ -1,0 +1,94 @@
+package viz
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"hmeans/internal/cluster"
+)
+
+// Dendrogram renders the merge tree as indented text, deepest merges
+// first — a textual stand-in for the paper's Figures 4, 6 and 8. Each
+// line shows the merging distance and the leaves of the merged
+// cluster:
+//
+//	d=12.00  {A B C D}
+//	  d=2.00  {C D}
+//	  d=1.00  {A B}
+func Dendrogram(w io.Writer, d *cluster.Dendrogram, names []string) error {
+	if len(names) != d.Len() {
+		return fmt.Errorf("viz: %d names for %d leaves", len(names), d.Len())
+	}
+	merges := d.Merges()
+	if len(merges) == 0 {
+		_, err := fmt.Fprintf(w, "single leaf: %s\n", names[0])
+		return err
+	}
+	// leaves per cluster id.
+	leaves := make(map[int][]int, 2*d.Len())
+	for i := 0; i < d.Len(); i++ {
+		leaves[i] = []int{i}
+	}
+	children := make(map[int][2]int)
+	for s, m := range merges {
+		id := d.Len() + s
+		leaves[id] = append(append([]int{}, leaves[m.A]...), leaves[m.B]...)
+		children[id] = [2]int{m.A, m.B}
+	}
+	root := d.Len() + len(merges) - 1
+	var render func(id, depth int) error
+	render = func(id, depth int) error {
+		indent := strings.Repeat("  ", depth)
+		if id < d.Len() {
+			_, err := fmt.Fprintf(w, "%s%s\n", indent, shortName(names[id]))
+			return err
+		}
+		m := merges[id-d.Len()]
+		ls := append([]int(nil), leaves[id]...)
+		sort.Ints(ls)
+		labels := make([]string, len(ls))
+		for i, l := range ls {
+			labels[i] = shortName(names[l])
+		}
+		if _, err := fmt.Fprintf(w, "%sd=%.2f  {%s}\n", indent, m.Distance, strings.Join(labels, " ")); err != nil {
+			return err
+		}
+		ch := children[id]
+		if err := render(ch[0], depth+1); err != nil {
+			return err
+		}
+		return render(ch[1], depth+1)
+	}
+	return render(root, 0)
+}
+
+// CutTable prints, for each k in [kMin, kMax], the cluster membership
+// at that cut — a compact alternative to reading the dendrogram.
+func CutTable(w io.Writer, d *cluster.Dendrogram, names []string, kMin, kMax int) error {
+	if len(names) != d.Len() {
+		return fmt.Errorf("viz: %d names for %d leaves", len(names), d.Len())
+	}
+	for k := kMin; k <= kMax && k <= d.Len(); k++ {
+		if k < 1 {
+			continue
+		}
+		a, err := d.CutK(k)
+		if err != nil {
+			return err
+		}
+		parts := make([]string, a.K)
+		for label, members := range a.Members() {
+			ms := make([]string, len(members))
+			for i, idx := range members {
+				ms[i] = shortName(names[idx])
+			}
+			parts[label] = "{" + strings.Join(ms, " ") + "}"
+		}
+		if _, err := fmt.Fprintf(w, "k=%d: %s\n", k, strings.Join(parts, " ")); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,55 @@
+package viz
+
+import (
+	"fmt"
+	"io"
+	"math"
+)
+
+// Heatmap renders a matrix of non-negative values as an ASCII density
+// grid: each cell becomes a glyph from " .:-=+*#%@" scaled between
+// the matrix minimum and maximum. It is used for U-matrices (cluster
+// boundaries appear as bright ridges) and SOM component planes.
+func Heatmap(w io.Writer, values [][]float64) error {
+	if len(values) == 0 {
+		return fmt.Errorf("viz: empty heatmap")
+	}
+	const glyphs = " .:-=+*#%@"
+	lo, hi := math.Inf(1), math.Inf(-1)
+	cols := len(values[0])
+	for _, row := range values {
+		if len(row) != cols {
+			return fmt.Errorf("viz: ragged heatmap rows")
+		}
+		for _, v := range row {
+			if math.IsNaN(v) {
+				return fmt.Errorf("viz: NaN in heatmap")
+			}
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+	}
+	span := hi - lo
+	for _, row := range values {
+		for _, v := range row {
+			idx := 0
+			if span > 0 {
+				idx = int((v - lo) / span * float64(len(glyphs)-1))
+			}
+			// Print each glyph twice: terminal cells are ~2x taller
+			// than wide, so doubling keeps the grid roughly square.
+			if _, err := fmt.Fprintf(w, "%c%c", glyphs[idx], glyphs[idx]); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "scale: %.3g (blank) .. %.3g (@)\n", lo, hi)
+	return err
+}

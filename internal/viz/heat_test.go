@@ -1,0 +1,58 @@
+package viz
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestHeatmapBasic(t *testing.T) {
+	var sb strings.Builder
+	err := Heatmap(&sb, [][]float64{
+		{0, 0.5},
+		{1, 0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 { // 2 rows + scale line
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	// Max value renders as '@@', min as spaces.
+	if !strings.Contains(lines[1], "@@") {
+		t.Fatalf("max glyph missing: %q", lines[1])
+	}
+	if !strings.HasPrefix(lines[0], "  ") {
+		t.Fatalf("min glyph wrong: %q", lines[0])
+	}
+	if !strings.Contains(lines[2], "scale:") {
+		t.Fatalf("scale line missing: %q", lines[2])
+	}
+}
+
+func TestHeatmapConstantMatrix(t *testing.T) {
+	var sb strings.Builder
+	if err := Heatmap(&sb, [][]float64{{3, 3}, {3, 3}}); err != nil {
+		t.Fatal(err)
+	}
+	// Constant matrices render the lowest glyph everywhere without
+	// dividing by zero (only the scale line mentions the max glyph).
+	body := strings.Split(sb.String(), "scale:")[0]
+	if strings.Contains(body, "@") {
+		t.Fatalf("constant matrix rendered hot cells:\n%s", sb.String())
+	}
+}
+
+func TestHeatmapErrors(t *testing.T) {
+	if err := Heatmap(&strings.Builder{}, nil); err == nil {
+		t.Error("empty heatmap accepted")
+	}
+	if err := Heatmap(&strings.Builder{}, [][]float64{{1, 2}, {3}}); err == nil {
+		t.Error("ragged heatmap accepted")
+	}
+	if err := Heatmap(&strings.Builder{}, [][]float64{{math.NaN()}}); err == nil {
+		t.Error("NaN heatmap accepted")
+	}
+}

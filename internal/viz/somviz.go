@@ -1,0 +1,109 @@
+// Package viz renders the paper's figures as text: SOM workload maps
+// (Figures 3, 5, 7), dendrograms (Figures 4, 6, 8) and aligned score
+// tables (Tables III–VI). Everything writes plain ASCII so output is
+// stable in logs, tests and CI.
+package viz
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"hmeans/internal/som"
+	"hmeans/internal/vecmath"
+)
+
+// SOMMap renders the workload distribution over the unit grid, one
+// cell per unit. Cells with a single workload show its label; cells
+// shared by several workloads (the paper's "darker cells") show all
+// labels joined by '+'. Labels are abbreviated to their last name
+// component.
+func SOMMap(w io.Writer, m *som.Map, names []string, samples []vecmath.Vector) error {
+	if len(names) != len(samples) {
+		return fmt.Errorf("viz: %d names for %d samples", len(names), len(samples))
+	}
+	occupants := make(map[[2]int][]string)
+	for i, s := range samples {
+		r, c := m.BMU(s)
+		key := [2]int{r, c}
+		occupants[key] = append(occupants[key], shortName(names[i]))
+	}
+	width := 3
+	for _, labels := range occupants {
+		if l := len(strings.Join(labels, "+")); l > width {
+			width = l
+		}
+	}
+	line := rowSeparator(m.Cols(), width)
+	if _, err := fmt.Fprintln(w, line); err != nil {
+		return err
+	}
+	for r := 0; r < m.Rows(); r++ {
+		cells := make([]string, m.Cols())
+		for c := 0; c < m.Cols(); c++ {
+			label := strings.Join(occupants[[2]int{r, c}], "+")
+			cells[c] = pad(label, width)
+		}
+		if _, err := fmt.Fprintf(w, "|%s|\n", strings.Join(cells, "|")); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintln(w, line); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// HitSummary lists shared cells — the paper's "particularly similar"
+// workloads — one line per multi-occupant cell, sorted by position.
+func HitSummary(w io.Writer, m *som.Map, names []string, samples []vecmath.Vector) error {
+	occupants := make(map[[2]int][]string)
+	for i, s := range samples {
+		r, c := m.BMU(s)
+		occupants[[2]int{r, c}] = append(occupants[[2]int{r, c}], names[i])
+	}
+	keys := make([][2]int, 0, len(occupants))
+	for k, v := range occupants {
+		if len(v) > 1 {
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(a, b int) bool {
+		if keys[a][0] != keys[b][0] {
+			return keys[a][0] < keys[b][0]
+		}
+		return keys[a][1] < keys[b][1]
+	})
+	for _, k := range keys {
+		if _, err := fmt.Fprintf(w, "cell (%d,%d): %s\n", k[0], k[1], strings.Join(occupants[k], ", ")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func shortName(s string) string {
+	if i := strings.LastIndexByte(s, '.'); i >= 0 {
+		return s[i+1:]
+	}
+	return s
+}
+
+func pad(s string, width int) string {
+	if len(s) > width {
+		s = s[:width]
+	}
+	left := (width - len(s)) / 2
+	return strings.Repeat(" ", left) + s + strings.Repeat(" ", width-len(s)-left)
+}
+
+func rowSeparator(cols, width int) string {
+	var sb strings.Builder
+	sb.WriteByte('+')
+	for c := 0; c < cols; c++ {
+		sb.WriteString(strings.Repeat("-", width))
+		sb.WriteByte('+')
+	}
+	return sb.String()
+}

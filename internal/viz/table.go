@@ -1,0 +1,86 @@
+package viz
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table renders an aligned text table with a header row, matching the
+// layout of the paper's score tables. Cells are right-aligned except
+// the first column.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable starts a table with the given column headers.
+func NewTable(header ...string) *Table {
+	return &Table{header: header}
+}
+
+// AddRow appends a row; short rows are padded with empty cells and
+// long rows are rejected.
+func (t *Table) AddRow(cells ...string) error {
+	if len(cells) > len(t.header) {
+		return fmt.Errorf("viz: row has %d cells for %d columns", len(cells), len(t.header))
+	}
+	row := make([]string, len(t.header))
+	copy(row, cells)
+	t.rows = append(t.rows, row)
+	return nil
+}
+
+// AddRowf appends a row where every cell after the first is formatted
+// with the given verb (e.g. "%.2f") from the values.
+func (t *Table) AddRowf(label, verb string, values ...float64) error {
+	cells := make([]string, 0, len(values)+1)
+	cells = append(cells, label)
+	for _, v := range values {
+		cells = append(cells, fmt.Sprintf(verb, v))
+	}
+	return t.AddRow(cells...)
+}
+
+// Render writes the aligned table.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	writeRow := func(cells []string) error {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			if i == 0 {
+				parts[i] = c + strings.Repeat(" ", widths[i]-len(c))
+			} else {
+				parts[i] = strings.Repeat(" ", widths[i]-len(c)) + c
+			}
+		}
+		_, err := fmt.Fprintln(w, strings.Join(parts, "  "))
+		return err
+	}
+	if err := writeRow(t.header); err != nil {
+		return err
+	}
+	total := len(widths) - 1
+	for _, wd := range widths {
+		total += wd + 1
+	}
+	if _, err := fmt.Fprintln(w, strings.Repeat("-", total)); err != nil {
+		return err
+	}
+	for _, row := range t.rows {
+		if err := writeRow(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
