@@ -1,0 +1,36 @@
+# Local targets mirror the CI gate (.github/workflows/ci.yml) exactly:
+# a green `make ci` means a green pipeline.
+
+GO ?= go
+
+.PHONY: all build test race vet fmt lint bench ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# fmt rewrites; lint (used by CI) only checks.
+fmt:
+	gofmt -w .
+
+lint: vet
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "files need gofmt:" >&2; echo "$$out" >&2; exit 1; \
+	fi
+
+# Every benchmark runs exactly once (the CI bench-smoke job); use
+# `go test -bench=... -benchtime=...` directly for real measurements.
+bench:
+	$(GO) test -bench=. -benchtime=1x ./... | tee bench.txt
+
+ci: build lint test race bench

@@ -17,6 +17,7 @@ import (
 	"os"
 
 	"hmeans/internal/dataio"
+	"hmeans/internal/par"
 	"hmeans/internal/rng"
 	"hmeans/internal/simbench"
 )
@@ -31,11 +32,12 @@ func main() {
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("benchsim", flag.ContinueOnError)
 	var (
-		emit    = fs.String("emit", "speedups", "what to emit: speedups, sar, methods, times or manifest")
-		machine = fs.String("machine", "A", "machine: A, B or reference")
-		runs    = fs.Int("runs", 10, "executions averaged per measurement")
-		seed    = fs.Uint64("seed", 1, "measurement / sampling seed")
-		suite   = fs.String("suite", "", "JSON suite manifest (default: the built-in calibrated suite)")
+		emit     = fs.String("emit", "speedups", "what to emit: speedups, sar, methods, times or manifest")
+		machine  = fs.String("machine", "A", "machine: A, B or reference")
+		runs     = fs.Int("runs", 10, "executions averaged per measurement")
+		seed     = fs.Uint64("seed", 1, "measurement / sampling seed")
+		suite    = fs.String("suite", "", "JSON suite manifest (default: the built-in calibrated suite)")
+		parallel = fs.Int("parallel", 1, "worker count for -emit speedups (0 = all CPUs); values > 1 measure workloads concurrently on independent noise sub-streams, identical for every worker count")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -61,9 +63,24 @@ func run(args []string, stdout io.Writer) error {
 		return err
 	}
 
+	workers := *parallel
+	if workers <= 0 {
+		workers = par.Auto()
+	}
+
 	switch *emit {
 	case "speedups":
-		vals, err := simbench.MeasuredSpeedups(ws, m, simbench.Reference(), *runs, *seed)
+		// -parallel 1 keeps the historical single-stream measurement
+		// campaign byte-for-byte; higher values switch to per-workload
+		// sub-streams so the campaign can fan out without its output
+		// depending on the worker count.
+		var vals []float64
+		var err error
+		if workers > 1 {
+			vals, err = simbench.MeasuredSpeedupsParallel(ws, m, simbench.Reference(), *runs, *seed, workers)
+		} else {
+			vals, err = simbench.MeasuredSpeedups(ws, m, simbench.Reference(), *runs, *seed)
+		}
 		if err != nil {
 			return err
 		}

@@ -24,6 +24,7 @@ import (
 
 	"hmeans"
 	"hmeans/internal/dataio"
+	"hmeans/internal/par"
 	"hmeans/internal/som"
 	"hmeans/internal/viz"
 )
@@ -45,6 +46,7 @@ func run(args []string, stdout io.Writer) error {
 		meanName     = fs.String("mean", "geometric", "mean family: geometric, arithmetic or harmonic")
 		k            = fs.Int("k", 0, "cluster count to cut at (0 with -chars: sweep 2..n)")
 		seed         = fs.Uint64("seed", 2007, "SOM training seed")
+		parallel     = fs.Int("parallel", 1, "worker count for SOM training and clustering (0 = all CPUs); results are identical for every value")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -87,9 +89,14 @@ func run(args []string, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
+	workers := *parallel
+	if workers <= 0 {
+		workers = par.Auto()
+	}
 	p, err := hmeans.DetectClusters(table, hmeans.PipelineConfig{
-		Kind: kindVal,
-		SOM:  som.Config{Seed: *seed},
+		Kind:        kindVal,
+		SOM:         som.Config{Seed: *seed},
+		Parallelism: workers,
 	})
 	if err != nil {
 		return err

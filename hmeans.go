@@ -121,7 +121,11 @@ const (
 
 // PipelineConfig configures cluster detection; the zero value uses
 // the paper's choices (counter preprocessing, SOM reduction sized to
-// the sample count, complete linkage, Euclidean distance).
+// the sample count, complete linkage, Euclidean distance). Set
+// Parallelism to shard the pipeline's hot kernels (batch-SOM
+// training, placement, distance matrix, linkage scans) across that
+// many workers — every parallel kernel reduces deterministically, so
+// results are bit-identical for any worker count.
 type PipelineConfig = core.PipelineConfig
 
 // Pipeline is a completed cluster detection: preprocessed table,

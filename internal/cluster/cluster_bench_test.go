@@ -1,8 +1,10 @@
 package cluster
 
 import (
+	"fmt"
 	"testing"
 
+	"hmeans/internal/par"
 	"hmeans/internal/vecmath"
 )
 
@@ -29,6 +31,47 @@ func BenchmarkDendrogramLarge(b *testing.B) {
 		if _, err := NewDendrogram(pts, vecmath.Euclidean, Complete); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkDendrogramSerialVsParallel compares the single-worker
+// agglomeration against the full machine at the paper's suite size
+// and two production-scale sizes. Both arms produce bit-identical
+// merge sequences; the parallel arm shards the distance matrix and
+// every nearest-pair scan.
+func BenchmarkDendrogramSerialVsParallel(b *testing.B) {
+	for _, n := range []int{13, 200, 1000} {
+		pts := randomPoints(n, 2, uint64(n))
+		for _, arm := range []struct {
+			name    string
+			workers int
+		}{{"serial", 1}, {"parallel", par.Auto()}} {
+			b.Run(fmt.Sprintf("n=%d/%s", n, arm.name), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := NewDendrogramP(pts, vecmath.Euclidean, Complete, arm.workers); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkKMeansSerialVsParallel compares the Lloyd assignment step
+// at 1 worker against the full machine on a large point set.
+func BenchmarkKMeansSerialVsParallel(b *testing.B) {
+	pts := randomPoints(1000, 8, 17)
+	for _, arm := range []struct {
+		name    string
+		workers int
+	}{{"serial", 1}, {"parallel", par.Auto()}} {
+		b.Run(arm.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := KMeansP(pts, 12, 5, 2, arm.workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 
+	"hmeans/internal/par"
 	"hmeans/internal/vecmath"
 )
 
@@ -39,11 +40,21 @@ type Dendrogram struct {
 // paper's algorithm: start with singleton clusters, repeatedly merge
 // the closest pair until one cluster remains.
 func NewDendrogram(points []vecmath.Vector, m vecmath.Metric, l Linkage) (*Dendrogram, error) {
+	return NewDendrogramP(points, m, l, 1)
+}
+
+// NewDendrogramP is NewDendrogram with the distance-matrix build and
+// every nearest-pair scan sharded across `workers` goroutines. The
+// merge sequence is bit-identical to the serial path for any worker
+// count: distances are pure per-pair functions, and the scan
+// reduction preserves the serial tie-break (first minimal pair in
+// row-major order).
+func NewDendrogramP(points []vecmath.Vector, m vecmath.Metric, l Linkage, workers int) (*Dendrogram, error) {
 	if len(points) == 0 {
 		return nil, ErrNoPoints
 	}
-	dm := vecmath.DistanceMatrix(m, points)
-	return FromDistanceMatrix(dm, l)
+	dm := vecmath.DistanceMatrixP(m, points, workers)
+	return FromDistanceMatrixP(dm, l, workers)
 }
 
 // FromDistanceMatrix clusters from a precomputed symmetric distance
@@ -51,6 +62,20 @@ func NewDendrogram(points []vecmath.Vector, m vecmath.Metric, l Linkage) (*Dendr
 // (they are squared internally and merge heights are reported back on
 // the original scale).
 func FromDistanceMatrix(dm *vecmath.Matrix, l Linkage) (*Dendrogram, error) {
+	return FromDistanceMatrixP(dm, l, 1)
+}
+
+// pairCand is one worker's best merge candidate from a nearest-pair
+// scan over a chunk of matrix rows; i < 0 marks "no active pair seen".
+type pairCand struct {
+	i, j int
+	d    float64
+}
+
+// FromDistanceMatrixP is FromDistanceMatrix with every nearest-pair
+// scan sharded across `workers` goroutines; see NewDendrogramP for
+// the determinism argument.
+func FromDistanceMatrixP(dm *vecmath.Matrix, l Linkage, workers int) (*Dendrogram, error) {
 	n := dm.Rows()
 	if n == 0 || dm.Cols() != n {
 		return nil, fmt.Errorf("cluster: distance matrix must be square and non-empty, got %dx%d", dm.Rows(), dm.Cols())
@@ -62,23 +87,34 @@ func FromDistanceMatrix(dm *vecmath.Matrix, l Linkage) (*Dendrogram, error) {
 	if n == 1 {
 		return d, nil
 	}
+	workers = par.Resolve(workers)
 
 	// Working pairwise distances between *active* clusters, indexed
 	// by slot in [0, n); slot i initially holds leaf i. After a merge
 	// the merged cluster reuses the lower slot and the higher slot is
-	// deactivated.
+	// deactivated. Rows validate independently, so the build shards
+	// cleanly; rowErr collects at most one error per row.
 	dist := make([][]float64, n)
-	for i := range dist {
-		dist[i] = make([]float64, n)
-		for j := 0; j < n; j++ {
-			v := dm.At(i, j)
-			if v < 0 || math.IsNaN(v) {
-				return nil, fmt.Errorf("cluster: invalid distance %v at (%d,%d)", v, i, j)
+	rowErr := make([]error, n)
+	par.For(workers, n, func(start, end int) {
+		for i := start; i < end; i++ {
+			dist[i] = make([]float64, n)
+			for j := 0; j < n; j++ {
+				v := dm.At(i, j)
+				if v < 0 || math.IsNaN(v) {
+					rowErr[i] = fmt.Errorf("cluster: invalid distance %v at (%d,%d)", v, i, j)
+					return
+				}
+				if l == Ward {
+					v *= v
+				}
+				dist[i][j] = v
 			}
-			if l == Ward {
-				v *= v
-			}
-			dist[i][j] = v
+		}
+	})
+	for _, err := range rowErr {
+		if err != nil {
+			return nil, err
 		}
 	}
 	active := make([]bool, n)
@@ -90,24 +126,43 @@ func FromDistanceMatrix(dm *vecmath.Matrix, l Linkage) (*Dendrogram, error) {
 		size[i] = 1
 	}
 
+	// Row bands are fixed for the whole agglomeration; scans ignore
+	// deactivated slots, so the bands never need rebalancing to stay
+	// correct.
+	chunks := par.Split(n, workers)
+	cands := make([]pairCand, len(chunks))
 	nextID := n
 	for step := 0; step < n-1; step++ {
-		// Find the closest active pair. O(n²) per step is fine at the
-		// scale of benchmark suites (tens of workloads) and keeps the
-		// algorithm a faithful transcription of the paper's pseudo
-		// code.
-		bi, bj, best := -1, -1, math.Inf(1)
-		for i := 0; i < n; i++ {
-			if !active[i] {
-				continue
+		// Find the closest active pair. Each worker scans a
+		// contiguous band of rows and keeps the first strictly
+		// minimal pair it sees; merging the per-worker candidates in
+		// band order reproduces the serial row-major tie-break
+		// exactly, because a later band can only win with a strictly
+		// smaller distance.
+		par.For(workers, len(chunks), func(cStart, cEnd int) {
+			for c := cStart; c < cEnd; c++ {
+				best := pairCand{i: -1, j: -1, d: math.Inf(1)}
+				for i := chunks[c].Start; i < chunks[c].End; i++ {
+					if !active[i] {
+						continue
+					}
+					row := dist[i]
+					for j := i + 1; j < n; j++ {
+						if !active[j] {
+							continue
+						}
+						if row[j] < best.d {
+							best = pairCand{i: i, j: j, d: row[j]}
+						}
+					}
+				}
+				cands[c] = best
 			}
-			for j := i + 1; j < n; j++ {
-				if !active[j] {
-					continue
-				}
-				if dist[i][j] < best {
-					bi, bj, best = i, j, dist[i][j]
-				}
+		})
+		bi, bj, best := -1, -1, math.Inf(1)
+		for _, c := range cands {
+			if c.i >= 0 && c.d < best {
+				bi, bj, best = c.i, c.j, c.d
 			}
 		}
 		// Update distances from the merged cluster (slot bi) to every

@@ -4,7 +4,9 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync/atomic"
 
+	"hmeans/internal/par"
 	"hmeans/internal/rng"
 	"hmeans/internal/vecmath"
 )
@@ -32,6 +34,16 @@ type KMeansResult struct {
 // algorithm restarts from scratch up to `restarts` times (minimum 1)
 // and keeps the lowest-inertia result.
 func KMeans(points []vecmath.Vector, k int, seed uint64, restarts int) (KMeansResult, error) {
+	return KMeansP(points, k, seed, restarts, 1)
+}
+
+// KMeansP is KMeans with the per-iteration assignment step (each
+// point's nearest-centroid search) sharded across `workers`
+// goroutines. Assignments are independent point-local decisions over
+// frozen centroids and the centroid/inertia recomputation stays
+// serial, so the result is bit-identical to KMeans for any worker
+// count.
+func KMeansP(points []vecmath.Vector, k int, seed uint64, restarts, workers int) (KMeansResult, error) {
 	if len(points) == 0 {
 		return KMeansResult{}, ErrNoPoints
 	}
@@ -50,7 +62,7 @@ func KMeans(points []vecmath.Vector, k int, seed uint64, restarts int) (KMeansRe
 	r := rng.New(seed)
 	best := KMeansResult{Inertia: math.Inf(1)}
 	for attempt := 0; attempt < restarts; attempt++ {
-		res := kmeansOnce(points, k, r)
+		res := kmeansOnce(points, k, r, workers)
 		if res.Inertia < best.Inertia {
 			best = res
 		}
@@ -59,26 +71,29 @@ func KMeans(points []vecmath.Vector, k int, seed uint64, restarts int) (KMeansRe
 	return best, nil
 }
 
-func kmeansOnce(points []vecmath.Vector, k int, r *rng.Source) KMeansResult {
+func kmeansOnce(points []vecmath.Vector, k int, r *rng.Source, workers int) KMeansResult {
 	centroids := seedPlusPlus(points, k, r)
 	labels := make([]int, len(points))
 	const maxIter = 200
 	var iter int
 	for iter = 0; iter < maxIter; iter++ {
-		changed := false
-		for i, p := range points {
-			bestLabel, bestDist := 0, math.Inf(1)
-			for c, ct := range centroids {
-				if d := vecmath.SquaredEuclidean(p, ct); d < bestDist {
-					bestLabel, bestDist = c, d
+		var changed atomic.Bool
+		par.For(workers, len(points), func(start, end int) {
+			for i := start; i < end; i++ {
+				p := points[i]
+				bestLabel, bestDist := 0, math.Inf(1)
+				for c, ct := range centroids {
+					if d := vecmath.SquaredEuclidean(p, ct); d < bestDist {
+						bestLabel, bestDist = c, d
+					}
+				}
+				if labels[i] != bestLabel {
+					labels[i] = bestLabel
+					changed.Store(true)
 				}
 			}
-			if labels[i] != bestLabel {
-				labels[i] = bestLabel
-				changed = true
-			}
-		}
-		if !changed && iter > 0 {
+		})
+		if !changed.Load() && iter > 0 {
 			break
 		}
 		// Recompute centroids; an emptied cluster keeps its old

@@ -1,0 +1,103 @@
+package cluster
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"hmeans/internal/vecmath"
+)
+
+// tieHeavyPoints builds a point set with duplicated points and a
+// coarse coordinate lattice, so many pairwise distances collide
+// exactly and the nearest-pair tie-break is genuinely exercised.
+func tieHeavyPoints(n int, seed uint64) []vecmath.Vector {
+	pts := randomPoints(n, 2, seed)
+	for i := range pts {
+		for j := range pts[i] {
+			pts[i][j] = math.Round(pts[i][j] * 2)
+		}
+	}
+	// Duplicate a few points outright: zero distances are the
+	// hardest ties.
+	for i := 0; i+3 < len(pts); i += 7 {
+		pts[i+3] = pts[i].Clone()
+	}
+	return pts
+}
+
+// TestDendrogramParallelDeterminism asserts the core guarantee of the
+// parallel linkage: for every linkage, seed and worker count the
+// merge sequence — ids, sizes and float64-exact heights — matches the
+// serial path.
+func TestDendrogramParallelDeterminism(t *testing.T) {
+	for _, l := range []Linkage{Complete, Single, Average, Ward} {
+		for seed := uint64(1); seed <= 5; seed++ {
+			pts := tieHeavyPoints(60, seed)
+			serial, err := NewDendrogram(pts, vecmath.Euclidean, l)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, workers := range []int{1, 2, 8} {
+				got, err := NewDendrogramP(pts, vecmath.Euclidean, l, workers)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(serial.Merges(), got.Merges()) {
+					t.Fatalf("%v seed %d workers %d: parallel merge sequence differs from serial",
+						l, seed, workers)
+				}
+			}
+		}
+	}
+}
+
+// TestFromDistanceMatrixParallelValidation keeps the input validation
+// of the sharded matrix build equivalent to the serial path.
+func TestFromDistanceMatrixParallelValidation(t *testing.T) {
+	bad := vecmath.NewMatrix(3, 3)
+	bad.Set(0, 1, -1)
+	bad.Set(1, 0, -1)
+	for _, workers := range []int{1, 2, 8} {
+		if _, err := FromDistanceMatrixP(bad, Complete, workers); err == nil {
+			t.Fatalf("workers %d: negative distance accepted", workers)
+		}
+	}
+	nan := vecmath.NewMatrix(2, 2)
+	nan.Set(0, 1, math.NaN())
+	nan.Set(1, 0, math.NaN())
+	for _, workers := range []int{1, 2, 8} {
+		if _, err := FromDistanceMatrixP(nan, Average, workers); err == nil {
+			t.Fatalf("workers %d: NaN distance accepted", workers)
+		}
+	}
+}
+
+// TestNewDendrogramPEmpty mirrors the serial empty-input contract.
+func TestNewDendrogramPEmpty(t *testing.T) {
+	if _, err := NewDendrogramP(nil, vecmath.Euclidean, Complete, 4); err != ErrNoPoints {
+		t.Fatalf("err = %v, want ErrNoPoints", err)
+	}
+}
+
+// TestKMeansParallelDeterminism asserts KMeansP reproduces KMeans
+// bit-for-bit (labels, centroids, inertia, iteration count) for every
+// worker count.
+func TestKMeansParallelDeterminism(t *testing.T) {
+	for seed := uint64(1); seed <= 5; seed++ {
+		pts := randomPoints(80, 3, seed)
+		serial, err := KMeans(pts, 6, seed, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{1, 2, 8} {
+			got, err := KMeansP(pts, 6, seed, 4, workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(serial, got) {
+				t.Fatalf("seed %d workers %d: KMeansP result differs from KMeans", seed, workers)
+			}
+		}
+	}
+}

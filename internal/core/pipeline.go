@@ -6,6 +6,7 @@ import (
 
 	"hmeans/internal/chars"
 	"hmeans/internal/cluster"
+	"hmeans/internal/par"
 	"hmeans/internal/som"
 	"hmeans/internal/vecmath"
 )
@@ -49,6 +50,13 @@ type PipelineConfig struct {
 	// exactly zero — useful when the downstream analysis needs
 	// within-cell structure. Ignored with SkipSOM.
 	SoftPlacement bool
+	// Parallelism is the worker count for the pipeline's parallel
+	// kernels: batch-SOM training, BMU placement, the pairwise
+	// distance matrix and the linkage scans. Values <= 1 run
+	// serially. Every parallel kernel reduces deterministically, so
+	// results are bit-identical for any worker count; an explicit
+	// SOM.Parallelism overrides this value for the SOM stage.
+	Parallelism int
 }
 
 // Pipeline is the result of cluster detection over one
@@ -86,6 +94,7 @@ func DetectClusters(table *chars.Table, cfg PipelineConfig) (*Pipeline, error) {
 	if len(p.Prepared.Features) == 0 {
 		return nil, errors.New("core: preprocessing discarded every feature; nothing to cluster on")
 	}
+	workers := par.Resolve(cfg.Parallelism)
 	vectors := p.Prepared.Vectors()
 	if cfg.SkipSOM {
 		p.Positions = vectors
@@ -96,18 +105,21 @@ func DetectClusters(table *chars.Table, cfg PipelineConfig) (*Pipeline, error) {
 			// cells and destabilize the downstream clustering.
 			cfg.SOM.Rows, cfg.SOM.Cols = som.GridFor(len(vectors))
 		}
+		if cfg.SOM.Parallelism == 0 {
+			cfg.SOM.Parallelism = workers
+		}
 		m, err := som.Train(cfg.SOM, vectors)
 		if err != nil {
 			return nil, fmt.Errorf("core: SOM training: %w", err)
 		}
 		p.Map = m
 		if cfg.SoftPlacement {
-			p.Positions = m.SoftPlacements(vectors)
+			p.Positions = m.SoftPlacementsP(vectors, workers)
 		} else {
-			p.Positions = m.Placements(vectors)
+			p.Positions = m.PlacementsP(vectors, workers)
 		}
 	}
-	d, err := cluster.NewDendrogram(p.Positions, cfg.Metric, cfg.Linkage)
+	d, err := cluster.NewDendrogramP(p.Positions, cfg.Metric, cfg.Linkage, workers)
 	if err != nil {
 		return nil, fmt.Errorf("core: clustering: %w", err)
 	}

@@ -1,0 +1,150 @@
+// Package par provides the small deterministic-parallelism toolkit
+// the hot kernels (SOM batch training, agglomerative linkage, k-means
+// assignment) share: contiguous range splitting across a bounded
+// worker pool, and fixed-shard partitioning whose boundaries depend
+// only on the problem size — never on the worker count — so that
+// floating-point reductions performed shard-by-shard in index order
+// produce bit-identical results for any parallelism level.
+//
+// The package deliberately has no clever scheduling: every helper
+// spawns at most `workers` goroutines, hands each a statically
+// computed contiguous range, and waits. That keeps the parallel paths
+// trivially race-free (disjoint writes) and keeps results a pure
+// function of the inputs.
+package par
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Resolve normalizes a requested parallelism level: values below 1
+// mean "serial" (1). Callers that want "all cores" should pass
+// Auto().
+func Resolve(workers int) int {
+	if workers < 1 {
+		return 1
+	}
+	return workers
+}
+
+// Auto returns the worker count for "use the whole machine":
+// runtime.NumCPU().
+func Auto() int { return runtime.NumCPU() }
+
+// Range describes a contiguous half-open index interval [Start, End).
+type Range struct {
+	Start, End int
+}
+
+// Split partitions [0, n) into at most `parts` contiguous ranges of
+// near-equal length (the first n%parts ranges are one longer). It
+// returns fewer ranges when n < parts; it never returns empty ranges.
+func Split(n, parts int) []Range {
+	if n <= 0 {
+		return nil
+	}
+	if parts < 1 {
+		parts = 1
+	}
+	if parts > n {
+		parts = n
+	}
+	out := make([]Range, 0, parts)
+	base, rem := n/parts, n%parts
+	start := 0
+	for i := 0; i < parts; i++ {
+		size := base
+		if i < rem {
+			size++
+		}
+		out = append(out, Range{Start: start, End: start + size})
+		start += size
+	}
+	return out
+}
+
+// For runs body over [0, n) split into `workers` contiguous chunks,
+// one goroutine per chunk, and waits for all of them. With workers <= 1
+// (or n small) it runs inline on the calling goroutine. Each body
+// invocation owns its range exclusively, so bodies may write to
+// per-index slots of shared slices without synchronization. Results
+// must not depend on chunk boundaries if worker-count-invariant output
+// is required — use FixedShards for order-sensitive reductions.
+func For(workers, n int, body func(start, end int)) {
+	workers = Resolve(workers)
+	if workers == 1 || n <= 1 {
+		if n > 0 {
+			body(0, n)
+		}
+		return
+	}
+	ranges := Split(n, workers)
+	if len(ranges) == 1 {
+		body(ranges[0].Start, ranges[0].End)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(len(ranges) - 1)
+	for _, r := range ranges[1:] {
+		go func(r Range) {
+			defer wg.Done()
+			body(r.Start, r.End)
+		}(r)
+	}
+	body(ranges[0].Start, ranges[0].End)
+	wg.Wait()
+}
+
+// FixedShards partitions [0, n) into shards of exactly `shardSize`
+// indices (the last shard may be shorter) — boundaries depend only on
+// n and shardSize, never on the worker count — and runs body once per
+// shard across the pool. The shard index lets the body write into a
+// per-shard accumulator; reducing those accumulators in shard order
+// afterwards yields bit-identical floating-point results regardless
+// of parallelism. It returns the number of shards.
+func FixedShards(workers, n, shardSize int, body func(shard, start, end int)) int {
+	if n <= 0 {
+		return 0
+	}
+	if shardSize < 1 {
+		shardSize = 1
+	}
+	shards := (n + shardSize - 1) / shardSize
+	run := func(shard int) {
+		start := shard * shardSize
+		end := start + shardSize
+		if end > n {
+			end = n
+		}
+		body(shard, start, end)
+	}
+	workers = Resolve(workers)
+	if workers == 1 || shards == 1 {
+		for s := 0; s < shards; s++ {
+			run(s)
+		}
+		return shards
+	}
+	if workers > shards {
+		workers = shards
+	}
+	// Static interleaved assignment: worker w owns shards w, w+W,
+	// w+2W, … Shard boundaries are fixed, so which worker computes a
+	// shard cannot change its contents.
+	var wg sync.WaitGroup
+	wg.Add(workers - 1)
+	for w := 1; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for s := w; s < shards; s += workers {
+				run(s)
+			}
+		}(w)
+	}
+	for s := 0; s < shards; s += workers {
+		run(s)
+	}
+	wg.Wait()
+	return shards
+}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"hmeans/internal/par"
 	"hmeans/internal/rng"
 	"hmeans/internal/stat"
 )
@@ -99,6 +100,47 @@ func MeasuredSpeedups(ws []Workload, target, ref Machine, runs int, seed uint64)
 			return nil, fmt.Errorf("simbench: measuring %s on %s: %w", ws[i].Name, ref.Name, err)
 		}
 		out[i] = tRef / tTarget
+	}
+	return out, nil
+}
+
+// MeasuredSpeedupsParallel is MeasuredSpeedups with the per-workload
+// measurement campaigns spread across `workers` goroutines. Each
+// workload draws its noise from a private sub-stream seeded up front
+// from the campaign seed, so the result depends only on (ws, seed) —
+// identical for every worker count — but the individual noise draws
+// differ from MeasuredSpeedups' single shared stream.
+func MeasuredSpeedupsParallel(ws []Workload, target, ref Machine, runs int, seed uint64, workers int) ([]float64, error) {
+	if len(ws) == 0 {
+		return nil, errors.New("simbench: no workloads")
+	}
+	base := rng.New(seed)
+	seeds := make([]uint64, len(ws))
+	for i := range seeds {
+		seeds[i] = base.Uint64()
+	}
+	out := make([]float64, len(ws))
+	errs := make([]error, len(ws))
+	par.For(workers, len(ws), func(start, end int) {
+		for i := start; i < end; i++ {
+			r := rng.New(seeds[i])
+			tTarget, err := MeasureTime(&ws[i], target, runs, r)
+			if err != nil {
+				errs[i] = fmt.Errorf("simbench: measuring %s on %s: %w", ws[i].Name, target.Name, err)
+				continue
+			}
+			tRef, err := MeasureTime(&ws[i], ref, runs, r)
+			if err != nil {
+				errs[i] = fmt.Errorf("simbench: measuring %s on %s: %w", ws[i].Name, ref.Name, err)
+				continue
+			}
+			out[i] = tRef / tTarget
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
 	}
 	return out, nil
 }

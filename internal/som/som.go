@@ -58,6 +58,18 @@ type Config struct {
 	// deterministic, and avoids grid-magnification of tight sample
 	// blobs (see trainBatch). Default Sequential.
 	Algorithm Algorithm
+	// BatchEpochs fixes the number of batch epochs directly. Zero
+	// derives the epoch count from Steps (Steps / len(samples),
+	// clamped to [10, 200]). Sequential training ignores it.
+	BatchEpochs int
+	// Parallelism is the worker count for batch training (and the
+	// bulk placement helpers). Values <= 1 run serially. Batch
+	// accumulation uses fixed shards reduced in index order, so the
+	// trained map is bit-identical for every parallelism level —
+	// Parallelism trades wall-clock time only, never results.
+	// Sequential training is inherently order-dependent and ignores
+	// this field.
+	Parallelism int
 	// Seed drives sample-selection order and random initialization.
 	Seed uint64
 }

@@ -1,14 +1,23 @@
 package som
 
 import (
+	"fmt"
 	"testing"
 
+	"hmeans/internal/par"
 	"hmeans/internal/vecmath"
 )
 
 func benchSamples(n, dim int) []vecmath.Vector {
 	samples, _ := twoBlobs(n/2, dim, 6, 99)
 	return samples
+}
+
+// benchSamplesExact returns exactly n samples (twoBlobs always
+// returns an even count).
+func benchSamplesExact(n, dim int) []vecmath.Vector {
+	samples, _ := twoBlobs((n+1)/2, dim, 6, 99)
+	return samples[:n]
 }
 
 func BenchmarkTrainSequentialSuiteScale(b *testing.B) {
@@ -28,6 +37,34 @@ func BenchmarkTrainBatchSuiteScale(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := Train(Config{Rows: 5, Cols: 4, Seed: 1, Algorithm: Batch}, samples); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTrainBatchSerialVsParallel compares the deterministic
+// batch trainer at 1 worker against the full machine, from the
+// paper's 13-workload suite up to the big-suite regime the parallel
+// layer targets. Both arms produce bit-identical maps.
+func BenchmarkTrainBatchSerialVsParallel(b *testing.B) {
+	for _, n := range []int{13, 200, 1000} {
+		samples := benchSamplesExact(n, 16)
+		rows, cols := GridFor(n)
+		for _, arm := range []struct {
+			name    string
+			workers int
+		}{{"serial", 1}, {"parallel", par.Auto()}} {
+			b.Run(fmt.Sprintf("n=%d/%s", n, arm.name), func(b *testing.B) {
+				cfg := Config{
+					Rows: rows, Cols: cols, Algorithm: Batch,
+					BatchEpochs: 20, Seed: 1, Parallelism: arm.workers,
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := Train(cfg, samples); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
 		}
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"hmeans/internal/par"
 	"hmeans/internal/rng"
 	"hmeans/internal/vecmath"
 )
@@ -50,6 +51,31 @@ func Train(cfg Config, samples []vecmath.Vector) (*Map, error) {
 // must not capture unvisited units.
 const kernelCutoff = 0.05
 
+// batchShardSize is the fixed accumulation-shard width of batch
+// training. Shard boundaries depend only on the sample count — never
+// on Config.Parallelism — so the shard-order reduction makes the
+// trained map bit-identical for every worker count. Sample sets no
+// larger than one shard accumulate in exactly the historical serial
+// order.
+const batchShardSize = 32
+
+// batchEpochs returns the epoch count for batch training: an explicit
+// BatchEpochs wins, otherwise Steps is reinterpreted as sample
+// presentations and clamped to a practical epoch range.
+func batchEpochs(c Config, nSamples int) int {
+	if c.BatchEpochs > 0 {
+		return c.BatchEpochs
+	}
+	epochs := c.Steps / maxInt(1, nSamples)
+	if epochs < 10 {
+		epochs = 10
+	}
+	if epochs > 200 {
+		epochs = 200
+	}
+	return epochs
+}
+
 // trainBatch runs the batch SOM algorithm: each epoch assigns every
 // sample to its BMU, then recomputes every unit's weight as the
 // kernel-weighted mean of all samples,
@@ -64,63 +90,93 @@ const kernelCutoff = 0.05
 // the right default for the paper's use case: tiny sample counts
 // (one vector per workload) where BMU geometry is the product the
 // clustering stage consumes.
+//
+// The per-epoch accumulation is partitioned into fixed-size sample
+// shards (batchShardSize) spread across Config.Parallelism workers.
+// Each shard owns private numerator/denominator accumulators; one
+// reduction per epoch sums them in shard-index order, so the weight
+// update — and therefore the converged map — is bit-identical for
+// any worker count. The BMU searches inside a shard only read the
+// previous epoch's weights, which are frozen until the reduction.
 func (m *Map) trainBatch(c Config, samples []vecmath.Vector) {
 	floor := c.SigmaFinal
 	if floor <= 0 {
 		floor = sigmaFloor
 	}
-	epochs := c.Steps / maxInt(1, len(samples))
-	if epochs < 10 {
-		epochs = 10
-	}
-	if epochs > 200 {
-		epochs = 200
-	}
-	num := make([]vecmath.Vector, len(m.weights))
-	den := make([]float64, len(m.weights))
-	for i := range num {
-		num[i] = vecmath.NewVector(m.dim)
+	epochs := batchEpochs(c, len(samples))
+	workers := par.Resolve(c.Parallelism)
+	shards := (len(samples) + batchShardSize - 1) / batchShardSize
+
+	units := len(m.weights)
+	num := make([][]vecmath.Vector, shards)
+	den := make([][]float64, shards)
+	for s := range num {
+		num[s] = make([]vecmath.Vector, units)
+		den[s] = make([]float64, units)
+		for u := range num[s] {
+			num[s][u] = vecmath.NewVector(m.dim)
+		}
 	}
 	for e := 0; e < epochs; e++ {
 		t := float64(e) / float64(epochs)
 		sigma := c.RadiusDecay.value(c.Sigma0, floor, t)
 		inv2s2 := 1 / (2 * sigma * sigma)
-		for i := range num {
-			for j := range num[i] {
-				num[i][j] = 0
+		par.FixedShards(workers, len(samples), batchShardSize, func(shard, start, end int) {
+			snum, sden := num[shard], den[shard]
+			for u := range snum {
+				for j := range snum[u] {
+					snum[u][j] = 0
+				}
+				sden[u] = 0
 			}
-			den[i] = 0
-		}
-		for _, x := range samples {
-			br, bc := m.BMU(x)
-			for gr := 0; gr < m.rows; gr++ {
-				for gc := 0; gc < m.cols; gc++ {
-					dr, dc := float64(gr-br), float64(gc-bc)
-					h := math.Exp(-(dr*dr + dc*dc) * inv2s2)
-					if h < kernelCutoff {
-						continue
+			for _, x := range samples[start:end] {
+				br, bc := m.BMU(x)
+				for gr := 0; gr < m.rows; gr++ {
+					for gc := 0; gc < m.cols; gc++ {
+						dr, dc := float64(gr-br), float64(gc-bc)
+						h := math.Exp(-(dr*dr + dc*dc) * inv2s2)
+						if h < kernelCutoff {
+							continue
+						}
+						u := gr*m.cols + gc
+						snum[u].AXPYInPlace(h, x)
+						sden[u] += h
 					}
-					u := gr*m.cols + gc
-					num[u].AXPYInPlace(h, x)
-					den[u] += h
 				}
 			}
-		}
-		for u, w := range m.weights {
-			if den[u] < kernelCutoff {
-				// The unit is outside every sample's effective
-				// neighbourhood this epoch. Keep its weight: far
-				// units must retain the ordered (PCA-interpolated)
-				// surface rather than be captured by whichever
-				// sample's kernel tail happens to dominate — that
-				// capture is what creates grid-wide weight plateaus
-				// and scatters near-identical samples' BMUs.
-				continue
+		})
+		// Reduce shard accumulators and apply the weight update. Each
+		// unit reads every shard's slot in ascending shard order, so
+		// the float sums do not depend on which worker filled which
+		// shard; unit-parallelism is safe because units are
+		// independent.
+		par.For(workers, units, func(uStart, uEnd int) {
+			numSum := vecmath.NewVector(m.dim)
+			for u := uStart; u < uEnd; u++ {
+				denSum := 0.0
+				for j := range numSum {
+					numSum[j] = 0
+				}
+				for s := 0; s < shards; s++ {
+					numSum.AXPYInPlace(1, num[s][u])
+					denSum += den[s][u]
+				}
+				if denSum < kernelCutoff {
+					// The unit is outside every sample's effective
+					// neighbourhood this epoch. Keep its weight: far
+					// units must retain the ordered (PCA-interpolated)
+					// surface rather than be captured by whichever
+					// sample's kernel tail happens to dominate — that
+					// capture is what creates grid-wide weight plateaus
+					// and scatters near-identical samples' BMUs.
+					continue
+				}
+				w := m.weights[u]
+				for j := range w {
+					w[j] = numSum[j] / denSum
+				}
 			}
-			for j := range w {
-				w[j] = num[u][j] / den[u]
-			}
-		}
+		})
 	}
 }
 
@@ -187,10 +243,19 @@ func minInt(a, b int) int {
 // Placements maps every sample to its BMU grid position. The result
 // is the 2-D point set handed to hierarchical clustering.
 func (m *Map) Placements(samples []vecmath.Vector) []vecmath.Vector {
+	return m.PlacementsP(samples, 1)
+}
+
+// PlacementsP is Placements across a worker pool. Every sample's BMU
+// is independent of the others, so the result is identical for any
+// worker count.
+func (m *Map) PlacementsP(samples []vecmath.Vector, workers int) []vecmath.Vector {
 	out := make([]vecmath.Vector, len(samples))
-	for i, s := range samples {
-		out[i] = m.Position(s)
-	}
+	par.For(workers, len(samples), func(start, end int) {
+		for i := start; i < end; i++ {
+			out[i] = m.Position(samples[i])
+		}
+	})
 	return out
 }
 
@@ -227,10 +292,18 @@ func (m *Map) SoftPosition(x vecmath.Vector) vecmath.Vector {
 // SoftPlacements maps every sample to its soft (interpolated) grid
 // position; see SoftPosition.
 func (m *Map) SoftPlacements(samples []vecmath.Vector) []vecmath.Vector {
+	return m.SoftPlacementsP(samples, 1)
+}
+
+// SoftPlacementsP is SoftPlacements across a worker pool; like
+// PlacementsP the result is identical for any worker count.
+func (m *Map) SoftPlacementsP(samples []vecmath.Vector, workers int) []vecmath.Vector {
 	out := make([]vecmath.Vector, len(samples))
-	for i, s := range samples {
-		out[i] = m.SoftPosition(s)
-	}
+	par.For(workers, len(samples), func(start, end int) {
+		for i := start; i < end; i++ {
+			out[i] = m.SoftPosition(samples[i])
+		}
+	})
 	return out
 }
 

@@ -1,6 +1,10 @@
 package vecmath
 
-import "math"
+import (
+	"math"
+
+	"hmeans/internal/par"
+)
 
 // Metric identifies a point-to-point distance function.
 type Metric int
@@ -90,14 +94,30 @@ func SquaredEuclidean(v, w Vector) float64 {
 // DistanceMatrix returns the symmetric len(points)×len(points) matrix
 // of pairwise distances under metric m, with a zero diagonal.
 func DistanceMatrix(m Metric, points []Vector) *Matrix {
+	return DistanceMatrixP(m, points, 1)
+}
+
+// distanceMatrixShardRows is the row-shard width of the parallel
+// distance-matrix build. Small shards interleave across workers, which
+// balances the triangular workload (early rows carry more pairs than
+// late rows).
+const distanceMatrixShardRows = 8
+
+// DistanceMatrixP is DistanceMatrix sharded across `workers`
+// goroutines. Every entry is a pure function of one point pair and
+// each pair is written by exactly one shard, so the matrix is
+// identical for any worker count.
+func DistanceMatrixP(m Metric, points []Vector, workers int) *Matrix {
 	n := len(points)
 	out := NewMatrix(n, n)
-	for i := 0; i < n; i++ {
-		for j := i + 1; j < n; j++ {
-			d := Distance(m, points[i], points[j])
-			out.Set(i, j, d)
-			out.Set(j, i, d)
+	par.FixedShards(workers, n, distanceMatrixShardRows, func(_, start, end int) {
+		for i := start; i < end; i++ {
+			for j := i + 1; j < n; j++ {
+				d := Distance(m, points[i], points[j])
+				out.Set(i, j, d)
+				out.Set(j, i, d)
+			}
 		}
-	}
+	})
 	return out
 }

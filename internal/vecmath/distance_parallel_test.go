@@ -1,0 +1,35 @@
+package vecmath
+
+import (
+	"math"
+	"testing"
+
+	"hmeans/internal/rng"
+)
+
+// TestDistanceMatrixParallelMatchesSerial checks every metric's
+// sharded matrix build against the serial one, bit for bit.
+func TestDistanceMatrixParallelMatchesSerial(t *testing.T) {
+	r := rng.New(41)
+	pts := make([]Vector, 37)
+	for i := range pts {
+		pts[i] = NewVector(5)
+		for j := range pts[i] {
+			pts[i][j] = r.NormFloat64()
+		}
+	}
+	for _, m := range []Metric{Euclidean, Manhattan, Chebyshev, Cosine} {
+		serial := DistanceMatrix(m, pts)
+		for _, workers := range []int{1, 2, 8} {
+			got := DistanceMatrixP(m, pts, workers)
+			for i := 0; i < serial.Rows(); i++ {
+				for j := 0; j < serial.Cols(); j++ {
+					if math.Float64bits(serial.At(i, j)) != math.Float64bits(got.At(i, j)) {
+						t.Fatalf("%v workers %d: entry (%d,%d) = %v, serial %v",
+							m, workers, i, j, got.At(i, j), serial.At(i, j))
+					}
+				}
+			}
+		}
+	}
+}
