@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fmt lint bench ci
+.PHONY: all build test race vet fmt lint bench trace ci
 
 all: build
 
@@ -33,4 +33,14 @@ lint: vet
 bench:
 	$(GO) test -bench=. -benchtime=1x ./... | tee bench.txt
 
-ci: build lint test race bench
+# trace mirrors the CI obs-trace job: run the case-study pipeline
+# with tracing on, validate the trace and render the stage timings.
+trace:
+	$(GO) run ./cmd/benchsim -emit sar > sar.csv
+	$(GO) run ./cmd/benchsim -emit speedups > speedups.csv
+	$(GO) run ./cmd/hmeans -scores speedups.csv -chars sar.csv -k 6 \
+		-obs.trace trace.jsonl
+	$(GO) run ./cmd/report -validate-trace trace.jsonl
+	$(GO) run ./cmd/report -timings trace.jsonl
+
+ci: build lint test race bench trace

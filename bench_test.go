@@ -14,6 +14,7 @@ import (
 	"hmeans/internal/cluster"
 	"hmeans/internal/core"
 	"hmeans/internal/experiments"
+	"hmeans/internal/obs"
 	"hmeans/internal/pca"
 	"hmeans/internal/simbench"
 	"hmeans/internal/som"
@@ -341,6 +342,48 @@ func BenchmarkClusteringSensitivity(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// --- Observability overhead ---
+
+// benchPipeline runs the full cluster-detection pipeline plus one
+// scoring cut, the unit of work the obs overhead comparison measures.
+func benchPipeline(b *testing.B, o *obs.Observer) {
+	s := suiteForBench(b)
+	tab, err := simbench.SARTable(s.Workloads, simbench.MachineA(), simbench.SARSpec{Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, err := hmeans.DetectClusters(tab, hmeans.PipelineConfig{
+			SOM: som.Config{Seed: 2007},
+			Obs: o,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := p.ScoreAtK(hmeans.Geometric, s.SpeedupsA, 6); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPipelineBare is the uninstrumented pipeline: no observer
+// anywhere, the exact pre-obs hot path.
+func BenchmarkPipelineBare(b *testing.B) {
+	if obs.Default() != nil {
+		b.Fatal("benchmark requires no default observer")
+	}
+	benchPipeline(b, nil)
+}
+
+// BenchmarkPipelineNoopObs is the same work with a no-op-sink
+// observer attached: spans are created and timed, metrics recorded,
+// everything discarded. The acceptance bar is staying within a few
+// percent of BenchmarkPipelineBare.
+func BenchmarkPipelineNoopObs(b *testing.B) {
+	benchPipeline(b, obs.New())
 }
 
 // BenchmarkMeasurement measures the simulated 10-run measurement

@@ -16,17 +16,18 @@ import (
 	"io"
 	"os"
 
+	"hmeans/internal/cliutil"
 	"hmeans/internal/dataio"
+	"hmeans/internal/obs"
 	"hmeans/internal/par"
 	"hmeans/internal/rng"
 	"hmeans/internal/simbench"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
-		fmt.Fprintln(os.Stderr, "benchsim:", err)
-		os.Exit(1)
-	}
+	os.Exit(cliutil.Run("benchsim", os.Stderr, func() error {
+		return run(os.Args[1:], os.Stdout)
+	}))
 }
 
 func run(args []string, stdout io.Writer) error {
@@ -39,18 +40,36 @@ func run(args []string, stdout io.Writer) error {
 		suite    = fs.String("suite", "", "JSON suite manifest (default: the built-in calibrated suite)")
 		parallel = fs.Int("parallel", 1, "worker count for -emit speedups (0 = all CPUs); values > 1 measure workloads concurrently on independent noise sub-streams, identical for every worker count")
 	)
+	obsFlags := obs.RegisterFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if obsFlags.PrintVersion(stdout, "benchsim") {
+		return nil
+	}
+	if err := cliutil.ValidateParallel(*parallel); err != nil {
+		return err
+	}
+	sess, err := obsFlags.Start()
+	if err != nil {
+		return err
+	}
+	err = emitOutput(*emit, *machine, *runs, *seed, *suite, *parallel, stdout)
+	if cerr := sess.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
 
-	m, err := machineByName(*machine)
+func emitOutput(emit, machine string, runs int, seed uint64, suite string, parallel int, stdout io.Writer) error {
+	m, err := machineByName(machine)
 	if err != nil {
 		return err
 	}
 	var ws []simbench.Workload
 	suiteName := "specjvm2007-sim"
-	if *suite != "" {
-		f, err := os.Open(*suite)
+	if suite != "" {
+		f, err := os.Open(suite)
 		if err != nil {
 			return err
 		}
@@ -63,12 +82,12 @@ func run(args []string, stdout io.Writer) error {
 		return err
 	}
 
-	workers := *parallel
+	workers := parallel
 	if workers <= 0 {
 		workers = par.Auto()
 	}
 
-	switch *emit {
+	switch emit {
 	case "speedups":
 		// -parallel 1 keeps the historical single-stream measurement
 		// campaign byte-for-byte; higher values switch to per-workload
@@ -77,9 +96,9 @@ func run(args []string, stdout io.Writer) error {
 		var vals []float64
 		var err error
 		if workers > 1 {
-			vals, err = simbench.MeasuredSpeedupsParallel(ws, m, simbench.Reference(), *runs, *seed, workers)
+			vals, err = simbench.MeasuredSpeedupsParallel(ws, m, simbench.Reference(), runs, seed, workers)
 		} else {
-			vals, err = simbench.MeasuredSpeedups(ws, m, simbench.Reference(), *runs, *seed)
+			vals, err = simbench.MeasuredSpeedups(ws, m, simbench.Reference(), runs, seed)
 		}
 		if err != nil {
 			return err
@@ -89,7 +108,7 @@ func run(args []string, stdout io.Writer) error {
 			Values:    vals,
 		})
 	case "sar":
-		tab, err := simbench.SARTable(ws, m, simbench.SARSpec{Seed: *seed})
+		tab, err := simbench.SARTable(ws, m, simbench.SARSpec{Seed: seed})
 		if err != nil {
 			return err
 		}
@@ -109,10 +128,10 @@ func run(args []string, stdout io.Writer) error {
 			Rows:      tab.Rows,
 		})
 	case "times":
-		r := rng.New(*seed)
+		r := rng.New(seed)
 		fmt.Fprintln(stdout, "workload,run,seconds")
 		for i := range ws {
-			for run := 1; run <= *runs; run++ {
+			for run := 1; run <= runs; run++ {
 				res := simbench.Run(&ws[i], m, r)
 				fmt.Fprintf(stdout, "%s,%d,%.4f\n", res.Workload, run, res.Seconds)
 			}
@@ -121,7 +140,7 @@ func run(args []string, stdout io.Writer) error {
 	case "manifest":
 		return simbench.SaveSuite(stdout, suiteName, ws)
 	default:
-		return fmt.Errorf("unknown -emit %q (want speedups, sar, methods, times or manifest)", *emit)
+		return fmt.Errorf("unknown -emit %q (want speedups, sar, methods, times or manifest)", emit)
 	}
 }
 

@@ -1,0 +1,28 @@
+package main
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"hmeans/internal/cliutil"
+)
+
+func TestRunRejectsNegativeParallel(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-emit", "speedups", "-parallel", "-1"}, &out)
+	var ue *cliutil.UsageError
+	if !errors.As(err, &ue) {
+		t.Fatalf("err = %v, want UsageError", err)
+	}
+}
+
+func TestRunVersionFlag(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-version"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(out.String(), "benchsim ") {
+		t.Fatalf("version output %q", out.String())
+	}
+}

@@ -13,14 +13,15 @@ import (
 	"os"
 	"strings"
 
+	"hmeans/internal/cliutil"
 	"hmeans/internal/experiments"
+	"hmeans/internal/obs"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
-		fmt.Fprintln(os.Stderr, "experiments:", err)
-		os.Exit(1)
-	}
+	os.Exit(cliutil.Run("experiments", os.Stderr, func() error {
+		return run(os.Args[1:], os.Stdout)
+	}))
 }
 
 func run(args []string, stdout io.Writer) error {
@@ -31,8 +32,12 @@ func run(args []string, stdout io.Writer) error {
 		runs    = fs.Int("runs", 10, "executions averaged per measurement")
 		somSeed = fs.Uint64("somseed", 2007, "SOM training seed")
 	)
+	obsFlags := obs.RegisterFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if obsFlags.PrintVersion(stdout, "experiments") {
+		return nil
 	}
 
 	if *list {
@@ -42,16 +47,28 @@ func run(args []string, stdout io.Writer) error {
 		return nil
 	}
 
-	suite, err := experiments.NewSuite(experiments.Config{Runs: *runs, SOMSeed: *somSeed})
+	sess, err := obsFlags.Start()
 	if err != nil {
 		return err
 	}
-	if *runID == "" {
+	err = runExperiments(*runID, *runs, *somSeed, stdout)
+	if cerr := sess.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+func runExperiments(runID string, runs int, somSeed uint64, stdout io.Writer) error {
+	suite, err := experiments.NewSuite(experiments.Config{Runs: runs, SOMSeed: somSeed})
+	if err != nil {
+		return err
+	}
+	if runID == "" {
 		return experiments.RunAll(suite, stdout)
 	}
-	e, ok := experiments.ByID(*runID)
+	e, ok := experiments.ByID(runID)
 	if !ok {
-		return fmt.Errorf("unknown experiment %q (available: %s)", *runID,
+		return fmt.Errorf("unknown experiment %q (available: %s)", runID,
 			strings.Join(experiments.IDs(), ", "))
 	}
 	fmt.Fprintf(stdout, "=== %s — %s ===\n", e.ID, e.Title)

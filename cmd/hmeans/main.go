@@ -23,17 +23,18 @@ import (
 	"os"
 
 	"hmeans"
+	"hmeans/internal/cliutil"
 	"hmeans/internal/dataio"
+	"hmeans/internal/obs"
 	"hmeans/internal/par"
 	"hmeans/internal/som"
 	"hmeans/internal/viz"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
-		fmt.Fprintln(os.Stderr, "hmeans:", err)
-		os.Exit(1)
-	}
+	os.Exit(cliutil.Run("hmeans", os.Stderr, func() error {
+		return run(os.Args[1:], os.Stdout)
+	}))
 }
 
 func run(args []string, stdout io.Writer) error {
@@ -48,21 +49,59 @@ func run(args []string, stdout io.Writer) error {
 		seed         = fs.Uint64("seed", 2007, "SOM training seed")
 		parallel     = fs.Int("parallel", 1, "worker count for SOM training and clustering (0 = all CPUs); results are identical for every value")
 	)
+	obsFlags := obs.RegisterFlags(fs)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if obsFlags.PrintVersion(stdout, "hmeans") {
+		return nil
+	}
+	if err := cliutil.ValidateParallel(*parallel); err != nil {
 		return err
 	}
 
 	if *scoresPath == "" {
-		return fmt.Errorf("-scores is required")
+		return cliutil.Usagef("-scores is required")
 	}
 	if (*clustersPath == "") == (*charsPath == "") {
-		return fmt.Errorf("exactly one of -clusters or -chars is required")
+		return cliutil.Usagef("exactly one of -clusters or -chars is required")
 	}
-	mean, err := parseMean(*meanName)
+	sess, err := obsFlags.Start()
 	if err != nil {
 		return err
 	}
-	scores, err := readScores(*scoresPath)
+	err = score(scoreArgs{
+		scoresPath:   *scoresPath,
+		clustersPath: *clustersPath,
+		charsPath:    *charsPath,
+		kind:         *kind,
+		meanName:     *meanName,
+		k:            *k,
+		seed:         *seed,
+		parallel:     *parallel,
+	}, stdout)
+	if cerr := sess.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// scoreArgs carries the parsed flag values into the scoring body,
+// which runs inside the observability session.
+type scoreArgs struct {
+	scoresPath, clustersPath, charsPath string
+	kind, meanName                      string
+	k                                   int
+	seed                                uint64
+	parallel                            int
+}
+
+func score(a scoreArgs, stdout io.Writer) error {
+	mean, err := parseMean(a.meanName)
+	if err != nil {
+		return err
+	}
+	scores, err := readScores(a.scoresPath)
 	if err != nil {
 		return err
 	}
@@ -71,8 +110,8 @@ func run(args []string, stdout io.Writer) error {
 		return err
 	}
 
-	if *clustersPath != "" {
-		c, err := readClustering(*clustersPath, scores)
+	if a.clustersPath != "" {
+		c, err := readClustering(a.clustersPath, scores)
 		if err != nil {
 			return err
 		}
@@ -85,32 +124,32 @@ func run(args []string, stdout io.Writer) error {
 		return nil
 	}
 
-	table, kindVal, err := readTable(*charsPath, *kind, scores)
+	table, kindVal, err := readTable(a.charsPath, a.kind, scores)
 	if err != nil {
 		return err
 	}
-	workers := *parallel
+	workers := a.parallel
 	if workers <= 0 {
 		workers = par.Auto()
 	}
 	p, err := hmeans.DetectClusters(table, hmeans.PipelineConfig{
 		Kind:        kindVal,
-		SOM:         som.Config{Seed: *seed},
+		SOM:         som.Config{Seed: a.seed},
 		Parallelism: workers,
 	})
 	if err != nil {
 		return err
 	}
-	if *k > 0 {
-		h, err := p.ScoreAtK(mean, scores.Values, *k)
+	if a.k > 0 {
+		h, err := p.ScoreAtK(mean, scores.Values, a.k)
 		if err != nil {
 			return err
 		}
-		members, err := p.ClusterMembers(*k)
+		members, err := p.ClusterMembers(a.k)
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(stdout, "hierarchical %s mean (k=%d): %.4f\n", mean, *k, h)
+		fmt.Fprintf(stdout, "hierarchical %s mean (k=%d): %.4f\n", mean, a.k, h)
 		fmt.Fprintf(stdout, "plain %s mean:              %.4f\n", mean, plain)
 		for label, ms := range members {
 			fmt.Fprintf(stdout, "cluster %d: %v\n", label, ms)

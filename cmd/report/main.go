@@ -5,6 +5,11 @@
 //
 //	report -machine A
 //	report -machine B -chars methods -mean harmonic
+//
+// It also post-processes JSONL traces written with -obs.trace:
+//
+//	report -timings trace.jsonl         # per-stage timing table
+//	report -validate-trace trace.jsonl  # schema check, non-zero on failure
 package main
 
 import (
@@ -12,19 +17,22 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"hmeans"
+	"hmeans/internal/cliutil"
+	"hmeans/internal/obs"
 	"hmeans/internal/report"
 	"hmeans/internal/rng"
 	"hmeans/internal/simbench"
 	"hmeans/internal/som"
+	"hmeans/internal/viz"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
-		fmt.Fprintln(os.Stderr, "report:", err)
-		os.Exit(1)
-	}
+	os.Exit(cliutil.Run("report", os.Stderr, func() error {
+		return run(os.Args[1:], os.Stdout)
+	}))
 }
 
 func run(args []string, stdout io.Writer) error {
@@ -36,22 +44,46 @@ func run(args []string, stdout io.Writer) error {
 		runs     = fs.Int("runs", 10, "runs per measurement")
 		seed     = fs.Uint64("seed", 1, "measurement seed")
 		somSeed  = fs.Uint64("somseed", 2007, "SOM training seed")
+		timings  = fs.String("timings", "", "render the per-stage timing table of this JSONL trace and exit")
+		validate = fs.String("validate-trace", "", "validate this JSONL trace against the trace schema and exit")
 	)
+	obsFlags := obs.RegisterFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if obsFlags.PrintVersion(stdout, "report") {
+		return nil
+	}
+	if *validate != "" {
+		return validateTrace(*validate, stdout)
+	}
+	if *timings != "" {
+		return renderTimings(*timings, stdout)
+	}
 
+	sess, err := obsFlags.Start()
+	if err != nil {
+		return err
+	}
+	err = writeReport(*machine, *charKind, *meanName, *runs, *seed, *somSeed, stdout)
+	if cerr := sess.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+func writeReport(machine, charKind, meanName string, runs int, seed, somSeed uint64, stdout io.Writer) error {
 	var m simbench.Machine
-	switch *machine {
+	switch machine {
 	case "A", "a":
 		m = simbench.MachineA()
 	case "B", "b":
 		m = simbench.MachineB()
 	default:
-		return fmt.Errorf("unknown machine %q (want A or B)", *machine)
+		return fmt.Errorf("unknown machine %q (want A or B)", machine)
 	}
 	var kind hmeans.MeanKind
-	switch *meanName {
+	switch meanName {
 	case "geometric":
 		kind = hmeans.Geometric
 	case "arithmetic":
@@ -59,7 +91,7 @@ func run(args []string, stdout io.Writer) error {
 	case "harmonic":
 		kind = hmeans.Harmonic
 	default:
-		return fmt.Errorf("unknown mean %q", *meanName)
+		return fmt.Errorf("unknown mean %q", meanName)
 	}
 
 	ws, _, err := simbench.CalibratedSuite()
@@ -69,15 +101,15 @@ func run(args []string, stdout io.Writer) error {
 	ref := simbench.Reference()
 
 	// Measure: scores plus the raw run times behind them.
-	r := rng.New(*seed)
+	r := rng.New(seed)
 	scores := make([]float64, len(ws))
 	runTimes := make([][]float64, len(ws))
 	for i := range ws {
-		meas, err := simbench.MeasureTimeStats(&ws[i], m, *runs, 0.95, r)
+		meas, err := simbench.MeasureTimeStats(&ws[i], m, runs, 0.95, r)
 		if err != nil {
 			return err
 		}
-		refTime, err := simbench.MeasureTime(&ws[i], ref, *runs, r)
+		refTime, err := simbench.MeasureTime(&ws[i], ref, runs, r)
 		if err != nil {
 			return err
 		}
@@ -90,30 +122,30 @@ func run(args []string, stdout io.Writer) error {
 		table    *hmeans.Table
 		kindChar hmeans.CharKind
 	)
-	switch *charKind {
+	switch charKind {
 	case "sar":
-		table, err = simbench.SARTable(ws, m, simbench.SARSpec{Seed: *seed})
+		table, err = simbench.SARTable(ws, m, simbench.SARSpec{Seed: seed})
 	case "methods":
 		table, err = simbench.HprofTable(ws)
 		kindChar = hmeans.Bits
 	case "microindep":
 		table, err = simbench.MicroIndepTable(ws)
 	default:
-		return fmt.Errorf("unknown characterization %q (want sar, methods or microindep)", *charKind)
+		return fmt.Errorf("unknown characterization %q (want sar, methods or microindep)", charKind)
 	}
 	if err != nil {
 		return err
 	}
 	p, err := hmeans.DetectClusters(table, hmeans.PipelineConfig{
 		Kind: kindChar,
-		SOM:  som.Config{Seed: *somSeed},
+		SOM:  som.Config{Seed: somSeed},
 	})
 	if err != nil {
 		return err
 	}
 
 	return report.Write(stdout, report.Input{
-		Title:     fmt.Sprintf("Scoring report: machine %s vs reference (%s characterization)", m.Name, *charKind),
+		Title:     fmt.Sprintf("Scoring report: machine %s vs reference (%s characterization)", m.Name, charKind),
 		Workloads: simbench.WorkloadNames(ws),
 		Scores:    scores,
 		RunTimes:  runTimes,
@@ -121,6 +153,68 @@ func run(args []string, stdout io.Writer) error {
 		Kind:      kind,
 		KMin:      2,
 		KMax:      8,
-		Seed:      *seed,
+		Seed:      seed,
 	})
+}
+
+// validateTrace checks a JSONL trace file against the trace schema
+// and prints a one-line summary; any violation surfaces as an error
+// (and therefore a non-zero exit).
+func validateTrace(path string, stdout io.Writer) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	stats, err := obs.ValidateTrace(f)
+	if err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	fmt.Fprintf(stdout, "trace OK: %d spans, %d events (%s, build %s)\n",
+		stats.Spans, stats.Events, stats.Header.Format, stats.Header.Version)
+	return nil
+}
+
+// renderTimings reads a trace and renders the per-stage rollup: how
+// often each stage ran, where wall-clock and CPU time went, and how
+// much of the pipeline's wall-clock the stage spans explain.
+func renderTimings(path string, stdout io.Writer) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	tr, err := obs.ReadTrace(f)
+	if err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if len(tr.Spans) == 0 {
+		return fmt.Errorf("%s: trace has no spans", path)
+	}
+	t := viz.NewTable("stage", "count", "wall", "cpu", "min", "max")
+	for _, st := range obs.Summarize(tr.Spans) {
+		if err := t.AddRow(st.Name, fmt.Sprintf("%d", st.Count),
+			fmtDur(st.Wall), fmtDur(st.CPU), fmtDur(st.Min), fmtDur(st.Max)); err != nil {
+			return err
+		}
+	}
+	if err := t.Render(stdout); err != nil {
+		return err
+	}
+	if cov, ok := tr.Coverage("pipeline"); ok {
+		fmt.Fprintf(stdout, "\nstage spans cover %.1f%% of pipeline wall-clock\n", 100*cov)
+	}
+	return nil
+}
+
+// fmtDur renders a duration rounded for table display.
+func fmtDur(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return d.Round(time.Millisecond).String()
+	case d >= time.Millisecond:
+		return d.Round(10 * time.Microsecond).String()
+	default:
+		return d.Round(time.Microsecond).String()
+	}
 }

@@ -1,0 +1,82 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"hmeans/internal/obs"
+)
+
+// writeTrace builds a small but realistic trace file: a pipeline root
+// whose two stage children cover all of its duration.
+func writeTrace(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := obs.NewJSONLSink(f)
+	o := obs.New(sink)
+	root := o.StartSpan("pipeline")
+	sp := root.Child("reduce")
+	sp.End()
+	sp = root.Child("cluster")
+	sp.Event("cluster.merge", obs.KV("step", 0))
+	sp.End()
+	root.End()
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestValidateTraceMode(t *testing.T) {
+	path := writeTrace(t)
+	var out strings.Builder
+	if err := run([]string{"-validate-trace", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "trace OK: 3 spans, 1 events") {
+		t.Fatalf("validate output %q", out.String())
+	}
+}
+
+func TestValidateTraceModeRejectsGarbage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.jsonl")
+	if err := os.WriteFile(path, []byte("not json\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := run([]string{"-validate-trace", path}, &out); err == nil {
+		t.Fatal("garbage trace accepted")
+	}
+}
+
+func TestTimingsMode(t *testing.T) {
+	path := writeTrace(t)
+	var out strings.Builder
+	if err := run([]string{"-timings", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"stage", "pipeline", "reduce", "cluster", "stage spans cover"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("timings output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestReportVersionFlag(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-version"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(out.String(), "report ") {
+		t.Fatalf("version output %q", out.String())
+	}
+}

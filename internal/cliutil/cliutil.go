@@ -1,0 +1,60 @@
+// Package cliutil holds the small shared conventions of the cmd/
+// binaries: a usage-error type that exits with the conventional status
+// 2 and a one-line hint, and the main-function wrapper that maps a
+// run function's error to the process exit code.
+package cliutil
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+)
+
+// UsageError marks a command-line mistake (bad flag value, missing
+// argument): the user needs the usage hint, not a stack of context.
+type UsageError struct{ msg string }
+
+// Usagef builds a UsageError.
+func Usagef(format string, args ...any) *UsageError {
+	return &UsageError{msg: fmt.Sprintf(format, args...)}
+}
+
+// Error returns the message.
+func (e *UsageError) Error() string { return e.msg }
+
+// Run executes a command's run function and maps its error to an exit
+// code, printing diagnostics to stderr:
+//
+//	nil            → 0
+//	flag.ErrHelp   → 0 (the flag package already printed usage)
+//	*UsageError    → 2, message plus a "-h" hint on one line
+//	anything else  → 1, message prefixed with the tool name
+//
+// main functions reduce to os.Exit(cliutil.Run(name, os.Stderr, fn)).
+func Run(name string, stderr io.Writer, fn func() error) int {
+	err := fn()
+	switch {
+	case err == nil:
+		return 0
+	case errors.Is(err, flag.ErrHelp):
+		return 0
+	}
+	var ue *UsageError
+	if errors.As(err, &ue) {
+		fmt.Fprintf(stderr, "%s: %s (run '%s -h' for usage)\n", name, ue.msg, name)
+		return 2
+	}
+	fmt.Fprintf(stderr, "%s: %v\n", name, err)
+	return 1
+}
+
+// ValidateParallel checks a -parallel flag value: 0 means "all CPUs"
+// and positive values are worker counts, but negative values are
+// always a mistake.
+func ValidateParallel(v int) error {
+	if v < 0 {
+		return Usagef("-parallel must be >= 0 (0 = all CPUs), got %d", v)
+	}
+	return nil
+}

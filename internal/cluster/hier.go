@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 
+	"hmeans/internal/obs"
 	"hmeans/internal/par"
 	"hmeans/internal/vecmath"
 )
@@ -50,11 +51,33 @@ func NewDendrogram(points []vecmath.Vector, m vecmath.Metric, l Linkage) (*Dendr
 // reduction preserves the serial tie-break (first minimal pair in
 // row-major order).
 func NewDendrogramP(points []vecmath.Vector, m vecmath.Metric, l Linkage, workers int) (*Dendrogram, error) {
+	return NewDendrogramOpts(points, m, l, Options{Workers: workers})
+}
+
+// Options bundles the optional knobs of dendrogram construction.
+type Options struct {
+	// Workers is the goroutine count for the matrix build and the
+	// nearest-pair scans; <= 1 runs serially. Results are identical
+	// for every value.
+	Workers int
+	// Obs receives a cluster.linkage span and the merge-distance
+	// histogram. Nil falls back to the process-default observer.
+	Obs *obs.Observer
+	// MergeEvents additionally emits one cluster.merge event per
+	// agglomeration step. That is O(n) events per clustering — cheap
+	// for benchmark suites, noisy for thousands of points — so it is
+	// off unless requested (Observer.Detail is the conventional
+	// source).
+	MergeEvents bool
+}
+
+// NewDendrogramOpts is NewDendrogram with explicit Options.
+func NewDendrogramOpts(points []vecmath.Vector, m vecmath.Metric, l Linkage, opt Options) (*Dendrogram, error) {
 	if len(points) == 0 {
 		return nil, ErrNoPoints
 	}
-	dm := vecmath.DistanceMatrixP(m, points, workers)
-	return FromDistanceMatrixP(dm, l, workers)
+	dm := vecmath.DistanceMatrixP(m, points, opt.Workers)
+	return FromDistanceMatrixOpts(dm, l, opt)
 }
 
 // FromDistanceMatrix clusters from a precomputed symmetric distance
@@ -76,6 +99,13 @@ type pairCand struct {
 // scan sharded across `workers` goroutines; see NewDendrogramP for
 // the determinism argument.
 func FromDistanceMatrixP(dm *vecmath.Matrix, l Linkage, workers int) (*Dendrogram, error) {
+	return FromDistanceMatrixOpts(dm, l, Options{Workers: workers})
+}
+
+// FromDistanceMatrixOpts is FromDistanceMatrix with explicit
+// Options.
+func FromDistanceMatrixOpts(dm *vecmath.Matrix, l Linkage, opt Options) (*Dendrogram, error) {
+	workers := opt.Workers
 	n := dm.Rows()
 	if n == 0 || dm.Cols() != n {
 		return nil, fmt.Errorf("cluster: distance matrix must be square and non-empty, got %dx%d", dm.Rows(), dm.Cols())
@@ -88,6 +118,16 @@ func FromDistanceMatrixP(dm *vecmath.Matrix, l Linkage, workers int) (*Dendrogra
 		return d, nil
 	}
 	workers = par.Resolve(workers)
+	o := obs.Or(opt.Obs)
+	sp := o.StartSpan("cluster.linkage",
+		obs.KV("n", n), obs.KV("linkage", l.String()), obs.KV("workers", workers))
+	defer sp.End()
+	var mergeHist *obs.Histogram
+	if o.Active() {
+		mergeHist = o.Metrics().Histogram("cluster.merge_distance", 0.25, 0.5, 1, 2, 4, 8, 16)
+		o.Metrics().Counter("cluster.linkage.runs").Add(1)
+	}
+	mergeEvents := opt.MergeEvents || o.Detail()
 
 	// Working pairwise distances between *active* clusters, indexed
 	// by slot in [0, n); slot i initially holds leaf i. After a merge
@@ -184,6 +224,11 @@ func FromDistanceMatrixP(dm *vecmath.Matrix, l Linkage, workers int) (*Dendrogra
 			a, b = b, a
 		}
 		d.merges = append(d.merges, Merge{A: a, B: b, Distance: height, Size: size[bi] + size[bj]})
+		mergeHist.Observe(height)
+		if mergeEvents {
+			sp.Event("cluster.merge", obs.KV("step", step), obs.KV("a", a), obs.KV("b", b),
+				obs.KV("distance", height), obs.KV("size", size[bi]+size[bj]))
+		}
 		size[bi] += size[bj]
 		id[bi] = nextID
 		nextID++

@@ -6,6 +6,7 @@ import (
 	"math"
 
 	"hmeans/internal/cluster"
+	"hmeans/internal/obs"
 )
 
 // KRecommendation explains a recommended cluster count.
@@ -41,6 +42,8 @@ func (p *Pipeline) RecommendK(kind MeanKind, scoresA, scoresB []float64, kMin, k
 	if kMin > kMax {
 		return rec, fmt.Errorf("core: empty recommendation range [%d, %d]", kMin, kMax)
 	}
+	sp := p.obs.StartSpan("kselect", obs.KV("k_min", kMin), obs.KV("k_max", kMax))
+	defer sp.End()
 	quality, err := p.Dendrogram.QualitySweep(p.Positions, kMin, kMax)
 	if err != nil {
 		return rec, err
@@ -113,5 +116,16 @@ func (p *Pipeline) RecommendK(kind MeanKind, scoresA, scoresB []float64, kMin, k
 		bestK = quality[0].K
 	}
 	rec.K = bestK
+	if o := p.obs; o.Active() {
+		// One event per candidate plus the chosen k as gauges, so
+		// traces show both the sweep and the decision.
+		for _, q := range quality {
+			sp.Event("kselect.candidate", obs.KV("k", q.K),
+				obs.KV("silhouette", q.Silhouette), obs.KV("damping", rec.RatioDamping[q.K]))
+		}
+		reg := o.Metrics()
+		reg.Gauge("kselect.k").Set(float64(bestK))
+		reg.Gauge("kselect.best_silhouette").Set(bestSil)
+	}
 	return rec, nil
 }

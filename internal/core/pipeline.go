@@ -6,6 +6,7 @@ import (
 
 	"hmeans/internal/chars"
 	"hmeans/internal/cluster"
+	"hmeans/internal/obs"
 	"hmeans/internal/par"
 	"hmeans/internal/som"
 	"hmeans/internal/vecmath"
@@ -57,6 +58,12 @@ type PipelineConfig struct {
 	// results are bit-identical for any worker count; an explicit
 	// SOM.Parallelism overrides this value for the SOM stage.
 	Parallelism int
+	// Obs receives the pipeline trace: a root "pipeline" span with
+	// one child span per stage (characterize, reduce, cluster), and
+	// "cut"/"means" spans from the scoring methods of the returned
+	// Pipeline. Nil falls back to the process-default observer;
+	// instrumentation never changes any result.
+	Obs *obs.Observer
 }
 
 // Pipeline is the result of cluster detection over one
@@ -76,6 +83,10 @@ type Pipeline struct {
 	Positions []vecmath.Vector
 	// Dendrogram is the hierarchical clustering of Positions.
 	Dendrogram *cluster.Dendrogram
+
+	// obs is the observer the pipeline was built with; the scoring
+	// methods record their cut/means spans against it.
+	obs *obs.Observer
 }
 
 // DetectClusters runs the paper's cluster-detection pipeline on a raw
@@ -84,20 +95,38 @@ func DetectClusters(table *chars.Table, cfg PipelineConfig) (*Pipeline, error) {
 	if table == nil || len(table.Rows) == 0 {
 		return nil, errors.New("core: empty characterization table")
 	}
-	p := &Pipeline{Workloads: append([]string(nil), table.Workloads...)}
+	o := obs.Or(cfg.Obs)
+	root := o.StartSpan("pipeline",
+		obs.KV("workloads", len(table.Rows)),
+		obs.KV("skip_som", cfg.SkipSOM),
+		obs.KV("version", obs.Version()))
+	defer root.End()
+	if o.Active() {
+		o.Metrics().Counter("pipeline.runs").Add(1)
+		defer o.Metrics().CaptureMemStats()
+	}
+	p := &Pipeline{Workloads: append([]string(nil), table.Workloads...), obs: o}
+	sp := root.Child("characterize")
 	switch cfg.Kind {
 	case Bits:
 		p.Prepared, p.Report = chars.PreprocessBits(table)
 	default:
 		p.Prepared, p.Report = chars.PreprocessCounters(table)
 	}
+	sp.SetAttr("features_kept", len(p.Prepared.Features))
+	sp.SetAttr("features_dropped",
+		len(p.Report.DroppedConstant)+len(p.Report.DroppedSingleUser)+len(p.Report.DroppedUniversal))
+	sp.End()
 	if len(p.Prepared.Features) == 0 {
 		return nil, errors.New("core: preprocessing discarded every feature; nothing to cluster on")
 	}
 	workers := par.Resolve(cfg.Parallelism)
 	vectors := p.Prepared.Vectors()
+	sp = root.Child("reduce")
 	if cfg.SkipSOM {
 		p.Positions = vectors
+		sp.SetAttr("skipped", true)
+		sp.End()
 	} else {
 		if cfg.SOM.Rows == 0 && cfg.SOM.Cols == 0 {
 			// Size the grid to the sample count (≈5√n units): large
@@ -108,8 +137,12 @@ func DetectClusters(table *chars.Table, cfg PipelineConfig) (*Pipeline, error) {
 		if cfg.SOM.Parallelism == 0 {
 			cfg.SOM.Parallelism = workers
 		}
+		if cfg.SOM.Obs == nil {
+			cfg.SOM.Obs = o
+		}
 		m, err := som.Train(cfg.SOM, vectors)
 		if err != nil {
+			sp.End()
 			return nil, fmt.Errorf("core: SOM training: %w", err)
 		}
 		p.Map = m
@@ -118,8 +151,16 @@ func DetectClusters(table *chars.Table, cfg PipelineConfig) (*Pipeline, error) {
 		} else {
 			p.Positions = m.PlacementsP(vectors, workers)
 		}
+		sp.SetAttr("grid", fmt.Sprintf("%dx%d", m.Rows(), m.Cols()))
+		sp.End()
 	}
-	d, err := cluster.NewDendrogramP(p.Positions, cfg.Metric, cfg.Linkage, workers)
+	sp = root.Child("cluster", obs.KV("points", len(p.Positions)))
+	d, err := cluster.NewDendrogramOpts(p.Positions, cfg.Metric, cfg.Linkage, cluster.Options{
+		Workers:     workers,
+		Obs:         o,
+		MergeEvents: o.Detail(),
+	})
+	sp.End()
 	if err != nil {
 		return nil, fmt.Errorf("core: clustering: %w", err)
 	}
@@ -130,6 +171,8 @@ func DetectClusters(table *chars.Table, cfg PipelineConfig) (*Pipeline, error) {
 // ClusteringAtK cuts the pipeline's dendrogram into exactly k
 // clusters and returns it as a scoring Clustering.
 func (p *Pipeline) ClusteringAtK(k int) (Clustering, error) {
+	sp := p.obs.StartSpan("cut", obs.KV("k", k))
+	defer sp.End()
 	a, err := p.Dendrogram.CutK(k)
 	if err != nil {
 		return Clustering{}, err
@@ -139,6 +182,8 @@ func (p *Pipeline) ClusteringAtK(k int) (Clustering, error) {
 
 // ClusteringAtDistance cuts the dendrogram at a merging distance.
 func (p *Pipeline) ClusteringAtDistance(d float64) Clustering {
+	sp := p.obs.StartSpan("cut", obs.KV("distance", d))
+	defer sp.End()
 	a := p.Dendrogram.CutDistance(d)
 	return Clustering{Labels: a.Labels, K: a.K}
 }
@@ -150,6 +195,8 @@ func (p *Pipeline) ScoreAtK(kind MeanKind, scores []float64, k int) (float64, er
 	if err != nil {
 		return 0, err
 	}
+	sp := p.obs.StartSpan("means", obs.KV("kind", kind.String()), obs.KV("k", k))
+	defer sp.End()
 	return HierarchicalMean(kind, scores, c)
 }
 

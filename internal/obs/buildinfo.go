@@ -1,0 +1,45 @@
+package obs
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+)
+
+var versionOnce = sync.OnceValue(computeVersion)
+
+// Version returns a one-line build description: module version (or
+// "devel"), the VCS revision when the binary was built from a
+// checkout, and the Go toolchain/platform. It is printed by every
+// binary's -version flag and stamped into every trace file header.
+func Version() string { return versionOnce() }
+
+func computeVersion() string {
+	version := "devel"
+	revision, modified := "", ""
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		if bi.Main.Version != "" && bi.Main.Version != "(devel)" {
+			version = bi.Main.Version
+		}
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				if len(s.Value) >= 12 {
+					revision = s.Value[:12]
+				} else {
+					revision = s.Value
+				}
+			case "vcs.modified":
+				if s.Value == "true" {
+					modified = "+dirty"
+				}
+			}
+		}
+	}
+	out := version
+	if revision != "" {
+		out += " (" + revision + modified + ")"
+	}
+	return fmt.Sprintf("%s %s %s/%s", out, runtime.Version(), runtime.GOOS, runtime.GOARCH)
+}

@@ -1,0 +1,8 @@
+//go:build !unix
+
+package obs
+
+import "time"
+
+// processCPUTime is unavailable off unix; spans report zero CPU.
+func processCPUTime() time.Duration { return 0 }

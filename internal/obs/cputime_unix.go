@@ -1,0 +1,19 @@
+//go:build unix
+
+package obs
+
+import (
+	"syscall"
+	"time"
+)
+
+// processCPUTime returns the process's cumulative CPU time (user +
+// system, summed over all threads). Span CPU attribution is the
+// difference of two snapshots, so only monotonicity matters.
+func processCPUTime() time.Duration {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	return time.Duration(ru.Utime.Nano() + ru.Stime.Nano())
+}

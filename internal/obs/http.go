@@ -1,0 +1,171 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"time"
+)
+
+// LiveSink is a broadcast hub for the /trace endpoint: finished spans
+// and events are serialized to JSONL and fanned out to every
+// subscribed client. Slow subscribers drop records instead of
+// blocking the pipeline.
+type LiveSink struct {
+	mu   sync.Mutex
+	subs map[chan []byte]bool
+}
+
+// NewLiveSink builds a hub with no subscribers.
+func NewLiveSink() *LiveSink { return &LiveSink{subs: make(map[chan []byte]bool)} }
+
+// Subscribe registers a new client and returns its record channel
+// plus a cancel function that closes and removes it.
+func (l *LiveSink) Subscribe() (<-chan []byte, func()) {
+	ch := make(chan []byte, 256)
+	l.mu.Lock()
+	l.subs[ch] = true
+	l.mu.Unlock()
+	cancel := func() {
+		l.mu.Lock()
+		if l.subs[ch] {
+			delete(l.subs, ch)
+			close(ch)
+		}
+		l.mu.Unlock()
+	}
+	return ch, cancel
+}
+
+func (l *LiveSink) broadcast(line traceLine) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.subs) == 0 {
+		return
+	}
+	raw, err := json.Marshal(line)
+	if err != nil {
+		return
+	}
+	raw = append(raw, '\n')
+	for ch := range l.subs {
+		select {
+		case ch <- raw:
+		default: // subscriber is not keeping up; drop
+		}
+	}
+}
+
+// WriteSpan broadcasts the span to all subscribers.
+func (l *LiveSink) WriteSpan(s SpanData) {
+	l.broadcast(traceLine{
+		Type:   "span",
+		ID:     s.ID,
+		Parent: s.Parent,
+		Name:   s.Name,
+		Start:  s.Start.Format(time.RFC3339Nano),
+		DurNS:  s.Dur.Nanoseconds(),
+		CPUNS:  s.CPU.Nanoseconds(),
+		Attrs:  attrMap(s.Attrs),
+	})
+}
+
+// WriteEvent broadcasts the event to all subscribers.
+func (l *LiveSink) WriteEvent(e EventData) {
+	l.broadcast(traceLine{
+		Type:  "event",
+		Span:  e.Span,
+		Name:  e.Name,
+		Time:  e.Time.Format(time.RFC3339Nano),
+		Attrs: attrMap(e.Attrs),
+	})
+}
+
+// Handler returns the live-introspection mux:
+//
+//	/              endpoint index
+//	/metrics       registry snapshot as JSON (memstats refreshed)
+//	/trace         live spans/events streamed as JSONL
+//	/debug/vars    expvar (includes the registry when published)
+//	/debug/pprof/  the full net/http/pprof suite
+func (o *Observer) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprintf(w, "hmeans observability — build %s\n\n", Version())
+		fmt.Fprintln(w, "/metrics      metrics registry snapshot (JSON)")
+		fmt.Fprintln(w, "/trace        live span/event stream (JSONL; terminate with ^C)")
+		fmt.Fprintln(w, "/debug/vars   expvar")
+		fmt.Fprintln(w, "/debug/pprof  CPU/heap/goroutine profiles")
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		reg := o.Metrics()
+		reg.CaptureMemStats()
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(reg.Snapshot())
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
+		live := (*LiveSink)(nil)
+		if o != nil {
+			live = o.live
+		}
+		if live == nil {
+			http.Error(w, "no live sink attached (start with -obs.http)", http.StatusNotFound)
+			return
+		}
+		fl, ok := w.(http.Flusher)
+		if !ok {
+			http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.WriteHeader(http.StatusOK)
+		fl.Flush()
+		ch, cancel := live.Subscribe()
+		defer cancel()
+		for {
+			select {
+			case <-r.Context().Done():
+				return
+			case raw, ok := <-ch:
+				if !ok {
+					return
+				}
+				if _, err := w.Write(raw); err != nil {
+					return
+				}
+				fl.Flush()
+			}
+		}
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Serve starts the introspection server on addr in a background
+// goroutine and returns the bound listener (useful with ":0") and a
+// shutdown function. The server lives until shut down or process
+// exit.
+func Serve(addr string, o *Observer) (net.Listener, func() error, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, nil, err
+	}
+	srv := &http.Server{Handler: o.Handler()}
+	go srv.Serve(ln)
+	return ln, srv.Close, nil
+}

@@ -1,0 +1,293 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// TraceFormat identifies the JSONL trace schema emitted by JSONLSink
+// and checked by ValidateTrace. Bump the suffix on incompatible
+// changes.
+const TraceFormat = "hmeans-trace/1"
+
+// traceLine is the wire form of every JSONL trace record. Type is
+// "header", "span" or "event"; the remaining fields are per-type.
+type traceLine struct {
+	Type string `json:"type"`
+
+	// header
+	Format  string `json:"format,omitempty"`
+	Version string `json:"version,omitempty"`
+	Go      string `json:"go,omitempty"`
+	Created string `json:"created,omitempty"`
+
+	// span / event
+	ID     uint64         `json:"id,omitempty"`
+	Parent uint64         `json:"parent,omitempty"`
+	Span   uint64         `json:"span,omitempty"`
+	Name   string         `json:"name,omitempty"`
+	Start  string         `json:"start,omitempty"`
+	Time   string         `json:"time,omitempty"`
+	DurNS  int64          `json:"dur_ns,omitempty"`
+	CPUNS  int64          `json:"cpu_ns,omitempty"`
+	Attrs  map[string]any `json:"attrs,omitempty"`
+}
+
+func attrMap(attrs []Attr) map[string]any {
+	if len(attrs) == 0 {
+		return nil
+	}
+	m := make(map[string]any, len(attrs))
+	for _, a := range attrs {
+		m[a.Key] = a.Val
+	}
+	return m
+}
+
+// JSONLSink writes spans and events as JSON lines. The first line is
+// a header record carrying the trace format, the binary's build
+// version and the creation time, so a trace file is self-describing.
+type JSONLSink struct {
+	mu  sync.Mutex
+	w   *bufio.Writer
+	enc *json.Encoder
+	err error
+}
+
+// NewJSONLSink wraps w and immediately writes the header record.
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	bw := bufio.NewWriter(w)
+	s := &JSONLSink{w: bw, enc: json.NewEncoder(bw)}
+	s.write(traceLine{
+		Type:    "header",
+		Format:  TraceFormat,
+		Version: Version(),
+		Go:      runtime.Version(),
+		Created: time.Now().Format(time.RFC3339Nano),
+	})
+	return s
+}
+
+func (s *JSONLSink) write(l traceLine) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return
+	}
+	s.err = s.enc.Encode(l)
+}
+
+// WriteSpan encodes one finished span.
+func (s *JSONLSink) WriteSpan(sp SpanData) {
+	s.write(traceLine{
+		Type:   "span",
+		ID:     sp.ID,
+		Parent: sp.Parent,
+		Name:   sp.Name,
+		Start:  sp.Start.Format(time.RFC3339Nano),
+		DurNS:  sp.Dur.Nanoseconds(),
+		CPUNS:  sp.CPU.Nanoseconds(),
+		Attrs:  attrMap(sp.Attrs),
+	})
+}
+
+// WriteEvent encodes one event.
+func (s *JSONLSink) WriteEvent(e EventData) {
+	s.write(traceLine{
+		Type:  "event",
+		Span:  e.Span,
+		Name:  e.Name,
+		Time:  e.Time.Format(time.RFC3339Nano),
+		Attrs: attrMap(e.Attrs),
+	})
+}
+
+// Close flushes buffered records and returns the first write error
+// encountered, if any.
+func (s *JSONLSink) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.w.Flush(); s.err == nil {
+		s.err = err
+	}
+	return s.err
+}
+
+// TraceHeader is the parsed first record of a trace file.
+type TraceHeader struct {
+	Format  string
+	Version string
+	Go      string
+	Created string
+}
+
+// Trace is a fully parsed trace file.
+type Trace struct {
+	Header TraceHeader
+	Spans  []SpanData
+	Events []EventData
+}
+
+// ReadTrace parses a JSONL trace written by JSONLSink. It performs
+// the same structural checks as ValidateTrace.
+func ReadTrace(r io.Reader) (*Trace, error) {
+	t := &Trace{}
+	err := scanTrace(r, func(l traceLine) error {
+		switch l.Type {
+		case "header":
+			t.Header = TraceHeader{Format: l.Format, Version: l.Version, Go: l.Go, Created: l.Created}
+		case "span":
+			start, _ := time.Parse(time.RFC3339Nano, l.Start)
+			t.Spans = append(t.Spans, SpanData{
+				ID: l.ID, Parent: l.Parent, Name: l.Name,
+				Start: start,
+				Dur:   time.Duration(l.DurNS),
+				CPU:   time.Duration(l.CPUNS),
+				Attrs: attrsFromMap(l.Attrs),
+			})
+		case "event":
+			at, _ := time.Parse(time.RFC3339Nano, l.Time)
+			t.Events = append(t.Events, EventData{Span: l.Span, Name: l.Name, Time: at, Attrs: attrsFromMap(l.Attrs)})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+func attrsFromMap(m map[string]any) []Attr {
+	if len(m) == 0 {
+		return nil
+	}
+	out := make([]Attr, 0, len(m))
+	for k, v := range m {
+		out = append(out, Attr{Key: k, Val: v})
+	}
+	return out
+}
+
+// TraceStats summarizes a validated trace.
+type TraceStats struct {
+	Header TraceHeader
+	Spans  int
+	Events int
+}
+
+// ValidateTrace checks a JSONL trace against the TraceFormat schema:
+// a version-stamped header on the first line; every record a valid
+// JSON object of a known type; span IDs non-zero and unique; names
+// non-empty; durations non-negative; timestamps parseable; and every
+// parent/span reference resolving to a span present in the file
+// (children close before their parents, so references may point
+// forward). It returns summary statistics for reporting.
+func ValidateTrace(r io.Reader) (TraceStats, error) {
+	var stats TraceStats
+	seen := make(map[uint64]int)    // span id → line number
+	parents := make(map[uint64]int) // referenced span id → first referencing line
+	line := 0
+	err := scanTrace(r, func(l traceLine) error {
+		line++
+		switch l.Type {
+		case "header":
+			if line != 1 {
+				return fmt.Errorf("line %d: header record not on first line", line)
+			}
+			if l.Format != TraceFormat {
+				return fmt.Errorf("line 1: format %q, want %q", l.Format, TraceFormat)
+			}
+			if l.Version == "" {
+				return fmt.Errorf("line 1: header missing build version")
+			}
+			stats.Header = TraceHeader{Format: l.Format, Version: l.Version, Go: l.Go, Created: l.Created}
+		case "span":
+			if line == 1 {
+				return fmt.Errorf("line 1: first record must be the header")
+			}
+			if l.ID == 0 {
+				return fmt.Errorf("line %d: span with id 0", line)
+			}
+			if prev, dup := seen[l.ID]; dup {
+				return fmt.Errorf("line %d: span id %d already used on line %d", line, l.ID, prev)
+			}
+			seen[l.ID] = line
+			if l.Name == "" {
+				return fmt.Errorf("line %d: span %d has no name", line, l.ID)
+			}
+			if l.DurNS < 0 || l.CPUNS < 0 {
+				return fmt.Errorf("line %d: span %d has negative duration", line, l.ID)
+			}
+			if _, err := time.Parse(time.RFC3339Nano, l.Start); err != nil {
+				return fmt.Errorf("line %d: span %d start time: %v", line, l.ID, err)
+			}
+			if l.Parent != 0 {
+				if _, ok := parents[l.Parent]; !ok {
+					parents[l.Parent] = line
+				}
+			}
+			stats.Spans++
+		case "event":
+			if line == 1 {
+				return fmt.Errorf("line 1: first record must be the header")
+			}
+			if l.Name == "" {
+				return fmt.Errorf("line %d: event has no name", line)
+			}
+			if _, err := time.Parse(time.RFC3339Nano, l.Time); err != nil {
+				return fmt.Errorf("line %d: event %q time: %v", line, l.Name, err)
+			}
+			if l.Span != 0 {
+				if _, ok := parents[l.Span]; !ok {
+					parents[l.Span] = line
+				}
+			}
+			stats.Events++
+		default:
+			return fmt.Errorf("line %d: unknown record type %q", line, l.Type)
+		}
+		return nil
+	})
+	if err != nil {
+		return stats, err
+	}
+	if line == 0 {
+		return stats, fmt.Errorf("empty trace: missing header")
+	}
+	if stats.Header.Format == "" {
+		return stats, fmt.Errorf("trace has no header record")
+	}
+	for id, refLine := range parents {
+		if _, ok := seen[id]; !ok {
+			return stats, fmt.Errorf("line %d: reference to span %d, which never completes", refLine, id)
+		}
+	}
+	return stats, nil
+}
+
+// scanTrace feeds each non-empty JSONL line to fn.
+func scanTrace(r io.Reader, fn func(traceLine) error) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	n := 0
+	for sc.Scan() {
+		n++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var l traceLine
+		if err := json.Unmarshal(raw, &l); err != nil {
+			return fmt.Errorf("line %d: %v", n, err)
+		}
+		if err := fn(l); err != nil {
+			return err
+		}
+	}
+	return sc.Err()
+}

@@ -1,0 +1,261 @@
+package obs
+
+import (
+	"expvar"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry is a process-local metrics namespace: counters, gauges and
+// fixed-bucket histograms, created on first use and safe for
+// concurrent access. A nil *Registry hands out nil instruments whose
+// methods all no-op, so instrumented code never branches.
+//
+// Instrument lookup takes the registry mutex; hot loops should
+// resolve their instruments once up front and hold the pointers.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given
+// bucket upper bounds (ascending; +Inf is implicit) on first use.
+// Later calls reuse the existing instrument and ignore bounds.
+func (r *Registry) Histogram(name string, bounds ...float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.hists[name]
+	if h == nil {
+		bs := append([]float64(nil), bounds...)
+		sort.Float64s(bs)
+		h = &Histogram{bounds: bs, counts: make([]atomic.Uint64, len(bs)+1)}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Counter is a monotonically increasing integer.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count (0 on nil).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a float64 that can go up and down.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.bits.Store(math.Float64bits(v))
+	}
+}
+
+// Value returns the last value set (0 on nil).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram counts observations into fixed buckets; bucket i counts
+// values <= bounds[i], with one overflow bucket above the last bound.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Uint64
+	count  atomic.Uint64
+	sum    atomic.Uint64 // float64 bits, CAS-accumulated
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sum.Load())
+}
+
+// Mean returns the observation mean, 0 before any observation.
+func (h *Histogram) Mean() float64 {
+	n := h.Count()
+	if n == 0 {
+		return 0
+	}
+	return h.Sum() / float64(n)
+}
+
+// HistogramSnapshot is an exportable view of a histogram.
+type HistogramSnapshot struct {
+	Bounds []float64 `json:"bounds"`
+	Counts []uint64  `json:"counts"`
+	Count  uint64    `json:"count"`
+	Sum    float64   `json:"sum"`
+}
+
+// Snapshot returns a point-in-time copy of every instrument, shaped
+// for JSON (the /metrics endpoint and the expvar export).
+func (r *Registry) Snapshot() map[string]any {
+	out := make(map[string]any)
+	if r == nil {
+		return out
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for name, c := range r.counters {
+		out[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		out[name] = g.Value()
+	}
+	for name, h := range r.hists {
+		snap := HistogramSnapshot{
+			Bounds: h.bounds,
+			Counts: make([]uint64, len(h.counts)),
+			Count:  h.Count(),
+			Sum:    h.Sum(),
+		}
+		for i := range h.counts {
+			snap.Counts[i] = h.counts[i].Load()
+		}
+		out[name] = snap
+	}
+	return out
+}
+
+// CaptureMemStats copies the headline runtime.ReadMemStats figures
+// into gauges (mem.heap_alloc_bytes, mem.total_alloc_bytes,
+// mem.sys_bytes, mem.mallocs, mem.num_gc, mem.pause_total_ms).
+// ReadMemStats stops the world briefly, so call this at stage
+// boundaries, not in loops.
+func (r *Registry) CaptureMemStats() {
+	if r == nil {
+		return
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	r.Gauge("mem.heap_alloc_bytes").Set(float64(ms.HeapAlloc))
+	r.Gauge("mem.total_alloc_bytes").Set(float64(ms.TotalAlloc))
+	r.Gauge("mem.sys_bytes").Set(float64(ms.Sys))
+	r.Gauge("mem.mallocs").Set(float64(ms.Mallocs))
+	r.Gauge("mem.num_gc").Set(float64(ms.NumGC))
+	r.Gauge("mem.pause_total_ms").Set(float64(ms.PauseTotalNs) / 1e6)
+}
+
+// expvar.Publish panics on duplicate names; remember what this
+// process already exported.
+var (
+	expvarMu        sync.Mutex
+	expvarPublished = make(map[string]bool)
+)
+
+// PublishExpvar exports the registry's live snapshot under the given
+// expvar name (shown by /debug/vars). Publishing the same name twice
+// rebinds it to this registry instead of panicking.
+func (r *Registry) PublishExpvar(name string) {
+	if r == nil {
+		return
+	}
+	expvarMu.Lock()
+	defer expvarMu.Unlock()
+	if !expvarPublished[name] {
+		expvarPublished[name] = true
+		expvar.Publish(name, expvar.Func(func() any { return currentExpvarTarget(name).Snapshot() }))
+	}
+	expvarTargets.Store(name, r)
+}
+
+// expvarTargets maps expvar names to the registry currently bound to
+// them, letting tests (and successive Sessions) re-point an exported
+// name without tripping expvar's duplicate-publish panic.
+var expvarTargets sync.Map
+
+func currentExpvarTarget(name string) *Registry {
+	if v, ok := expvarTargets.Load(name); ok {
+		return v.(*Registry)
+	}
+	return nil
+}

@@ -16,6 +16,9 @@ package par
 import (
 	"runtime"
 	"sync"
+	"time"
+
+	"hmeans/internal/obs"
 )
 
 // Resolve normalizes a requested parallelism level: values below 1
@@ -84,6 +87,13 @@ func For(workers, n int, body func(start, end int)) {
 		body(ranges[0].Start, ranges[0].End)
 		return
 	}
+	// The observer gate is one atomic load per For call; the timed
+	// path exists in a separate function so the common disabled path
+	// stays exactly the historical code.
+	if o := obs.Default(); o.Active() {
+		forTimed(o, ranges, body)
+		return
+	}
 	var wg sync.WaitGroup
 	wg.Add(len(ranges) - 1)
 	for _, r := range ranges[1:] {
@@ -94,6 +104,56 @@ func For(workers, n int, body func(start, end int)) {
 	}
 	body(ranges[0].Start, ranges[0].End)
 	wg.Wait()
+}
+
+// imbalanceBounds are the shared histogram buckets for the
+// max/mean shard-duration ratio: 1 is a perfectly balanced split,
+// and with W workers a ratio near W means one chunk did all the
+// work.
+var imbalanceBounds = []float64{1.05, 1.1, 1.25, 1.5, 2, 3, 5, 10}
+
+// forTimed is For's instrumented twin: each chunk is timed, and the
+// chunk-duration imbalance (max/mean) is recorded so traces expose
+// how evenly the contiguous split shared the work.
+func forTimed(o *obs.Observer, ranges []Range, body func(start, end int)) {
+	durs := make([]time.Duration, len(ranges))
+	var wg sync.WaitGroup
+	wg.Add(len(ranges) - 1)
+	for i, r := range ranges[1:] {
+		go func(i int, r Range) {
+			defer wg.Done()
+			t0 := time.Now()
+			body(r.Start, r.End)
+			durs[i+1] = time.Since(t0)
+		}(i, r)
+	}
+	t0 := time.Now()
+	body(ranges[0].Start, ranges[0].End)
+	durs[0] = time.Since(t0)
+	wg.Wait()
+	recordImbalance(o, "par.for", durs)
+}
+
+// recordImbalance folds one timed fan-out into the registry: a call
+// counter, a chunk counter, and the max/mean duration ratio.
+func recordImbalance(o *obs.Observer, prefix string, durs []time.Duration) {
+	reg := o.Metrics()
+	reg.Counter(prefix + ".calls").Add(1)
+	reg.Counter(prefix + ".chunks").Add(int64(len(durs)))
+	var sum, max time.Duration
+	for _, d := range durs {
+		sum += d
+		if d > max {
+			max = d
+		}
+	}
+	if sum <= 0 {
+		return
+	}
+	mean := float64(sum) / float64(len(durs))
+	ratio := float64(max) / mean
+	reg.Gauge(prefix + ".imbalance").Set(ratio)
+	reg.Histogram(prefix+".imbalance_hist", imbalanceBounds...).Observe(ratio)
 }
 
 // FixedShards partitions [0, n) into shards of exactly `shardSize`
@@ -129,6 +189,11 @@ func FixedShards(workers, n, shardSize int, body func(shard, start, end int)) in
 	if workers > shards {
 		workers = shards
 	}
+	// The observer gate costs one atomic load per FixedShards call;
+	// the timed twin lives apart so the disabled path is unchanged.
+	if o := obs.Default(); o.Active() {
+		return shardsTimed(o, workers, shards, run)
+	}
 	// Static interleaved assignment: worker w owns shards w, w+W,
 	// w+2W, … Shard boundaries are fixed, so which worker computes a
 	// shard cannot change its contents.
@@ -146,5 +211,33 @@ func FixedShards(workers, n, shardSize int, body func(shard, start, end int)) in
 		run(s)
 	}
 	wg.Wait()
+	return shards
+}
+
+// shardsTimed is FixedShards' instrumented twin: per-shard wall
+// times feed the shard-imbalance metrics. Shard assignment is the
+// same static interleave, so results stay bit-identical.
+func shardsTimed(o *obs.Observer, workers, shards int, run func(shard int)) int {
+	durs := make([]time.Duration, shards)
+	timed := func(s int) {
+		t0 := time.Now()
+		run(s)
+		durs[s] = time.Since(t0)
+	}
+	var wg sync.WaitGroup
+	wg.Add(workers - 1)
+	for w := 1; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for s := w; s < shards; s += workers {
+				timed(s)
+			}
+		}(w)
+	}
+	for s := 0; s < shards; s += workers {
+		timed(s)
+	}
+	wg.Wait()
+	recordImbalance(o, "par.shards", durs)
 	return shards
 }

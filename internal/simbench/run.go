@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"hmeans/internal/obs"
 	"hmeans/internal/par"
 	"hmeans/internal/rng"
 	"hmeans/internal/stat"
@@ -88,6 +89,11 @@ func MeasuredSpeedups(ws []Workload, target, ref Machine, runs int, seed uint64)
 	if len(ws) == 0 {
 		return nil, errors.New("simbench: no workloads")
 	}
+	o := obs.Default()
+	sp := o.StartSpan("simbench.campaign", obs.KV("workloads", len(ws)),
+		obs.KV("runs", runs), obs.KV("target", target.Name), obs.KV("reference", ref.Name))
+	defer sp.End()
+	recordCampaign(o, len(ws), runs)
 	r := rng.New(seed)
 	out := make([]float64, len(ws))
 	for i := range ws {
@@ -100,8 +106,23 @@ func MeasuredSpeedups(ws []Workload, target, ref Machine, runs int, seed uint64)
 			return nil, fmt.Errorf("simbench: measuring %s on %s: %w", ws[i].Name, ref.Name, err)
 		}
 		out[i] = tRef / tTarget
+		if o.Detail() {
+			sp.Event("simbench.workload", obs.KV("workload", ws[i].Name), obs.KV("speedup", out[i]))
+		}
 	}
 	return out, nil
+}
+
+// recordCampaign folds one measurement campaign into the registry:
+// campaigns run and simulated executions performed (each workload runs
+// `runs` times on both machines).
+func recordCampaign(o *obs.Observer, workloads, runs int) {
+	if !o.Active() {
+		return
+	}
+	reg := o.Metrics()
+	reg.Counter("simbench.campaigns").Add(1)
+	reg.Counter("simbench.executions").Add(int64(2 * workloads * runs))
 }
 
 // MeasuredSpeedupsParallel is MeasuredSpeedups with the per-workload
@@ -114,6 +135,12 @@ func MeasuredSpeedupsParallel(ws []Workload, target, ref Machine, runs int, seed
 	if len(ws) == 0 {
 		return nil, errors.New("simbench: no workloads")
 	}
+	o := obs.Default()
+	sp := o.StartSpan("simbench.campaign", obs.KV("workloads", len(ws)),
+		obs.KV("runs", runs), obs.KV("target", target.Name), obs.KV("reference", ref.Name),
+		obs.KV("workers", par.Resolve(workers)))
+	defer sp.End()
+	recordCampaign(o, len(ws), runs)
 	base := rng.New(seed)
 	seeds := make([]uint64, len(ws))
 	for i := range seeds {

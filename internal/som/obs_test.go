@@ -1,0 +1,115 @@
+package som
+
+import (
+	"testing"
+
+	"hmeans/internal/obs"
+	"hmeans/internal/vecmath"
+)
+
+func obsSamples() []vecmath.Vector {
+	return []vecmath.Vector{
+		{0, 0}, {0.1, 0}, {0, 0.1},
+		{5, 5}, {5.1, 5}, {5, 5.1},
+		{-4, 6}, {-4.1, 6.1},
+	}
+}
+
+// TestBatchTrainingEmitsEpochs checks that batch training reports one
+// som.epoch event per epoch with a finite, eventually-decreasing
+// quantization error.
+func TestBatchTrainingEmitsEpochs(t *testing.T) {
+	col := obs.NewCollector()
+	o := obs.New(col)
+	cfg := Config{
+		Rows: 4, Cols: 4, Algorithm: Batch, BatchEpochs: 20, Seed: 3, Obs: o,
+	}
+	if _, err := Train(cfg, obsSamples()); err != nil {
+		t.Fatal(err)
+	}
+	tr := col.Trace()
+	var qes []float64
+	for _, e := range tr.Events {
+		if e.Name != "som.epoch" {
+			continue
+		}
+		for _, a := range e.Attrs {
+			if a.Key == "qe" {
+				qes = append(qes, a.Val.(float64))
+			}
+		}
+	}
+	if len(qes) != 20 {
+		t.Fatalf("som.epoch events = %d, want 20", len(qes))
+	}
+	if first, last := qes[0], qes[len(qes)-1]; !(last < first) {
+		t.Fatalf("quantization error did not decrease: first %v, last %v", first, last)
+	}
+	if got := o.Metrics().Counter("som.epochs").Value(); got != 20 {
+		t.Fatalf("som.epochs counter = %d", got)
+	}
+	var trainSpans int
+	for _, s := range tr.Spans {
+		if s.Name == "som.train" {
+			trainSpans++
+		}
+	}
+	if trainSpans != 1 {
+		t.Fatalf("som.train spans = %d", trainSpans)
+	}
+}
+
+// TestSequentialTrainingEmitsCheckpoints checks the som.step
+// checkpoint events of the on-line loop: ~32 of them, with the
+// learning rate annealing downward.
+func TestSequentialTrainingEmitsCheckpoints(t *testing.T) {
+	col := obs.NewCollector()
+	cfg := Config{
+		Rows: 4, Cols: 4, Steps: 640, Seed: 3, Obs: obs.New(col),
+	}
+	if _, err := Train(cfg, obsSamples()); err != nil {
+		t.Fatal(err)
+	}
+	var alphas []float64
+	for _, e := range col.Trace().Events {
+		if e.Name != "som.step" {
+			continue
+		}
+		for _, a := range e.Attrs {
+			if a.Key == "alpha" {
+				alphas = append(alphas, a.Val.(float64))
+			}
+		}
+	}
+	if len(alphas) != 32 {
+		t.Fatalf("som.step events = %d, want 32", len(alphas))
+	}
+	if !(alphas[len(alphas)-1] < alphas[0]) {
+		t.Fatalf("learning rate did not anneal: first %v, last %v", alphas[0], alphas[len(alphas)-1])
+	}
+}
+
+// TestInstrumentationPreservesWeights pins the "never affects the
+// trained weights" contract for both algorithms.
+func TestInstrumentationPreservesWeights(t *testing.T) {
+	for _, alg := range []Algorithm{Sequential, Batch} {
+		cfg := Config{Rows: 4, Cols: 4, Steps: 640, BatchEpochs: 20, Algorithm: alg, Seed: 7}
+		bare, err := Train(cfg, obsSamples())
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Obs = obs.New(obs.NewCollector())
+		traced, err := Train(cfg, obsSamples())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for u := range bare.weights {
+			for j := range bare.weights[u] {
+				if bare.weights[u][j] != traced.weights[u][j] {
+					t.Fatalf("%v: weight [%d][%d] differs: %v vs %v",
+						alg, u, j, bare.weights[u][j], traced.weights[u][j])
+				}
+			}
+		}
+	}
+}

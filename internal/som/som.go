@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"math"
 
+	"hmeans/internal/obs"
 	"hmeans/internal/vecmath"
 )
 
@@ -72,6 +73,12 @@ type Config struct {
 	Parallelism int
 	// Seed drives sample-selection order and random initialization.
 	Seed uint64
+	// Obs receives training telemetry: a som.train span plus
+	// per-epoch events (quantization error, neighbourhood radius)
+	// for batch training and periodic som.step events for sequential
+	// training. Nil falls back to the process-default observer;
+	// instrumentation never affects the trained weights.
+	Obs *obs.Observer
 }
 
 // Algorithm selects the SOM training procedure.
@@ -211,6 +218,14 @@ func (m *Map) Location(r, c int) vecmath.Vector { return m.locations[r*m.cols+c]
 // vector. Ties break toward the lower unit index, which keeps
 // training deterministic.
 func (m *Map) BMU(x vecmath.Vector) (row, col int) {
+	u, _ := m.bmu(x)
+	return u / m.cols, u % m.cols
+}
+
+// bmu returns the best matching unit's index and its squared
+// Euclidean distance to x — the distance feeds the per-epoch
+// quantization-error telemetry without a second scan.
+func (m *Map) bmu(x vecmath.Vector) (unit int, sqDist float64) {
 	if len(x) != m.dim {
 		panic(fmt.Sprintf("som: input dim %d != map dim %d", len(x), m.dim))
 	}
@@ -220,7 +235,7 @@ func (m *Map) BMU(x vecmath.Vector) (row, col int) {
 			best, bestDist = u, d
 		}
 	}
-	return best / m.cols, best % m.cols
+	return best, bestDist
 }
 
 // secondBMU returns the unit indices of the two closest units, used

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"hmeans/internal/obs"
 	"hmeans/internal/par"
 	"hmeans/internal/rng"
 	"hmeans/internal/vecmath"
@@ -26,6 +27,12 @@ func Train(cfg Config, samples []vecmath.Vector) (*Map, error) {
 		}
 	}
 	c := cfg.withDefaults()
+	o := obs.Or(c.Obs)
+	sp := o.StartSpan("som.train",
+		obs.KV("algorithm", c.Algorithm.String()),
+		obs.KV("rows", c.Rows), obs.KV("cols", c.Cols),
+		obs.KV("samples", len(samples)), obs.KV("dim", dim))
+	defer sp.End()
 	m := newMap(c.Rows, c.Cols, dim)
 	r := rng.New(c.Seed)
 
@@ -39,9 +46,9 @@ func Train(cfg Config, samples []vecmath.Vector) (*Map, error) {
 	}
 
 	if c.Algorithm == Batch {
-		m.trainBatch(c, samples)
+		m.trainBatch(c, samples, o, sp)
 	} else {
-		m.trainSequential(c, samples, r)
+		m.trainSequential(c, samples, r, o, sp)
 	}
 	return m, nil
 }
@@ -98,7 +105,13 @@ func batchEpochs(c Config, nSamples int) int {
 // update — and therefore the converged map — is bit-identical for
 // any worker count. The BMU searches inside a shard only read the
 // previous epoch's weights, which are frozen until the reduction.
-func (m *Map) trainBatch(c Config, samples []vecmath.Vector) {
+//
+// When an observer is active each epoch additionally accumulates the
+// quantization error (mean sample→BMU distance) per shard — the BMU
+// distances are already computed, so the extra cost is one sqrt and
+// add per sample — and emits a som.epoch event with the annealed
+// radius and the epoch's QE.
+func (m *Map) trainBatch(c Config, samples []vecmath.Vector, o *obs.Observer, sp *obs.Span) {
 	floor := c.SigmaFinal
 	if floor <= 0 {
 		floor = sigmaFloor
@@ -117,6 +130,14 @@ func (m *Map) trainBatch(c Config, samples []vecmath.Vector) {
 			num[s][u] = vecmath.NewVector(m.dim)
 		}
 	}
+	var qe []float64
+	var qeGauge, sigmaGauge *obs.Gauge
+	if o.Active() {
+		qe = make([]float64, shards)
+		qeGauge = o.Metrics().Gauge("som.qe")
+		sigmaGauge = o.Metrics().Gauge("som.sigma")
+		o.Metrics().Counter("som.epochs").Add(int64(epochs))
+	}
 	for e := 0; e < epochs; e++ {
 		t := float64(e) / float64(epochs)
 		sigma := c.RadiusDecay.value(c.Sigma0, floor, t)
@@ -129,8 +150,13 @@ func (m *Map) trainBatch(c Config, samples []vecmath.Vector) {
 				}
 				sden[u] = 0
 			}
+			var qeSum float64
 			for _, x := range samples[start:end] {
-				br, bc := m.BMU(x)
+				bu, d2 := m.bmu(x)
+				if qe != nil {
+					qeSum += math.Sqrt(d2)
+				}
+				br, bc := bu/m.cols, bu%m.cols
 				for gr := 0; gr < m.rows; gr++ {
 					for gc := 0; gc < m.cols; gc++ {
 						dr, dc := float64(gr-br), float64(gc-bc)
@@ -144,7 +170,20 @@ func (m *Map) trainBatch(c Config, samples []vecmath.Vector) {
 					}
 				}
 			}
+			if qe != nil {
+				qe[shard] = qeSum
+			}
 		})
+		if qe != nil {
+			var qeTotal float64
+			for _, v := range qe {
+				qeTotal += v
+			}
+			epochQE := qeTotal / float64(len(samples))
+			qeGauge.Set(epochQE)
+			sigmaGauge.Set(sigma)
+			sp.Event("som.epoch", obs.KV("epoch", e), obs.KV("qe", epochQE), obs.KV("sigma", sigma))
+		}
 		// Reduce shard accumulators and apply the weight update. Each
 		// unit reads every shard's slot in ascending shard order, so
 		// the float sums do not depend on which worker filled which
@@ -184,7 +223,19 @@ func (m *Map) trainBatch(c Config, samples []vecmath.Vector) {
 // random sample is presented, its BMU located, and the BMU
 // neighbourhood pulled toward the sample with the Gaussian kernel
 // h_ci(n) = α(n)·exp(−‖r_c − r_i‖²/2σ²(n)).
-func (m *Map) trainSequential(c Config, samples []vecmath.Vector, r *rng.Source) {
+// When an observer is active a som.step event is emitted at 32
+// evenly spaced checkpoints recording the annealed learning rate and
+// radius — sequential training has no epochs, so checkpoints stand
+// in for them.
+func (m *Map) trainSequential(c Config, samples []vecmath.Vector, r *rng.Source, o *obs.Observer, sp *obs.Span) {
+	interval := 0
+	if o.Active() {
+		interval = c.Steps / 32
+		if interval < 1 {
+			interval = 1
+		}
+		o.Metrics().Counter("som.steps").Add(int64(c.Steps))
+	}
 	diff := vecmath.NewVector(m.dim) // scratch: x − w_i
 	for n := 0; n < c.Steps; n++ {
 		t := float64(n) / float64(c.Steps)
@@ -194,6 +245,11 @@ func (m *Map) trainSequential(c Config, samples []vecmath.Vector, r *rng.Source)
 			floor = sigmaFloor
 		}
 		sigma := c.RadiusDecay.value(c.Sigma0, floor, t)
+		if interval > 0 && n%interval == 0 {
+			o.Metrics().Gauge("som.alpha").Set(alpha)
+			o.Metrics().Gauge("som.sigma").Set(sigma)
+			sp.Event("som.step", obs.KV("step", n), obs.KV("alpha", alpha), obs.KV("sigma", sigma))
+		}
 		x := samples[r.Intn(len(samples))]
 		br, bc := m.BMU(x)
 		m.updateNeighbourhood(x, br, bc, alpha, sigma, diff)
