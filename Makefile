@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fmt lint bench trace ci
+.PHONY: all build test race vet fmt lint bench trace chaos fuzz ci
 
 all: build
 
@@ -43,4 +43,20 @@ trace:
 	$(GO) run ./cmd/report -validate-trace trace.jsonl
 	$(GO) run ./cmd/report -timings trace.jsonl
 
-ci: build lint test race bench trace
+# chaos mirrors the CI chaos job: the deterministic fault-injection
+# suite (internal/faultinject) under the race detector.
+chaos:
+	$(GO) test -race -run Chaos ./...
+
+# fuzz smoke-runs every serialization fuzz target (the CI fuzz-smoke
+# job). Go permits one -fuzz pattern per invocation, so one line per
+# target; raise FUZZTIME for a real fuzzing session.
+FUZZTIME ?= 20s
+fuzz:
+	$(GO) test -fuzz FuzzReadScores -fuzztime $(FUZZTIME) ./internal/dataio
+	$(GO) test -fuzz FuzzReadMatrix -fuzztime $(FUZZTIME) ./internal/dataio
+	$(GO) test -fuzz FuzzReadClusters -fuzztime $(FUZZTIME) ./internal/dataio
+	$(GO) test -fuzz FuzzLoadMap -fuzztime $(FUZZTIME) ./internal/som
+	$(GO) test -fuzz FuzzLoadDendrogram -fuzztime $(FUZZTIME) ./internal/cluster
+
+ci: build lint test race chaos bench trace

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -40,6 +41,7 @@ func run(args []string, stdout io.Writer) error {
 		suite    = fs.String("suite", "", "JSON suite manifest (default: the built-in calibrated suite)")
 		parallel = fs.Int("parallel", 1, "worker count for -emit speedups (0 = all CPUs); values > 1 measure workloads concurrently on independent noise sub-streams, identical for every worker count")
 	)
+	timeout := cliutil.RegisterTimeout(fs)
 	obsFlags := obs.RegisterFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -54,14 +56,16 @@ func run(args []string, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
-	err = emitOutput(*emit, *machine, *runs, *seed, *suite, *parallel, stdout)
+	ctx, cancel := cliutil.WithTimeout(*timeout)
+	defer cancel()
+	err = emitOutput(ctx, *emit, *machine, *runs, *seed, *suite, *parallel, stdout)
 	if cerr := sess.Close(); err == nil {
 		err = cerr
 	}
 	return err
 }
 
-func emitOutput(emit, machine string, runs int, seed uint64, suite string, parallel int, stdout io.Writer) error {
+func emitOutput(ctx context.Context, emit, machine string, runs int, seed uint64, suite string, parallel int, stdout io.Writer) error {
 	m, err := machineByName(machine)
 	if err != nil {
 		return err
@@ -96,9 +100,9 @@ func emitOutput(emit, machine string, runs int, seed uint64, suite string, paral
 		var vals []float64
 		var err error
 		if workers > 1 {
-			vals, err = simbench.MeasuredSpeedupsParallel(ws, m, simbench.Reference(), runs, seed, workers)
+			vals, err = simbench.MeasuredSpeedupsParallelCtx(ctx, ws, m, simbench.Reference(), runs, seed, workers)
 		} else {
-			vals, err = simbench.MeasuredSpeedups(ws, m, simbench.Reference(), runs, seed)
+			vals, err = simbench.MeasuredSpeedupsCtx(ctx, ws, m, simbench.Reference(), runs, seed)
 		}
 		if err != nil {
 			return err

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -32,6 +33,7 @@ func run(args []string, stdout io.Writer) error {
 		runs    = fs.Int("runs", 10, "executions averaged per measurement")
 		somSeed = fs.Uint64("somseed", 2007, "SOM training seed")
 	)
+	timeout := cliutil.RegisterTimeout(fs)
 	obsFlags := obs.RegisterFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -51,20 +53,22 @@ func run(args []string, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
-	err = runExperiments(*runID, *runs, *somSeed, stdout)
+	ctx, cancel := cliutil.WithTimeout(*timeout)
+	defer cancel()
+	err = runExperiments(ctx, *runID, *runs, *somSeed, stdout)
 	if cerr := sess.Close(); err == nil {
 		err = cerr
 	}
 	return err
 }
 
-func runExperiments(runID string, runs int, somSeed uint64, stdout io.Writer) error {
+func runExperiments(ctx context.Context, runID string, runs int, somSeed uint64, stdout io.Writer) error {
 	suite, err := experiments.NewSuite(experiments.Config{Runs: runs, SOMSeed: somSeed})
 	if err != nil {
 		return err
 	}
 	if runID == "" {
-		return experiments.RunAll(suite, stdout)
+		return experiments.RunAllCtx(ctx, suite, stdout)
 	}
 	e, ok := experiments.ByID(runID)
 	if !ok {

@@ -17,6 +17,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -48,7 +49,9 @@ func run(args []string, stdout io.Writer) error {
 		k            = fs.Int("k", 0, "cluster count to cut at (0 with -chars: sweep 2..n)")
 		seed         = fs.Uint64("seed", 2007, "SOM training seed")
 		parallel     = fs.Int("parallel", 1, "worker count for SOM training and clustering (0 = all CPUs); results are identical for every value")
+		quarantine   = fs.Bool("quarantine", false, "drop workloads with non-finite characterization values and score the survivors instead of failing")
 	)
+	timeout := cliutil.RegisterTimeout(fs)
 	obsFlags := obs.RegisterFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -70,7 +73,9 @@ func run(args []string, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
-	err = score(scoreArgs{
+	ctx, cancel := cliutil.WithTimeout(*timeout)
+	defer cancel()
+	err = score(ctx, scoreArgs{
 		scoresPath:   *scoresPath,
 		clustersPath: *clustersPath,
 		charsPath:    *charsPath,
@@ -79,6 +84,7 @@ func run(args []string, stdout io.Writer) error {
 		k:            *k,
 		seed:         *seed,
 		parallel:     *parallel,
+		quarantine:   *quarantine,
 	}, stdout)
 	if cerr := sess.Close(); err == nil {
 		err = cerr
@@ -94,9 +100,10 @@ type scoreArgs struct {
 	k                                   int
 	seed                                uint64
 	parallel                            int
+	quarantine                          bool
 }
 
-func score(a scoreArgs, stdout io.Writer) error {
+func score(ctx context.Context, a scoreArgs, stdout io.Writer) error {
 	mean, err := parseMean(a.meanName)
 	if err != nil {
 		return err
@@ -105,12 +112,18 @@ func score(a scoreArgs, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
-	plain, err := hmeans.PlainMean(mean, scores.Values)
-	if err != nil {
-		return err
+	// Quarantine mode tolerates (and drops) scores of quarantined
+	// workloads, so strict score validation only applies without it.
+	if !a.quarantine {
+		if err := hmeans.ValidateScores(scores.Values); err != nil {
+			return fmt.Errorf("%s: %w", a.scoresPath, err)
+		}
 	}
-
 	if a.clustersPath != "" {
+		plain, err := hmeans.PlainMean(mean, scores.Values)
+		if err != nil {
+			return err
+		}
 		c, err := readClustering(a.clustersPath, scores)
 		if err != nil {
 			return err
@@ -132,16 +145,30 @@ func score(a scoreArgs, stdout io.Writer) error {
 	if workers <= 0 {
 		workers = par.Auto()
 	}
-	p, err := hmeans.DetectClusters(table, hmeans.PipelineConfig{
+	p, err := hmeans.DetectClustersCtx(ctx, table, hmeans.PipelineConfig{
 		Kind:        kindVal,
 		SOM:         som.Config{Seed: a.seed},
 		Parallelism: workers,
+		Quarantine:  a.quarantine,
 	})
 	if err != nil {
 		return err
 	}
+	for _, q := range p.Quarantined {
+		fmt.Fprintf(stdout, "quarantined %s: %s\n", q.Workload, q.Reason)
+	}
+	// Align once: with quarantine active this drops the scores of the
+	// quarantined workloads so both means cover the same survivors.
+	aligned, err := p.AlignScores(scores.Values)
+	if err != nil {
+		return err
+	}
+	plain, err := hmeans.PlainMean(mean, aligned)
+	if err != nil {
+		return err
+	}
 	if a.k > 0 {
-		h, err := p.ScoreAtK(mean, scores.Values, a.k)
+		h, err := p.ScoreAtK(mean, aligned, a.k)
 		if err != nil {
 			return err
 		}
@@ -157,8 +184,8 @@ func score(a scoreArgs, stdout io.Writer) error {
 		return nil
 	}
 	t := viz.NewTable("k", "hierarchical", "plain")
-	for kk := 2; kk <= len(scores.Values); kk++ {
-		h, err := p.ScoreAtK(mean, scores.Values, kk)
+	for kk := 2; kk <= len(aligned); kk++ {
+		h, err := p.ScoreAtK(mean, aligned, kk)
 		if err != nil {
 			return err
 		}

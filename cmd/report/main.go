@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -47,6 +48,7 @@ func run(args []string, stdout io.Writer) error {
 		timings  = fs.String("timings", "", "render the per-stage timing table of this JSONL trace and exit")
 		validate = fs.String("validate-trace", "", "validate this JSONL trace against the trace schema and exit")
 	)
+	timeout := cliutil.RegisterTimeout(fs)
 	obsFlags := obs.RegisterFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -65,14 +67,16 @@ func run(args []string, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
-	err = writeReport(*machine, *charKind, *meanName, *runs, *seed, *somSeed, stdout)
+	ctx, cancel := cliutil.WithTimeout(*timeout)
+	defer cancel()
+	err = writeReport(ctx, *machine, *charKind, *meanName, *runs, *seed, *somSeed, stdout)
 	if cerr := sess.Close(); err == nil {
 		err = cerr
 	}
 	return err
 }
 
-func writeReport(machine, charKind, meanName string, runs int, seed, somSeed uint64, stdout io.Writer) error {
+func writeReport(ctx context.Context, machine, charKind, meanName string, runs int, seed, somSeed uint64, stdout io.Writer) error {
 	var m simbench.Machine
 	switch machine {
 	case "A", "a":
@@ -136,7 +140,7 @@ func writeReport(machine, charKind, meanName string, runs int, seed, somSeed uin
 	if err != nil {
 		return err
 	}
-	p, err := hmeans.DetectClusters(table, hmeans.PipelineConfig{
+	p, err := hmeans.DetectClustersCtx(ctx, table, hmeans.PipelineConfig{
 		Kind: kindChar,
 		SOM:  som.Config{Seed: somSeed},
 	})

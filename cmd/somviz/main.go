@@ -39,6 +39,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		kMax   = fs.Int("kmax", 8, "largest cut to list")
 		plane  = fs.String("plane", "", "also render the component plane of this feature (name after preprocessing)")
 	)
+	timeout := cliutil.RegisterTimeout(fs)
 	obsFlags := obs.RegisterFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -50,6 +51,8 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
+	ctx, cancel := cliutil.WithTimeout(*timeout)
+	defer cancel()
 	// The body runs inside the observability session so the pipeline
 	// reports into it via the process-default observer.
 	err = func() error {
@@ -79,7 +82,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		default:
 			return fmt.Errorf("unknown kind %q", *kind)
 		}
-		p, err := hmeans.DetectClusters(table, hmeans.PipelineConfig{
+		p, err := hmeans.DetectClustersCtx(ctx, table, hmeans.PipelineConfig{
 			Kind: kindVal,
 			SOM:  som.Config{Rows: *rows, Cols: *cols, Seed: *seed},
 		})

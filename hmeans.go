@@ -37,6 +37,8 @@
 package hmeans
 
 import (
+	"context"
+
 	"hmeans/internal/chars"
 	"hmeans/internal/core"
 	"hmeans/internal/vecmath"
@@ -137,6 +139,36 @@ type Pipeline = core.Pipeline
 func DetectClusters(table *Table, cfg PipelineConfig) (*Pipeline, error) {
 	return core.DetectClusters(table, cfg)
 }
+
+// DetectClustersCtx is DetectClusters with cooperative cancellation:
+// the context is honoured between pipeline stages, between SOM
+// training epochs and between linkage merge steps. A context that
+// never fires yields results bit-identical to DetectClusters.
+func DetectClustersCtx(ctx context.Context, table *Table, cfg PipelineConfig) (*Pipeline, error) {
+	return core.DetectClustersCtx(ctx, table, cfg)
+}
+
+// ErrNonFinite marks input containing NaN or ±Inf values.
+var ErrNonFinite = core.ErrNonFinite
+
+// ErrZeroVariance marks a characterization left featureless by
+// preprocessing: nothing varies, so nothing can be clustered.
+var ErrZeroVariance = core.ErrZeroVariance
+
+// DataError locates invalid input data (workload, feature, value).
+// The cmd/ binaries exit with status 3 on these.
+type DataError = core.DataError
+
+// Quarantine records one workload dropped by the pipeline's
+// graceful-degradation mode (PipelineConfig.Quarantine).
+type Quarantine = core.Quarantine
+
+// ValidateTable returns a *DataError naming the first non-finite cell
+// of a characterization table, or nil when the table is clean.
+func ValidateTable(t *Table) error { return core.ValidateTable(t) }
+
+// ValidateScores returns a *DataError for the first non-finite score.
+func ValidateScores(scores []float64) error { return core.ValidateScores(scores) }
 
 // RedundancyImpact quantifies score drift under workload cloning.
 type RedundancyImpact = core.RedundancyImpact

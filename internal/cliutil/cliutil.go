@@ -1,10 +1,13 @@
 // Package cliutil holds the small shared conventions of the cmd/
 // binaries: a usage-error type that exits with the conventional status
-// 2 and a one-line hint, and the main-function wrapper that maps a
-// run function's error to the process exit code.
+// 2 and a one-line hint, a shared -timeout flag that bounds a whole
+// run with a context deadline, and the main-function wrapper that
+// maps a run function's error to the process exit code (0 ok, 1
+// internal/runtime failure, 2 usage mistake, 3 invalid input data).
 package cliutil
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -23,15 +26,29 @@ func Usagef(format string, args ...any) *UsageError {
 // Error returns the message.
 func (e *UsageError) Error() string { return e.msg }
 
+// dataError is the marker interface the data packages (core, cluster)
+// implement on their typed input-validation errors. Matching on the
+// method instead of the concrete types keeps cliutil free of
+// dependencies on the analysis packages.
+type dataError interface {
+	error
+	DataError() bool
+}
+
 // Run executes a command's run function and maps its error to an exit
 // code, printing diagnostics to stderr:
 //
-//	nil            → 0
-//	flag.ErrHelp   → 0 (the flag package already printed usage)
-//	*UsageError    → 2, message plus a "-h" hint on one line
-//	anything else  → 1, message prefixed with the tool name
+//	nil              → 0
+//	flag.ErrHelp     → 0 (the flag package already printed usage)
+//	*UsageError      → 2, message plus a "-h" hint on one line
+//	data error       → 3, message prefixed with "invalid input"
+//	anything else    → 1, message prefixed with the tool name
 //
-// main functions reduce to os.Exit(cliutil.Run(name, os.Stderr, fn)).
+// A data error is any error whose chain carries a DataError() bool
+// method — bad input data (non-finite values, degenerate requests)
+// rather than a bug or a usage mistake, so scripts can tell the
+// difference. main functions reduce to
+// os.Exit(cliutil.Run(name, os.Stderr, fn)).
 func Run(name string, stderr io.Writer, fn func() error) int {
 	err := fn()
 	switch {
@@ -44,6 +61,15 @@ func Run(name string, stderr io.Writer, fn func() error) int {
 	if errors.As(err, &ue) {
 		fmt.Fprintf(stderr, "%s: %s (run '%s -h' for usage)\n", name, ue.msg, name)
 		return 2
+	}
+	var de dataError
+	if errors.As(err, &de) && de.DataError() {
+		fmt.Fprintf(stderr, "%s: invalid input: %v\n", name, err)
+		return 3
+	}
+	if errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintf(stderr, "%s: timed out: %v\n", name, err)
+		return 1
 	}
 	fmt.Fprintf(stderr, "%s: %v\n", name, err)
 	return 1

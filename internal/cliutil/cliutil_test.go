@@ -1,12 +1,21 @@
 package cliutil
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"strings"
 	"testing"
+	"time"
 )
+
+// fakeDataError stands in for the typed validation errors of the
+// analysis packages: anything carrying DataError() bool.
+type fakeDataError struct{ msg string }
+
+func (e *fakeDataError) Error() string   { return e.msg }
+func (e *fakeDataError) DataError() bool { return true }
 
 func TestRunExitCodes(t *testing.T) {
 	cases := []struct {
@@ -23,6 +32,12 @@ func TestRunExitCodes(t *testing.T) {
 		{"wrapped-usage", fmt.Errorf("outer: %w", Usagef("bad value")), 2,
 			"tool: bad value (run 'tool -h' for usage)\n"},
 		{"plain", errors.New("boom"), 1, "tool: boom\n"},
+		{"data", &fakeDataError{msg: "NaN in scores"}, 3,
+			"tool: invalid input: NaN in scores\n"},
+		{"wrapped-data", fmt.Errorf("reading scores: %w", &fakeDataError{msg: "NaN at row 3"}), 3,
+			"tool: invalid input: reading scores: NaN at row 3\n"},
+		{"deadline", fmt.Errorf("pipeline: %w", context.DeadlineExceeded), 1,
+			"tool: timed out: pipeline: context deadline exceeded\n"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -48,5 +63,43 @@ func TestValidateParallel(t *testing.T) {
 	var ue *UsageError
 	if !errors.As(err, &ue) {
 		t.Fatalf("ValidateParallel(-1) = %v, want UsageError", err)
+	}
+}
+
+func TestRegisterTimeout(t *testing.T) {
+	fs := flag.NewFlagSet("tool", flag.ContinueOnError)
+	d := RegisterTimeout(fs)
+	if err := fs.Parse([]string{"-timeout", "150ms"}); err != nil {
+		t.Fatal(err)
+	}
+	if *d != 150*time.Millisecond {
+		t.Fatalf("-timeout parsed to %v, want 150ms", *d)
+	}
+}
+
+func TestWithTimeout(t *testing.T) {
+	// Zero: a plain cancellable context with no deadline.
+	ctx, cancel := WithTimeout(0)
+	if _, ok := ctx.Deadline(); ok {
+		t.Fatal("zero timeout set a deadline")
+	}
+	cancel()
+	if !errors.Is(ctx.Err(), context.Canceled) {
+		t.Fatalf("cancel did not propagate: %v", ctx.Err())
+	}
+
+	// Positive: the context expires on its own.
+	ctx, cancel = WithTimeout(time.Millisecond)
+	defer cancel()
+	if _, ok := ctx.Deadline(); !ok {
+		t.Fatal("positive timeout set no deadline")
+	}
+	select {
+	case <-ctx.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("deadline context never fired")
+	}
+	if !errors.Is(ctx.Err(), context.DeadlineExceeded) {
+		t.Fatalf("ctx.Err() = %v, want DeadlineExceeded", ctx.Err())
 	}
 }

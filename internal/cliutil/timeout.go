@@ -1,0 +1,24 @@
+package cliutil
+
+import (
+	"context"
+	"flag"
+	"time"
+)
+
+// RegisterTimeout installs the shared -timeout flag on fs and returns
+// the destination. Zero (the default) means no deadline.
+func RegisterTimeout(fs *flag.FlagSet) *time.Duration {
+	d := fs.Duration("timeout", 0, "abort the run after this duration (e.g. 30s, 2m); 0 = no limit")
+	return d
+}
+
+// WithTimeout turns a -timeout value into the run's root context: a
+// deadline context for positive d, a plain background context for
+// zero. The cancel func must always be deferred.
+func WithTimeout(d time.Duration) (context.Context, context.CancelFunc) {
+	if d <= 0 {
+		return context.WithCancel(context.Background())
+	}
+	return context.WithTimeout(context.Background(), d)
+}

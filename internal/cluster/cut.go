@@ -1,10 +1,40 @@
 package cluster
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sort"
 )
+
+// ErrDegenerateCut marks a cut or quality request the dendrogram
+// cannot satisfy: a cluster count outside [1, n], an empty sweep
+// range, or a diagnostic that needs at least two clusters. Check with
+// errors.Is(err, ErrDegenerateCut); the concrete *CutError carries
+// the offending request.
+var ErrDegenerateCut = errors.New("cluster: degenerate cut")
+
+// CutError details a degenerate cut request.
+type CutError struct {
+	// K is the requested cluster count (0 when no single k applies).
+	K int
+	// N is the dendrogram's leaf count.
+	N int
+	// Reason says what made the request unsatisfiable.
+	Reason string
+}
+
+// Error formats the request and the reason it is unsatisfiable.
+func (e *CutError) Error() string {
+	return fmt.Sprintf("cluster: degenerate cut (k=%d, n=%d): %s", e.K, e.N, e.Reason)
+}
+
+// Unwrap ties every CutError to the ErrDegenerateCut sentinel.
+func (e *CutError) Unwrap() error { return ErrDegenerateCut }
+
+// DataError classifies the error as an input problem rather than an
+// internal failure; internal/cliutil maps it to the data exit code.
+func (e *CutError) DataError() bool { return true }
 
 // Assignment maps each leaf index to a cluster label in [0, k). The
 // labels are canonicalized: cluster 0 is the one containing the
@@ -38,7 +68,7 @@ func (a Assignment) Sizes() []int {
 // last k−1 merges are undone. k must lie in [1, n].
 func (d *Dendrogram) CutK(k int) (Assignment, error) {
 	if k < 1 || k > d.n {
-		return Assignment{}, fmt.Errorf("cluster: cannot cut %d points into %d clusters", d.n, k)
+		return Assignment{}, &CutError{K: k, N: d.n, Reason: "cluster count outside [1, n]"}
 	}
 	return d.assignment(d.n - k), nil
 }
@@ -101,7 +131,7 @@ func (d *Dendrogram) assignment(applied int) Assignment {
 // Tables IV–VI report (2..8 clusters).
 func (d *Dendrogram) CutsByK(kMin, kMax int) (map[int]Assignment, error) {
 	if kMin > kMax {
-		return nil, fmt.Errorf("cluster: empty cut range [%d, %d]", kMin, kMax)
+		return nil, &CutError{N: d.n, Reason: fmt.Sprintf("empty cut range [%d, %d]", kMin, kMax)}
 	}
 	out := make(map[int]Assignment)
 	for k := kMin; k <= kMax; k++ {

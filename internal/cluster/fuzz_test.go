@@ -1,0 +1,88 @@
+package cluster
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"hmeans/internal/vecmath"
+)
+
+// validDendrogramJSON serializes a real clustering so the fuzz corpus
+// starts from a well-formed artifact and mutates outward.
+func validDendrogramJSON(tb testing.TB) string {
+	tb.Helper()
+	pts := []vecmath.Vector{{0, 0}, {0, 1}, {4, 4}, {4, 5}, {9, 0}}
+	d, err := NewDendrogram(pts, vecmath.Euclidean, Complete)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := d.Save(&buf); err != nil {
+		tb.Fatal(err)
+	}
+	return buf.String()
+}
+
+// FuzzLoadDendrogram asserts the dendrogram loader never panics on
+// corrupted input, and that anything it accepts is structurally sound:
+// cuts at every k succeed and the save/load round trip is stable.
+func FuzzLoadDendrogram(f *testing.F) {
+	valid := validDendrogramJSON(f)
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])                                                       // truncation
+	f.Add(strings.Replace(valid, `"n":5`, `"n":50`, 1))                               // inconsistent leaf count
+	f.Add(strings.Replace(valid, `"a":0`, `"a":-1`, 1))                               // invalid id
+	f.Add(strings.ReplaceAll(valid, `"distance"`, `"dist"`))                          // dropped field
+	f.Add(`{"n":1,"linkage":0,"merges":[]}`)                                          // single leaf
+	f.Add(`{"n":2,"merges":[{"A":0,"B":1,"Distance":-1}]}`)                           // negative height
+	f.Add(`{"n":3,"merges":[{"A":0,"B":0,"Distance":1},{"A":1,"B":2,"Distance":2}]}`) // self-merge
+	f.Add(``)
+	f.Add(`null`)
+	f.Add(`{"n":9999999,"merges":[]}`)
+	f.Fuzz(func(t *testing.T, input string) {
+		d, err := LoadDendrogram(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if d.Len() < 1 {
+			t.Fatalf("accepted dendrogram with %d leaves", d.Len())
+		}
+		if len(d.Merges()) != d.Len()-1 {
+			t.Fatalf("accepted %d merges for %d leaves", len(d.Merges()), d.Len())
+		}
+		// Every valid cut must work on an accepted artifact; the cap
+		// keeps adversarial large-n inputs from stalling the fuzzer.
+		maxK := d.Len()
+		if maxK > 64 {
+			maxK = 64
+		}
+		for k := 1; k <= maxK; k++ {
+			a, err := d.CutK(k)
+			if err != nil {
+				t.Fatalf("CutK(%d) on accepted dendrogram: %v", k, err)
+			}
+			if a.K != k {
+				t.Fatalf("CutK(%d) produced %d clusters", k, a.K)
+			}
+		}
+		d.CutDistance(0)
+		// Round trip: what Save emits must load back equal.
+		var buf bytes.Buffer
+		if err := d.Save(&buf); err != nil {
+			t.Fatalf("re-save failed: %v", err)
+		}
+		back, err := LoadDendrogram(&buf)
+		if err != nil {
+			t.Fatalf("reload of saved dendrogram failed: %v", err)
+		}
+		if back.Len() != d.Len() || len(back.Merges()) != len(d.Merges()) {
+			t.Fatal("round trip changed structure")
+		}
+		for i, m := range d.Merges() {
+			if back.Merges()[i] != m {
+				t.Fatalf("round trip changed merge %d", i)
+			}
+		}
+	})
+}

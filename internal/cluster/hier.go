@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -60,6 +61,12 @@ type Options struct {
 	// nearest-pair scans; <= 1 runs serially. Results are identical
 	// for every value.
 	Workers int
+	// Ctx cancels the construction cooperatively: the matrix build
+	// stops dispatching row shards and the agglomeration stops between
+	// merge steps once the context fires, returning its error. Nil
+	// means no cancellation; a context that never fires leaves the
+	// result bit-identical.
+	Ctx context.Context
 	// Obs receives a cluster.linkage span and the merge-distance
 	// histogram. Nil falls back to the process-default observer.
 	Obs *obs.Observer
@@ -76,7 +83,14 @@ func NewDendrogramOpts(points []vecmath.Vector, m vecmath.Metric, l Linkage, opt
 	if len(points) == 0 {
 		return nil, ErrNoPoints
 	}
-	dm := vecmath.DistanceMatrixP(m, points, opt.Workers)
+	ctx := opt.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	dm, err := vecmath.DistanceMatrixCtx(ctx, m, points, opt.Workers)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: distance matrix: %w", err)
+	}
 	return FromDistanceMatrixOpts(dm, l, opt)
 }
 
@@ -106,6 +120,10 @@ func FromDistanceMatrixP(dm *vecmath.Matrix, l Linkage, workers int) (*Dendrogra
 // Options.
 func FromDistanceMatrixOpts(dm *vecmath.Matrix, l Linkage, opt Options) (*Dendrogram, error) {
 	workers := opt.Workers
+	ctx := opt.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	n := dm.Rows()
 	if n == 0 || dm.Cols() != n {
 		return nil, fmt.Errorf("cluster: distance matrix must be square and non-empty, got %dx%d", dm.Rows(), dm.Cols())
@@ -136,7 +154,7 @@ func FromDistanceMatrixOpts(dm *vecmath.Matrix, l Linkage, opt Options) (*Dendro
 	// cleanly; rowErr collects at most one error per row.
 	dist := make([][]float64, n)
 	rowErr := make([]error, n)
-	par.For(workers, n, func(start, end int) {
+	if err := par.ForCtx(ctx, workers, n, func(start, end int) {
 		for i := start; i < end; i++ {
 			dist[i] = make([]float64, n)
 			for j := 0; j < n; j++ {
@@ -151,7 +169,9 @@ func FromDistanceMatrixOpts(dm *vecmath.Matrix, l Linkage, opt Options) (*Dendro
 				dist[i][j] = v
 			}
 		}
-	})
+	}); err != nil {
+		return nil, fmt.Errorf("cluster: building working distances: %w", err)
+	}
 	for _, err := range rowErr {
 		if err != nil {
 			return nil, err
@@ -173,6 +193,11 @@ func FromDistanceMatrixOpts(dm *vecmath.Matrix, l Linkage, opt Options) (*Dendro
 	cands := make([]pairCand, len(chunks))
 	nextID := n
 	for step := 0; step < n-1; step++ {
+		// The agglomeration cancels between merge steps: each step is
+		// O(n·workers) work, so this is the natural checkpoint spacing.
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("cluster: linkage cancelled at step %d of %d: %w", step, n-1, err)
+		}
 		// Find the closest active pair. Each worker scans a
 		// contiguous band of rows and keeps the first strictly
 		// minimal pair it sees; merging the per-worker candidates in

@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"errors"
+	"fmt"
 	"math"
 
 	"hmeans/internal/vecmath"
@@ -17,7 +18,7 @@ func DaviesBouldin(points []vecmath.Vector, a Assignment) (float64, error) {
 		return 0, errors.New("cluster: assignment length does not match points")
 	}
 	if a.K < 2 {
-		return 0, errors.New("cluster: Davies-Bouldin needs at least 2 clusters")
+		return 0, &CutError{K: a.K, N: len(points), Reason: "Davies-Bouldin needs at least 2 clusters"}
 	}
 	dim := len(points[0])
 	centroids := make([]vecmath.Vector, a.K)
@@ -112,7 +113,7 @@ func (d *Dendrogram) QualitySweep(points []vecmath.Vector, kMin, kMax int) ([]KQ
 		out = append(out, q)
 	}
 	if len(out) == 0 {
-		return nil, errors.New("cluster: empty quality sweep")
+		return nil, &CutError{N: d.n, Reason: fmt.Sprintf("no valid cluster count in quality sweep [%d, %d]", kMin, kMax)}
 	}
 	return out, nil
 }
@@ -125,7 +126,7 @@ func (d *Dendrogram) QualitySweep(points []vecmath.Vector, kMin, kMax int) ([]KQ
 // results").
 func RecommendK(sweep []KQuality) (int, error) {
 	if len(sweep) == 0 {
-		return 0, errors.New("cluster: empty sweep")
+		return 0, &CutError{Reason: "empty quality sweep"}
 	}
 	best := sweep[0]
 	for _, q := range sweep[1:] {

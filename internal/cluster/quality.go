@@ -20,7 +20,7 @@ func Silhouette(dm *vecmath.Matrix, a Assignment) (float64, error) {
 		return 0, errors.New("cluster: assignment length does not match distance matrix")
 	}
 	if a.K < 2 {
-		return 0, errors.New("cluster: silhouette needs at least 2 clusters")
+		return 0, &CutError{K: a.K, N: n, Reason: "silhouette needs at least 2 clusters"}
 	}
 	sizes := a.Sizes()
 	total := 0.0

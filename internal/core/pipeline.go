@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -58,11 +59,17 @@ type PipelineConfig struct {
 	// results are bit-identical for any worker count; an explicit
 	// SOM.Parallelism overrides this value for the SOM stage.
 	Parallelism int
+	// Quarantine enables graceful degradation: workloads carrying
+	// non-finite characterization values are dropped (and recorded in
+	// Pipeline.Quarantined and the obs trace) instead of failing the
+	// whole run, and the pipeline clusters the survivors. Without it
+	// a non-finite value is a typed *DataError wrapping ErrNonFinite.
+	Quarantine bool
 	// Obs receives the pipeline trace: a root "pipeline" span with
-	// one child span per stage (characterize, reduce, cluster), and
-	// "cut"/"means" spans from the scoring methods of the returned
-	// Pipeline. Nil falls back to the process-default observer;
-	// instrumentation never changes any result.
+	// one child span per stage (validate, characterize, reduce,
+	// cluster), and "cut"/"means" spans from the scoring methods of
+	// the returned Pipeline. Nil falls back to the process-default
+	// observer; instrumentation never changes any result.
 	Obs *obs.Observer
 }
 
@@ -83,6 +90,17 @@ type Pipeline struct {
 	Positions []vecmath.Vector
 	// Dendrogram is the hierarchical clustering of Positions.
 	Dendrogram *cluster.Dendrogram
+	// Quarantined lists the workloads dropped by quarantine mode, in
+	// original row order. Empty unless PipelineConfig.Quarantine was
+	// set and the input contained non-finite rows.
+	Quarantined []Quarantine
+
+	// kept maps each surviving row to its index in the original
+	// table; nil when nothing was quarantined.
+	kept []int
+	// originalN is the row count of the input table, before
+	// quarantine.
+	originalN int
 
 	// obs is the observer the pipeline was built with; the scoring
 	// methods record their cut/means spans against it.
@@ -92,8 +110,23 @@ type Pipeline struct {
 // DetectClusters runs the paper's cluster-detection pipeline on a raw
 // characterization table.
 func DetectClusters(table *chars.Table, cfg PipelineConfig) (*Pipeline, error) {
+	return DetectClustersCtx(context.Background(), table, cfg)
+}
+
+// DetectClustersCtx is DetectClusters with cooperative cancellation:
+// the context is checked between stages, between SOM training epochs
+// and between linkage merge steps, so a cancel or deadline stops the
+// pipeline promptly without abandoning goroutines. A context that
+// never fires yields results bit-identical to DetectClusters.
+func DetectClustersCtx(ctx context.Context, table *chars.Table, cfg PipelineConfig) (*Pipeline, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if table == nil || len(table.Rows) == 0 {
 		return nil, errors.New("core: empty characterization table")
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("core: pipeline cancelled: %w", err)
 	}
 	o := obs.Or(cfg.Obs)
 	root := o.StartSpan("pipeline",
@@ -105,7 +138,39 @@ func DetectClusters(table *chars.Table, cfg PipelineConfig) (*Pipeline, error) {
 		o.Metrics().Counter("pipeline.runs").Add(1)
 		defer o.Metrics().CaptureMemStats()
 	}
-	p := &Pipeline{Workloads: append([]string(nil), table.Workloads...), obs: o}
+	originalN := len(table.Rows)
+	vsp := root.Child("validate", obs.KV("quarantine", cfg.Quarantine))
+	var quarantined []Quarantine
+	var kept []int
+	if cfg.Quarantine {
+		table, quarantined, kept = quarantineSplit(table)
+		for _, q := range quarantined {
+			vsp.Event("pipeline.quarantine",
+				obs.KV("workload", q.Workload),
+				obs.KV("index", q.Index),
+				obs.KV("reason", q.Reason))
+		}
+		if o.Active() && len(quarantined) > 0 {
+			o.Metrics().Counter("pipeline.quarantined").Add(int64(len(quarantined)))
+		}
+		vsp.SetAttr("quarantined", len(quarantined))
+		if len(table.Rows) == 0 {
+			vsp.End()
+			return nil, fmt.Errorf("core: every workload quarantined: %w",
+				&DataError{Index: -1, Err: ErrNonFinite})
+		}
+	} else if err := ValidateTable(table); err != nil {
+		vsp.End()
+		return nil, err
+	}
+	vsp.End()
+	p := &Pipeline{
+		Workloads:   append([]string(nil), table.Workloads...),
+		Quarantined: quarantined,
+		kept:        kept,
+		originalN:   originalN,
+		obs:         o,
+	}
 	sp := root.Child("characterize")
 	switch cfg.Kind {
 	case Bits:
@@ -118,7 +183,8 @@ func DetectClusters(table *chars.Table, cfg PipelineConfig) (*Pipeline, error) {
 		len(p.Report.DroppedConstant)+len(p.Report.DroppedSingleUser)+len(p.Report.DroppedUniversal))
 	sp.End()
 	if len(p.Prepared.Features) == 0 {
-		return nil, errors.New("core: preprocessing discarded every feature; nothing to cluster on")
+		return nil, fmt.Errorf("core: preprocessing discarded every feature; nothing to cluster on: %w",
+			&DataError{Index: -1, Err: ErrZeroVariance})
 	}
 	workers := par.Resolve(cfg.Parallelism)
 	vectors := p.Prepared.Vectors()
@@ -140,7 +206,7 @@ func DetectClusters(table *chars.Table, cfg PipelineConfig) (*Pipeline, error) {
 		if cfg.SOM.Obs == nil {
 			cfg.SOM.Obs = o
 		}
-		m, err := som.Train(cfg.SOM, vectors)
+		m, err := som.TrainCtx(ctx, cfg.SOM, vectors)
 		if err != nil {
 			sp.End()
 			return nil, fmt.Errorf("core: SOM training: %w", err)
@@ -159,6 +225,7 @@ func DetectClusters(table *chars.Table, cfg PipelineConfig) (*Pipeline, error) {
 		Workers:     workers,
 		Obs:         o,
 		MergeEvents: o.Detail(),
+		Ctx:         ctx,
 	})
 	sp.End()
 	if err != nil {
@@ -188,9 +255,38 @@ func (p *Pipeline) ClusteringAtDistance(d float64) Clustering {
 	return Clustering{Labels: a.Labels, K: a.K}
 }
 
+// AlignScores maps a score vector onto the pipeline's surviving
+// workloads. After a quarantine it accepts either a full-length
+// vector (one score per original row, quarantined included — those
+// entries are dropped) or one already aligned to the survivors;
+// without quarantine the input must match the workload count. The
+// returned slice is safe to hand to the scoring methods.
+func (p *Pipeline) AlignScores(scores []float64) ([]float64, error) {
+	if len(scores) == len(p.Workloads) {
+		return scores, nil
+	}
+	if len(p.kept) > 0 && len(scores) == p.originalN {
+		out := make([]float64, len(p.kept))
+		for i, idx := range p.kept {
+			out[i] = scores[idx]
+		}
+		return out, nil
+	}
+	if p.originalN != len(p.Workloads) {
+		return nil, fmt.Errorf("core: %d scores for %d surviving workloads (%d before quarantine)",
+			len(scores), len(p.Workloads), p.originalN)
+	}
+	return nil, fmt.Errorf("core: %d scores for %d workloads", len(scores), len(p.Workloads))
+}
+
 // ScoreAtK computes the hierarchical mean of the scores under the
-// k-cluster cut.
+// k-cluster cut. Scores for quarantined workloads are dropped via
+// AlignScores.
 func (p *Pipeline) ScoreAtK(kind MeanKind, scores []float64, k int) (float64, error) {
+	scores, err := p.AlignScores(scores)
+	if err != nil {
+		return 0, err
+	}
 	c, err := p.ClusteringAtK(k)
 	if err != nil {
 		return 0, err

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -102,7 +103,20 @@ func IDs() []string {
 
 // RunAll renders every experiment with headers.
 func RunAll(s *Suite, w io.Writer) error {
+	return RunAllCtx(context.Background(), s, w)
+}
+
+// RunAllCtx is RunAll with cooperative cancellation between
+// experiments: a fired context stops the sequence at the next
+// experiment boundary with a wrapped context error.
+func RunAllCtx(ctx context.Context, s *Suite, w io.Writer) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	for _, e := range All() {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("experiments: cancelled before %s: %w", e.ID, err)
+		}
 		if _, err := fmt.Fprintf(w, "=== %s — %s ===\n", e.ID, e.Title); err != nil {
 			return err
 		}

@@ -11,11 +11,27 @@
 // computed contiguous range, and waits. That keeps the parallel paths
 // trivially race-free (disjoint writes) and keeps results a pure
 // function of the inputs.
+//
+// # Containment and cancellation
+//
+// A panic inside a worker body never takes the process down from an
+// unrecoverable goroutine: every body invocation runs guarded, and a
+// recovered panic is re-raised on the *calling* goroutine as a
+// *PanicError carrying the shard identity and the worker stack — or,
+// on the ForCtx/FixedShardsCtx variants, returned as an error. The
+// ctx variants additionally stop dispatching new chunks/shards once
+// the context fires (in-flight bodies run to completion, so partial
+// output must be discarded on error) and are bit-identical to the
+// plain variants whenever the context never fires.
 package par
 
 import (
+	"context"
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"hmeans/internal/obs"
@@ -67,6 +83,48 @@ func Split(n, parts int) []Range {
 	return out
 }
 
+// PanicError is a worker panic recovered by the pool, carrying the
+// identity of the shard that raised it. For and FixedShards re-raise
+// it on the calling goroutine (where defer/recover works); ForCtx and
+// FixedShardsCtx return it as an ordinary error.
+type PanicError struct {
+	// Op names the entry point ("par.For" or "par.FixedShards").
+	Op string
+	// Shard is the chunk index (For) or shard index (FixedShards)
+	// whose body panicked.
+	Shard int
+	// Start and End bound the index range the shard owned.
+	Start, End int
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the worker goroutine's stack at recovery time.
+	Stack []byte
+}
+
+// Error formats the panic with its shard identity.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("%s: worker panic on shard %d [%d,%d): %v", e.Op, e.Shard, e.Start, e.End, e.Value)
+}
+
+// Unwrap exposes the panic value when it was itself an error.
+func (e *PanicError) Unwrap() error {
+	if err, ok := e.Value.(error); ok {
+		return err
+	}
+	return nil
+}
+
+// guard runs body over r, converting a panic into a *PanicError.
+func guard(op string, shard int, r Range, body func(start, end int)) (pe *PanicError) {
+	defer func() {
+		if v := recover(); v != nil {
+			pe = &PanicError{Op: op, Shard: shard, Start: r.Start, End: r.End, Value: v, Stack: debug.Stack()}
+		}
+	}()
+	body(r.Start, r.End)
+	return nil
+}
+
 // For runs body over [0, n) split into `workers` contiguous chunks,
 // one goroutine per chunk, and waits for all of them. With workers <= 1
 // (or n small) it runs inline on the calling goroutine. Each body
@@ -74,36 +132,108 @@ func Split(n, parts int) []Range {
 // per-index slots of shared slices without synchronization. Results
 // must not depend on chunk boundaries if worker-count-invariant output
 // is required — use FixedShards for order-sensitive reductions.
+//
+// A body panic — even on a spawned worker — surfaces as a *PanicError
+// panic on the calling goroutine after every other chunk has finished
+// or been skipped, so callers can recover it.
 func For(workers, n int, body func(start, end int)) {
+	if err := forCtx(context.Background(), workers, n, body); err != nil {
+		// A background context never fires, so the only possible
+		// error is a contained worker panic: re-raise it where the
+		// caller can recover.
+		panic(err)
+	}
+}
+
+// ForCtx is For with cooperative cancellation and panic containment:
+// chunks not yet started when ctx fires are skipped and ctx's error is
+// returned; a body panic is returned as a *PanicError (lowest shard
+// index wins when several chunks fail). Cancellation granularity is
+// one chunk — an in-flight body always runs to completion — and any
+// output must be discarded when the error is non-nil. With a context
+// that never fires the chunk structure, execution order and results
+// are bit-identical to For.
+func ForCtx(ctx context.Context, workers, n int, body func(start, end int)) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return forCtx(ctx, workers, n, body)
+}
+
+func forCtx(ctx context.Context, workers, n int, body func(start, end int)) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	workers = Resolve(workers)
 	if workers == 1 || n <= 1 {
 		if n > 0 {
-			body(0, n)
+			if pe := guard("par.For", 0, Range{Start: 0, End: n}, body); pe != nil {
+				return pe
+			}
 		}
-		return
+		return nil
 	}
 	ranges := Split(n, workers)
 	if len(ranges) == 1 {
-		body(ranges[0].Start, ranges[0].End)
-		return
+		if pe := guard("par.For", 0, ranges[0], body); pe != nil {
+			return pe
+		}
+		return nil
 	}
-	// The observer gate is one atomic load per For call; the timed
-	// path exists in a separate function so the common disabled path
-	// stays exactly the historical code.
-	if o := obs.Default(); o.Active() {
-		forTimed(o, ranges, body)
-		return
+	// The observer gate is one atomic load per For call; when active,
+	// each chunk is timed and the chunk-duration imbalance (max/mean)
+	// is recorded so traces expose how evenly the split shared work.
+	var durs []time.Duration
+	o := obs.Default()
+	if o.Active() {
+		durs = make([]time.Duration, len(ranges))
+	}
+	panics := make([]*PanicError, len(ranges))
+	done := ctx.Done()
+	var stopped atomic.Bool
+	runChunk := func(i int) {
+		if stopped.Load() {
+			return
+		}
+		select {
+		case <-done:
+			stopped.Store(true)
+			return
+		default:
+		}
+		if durs != nil {
+			t0 := time.Now()
+			panics[i] = guard("par.For", i, ranges[i], body)
+			durs[i] = time.Since(t0)
+		} else {
+			panics[i] = guard("par.For", i, ranges[i], body)
+		}
+		if panics[i] != nil {
+			stopped.Store(true) // fail fast: skip chunks not yet started
+		}
 	}
 	var wg sync.WaitGroup
 	wg.Add(len(ranges) - 1)
-	for _, r := range ranges[1:] {
-		go func(r Range) {
+	for i := range ranges[1:] {
+		go func(i int) {
 			defer wg.Done()
-			body(r.Start, r.End)
-		}(r)
+			runChunk(i)
+		}(i + 1)
 	}
-	body(ranges[0].Start, ranges[0].End)
+	runChunk(0)
 	wg.Wait()
+	if durs != nil {
+		recordImbalance(o, "par.for", durs)
+	}
+	for _, pe := range panics {
+		if pe != nil {
+			return pe
+		}
+	}
+	if stopped.Load() {
+		return ctx.Err()
+	}
+	return nil
 }
 
 // imbalanceBounds are the shared histogram buckets for the
@@ -111,28 +241,6 @@ func For(workers, n int, body func(start, end int)) {
 // and with W workers a ratio near W means one chunk did all the
 // work.
 var imbalanceBounds = []float64{1.05, 1.1, 1.25, 1.5, 2, 3, 5, 10}
-
-// forTimed is For's instrumented twin: each chunk is timed, and the
-// chunk-duration imbalance (max/mean) is recorded so traces expose
-// how evenly the contiguous split shared the work.
-func forTimed(o *obs.Observer, ranges []Range, body func(start, end int)) {
-	durs := make([]time.Duration, len(ranges))
-	var wg sync.WaitGroup
-	wg.Add(len(ranges) - 1)
-	for i, r := range ranges[1:] {
-		go func(i int, r Range) {
-			defer wg.Done()
-			t0 := time.Now()
-			body(r.Start, r.End)
-			durs[i+1] = time.Since(t0)
-		}(i, r)
-	}
-	t0 := time.Now()
-	body(ranges[0].Start, ranges[0].End)
-	durs[0] = time.Since(t0)
-	wg.Wait()
-	recordImbalance(o, "par.for", durs)
-}
 
 // recordImbalance folds one timed fan-out into the registry: a call
 // counter, a chunk counter, and the max/mean duration ratio.
@@ -163,81 +271,128 @@ func recordImbalance(o *obs.Observer, prefix string, durs []time.Duration) {
 // per-shard accumulator; reducing those accumulators in shard order
 // afterwards yields bit-identical floating-point results regardless
 // of parallelism. It returns the number of shards.
+//
+// Like For, a body panic is contained and re-raised on the calling
+// goroutine as a *PanicError with the offending shard's identity.
 func FixedShards(workers, n, shardSize int, body func(shard, start, end int)) int {
+	shards, err := fixedShardsCtx(context.Background(), workers, n, shardSize, body)
+	if err != nil {
+		panic(err)
+	}
+	return shards
+}
+
+// FixedShardsCtx is FixedShards with cooperative cancellation and
+// panic containment: once ctx fires no further shard starts and ctx's
+// error is returned (partial output must be discarded); a body panic
+// is returned as a *PanicError. Cancellation granularity is one shard
+// — much finer than ForCtx's one chunk per worker — which makes this
+// the preferred fan-out for deadline-sensitive kernels. With a
+// context that never fires the shard boundaries, assignment and
+// results are bit-identical to FixedShards.
+func FixedShardsCtx(ctx context.Context, workers, n, shardSize int, body func(shard, start, end int)) (int, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return fixedShardsCtx(ctx, workers, n, shardSize, body)
+}
+
+func fixedShardsCtx(ctx context.Context, workers, n, shardSize int, body func(shard, start, end int)) (int, error) {
 	if n <= 0 {
-		return 0
+		return 0, nil
 	}
 	if shardSize < 1 {
 		shardSize = 1
 	}
 	shards := (n + shardSize - 1) / shardSize
-	run := func(shard int) {
+	if err := ctx.Err(); err != nil {
+		return shards, err
+	}
+	run := func(shard int) *PanicError {
 		start := shard * shardSize
 		end := start + shardSize
 		if end > n {
 			end = n
 		}
-		body(shard, start, end)
+		return guard("par.FixedShards", shard, Range{Start: start, End: end}, func(start, end int) {
+			body(shard, start, end)
+		})
 	}
+	done := ctx.Done()
 	workers = Resolve(workers)
 	if workers == 1 || shards == 1 {
 		for s := 0; s < shards; s++ {
-			run(s)
+			select {
+			case <-done:
+				return shards, ctx.Err()
+			default:
+			}
+			if pe := run(s); pe != nil {
+				return shards, pe
+			}
 		}
-		return shards
+		return shards, nil
 	}
 	if workers > shards {
 		workers = shards
 	}
 	// The observer gate costs one atomic load per FixedShards call;
-	// the timed twin lives apart so the disabled path is unchanged.
-	if o := obs.Default(); o.Active() {
-		return shardsTimed(o, workers, shards, run)
+	// when active, per-shard wall times feed the shard-imbalance
+	// metrics. Shard assignment is the same static interleave either
+	// way — worker w owns shards w, w+W, w+2W, … — and shard
+	// boundaries are fixed, so which worker computes a shard cannot
+	// change its contents.
+	var durs []time.Duration
+	o := obs.Default()
+	if o.Active() {
+		durs = make([]time.Duration, shards)
 	}
-	// Static interleaved assignment: worker w owns shards w, w+W,
-	// w+2W, … Shard boundaries are fixed, so which worker computes a
-	// shard cannot change its contents.
+	panics := make([]*PanicError, shards)
+	var stopped atomic.Bool
+	runLoop := func(w int) {
+		for s := w; s < shards; s += workers {
+			if stopped.Load() {
+				return
+			}
+			select {
+			case <-done:
+				stopped.Store(true)
+				return
+			default:
+			}
+			if durs != nil {
+				t0 := time.Now()
+				panics[s] = run(s)
+				durs[s] = time.Since(t0)
+			} else {
+				panics[s] = run(s)
+			}
+			if panics[s] != nil {
+				stopped.Store(true)
+				return
+			}
+		}
+	}
 	var wg sync.WaitGroup
 	wg.Add(workers - 1)
 	for w := 1; w < workers; w++ {
 		go func(w int) {
 			defer wg.Done()
-			for s := w; s < shards; s += workers {
-				run(s)
-			}
+			runLoop(w)
 		}(w)
 	}
-	for s := 0; s < shards; s += workers {
-		run(s)
-	}
+	runLoop(0)
 	wg.Wait()
-	return shards
-}
-
-// shardsTimed is FixedShards' instrumented twin: per-shard wall
-// times feed the shard-imbalance metrics. Shard assignment is the
-// same static interleave, so results stay bit-identical.
-func shardsTimed(o *obs.Observer, workers, shards int, run func(shard int)) int {
-	durs := make([]time.Duration, shards)
-	timed := func(s int) {
-		t0 := time.Now()
-		run(s)
-		durs[s] = time.Since(t0)
+	if durs != nil {
+		recordImbalance(o, "par.shards", durs)
 	}
-	var wg sync.WaitGroup
-	wg.Add(workers - 1)
-	for w := 1; w < workers; w++ {
-		go func(w int) {
-			defer wg.Done()
-			for s := w; s < shards; s += workers {
-				timed(s)
-			}
-		}(w)
+	for _, pe := range panics {
+		if pe != nil {
+			return shards, pe
+		}
 	}
-	for s := 0; s < shards; s += workers {
-		timed(s)
+	if stopped.Load() {
+		return shards, ctx.Err()
 	}
-	wg.Wait()
-	recordImbalance(o, "par.shards", durs)
-	return shards
+	return shards, nil
 }

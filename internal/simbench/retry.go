@@ -1,0 +1,206 @@
+package simbench
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"hmeans/internal/obs"
+	"hmeans/internal/rng"
+	"hmeans/internal/stat"
+)
+
+// ErrMeasurementFailed marks a run campaign that exhausted its retry
+// budget without producing a usable time.
+var ErrMeasurementFailed = errors.New("simbench: measurement failed")
+
+// MeasureError says which workload/machine pair exhausted its
+// attempts. It unwraps to ErrMeasurementFailed.
+type MeasureError struct {
+	Workload string
+	Machine  string
+	// Attempts is how many times the run was tried.
+	Attempts int
+	// Last is the final (unusable) value observed.
+	Last float64
+}
+
+func (e *MeasureError) Error() string {
+	return fmt.Sprintf("simbench: measuring %s on %s: %d attempts exhausted (last value %v)",
+		e.Workload, e.Machine, e.Attempts, e.Last)
+}
+
+func (e *MeasureError) Unwrap() error { return ErrMeasurementFailed }
+
+// Runner produces one measured execution time in seconds. The
+// default is the simulator's Run; fault-injection tests substitute
+// flaky runners here.
+type Runner func(w *Workload, m Machine, r *rng.Source) float64
+
+// RetryPolicy bounds how a measurement campaign reacts to failed
+// runs (non-finite or non-positive times) and to outliers. The zero
+// value is exactly the non-retrying behavior of MeasureTime.
+type RetryPolicy struct {
+	// MaxAttempts is the per-run attempt budget; values <= 1 mean a
+	// single attempt (no retry).
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry; each further
+	// retry doubles it. Zero disables sleeping entirely — the
+	// configuration tests use, keeping them instant and rand-free.
+	BaseDelay time.Duration
+	// OutlierZ re-measures (once) any run further than OutlierZ
+	// standard deviations from the campaign mean. Zero disables the
+	// pass.
+	OutlierZ float64
+	// Seed feeds the deterministic jitter stream; campaigns with the
+	// same seed back off identically.
+	Seed uint64
+	// Sleep replaces time.Sleep in tests. Nil means time.Sleep.
+	Sleep func(time.Duration)
+	// Runner replaces the simulator's Run. Nil means Run.
+	Runner Runner
+}
+
+func (p RetryPolicy) runner() Runner {
+	if p.Runner != nil {
+		return p.Runner
+	}
+	return func(w *Workload, m Machine, r *rng.Source) float64 {
+		return Run(w, m, r).Seconds
+	}
+}
+
+// Backoff returns the pause before retry `attempt` (1-based): an
+// exponential series on BaseDelay with ±25% jitter drawn from the
+// policy's own seeded stream, so the schedule depends only on
+// (BaseDelay, Seed) — never on wall-clock or the global rng.
+func (p RetryPolicy) Backoff(attempt int, jitter *rng.Source) time.Duration {
+	if p.BaseDelay <= 0 || attempt < 1 {
+		return 0
+	}
+	d := float64(p.BaseDelay) * float64(uint64(1)<<uint(attempt-1))
+	return time.Duration(d * (0.75 + 0.5*jitter.Float64()))
+}
+
+// usableTime reports whether one run produced a time a campaign can
+// average: finite and positive.
+func usableTime(v float64) bool {
+	return !math.IsNaN(v) && !math.IsInf(v, 0) && v > 0
+}
+
+// MeasureTimeRetry is MeasureTime with bounded, deterministic retry:
+// runs that come back non-finite or non-positive are retried up to
+// the policy's budget with exponential backoff, and (optionally)
+// outliers beyond OutlierZ standard deviations are re-measured once.
+// With the zero policy it is bit-identical to MeasureTime.
+func MeasureTimeRetry(w *Workload, m Machine, runs int, r *rng.Source, p RetryPolicy) (float64, error) {
+	if runs <= 0 {
+		return 0, errors.New("simbench: runs must be positive")
+	}
+	maxAttempts := p.MaxAttempts
+	if maxAttempts < 1 {
+		maxAttempts = 1
+	}
+	run := p.runner()
+	sleep := p.Sleep
+	if sleep == nil {
+		sleep = time.Sleep
+	}
+	jitter := rng.New(p.Seed)
+	o := obs.Default()
+
+	measure := func() (float64, error) {
+		var v float64
+		for a := 1; a <= maxAttempts; a++ {
+			v = run(w, m, r)
+			if usableTime(v) {
+				return v, nil
+			}
+			if o.Active() {
+				o.Metrics().Counter("simbench.retries").Add(1)
+			}
+			if a < maxAttempts {
+				if d := p.Backoff(a, jitter); d > 0 {
+					sleep(d)
+				}
+			}
+		}
+		return 0, &MeasureError{Workload: w.Name, Machine: m.Name, Attempts: maxAttempts, Last: v}
+	}
+
+	times := make([]float64, runs)
+	for i := range times {
+		v, err := measure()
+		if err != nil {
+			return 0, err
+		}
+		times[i] = v
+	}
+
+	// Outlier pass: anything beyond OutlierZ sample standard
+	// deviations from the mean gets one re-measurement, in index
+	// order so the extra draws are deterministic.
+	if p.OutlierZ > 0 && runs >= 3 {
+		mean, sd := meanStddev(times)
+		if sd > 0 {
+			for i, t := range times {
+				if math.Abs(t-mean) > p.OutlierZ*sd {
+					v, err := measure()
+					if err != nil {
+						return 0, err
+					}
+					times[i] = v
+					if o.Active() {
+						o.Metrics().Counter("simbench.remeasured").Add(1)
+					}
+				}
+			}
+		}
+	}
+	return stat.ArithmeticMean(times)
+}
+
+// meanStddev returns the arithmetic mean and the sample standard
+// deviation of xs (len >= 2 assumed by the caller).
+func meanStddev(xs []float64) (mean, sd float64) {
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	var ss float64
+	for _, x := range xs {
+		d := x - mean
+		ss += d * d
+	}
+	return mean, math.Sqrt(ss / float64(len(xs)-1))
+}
+
+// MeasuredSpeedupsRetry is MeasuredSpeedups with every per-machine
+// campaign run under the retry policy. A workload whose retry budget
+// is exhausted fails the whole campaign with a *MeasureError.
+func MeasuredSpeedupsRetry(ws []Workload, target, ref Machine, runs int, seed uint64, p RetryPolicy) ([]float64, error) {
+	if len(ws) == 0 {
+		return nil, errors.New("simbench: no workloads")
+	}
+	o := obs.Default()
+	sp := o.StartSpan("simbench.campaign", obs.KV("workloads", len(ws)),
+		obs.KV("runs", runs), obs.KV("target", target.Name), obs.KV("reference", ref.Name),
+		obs.KV("retry", p.MaxAttempts))
+	defer sp.End()
+	recordCampaign(o, len(ws), runs)
+	r := rng.New(seed)
+	out := make([]float64, len(ws))
+	for i := range ws {
+		tTarget, err := MeasureTimeRetry(&ws[i], target, runs, r, p)
+		if err != nil {
+			return nil, err
+		}
+		tRef, err := MeasureTimeRetry(&ws[i], ref, runs, r, p)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = tRef / tTarget
+	}
+	return out, nil
+}

@@ -1,0 +1,222 @@
+package simbench
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"hmeans/internal/rng"
+)
+
+// suite unwraps the calibrated 13-workload suite for tests.
+func suite(t *testing.T) []Workload {
+	t.Helper()
+	ws, _, err := CalibratedSuite()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ws
+}
+
+// TestMeasureTimeRetryZeroPolicyBitIdentical: the zero policy must
+// reproduce MeasureTime exactly — same draws, same mean.
+func TestMeasureTimeRetryZeroPolicyBitIdentical(t *testing.T) {
+	ws := suite(t)
+	m := MachineA()
+	plain, err := MeasureTime(&ws[0], m, 10, rng.New(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	retried, err := MeasureTimeRetry(&ws[0], m, 10, rng.New(42), RetryPolicy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain != retried {
+		t.Fatalf("zero-policy retry diverged: %v vs %v", plain, retried)
+	}
+}
+
+// TestMeasuredSpeedupsRetryZeroPolicyBitIdentical extends the
+// equivalence to the whole campaign.
+func TestMeasuredSpeedupsRetryZeroPolicyBitIdentical(t *testing.T) {
+	ws := suite(t)
+	plain, err := MeasuredSpeedups(ws, MachineA(), Reference(), 10, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	retried, err := MeasuredSpeedupsRetry(ws, MachineA(), Reference(), 10, 7, RetryPolicy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range plain {
+		if plain[i] != retried[i] {
+			t.Fatalf("workload %d: %v vs %v", i, plain[i], retried[i])
+		}
+	}
+}
+
+// flaky returns a Runner that produces NaN for the first n calls and
+// then delegates to the real simulator. Failing calls never touch the
+// rng stream, so a recovered campaign matches a clean one exactly.
+func flaky(n int) Runner {
+	calls := 0
+	return func(w *Workload, m Machine, r *rng.Source) float64 {
+		calls++
+		if calls <= n {
+			return math.NaN()
+		}
+		return Run(w, m, r).Seconds
+	}
+}
+
+func TestRetryRecoversFromFlakyRuns(t *testing.T) {
+	ws := suite(t)
+	m := MachineA()
+	clean, err := MeasureTime(&ws[0], m, 5, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := MeasureTimeRetry(&ws[0], m, 5, rng.New(3), RetryPolicy{
+		MaxAttempts: 3,
+		Runner:      flaky(2),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != clean {
+		t.Fatalf("recovered campaign diverged from clean: %v vs %v", got, clean)
+	}
+}
+
+func TestRetryExhaustionTypedError(t *testing.T) {
+	ws := suite(t)
+	always := func(w *Workload, m Machine, r *rng.Source) float64 { return math.Inf(1) }
+	_, err := MeasureTimeRetry(&ws[0], MachineA(), 5, rng.New(1), RetryPolicy{
+		MaxAttempts: 4,
+		Runner:      always,
+	})
+	if !errors.Is(err, ErrMeasurementFailed) {
+		t.Fatalf("error %v, want ErrMeasurementFailed", err)
+	}
+	var me *MeasureError
+	if !errors.As(err, &me) {
+		t.Fatalf("error %T does not expose *MeasureError", err)
+	}
+	if me.Attempts != 4 || me.Workload != ws[0].Name {
+		t.Fatalf("MeasureError %+v, want 4 attempts on %s", me, ws[0].Name)
+	}
+}
+
+// TestBackoffDeterministic: the backoff schedule is a pure function
+// of (BaseDelay, Seed) — exponential, jittered, reproducible — and a
+// zero BaseDelay never sleeps.
+func TestBackoffDeterministic(t *testing.T) {
+	schedule := func(seed uint64) []time.Duration {
+		p := RetryPolicy{BaseDelay: 10 * time.Millisecond, Seed: seed}
+		j := rng.New(p.Seed)
+		out := make([]time.Duration, 5)
+		for a := 1; a <= 5; a++ {
+			out[a-1] = p.Backoff(a, j)
+		}
+		return out
+	}
+	a, b := schedule(9), schedule(9)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed produced different schedules: %v vs %v", a, b)
+		}
+		lo := time.Duration(float64(10*time.Millisecond) * float64(uint(1)<<uint(i)) * 0.75)
+		hi := time.Duration(float64(10*time.Millisecond) * float64(uint(1)<<uint(i)) * 1.25)
+		if a[i] < lo || a[i] > hi {
+			t.Fatalf("attempt %d delay %v outside jitter band [%v, %v]", i+1, a[i], lo, hi)
+		}
+	}
+
+	// BaseDelay 0: the Sleep hook must never fire even when retries
+	// happen.
+	slept := 0
+	ws := suite(t)
+	_, err := MeasureTimeRetry(&ws[0], MachineA(), 5, rng.New(3), RetryPolicy{
+		MaxAttempts: 3,
+		Runner:      flaky(2),
+		Sleep:       func(time.Duration) { slept++ },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slept != 0 {
+		t.Fatalf("zero BaseDelay slept %d times", slept)
+	}
+}
+
+// TestOutlierRemeasured: a run far outside the campaign's spread is
+// re-measured once and the replacement lands in the average.
+func TestOutlierRemeasured(t *testing.T) {
+	ws := suite(t)
+	seq := []float64{1, 1, 1, 100, 1}
+	calls := 0
+	scripted := func(w *Workload, m Machine, r *rng.Source) float64 {
+		v := seq[calls%len(seq)]
+		calls++
+		return v
+	}
+	mean, err := MeasureTimeRetry(&ws[0], MachineA(), 4, rng.New(1), RetryPolicy{
+		OutlierZ: 1,
+		Runner:   scripted,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mean != 1 {
+		t.Fatalf("outlier survived: mean %v, want 1", mean)
+	}
+	if calls != 5 {
+		t.Fatalf("%d runner calls, want 4 + 1 re-measurement", calls)
+	}
+}
+
+func TestMeasuredSpeedupsCtx(t *testing.T) {
+	ws := suite(t)
+	plain, err := MeasuredSpeedups(ws, MachineA(), Reference(), 10, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withCtx, err := MeasuredSpeedupsCtx(context.Background(), ws, MachineA(), Reference(), 10, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range plain {
+		if plain[i] != withCtx[i] {
+			t.Fatalf("workload %d: ctx variant diverged: %v vs %v", i, plain[i], withCtx[i])
+		}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := MeasuredSpeedupsCtx(ctx, ws, MachineA(), Reference(), 10, 7); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled campaign: error %v, want context.Canceled", err)
+	}
+}
+
+func TestMeasuredSpeedupsParallelCtx(t *testing.T) {
+	ws := suite(t)
+	plain, err := MeasuredSpeedupsParallel(ws, MachineA(), Reference(), 10, 7, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withCtx, err := MeasuredSpeedupsParallelCtx(context.Background(), ws, MachineA(), Reference(), 10, 7, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range plain {
+		if plain[i] != withCtx[i] {
+			t.Fatalf("workload %d: ctx variant diverged: %v vs %v", i, plain[i], withCtx[i])
+		}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := MeasuredSpeedupsParallelCtx(ctx, ws, MachineA(), Reference(), 10, 7, 4); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled campaign: error %v, want context.Canceled", err)
+	}
+}

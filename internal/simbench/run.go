@@ -1,11 +1,10 @@
 package simbench
 
 import (
+	"context"
 	"errors"
-	"fmt"
 
 	"hmeans/internal/obs"
-	"hmeans/internal/par"
 	"hmeans/internal/rng"
 	"hmeans/internal/stat"
 )
@@ -86,31 +85,7 @@ func MeasureTimeStats(w *Workload, m Machine, runs int, level float64, r *rng.So
 // speedups time(ref)/time(target) in workload order. The seed makes
 // the measurement campaign reproducible.
 func MeasuredSpeedups(ws []Workload, target, ref Machine, runs int, seed uint64) ([]float64, error) {
-	if len(ws) == 0 {
-		return nil, errors.New("simbench: no workloads")
-	}
-	o := obs.Default()
-	sp := o.StartSpan("simbench.campaign", obs.KV("workloads", len(ws)),
-		obs.KV("runs", runs), obs.KV("target", target.Name), obs.KV("reference", ref.Name))
-	defer sp.End()
-	recordCampaign(o, len(ws), runs)
-	r := rng.New(seed)
-	out := make([]float64, len(ws))
-	for i := range ws {
-		tTarget, err := MeasureTime(&ws[i], target, runs, r)
-		if err != nil {
-			return nil, fmt.Errorf("simbench: measuring %s on %s: %w", ws[i].Name, target.Name, err)
-		}
-		tRef, err := MeasureTime(&ws[i], ref, runs, r)
-		if err != nil {
-			return nil, fmt.Errorf("simbench: measuring %s on %s: %w", ws[i].Name, ref.Name, err)
-		}
-		out[i] = tRef / tTarget
-		if o.Detail() {
-			sp.Event("simbench.workload", obs.KV("workload", ws[i].Name), obs.KV("speedup", out[i]))
-		}
-	}
-	return out, nil
+	return MeasuredSpeedupsCtx(context.Background(), ws, target, ref, runs, seed)
 }
 
 // recordCampaign folds one measurement campaign into the registry:
@@ -132,42 +107,5 @@ func recordCampaign(o *obs.Observer, workloads, runs int) {
 // identical for every worker count — but the individual noise draws
 // differ from MeasuredSpeedups' single shared stream.
 func MeasuredSpeedupsParallel(ws []Workload, target, ref Machine, runs int, seed uint64, workers int) ([]float64, error) {
-	if len(ws) == 0 {
-		return nil, errors.New("simbench: no workloads")
-	}
-	o := obs.Default()
-	sp := o.StartSpan("simbench.campaign", obs.KV("workloads", len(ws)),
-		obs.KV("runs", runs), obs.KV("target", target.Name), obs.KV("reference", ref.Name),
-		obs.KV("workers", par.Resolve(workers)))
-	defer sp.End()
-	recordCampaign(o, len(ws), runs)
-	base := rng.New(seed)
-	seeds := make([]uint64, len(ws))
-	for i := range seeds {
-		seeds[i] = base.Uint64()
-	}
-	out := make([]float64, len(ws))
-	errs := make([]error, len(ws))
-	par.For(workers, len(ws), func(start, end int) {
-		for i := start; i < end; i++ {
-			r := rng.New(seeds[i])
-			tTarget, err := MeasureTime(&ws[i], target, runs, r)
-			if err != nil {
-				errs[i] = fmt.Errorf("simbench: measuring %s on %s: %w", ws[i].Name, target.Name, err)
-				continue
-			}
-			tRef, err := MeasureTime(&ws[i], ref, runs, r)
-			if err != nil {
-				errs[i] = fmt.Errorf("simbench: measuring %s on %s: %w", ws[i].Name, ref.Name, err)
-				continue
-			}
-			out[i] = tRef / tTarget
-		}
-	})
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
-	return out, nil
+	return MeasuredSpeedupsParallelCtx(context.Background(), ws, target, ref, runs, seed, workers)
 }

@@ -1,6 +1,7 @@
 package som
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -14,6 +15,20 @@ import (
 // Samples must be non-empty and rectangular. The input slices are
 // read but never modified or retained.
 func Train(cfg Config, samples []vecmath.Vector) (*Map, error) {
+	return TrainCtx(context.Background(), cfg, samples)
+}
+
+// TrainCtx is Train with cooperative cancellation: batch training
+// checks the context at every epoch boundary (its natural checkpoint
+// — each epoch is one full pass plus a reduction) and inside the
+// sharded accumulation, sequential training every few hundred steps.
+// On cancellation the partially trained map is discarded and the
+// context's error returned. A context that never fires leaves the
+// trained weights bit-identical to Train.
+func TrainCtx(ctx context.Context, cfg Config, samples []vecmath.Vector) (*Map, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if len(samples) == 0 {
 		return nil, ErrNoData
 	}
@@ -46,9 +61,13 @@ func Train(cfg Config, samples []vecmath.Vector) (*Map, error) {
 	}
 
 	if c.Algorithm == Batch {
-		m.trainBatch(c, samples, o, sp)
+		if err := m.trainBatch(ctx, c, samples, o, sp); err != nil {
+			return nil, err
+		}
 	} else {
-		m.trainSequential(c, samples, r, o, sp)
+		if err := m.trainSequential(ctx, c, samples, r, o, sp); err != nil {
+			return nil, err
+		}
 	}
 	return m, nil
 }
@@ -111,7 +130,7 @@ func batchEpochs(c Config, nSamples int) int {
 // distances are already computed, so the extra cost is one sqrt and
 // add per sample — and emits a som.epoch event with the annealed
 // radius and the epoch's QE.
-func (m *Map) trainBatch(c Config, samples []vecmath.Vector, o *obs.Observer, sp *obs.Span) {
+func (m *Map) trainBatch(ctx context.Context, c Config, samples []vecmath.Vector, o *obs.Observer, sp *obs.Span) error {
 	floor := c.SigmaFinal
 	if floor <= 0 {
 		floor = sigmaFloor
@@ -139,10 +158,15 @@ func (m *Map) trainBatch(c Config, samples []vecmath.Vector, o *obs.Observer, sp
 		o.Metrics().Counter("som.epochs").Add(int64(epochs))
 	}
 	for e := 0; e < epochs; e++ {
+		// The per-epoch checkpoint: a fired context abandons training
+		// between epochs, so the caller never sees a half-reduced map.
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("som: training cancelled at epoch %d of %d: %w", e, epochs, err)
+		}
 		t := float64(e) / float64(epochs)
 		sigma := c.RadiusDecay.value(c.Sigma0, floor, t)
 		inv2s2 := 1 / (2 * sigma * sigma)
-		par.FixedShards(workers, len(samples), batchShardSize, func(shard, start, end int) {
+		if _, err := par.FixedShardsCtx(ctx, workers, len(samples), batchShardSize, func(shard, start, end int) {
 			snum, sden := num[shard], den[shard]
 			for u := range snum {
 				for j := range snum[u] {
@@ -173,7 +197,9 @@ func (m *Map) trainBatch(c Config, samples []vecmath.Vector, o *obs.Observer, sp
 			if qe != nil {
 				qe[shard] = qeSum
 			}
-		})
+		}); err != nil {
+			return fmt.Errorf("som: epoch %d accumulation: %w", e, err)
+		}
 		if qe != nil {
 			var qeTotal float64
 			for _, v := range qe {
@@ -188,7 +214,9 @@ func (m *Map) trainBatch(c Config, samples []vecmath.Vector, o *obs.Observer, sp
 		// unit reads every shard's slot in ascending shard order, so
 		// the float sums do not depend on which worker filled which
 		// shard; unit-parallelism is safe because units are
-		// independent.
+		// independent. The reduction is not cancellable mid-flight —
+		// a partial weight update would leave the map inconsistent —
+		// so the next epoch's checkpoint handles a fired context.
 		par.For(workers, units, func(uStart, uEnd int) {
 			numSum := vecmath.NewVector(m.dim)
 			for u := uStart; u < uEnd; u++ {
@@ -217,6 +245,7 @@ func (m *Map) trainBatch(c Config, samples []vecmath.Vector, o *obs.Observer, sp
 			}
 		})
 	}
+	return nil
 }
 
 // trainSequential runs the classic on-line SOM loop: at every step a
@@ -227,7 +256,12 @@ func (m *Map) trainBatch(c Config, samples []vecmath.Vector, o *obs.Observer, sp
 // evenly spaced checkpoints recording the annealed learning rate and
 // radius — sequential training has no epochs, so checkpoints stand
 // in for them.
-func (m *Map) trainSequential(c Config, samples []vecmath.Vector, r *rng.Source, o *obs.Observer, sp *obs.Span) {
+// cancelCheckSteps is the sequential-training cancellation stride:
+// the context is polled every this many steps, bounding the latency
+// of a cancellation to a few hundred cheap weight updates.
+const cancelCheckSteps = 256
+
+func (m *Map) trainSequential(ctx context.Context, c Config, samples []vecmath.Vector, r *rng.Source, o *obs.Observer, sp *obs.Span) error {
 	interval := 0
 	if o.Active() {
 		interval = c.Steps / 32
@@ -238,6 +272,11 @@ func (m *Map) trainSequential(c Config, samples []vecmath.Vector, r *rng.Source,
 	}
 	diff := vecmath.NewVector(m.dim) // scratch: x − w_i
 	for n := 0; n < c.Steps; n++ {
+		if n%cancelCheckSteps == 0 {
+			if err := ctx.Err(); err != nil {
+				return fmt.Errorf("som: training cancelled at step %d of %d: %w", n, c.Steps, err)
+			}
+		}
 		t := float64(n) / float64(c.Steps)
 		alpha := c.LearningDecay.value(c.Alpha0, alphaFloor, t)
 		floor := c.SigmaFinal
@@ -254,6 +293,7 @@ func (m *Map) trainSequential(c Config, samples []vecmath.Vector, r *rng.Source,
 		br, bc := m.BMU(x)
 		m.updateNeighbourhood(x, br, bc, alpha, sigma, diff)
 	}
+	return nil
 }
 
 // updateNeighbourhood applies the weight update around BMU (br, bc).

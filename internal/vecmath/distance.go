@@ -1,6 +1,7 @@
 package vecmath
 
 import (
+	"context"
 	"math"
 
 	"hmeans/internal/par"
@@ -108,9 +109,19 @@ const distanceMatrixShardRows = 8
 // each pair is written by exactly one shard, so the matrix is
 // identical for any worker count.
 func DistanceMatrixP(m Metric, points []Vector, workers int) *Matrix {
+	out, _ := DistanceMatrixCtx(context.Background(), m, points, workers)
+	return out
+}
+
+// DistanceMatrixCtx is DistanceMatrixP with cooperative cancellation:
+// row shards not yet started when ctx fires are skipped and the
+// context's error returned (the partial matrix must be discarded).
+// With a context that never fires it is bit-identical to
+// DistanceMatrixP.
+func DistanceMatrixCtx(ctx context.Context, m Metric, points []Vector, workers int) (*Matrix, error) {
 	n := len(points)
 	out := NewMatrix(n, n)
-	par.FixedShards(workers, n, distanceMatrixShardRows, func(_, start, end int) {
+	_, err := par.FixedShardsCtx(ctx, workers, n, distanceMatrixShardRows, func(_, start, end int) {
 		for i := start; i < end; i++ {
 			for j := i + 1; j < n; j++ {
 				d := Distance(m, points[i], points[j])
@@ -119,5 +130,8 @@ func DistanceMatrixP(m Metric, points []Vector, workers int) *Matrix {
 			}
 		}
 	})
-	return out
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
 }
