@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fmt lint bench trace chaos fuzz ci
+.PHONY: all build test race vet fmt lint bench bench-json bench-gate bench-baseline trace chaos fuzz serve-smoke cover ci
 
 all: build
 
@@ -43,6 +43,41 @@ trace:
 	$(GO) run ./cmd/report -validate-trace trace.jsonl
 	$(GO) run ./cmd/report -timings trace.jsonl
 
+# The benchmark-regression gate measures a fixed set of kernel
+# benchmarks (stable, single-process, no suite-scale sweeps) with
+# min-of-5 sampling and compares the result against the committed
+# baseline. To refresh the baseline after an intentional performance
+# change: `make bench-baseline` on the reference hardware and commit
+# BENCH_BASELINE.json (see README "Benchmark regression gate").
+BENCH_PATTERN := ^(BenchmarkHGM|BenchmarkHAM|BenchmarkHHM|BenchmarkPlainGM|BenchmarkBMU|BenchmarkQuantizationError|BenchmarkCutK|BenchmarkSilhouette|BenchmarkRecommendK)$$
+
+bench-json:
+	$(GO) test -bench '$(BENCH_PATTERN)' -benchtime 50ms -count 5 -run '^$$' ./... | tee bench-raw.txt
+	$(GO) run ./cmd/benchdiff -parse bench-raw.txt -o BENCH_PR.json
+
+bench-gate: bench-json
+	$(GO) run ./cmd/benchdiff -baseline BENCH_BASELINE.json -current BENCH_PR.json -max-regress 20
+
+bench-baseline:
+	$(GO) test -bench '$(BENCH_PATTERN)' -benchtime 50ms -count 5 -run '^$$' ./... | tee bench-raw.txt
+	$(GO) run ./cmd/benchdiff -parse bench-raw.txt -o BENCH_BASELINE.json
+
+# serve-smoke mirrors the CI serve-smoke job: boot hmeansd, score the
+# case study through hmeansctl, require line-identical output to the
+# batch CLI, byte-identical cache hits, and a valid request trace.
+serve-smoke:
+	sh scripts/serve_smoke.sh
+
+# cover fails when total line coverage drops below the committed
+# baseline (the seed repo's figure; ratchet it up, never down).
+COVER_BASELINE := 86.8
+cover:
+	$(GO) test -count=1 -coverprofile=coverage.out ./...
+	@total=$$($(GO) tool cover -func=coverage.out | awk '/^total:/ {sub(/%/,"",$$3); print $$3}'); \
+	echo "total coverage: $$total% (baseline $(COVER_BASELINE)%)"; \
+	awk -v t="$$total" -v b="$(COVER_BASELINE)" 'BEGIN { exit (t+0 < b+0) ? 1 : 0 }' \
+		|| { echo "coverage fell below the $(COVER_BASELINE)% baseline" >&2; exit 1; }
+
 # chaos mirrors the CI chaos job: the deterministic fault-injection
 # suite (internal/faultinject) under the race detector.
 chaos:
@@ -59,4 +94,4 @@ fuzz:
 	$(GO) test -fuzz FuzzLoadMap -fuzztime $(FUZZTIME) ./internal/som
 	$(GO) test -fuzz FuzzLoadDendrogram -fuzztime $(FUZZTIME) ./internal/cluster
 
-ci: build lint test race chaos bench trace
+ci: build lint test race chaos fuzz bench trace bench-gate serve-smoke cover

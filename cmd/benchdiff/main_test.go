@@ -1,0 +1,187 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	"hmeans/internal/cliutil"
+)
+
+func exec(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb strings.Builder
+	code = cliutil.Run("benchdiff", &errb, func() error { return run(args, &out) })
+	return code, out.String(), errb.String()
+}
+
+const rawBench = `goos: linux
+goarch: amd64
+pkg: hmeans/internal/core
+BenchmarkHGM-8        	  854745	      1404 ns/op	     312 B/op
+BenchmarkHGM-8        	  901522	      1382 ns/op	     312 B/op
+BenchmarkHGM-8        	  812001	      1456 ns/op	     312 B/op
+BenchmarkCutK/k=4-8   	   50000	     25011 ns/op
+BenchmarkCutK/k=4-8   	   52000	     24830.5 ns/op
+BenchmarkTrainBatchSuiteScale/n=128-8 	     100	  11650042 ns/op
+PASS
+ok  	hmeans/internal/core	12.3s
+`
+
+func TestParseBench(t *testing.T) {
+	rec, err := ParseBench(strings.NewReader(rawBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Schema != Schema {
+		t.Fatalf("schema %q", rec.Schema)
+	}
+	want := map[string]struct {
+		ns      float64
+		samples int
+	}{
+		"BenchmarkHGM":                        {1382, 3},
+		"BenchmarkCutK/k=4":                   {24830.5, 2},
+		"BenchmarkTrainBatchSuiteScale/n=128": {11650042, 1},
+	}
+	if len(rec.Benchmarks) != len(want) {
+		t.Fatalf("parsed %d benchmarks, want %d: %+v", len(rec.Benchmarks), len(want), rec.Benchmarks)
+	}
+	for i, b := range rec.Benchmarks {
+		w, ok := want[b.Name]
+		if !ok {
+			t.Fatalf("unexpected benchmark %q", b.Name)
+		}
+		if b.NsPerOp != w.ns || b.Samples != w.samples {
+			t.Errorf("%s: %v ns/op over %d samples, want %v over %d",
+				b.Name, b.NsPerOp, b.Samples, w.ns, w.samples)
+		}
+		if i > 0 && rec.Benchmarks[i-1].Name > b.Name {
+			t.Error("benchmarks not sorted by name")
+		}
+	}
+}
+
+func TestParseBenchEmpty(t *testing.T) {
+	if _, err := ParseBench(strings.NewReader("PASS\nok\n")); err == nil {
+		t.Fatal("empty bench output accepted")
+	}
+}
+
+func mkRecord(pairs ...any) *Record {
+	rec := &Record{Schema: Schema}
+	for i := 0; i < len(pairs); i += 2 {
+		rec.Benchmarks = append(rec.Benchmarks, Benchmark{
+			Name: pairs[i].(string), NsPerOp: pairs[i+1].(float64), Samples: 1,
+		})
+	}
+	return rec
+}
+
+func TestCompare(t *testing.T) {
+	base := mkRecord("BenchmarkA", 1000.0, "BenchmarkB", 2000.0, "BenchmarkGone", 10.0)
+	cur := mkRecord("BenchmarkA", 1100.0, "BenchmarkB", 2500.0, "BenchmarkNew", 1.0)
+	rows, regressed, missing := Compare(base, cur, 20)
+	if len(rows) != 2 {
+		t.Fatalf("%d rows, want 2", len(rows))
+	}
+	// A is +10% (within budget), B is +25% (regressed), Gone is missing.
+	if len(regressed) != 1 || regressed[0] != "BenchmarkB" {
+		t.Fatalf("regressed = %v", regressed)
+	}
+	if len(missing) != 1 || missing[0] != "BenchmarkGone" {
+		t.Fatalf("missing = %v", missing)
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	raw := filepath.Join(dir, "bench-raw.txt")
+	if err := os.WriteFile(raw, []byte(rawBench), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cur := filepath.Join(dir, "BENCH_PR.json")
+	code, stdout, stderr := exec(t, "-parse", raw, "-o", cur)
+	if code != 0 {
+		t.Fatalf("parse: exit %d, stderr %q", code, stderr)
+	}
+	if !strings.Contains(stdout, "parsed 3 benchmarks") {
+		t.Fatalf("parse output %q", stdout)
+	}
+
+	t.Run("identical records pass", func(t *testing.T) {
+		code, stdout, stderr := exec(t, "-baseline", cur, "-current", cur)
+		if code != 0 {
+			t.Fatalf("exit %d, stderr %q", code, stderr)
+		}
+		if !strings.Contains(stdout, "ok: 3 benchmarks within 20% of baseline") {
+			t.Fatalf("output %q", stdout)
+		}
+	})
+
+	t.Run("regression fails", func(t *testing.T) {
+		// Baseline claims HGM used to take 1 ns/op: everything current
+		// is a massive regression.
+		baseline := filepath.Join(dir, "BENCH_BASELINE.json")
+		writeRecord(t, baseline, mkRecord("BenchmarkHGM", 1.0))
+		code, _, stderr := exec(t, "-baseline", baseline, "-current", cur)
+		if code != 1 || !strings.Contains(stderr, "regressed") {
+			t.Fatalf("exit %d, stderr %q", code, stderr)
+		}
+	})
+
+	t.Run("missing baseline benchmark fails", func(t *testing.T) {
+		baseline := filepath.Join(dir, "BENCH_MISSING.json")
+		writeRecord(t, baseline, mkRecord("BenchmarkHGM", 1400.0, "BenchmarkVanished", 1.0))
+		code, _, stderr := exec(t, "-baseline", baseline, "-current", cur)
+		if code != 1 || !strings.Contains(stderr, "missing") {
+			t.Fatalf("exit %d, stderr %q", code, stderr)
+		}
+	})
+
+	t.Run("bad schema rejected", func(t *testing.T) {
+		bad := filepath.Join(dir, "bad.json")
+		if err := os.WriteFile(bad, []byte(`{"schema":"other/9","benchmarks":[]}`), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		code, _, stderr := exec(t, "-baseline", bad, "-current", cur)
+		if code != 1 || !strings.Contains(stderr, "schema") {
+			t.Fatalf("exit %d, stderr %q", code, stderr)
+		}
+	})
+}
+
+func TestUsage(t *testing.T) {
+	for _, args := range [][]string{
+		{},
+		{"-parse", "-", "-baseline", "x"},
+		{"-baseline", "x", "-current", "y", "-max-regress", "0"},
+	} {
+		code, _, _ := exec(t, args...)
+		if code != 2 {
+			t.Fatalf("args %v: exit %d, want 2", args, code)
+		}
+	}
+}
+
+func writeRecord(t *testing.T, path string, rec *Record) {
+	t.Helper()
+	var sb strings.Builder
+	sb.WriteString(`{"schema":"` + rec.Schema + `","benchmarks":[`)
+	for i, b := range rec.Benchmarks {
+		if i > 0 {
+			sb.WriteString(",")
+		}
+		sb.WriteString(`{"name":"` + b.Name + `","ns_per_op":` + trimFloat(b.NsPerOp) + `,"samples":1}`)
+	}
+	sb.WriteString("]}")
+	if err := os.WriteFile(path, []byte(sb.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func trimFloat(f float64) string {
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}

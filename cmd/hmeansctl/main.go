@@ -1,0 +1,258 @@
+// Command hmeansctl is the client for the hmeansd scoring service:
+// it loads the same CSV inputs the batch hmeans CLI takes, sends them
+// to a running daemon, and prints the result in the batch CLI's
+// output format — so the two are directly diffable, which is exactly
+// what the serve-smoke CI job does.
+//
+//	hmeansctl -addr http://127.0.0.1:8080 -scores speedups.csv -chars sar.csv -k 6
+//	hmeansctl -addr http://127.0.0.1:8080 -health
+//
+// -json dumps the raw response bytes instead, byte-identical across
+// cache hits and cold paths for identical inputs.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+
+	"hmeans/internal/cliutil"
+	"hmeans/internal/dataio"
+	"hmeans/internal/obs"
+	"hmeans/internal/service"
+	"hmeans/internal/viz"
+)
+
+func main() {
+	os.Exit(cliutil.Run("hmeansctl", os.Stderr, func() error {
+		return run(os.Args[1:], os.Stdout, os.Stderr)
+	}))
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("hmeansctl", flag.ContinueOnError)
+	var (
+		addr       = fs.String("addr", "http://127.0.0.1:8080", "base URL of the hmeansd service")
+		scoresPath = fs.String("scores", "", "CSV of workload,score")
+		charsPath  = fs.String("chars", "", "CSV characterization matrix")
+		kind       = fs.String("kind", "counters", "characterization kind: counters or bits")
+		meanName   = fs.String("mean", "geometric", "mean family to print: geometric, arithmetic or harmonic")
+		k          = fs.Int("k", 0, "cluster count to cut at (0: sweep 2..n)")
+		seed       = fs.Uint64("seed", 2007, "SOM training seed")
+		health     = fs.Bool("health", false, "check the daemon's /healthz and exit")
+		rawJSON    = fs.Bool("json", false, "print the raw JSON response instead of the rendered result")
+		verbose    = fs.Bool("v", false, "report the cache status (X-Hmeans-Cache) on stderr")
+	)
+	timeout := cliutil.RegisterTimeout(fs)
+	obsFlags := obs.RegisterFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if obsFlags.PrintVersion(stdout, "hmeansctl") {
+		return nil
+	}
+	ctx, cancel := cliutil.WithTimeout(*timeout)
+	defer cancel()
+	base := strings.TrimSuffix(*addr, "/")
+	if *health {
+		return checkHealth(ctx, base, stdout)
+	}
+	if *scoresPath == "" || *charsPath == "" {
+		return cliutil.Usagef("-scores and -chars are both required")
+	}
+	req, err := buildRequest(*scoresPath, *charsPath, *kind, *seed, *k)
+	if err != nil {
+		return err
+	}
+	raw, cacheStatus, err := post(ctx, base+"/v1/score", req)
+	if err != nil {
+		return err
+	}
+	if *verbose {
+		fmt.Fprintf(stderr, "cache: %s\n", cacheStatus)
+	}
+	if *rawJSON {
+		_, err := stdout.Write(raw)
+		return err
+	}
+	var resp service.Response
+	if err := json.Unmarshal(raw, &resp); err != nil {
+		return fmt.Errorf("decoding response: %w", err)
+	}
+	return render(&resp, *meanName, *k, stdout)
+}
+
+func checkHealth(ctx context.Context, base string, stdout io.Writer) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/healthz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("healthz: %s", resp.Status)
+	}
+	_, err = io.Copy(stdout, resp.Body)
+	return err
+}
+
+// buildRequest loads the CSVs and assembles the service request, with
+// the characterization rows aligned to the score order the same way
+// the batch CLI aligns them.
+func buildRequest(scoresPath, charsPath, kind string, seed uint64, k int) (*service.Request, error) {
+	sf, err := os.Open(scoresPath)
+	if err != nil {
+		return nil, err
+	}
+	defer sf.Close()
+	scores, err := dataio.ReadScores(sf)
+	if err != nil {
+		return nil, err
+	}
+	cf, err := os.Open(charsPath)
+	if err != nil {
+		return nil, err
+	}
+	defer cf.Close()
+	m, err := dataio.ReadMatrix(cf)
+	if err != nil {
+		return nil, err
+	}
+	rowOf := make(map[string][]float64, len(m.Workloads))
+	for i, name := range m.Workloads {
+		rowOf[name] = m.Rows[i]
+	}
+	rows := make([][]float64, len(scores.Workloads))
+	for i, name := range scores.Workloads {
+		row, ok := rowOf[name]
+		if !ok {
+			return nil, fmt.Errorf("workload %q has a score but no characterization row", name)
+		}
+		rows[i] = row
+	}
+	switch kind {
+	case "counters", "bits":
+	default:
+		return nil, cliutil.Usagef("unknown characterization kind %q (want counters or bits)", kind)
+	}
+	return &service.Request{
+		Table: service.TableJSON{
+			Workloads: scores.Workloads,
+			Features:  m.Features,
+			Rows:      rows,
+		},
+		Scores: map[string][]float64{"scores": scores.Values},
+		Config: service.ConfigJSON{Kind: kind, Seed: seed},
+		K:      k,
+	}, nil
+}
+
+// remoteError carries an error reported by the daemon. 400s mark
+// invalid input, so hmeansctl exits with the same status 3 the batch
+// CLI uses for bad data.
+type remoteError struct {
+	status int
+	msg    string
+}
+
+func (e *remoteError) Error() string { return fmt.Sprintf("%s (HTTP %d)", e.msg, e.status) }
+
+// DataError implements cliutil's marker for invalid-input errors.
+func (e *remoteError) DataError() bool { return e.status == http.StatusBadRequest }
+
+func post(ctx context.Context, url string, req *service.Request) (raw []byte, cacheStatus string, err error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, "", err
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return nil, "", err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(hreq)
+	if err != nil {
+		return nil, "", err
+	}
+	defer resp.Body.Close()
+	raw, err = io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		msg := strings.TrimSpace(string(raw))
+		var werr struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(raw, &werr) == nil && werr.Error != "" {
+			msg = werr.Error
+		}
+		if ra := resp.Header.Get("Retry-After"); ra != "" {
+			msg += " (retry after " + ra + "s)"
+		}
+		return nil, "", &remoteError{status: resp.StatusCode, msg: msg}
+	}
+	return raw, resp.Header.Get("X-Hmeans-Cache"), nil
+}
+
+// render prints the response in the batch CLI's format: the same
+// quarantine lines, the same mean lines for a fixed k (cluster
+// members included), the same sweep table otherwise.
+func render(resp *service.Response, meanName string, k int, stdout io.Writer) error {
+	var h func(service.KMeans, service.PlainMeans) (float64, float64)
+	switch meanName {
+	case "geometric":
+		h = func(m service.KMeans, p service.PlainMeans) (float64, float64) { return m.HGM, p.GM }
+	case "arithmetic":
+		h = func(m service.KMeans, p service.PlainMeans) (float64, float64) { return m.HAM, p.AM }
+	case "harmonic":
+		h = func(m service.KMeans, p service.PlainMeans) (float64, float64) { return m.HHM, p.HM }
+	default:
+		return cliutil.Usagef("unknown mean %q (want geometric, arithmetic or harmonic)", meanName)
+	}
+	if len(resp.Plain) != 1 {
+		return fmt.Errorf("expected one score vector in response, got %d", len(resp.Plain))
+	}
+	pm := resp.Plain[0]
+	for _, q := range resp.Quarantined {
+		fmt.Fprintf(stdout, "quarantined %s: %s\n", q.Workload, q.Reason)
+	}
+	byK := make(map[int]service.KMeans, len(resp.Means))
+	for _, m := range resp.Means {
+		byK[m.K] = m
+	}
+	if k > 0 {
+		m, ok := byK[k]
+		if !ok {
+			return fmt.Errorf("response has no means at k=%d", k)
+		}
+		hv, pv := h(m, pm)
+		fmt.Fprintf(stdout, "hierarchical %s mean (k=%d): %.4f\n", meanName, k, hv)
+		fmt.Fprintf(stdout, "plain %s mean:              %.4f\n", meanName, pv)
+		for label, ms := range resp.Cut.Members {
+			fmt.Fprintf(stdout, "cluster %d: %v\n", label, ms)
+		}
+		return nil
+	}
+	t := viz.NewTable("k", "hierarchical", "plain")
+	for kk := 2; kk <= len(resp.Workloads); kk++ {
+		m, ok := byK[kk]
+		if !ok {
+			continue
+		}
+		hv, pv := h(m, pm)
+		if err := t.AddRowf(fmt.Sprintf("%d", kk), "%.4f", hv, pv); err != nil {
+			return err
+		}
+	}
+	return t.Render(stdout)
+}

@@ -1,0 +1,185 @@
+package main
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"hmeans/internal/cliutil"
+	"hmeans/internal/obs"
+	"hmeans/internal/service"
+)
+
+func exec(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb strings.Builder
+	code = cliutil.Run("hmeansctl", &errb, func() error { return run(args, &out, &errb) })
+	return code, out.String(), errb.String()
+}
+
+// startDaemon serves the real service handler on an httptest server.
+func startDaemon(t *testing.T) string {
+	t.Helper()
+	o := obs.New()
+	srv := service.New(service.Config{Obs: o, CacheSize: 8})
+	mux := srv.Handler()
+	o.Register(mux)
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	return ts.URL
+}
+
+// writeInputs writes a scores CSV and a characterization CSV for two
+// separable blobs of four workloads each.
+func writeInputs(t *testing.T) (scoresPath, charsPath string) {
+	t.Helper()
+	dir := t.TempDir()
+	var scores, chars strings.Builder
+	scores.WriteString("workload,score\n")
+	chars.WriteString("workload,f1,f2,f3\n")
+	for i := 0; i < 8; i++ {
+		base := 1.0
+		if i >= 4 {
+			base = 9.0
+		}
+		name := fmt.Sprintf("wl%02d", i)
+		fmt.Fprintf(&scores, "%s,%g\n", name, 1.0+0.5*float64(i))
+		fmt.Fprintf(&chars, "%s,%g,%g,%g\n", name,
+			base+0.1*float64(i), base-0.1*float64(i), base)
+	}
+	scoresPath = filepath.Join(dir, "speedups.csv")
+	charsPath = filepath.Join(dir, "sar.csv")
+	if err := os.WriteFile(scoresPath, []byte(scores.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(charsPath, []byte(chars.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return scoresPath, charsPath
+}
+
+func TestUsageErrors(t *testing.T) {
+	t.Run("missing inputs", func(t *testing.T) {
+		code, _, stderr := exec(t)
+		if code != 2 || !strings.Contains(stderr, "-scores and -chars") {
+			t.Fatalf("exit %d, stderr %q", code, stderr)
+		}
+	})
+	t.Run("bad kind", func(t *testing.T) {
+		scoresPath, charsPath := writeInputs(t)
+		code, _, stderr := exec(t, "-scores", scoresPath, "-chars", charsPath, "-kind", "vibes")
+		if code != 2 || !strings.Contains(stderr, "kind") {
+			t.Fatalf("exit %d, stderr %q", code, stderr)
+		}
+	})
+	t.Run("bad mean", func(t *testing.T) {
+		base := startDaemon(t)
+		scoresPath, charsPath := writeInputs(t)
+		code, _, stderr := exec(t, "-addr", base, "-scores", scoresPath, "-chars", charsPath, "-mean", "nope")
+		if code != 2 || !strings.Contains(stderr, "unknown mean") {
+			t.Fatalf("exit %d, stderr %q", code, stderr)
+		}
+	})
+}
+
+func TestHealth(t *testing.T) {
+	base := startDaemon(t)
+	code, stdout, stderr := exec(t, "-addr", base, "-health")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, stderr)
+	}
+	if !strings.Contains(stdout, "ok") {
+		t.Fatalf("health output %q", stdout)
+	}
+}
+
+func TestRenderFixedK(t *testing.T) {
+	base := startDaemon(t)
+	scoresPath, charsPath := writeInputs(t)
+	code, stdout, stderr := exec(t, "-addr", base,
+		"-scores", scoresPath, "-chars", charsPath, "-k", "2", "-v")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, stderr)
+	}
+	if !strings.Contains(stdout, "hierarchical geometric mean (k=2): ") {
+		t.Fatalf("missing hierarchical mean line in %q", stdout)
+	}
+	if !strings.Contains(stdout, "plain geometric mean:              ") {
+		t.Fatalf("missing plain mean line in %q", stdout)
+	}
+	if !strings.Contains(stdout, "cluster 0: ") || !strings.Contains(stdout, "cluster 1: ") {
+		t.Fatalf("missing cluster member lines in %q", stdout)
+	}
+	if !strings.Contains(stderr, "cache: miss") {
+		t.Fatalf("-v cache status missing from stderr %q", stderr)
+	}
+}
+
+func TestRenderSweep(t *testing.T) {
+	base := startDaemon(t)
+	scoresPath, charsPath := writeInputs(t)
+	code, stdout, stderr := exec(t, "-addr", base,
+		"-scores", scoresPath, "-chars", charsPath, "-mean", "harmonic")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, stderr)
+	}
+	for _, want := range []string{"k", "hierarchical", "plain", "2", "8"} {
+		if !strings.Contains(stdout, want) {
+			t.Fatalf("sweep table missing %q:\n%s", want, stdout)
+		}
+	}
+}
+
+// TestJSONByteIdentity sends the same request twice; the second is a
+// cache hit and the raw bytes must match exactly.
+func TestJSONByteIdentity(t *testing.T) {
+	base := startDaemon(t)
+	scoresPath, charsPath := writeInputs(t)
+	args := []string{"-addr", base, "-scores", scoresPath, "-chars", charsPath, "-json", "-v"}
+	code, cold, stderr1 := exec(t, args...)
+	if code != 0 {
+		t.Fatalf("cold call: exit %d, stderr %q", code, stderr1)
+	}
+	code, hit, stderr2 := exec(t, args...)
+	if code != 0 {
+		t.Fatalf("hit call: exit %d, stderr %q", code, stderr2)
+	}
+	if !strings.Contains(stderr1, "cache: miss") || !strings.Contains(stderr2, "cache: hit") {
+		t.Fatalf("cache statuses: %q then %q", stderr1, stderr2)
+	}
+	if cold != hit {
+		t.Fatal("cache hit bytes differ from cold-path bytes")
+	}
+}
+
+// TestRemoteBadRequestExitsThree checks that a daemon-side 400 maps to
+// the batch CLI's invalid-input exit code.
+func TestRemoteBadRequestExitsThree(t *testing.T) {
+	base := startDaemon(t)
+	dir := t.TempDir()
+	scoresPath := filepath.Join(dir, "speedups.csv")
+	charsPath := filepath.Join(dir, "sar.csv")
+	// A zero score is valid CSV but the service rejects it (geometric
+	// and harmonic means need strictly positive scores).
+	os.WriteFile(scoresPath, []byte("workload,score\nwl00,0\nwl01,2\n"), 0o644)
+	os.WriteFile(charsPath, []byte("workload,f1\nwl00,1\nwl01,2\n"), 0o644)
+	code, _, stderr := exec(t, "-addr", base, "-scores", scoresPath, "-chars", charsPath)
+	if code != 3 {
+		t.Fatalf("exit %d, want 3; stderr %q", code, stderr)
+	}
+	if !strings.Contains(stderr, "invalid input") {
+		t.Fatalf("stderr %q lacks invalid-input marker", stderr)
+	}
+}
+
+func TestUnreachableDaemon(t *testing.T) {
+	scoresPath, charsPath := writeInputs(t)
+	code, _, stderr := exec(t, "-addr", "http://127.0.0.1:1",
+		"-scores", scoresPath, "-chars", charsPath)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1; stderr %q", code, stderr)
+	}
+}

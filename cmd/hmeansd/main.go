@@ -1,0 +1,162 @@
+// Command hmeansd serves the hierarchical-means pipeline as a
+// long-running HTTP scoring service.
+//
+//	hmeansd -addr :8080 -max-inflight 4 -queue-depth 64 -cache-size 128
+//
+// Endpoints:
+//
+//	POST /v1/score   characterization table + score vectors → full
+//	                 pipeline result (SOM, dendrogram, recommended
+//	                 cut, hierarchical means per k)
+//	GET  /healthz    liveness
+//	GET  /version    build description
+//	GET  /metrics    metrics registry snapshot (cache hit/miss/
+//	                 coalesce counters, queue rejections, latency)
+//	GET  /trace      live span stream (JSONL) when -obs.http-style
+//	                 tracing is wanted on the service port
+//	GET  /debug/...  expvar + net/http/pprof
+//
+// Identical requests are answered from a content-addressed cache (or
+// coalesced onto one in-flight computation); the X-Hmeans-Cache
+// response header says which path served each response. When the
+// worker pool and its queue are both full the daemon sheds load with
+// 429 + Retry-After instead of queueing without bound.
+//
+// The daemon shuts down cleanly on SIGINT/SIGTERM (and when -timeout
+// elapses), flushing any -obs.trace file on the way out.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"hmeans/internal/cliutil"
+	"hmeans/internal/obs"
+	"hmeans/internal/service"
+)
+
+func main() {
+	os.Exit(cliutil.Run("hmeansd", os.Stderr, func() error {
+		return run(os.Args[1:], os.Stdout)
+	}))
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("hmeansd", flag.ContinueOnError)
+	var (
+		addr        = fs.String("addr", "127.0.0.1:8080", "listen address (host:port; :0 picks a free port)")
+		maxInflight = fs.Int("max-inflight", 0, "max concurrent pipeline computations (0 = CPU count)")
+		queueDepth  = fs.Int("queue-depth", 64, "max requests queued for a computation slot before shedding with 429")
+		cacheSize   = fs.Int("cache-size", 128, "content-addressed result cache entries (0 disables)")
+		reqTimeout  = fs.Duration("request-timeout", 0, "per-request compute deadline (e.g. 30s); 0 = none")
+		parallel    = fs.Int("parallel", 1, "worker count per pipeline run (0 = all CPUs); results are identical for every value")
+	)
+	timeout := cliutil.RegisterTimeout(fs)
+	obsFlags := obs.RegisterFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if obsFlags.PrintVersion(stdout, "hmeansd") {
+		return nil
+	}
+	if err := cliutil.ValidateParallel(*parallel); err != nil {
+		return err
+	}
+	if err := cliutil.ValidateMin("-max-inflight", *maxInflight, 0); err != nil {
+		return err
+	}
+	if err := cliutil.ValidateMin("-queue-depth", *queueDepth, 0); err != nil {
+		return err
+	}
+	if err := cliutil.ValidateMin("-cache-size", *cacheSize, 0); err != nil {
+		return err
+	}
+	if *reqTimeout < 0 {
+		return cliutil.Usagef("-request-timeout must be >= 0, got %v", *reqTimeout)
+	}
+	sess, err := obsFlags.Start()
+	if err != nil {
+		return err
+	}
+	ctx, cancel := cliutil.WithTimeout(*timeout)
+	defer cancel()
+	err = serve(ctx, serveArgs{
+		addr:        *addr,
+		maxInflight: *maxInflight,
+		queueDepth:  *queueDepth,
+		cacheSize:   *cacheSize,
+		reqTimeout:  *reqTimeout,
+		parallel:    *parallel,
+		obs:         sess.Obs,
+	}, stdout)
+	if cerr := sess.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+type serveArgs struct {
+	addr        string
+	maxInflight int
+	queueDepth  int
+	cacheSize   int
+	reqTimeout  time.Duration
+	parallel    int
+	obs         *obs.Observer
+}
+
+// serve runs the daemon until ctx fires or a termination signal
+// arrives; both are planned shutdowns, so it returns nil for them.
+func serve(ctx context.Context, a serveArgs, stdout io.Writer) error {
+	srv := service.New(service.Config{
+		MaxInflight: a.maxInflight,
+		QueueDepth:  a.queueDepth,
+		CacheSize:   a.cacheSize,
+		Timeout:     a.reqTimeout,
+		Parallelism: a.parallel,
+		Obs:         a.obs,
+	})
+	mux := srv.Handler()
+	// The observability endpoints share the service port: one address
+	// to scrape, and /metrics carries the service counters.
+	obs.Or(a.obs).Register(mux)
+
+	ln, err := net.Listen("tcp", a.addr)
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: mux}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	fmt.Fprintf(stdout, "hmeansd %s listening on http://%s\n", obs.Version(), ln.Addr())
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigc)
+
+	select {
+	case err := <-errc:
+		return err
+	case <-sigc:
+	case <-ctx.Done():
+	}
+	// Planned shutdown: let in-flight requests finish briefly, then
+	// report the run. The -timeout deadline is an operator request
+	// here, not a failure, so it maps to exit 0.
+	sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(sctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
+	fmt.Fprintf(stdout, "hmeansd shut down (%d cached results)\n", srv.CacheLen())
+	return nil
+}

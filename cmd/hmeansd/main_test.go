@@ -1,0 +1,171 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"hmeans/internal/cliutil"
+)
+
+// exec runs the daemon through the same cliutil.Run wrapper main
+// uses, returning the exit code and captured stdout/stderr.
+func exec(t *testing.T, out *syncBuffer, args ...string) (code int, stderr string) {
+	t.Helper()
+	var errb strings.Builder
+	code = cliutil.Run("hmeansd", &errb, func() error { return run(args, out) })
+	return code, errb.String()
+}
+
+// syncBuffer lets the test read the daemon's stdout while the serve
+// goroutine is still writing it.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+func TestFlagValidation(t *testing.T) {
+	cases := [][]string{
+		{"-max-inflight", "-1"},
+		{"-queue-depth", "-1"},
+		{"-cache-size", "-1"},
+		{"-parallel", "-2"},
+		{"-request-timeout", "-1s"},
+	}
+	for _, args := range cases {
+		t.Run(strings.Join(args, " "), func(t *testing.T) {
+			var out syncBuffer
+			code, stderr := exec(t, &out, args...)
+			if code != 2 {
+				t.Fatalf("exit %d, want 2; stderr: %s", code, stderr)
+			}
+			if !strings.Contains(stderr, "usage") {
+				t.Fatalf("no usage hint in %q", stderr)
+			}
+		})
+	}
+}
+
+func TestVersionFlag(t *testing.T) {
+	var out syncBuffer
+	code, stderr := exec(t, &out, "-version")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %s", code, stderr)
+	}
+	if !strings.Contains(out.String(), "hmeansd") {
+		t.Fatalf("version output %q", out.String())
+	}
+}
+
+var addrLine = regexp.MustCompile(`listening on (http://[\d.:]+)`)
+
+// TestServeEndToEnd boots the daemon on an ephemeral port with a
+// -timeout shutdown, scores a request over real HTTP, and checks the
+// planned shutdown exits 0.
+func TestServeEndToEnd(t *testing.T) {
+	var out syncBuffer
+	done := make(chan int, 1)
+	go func() {
+		code, stderr := exec(t, &out,
+			"-addr", "127.0.0.1:0", "-timeout", "3s", "-cache-size", "4")
+		if stderr != "" {
+			t.Errorf("unexpected stderr: %s", stderr)
+		}
+		done <- code
+	}()
+
+	base := waitForAddr(t, &out)
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d", resp.StatusCode)
+	}
+
+	body := scoreBody()
+	r1 := postJSON(t, base+"/v1/score", body)
+	if r1.StatusCode != http.StatusOK || r1.Header.Get("X-Hmeans-Cache") != "miss" {
+		t.Fatalf("first score: status %d cache %q", r1.StatusCode, r1.Header.Get("X-Hmeans-Cache"))
+	}
+	r2 := postJSON(t, base+"/v1/score", body)
+	if r2.Header.Get("X-Hmeans-Cache") != "hit" {
+		t.Fatalf("second score cache %q, want hit", r2.Header.Get("X-Hmeans-Cache"))
+	}
+
+	// The obs endpoints share the service port.
+	mresp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatalf("metrics: %v", err)
+	}
+	mresp.Body.Close()
+	if mresp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics status %d", mresp.StatusCode)
+	}
+
+	if code := <-done; code != 0 {
+		t.Fatalf("daemon exited %d after planned -timeout shutdown", code)
+	}
+	if !strings.Contains(out.String(), "shut down") {
+		t.Fatalf("no shutdown line in %q", out.String())
+	}
+}
+
+func waitForAddr(t *testing.T, out *syncBuffer) string {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if m := addrLine.FindStringSubmatch(out.String()); m != nil {
+			return m[1]
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never reported its address; stdout: %q", out.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func postJSON(t *testing.T, url, body string) *http.Response {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	resp.Body.Close()
+	return resp
+}
+
+// scoreBody is a minimal valid request: two separable blobs of four
+// workloads each.
+func scoreBody() string {
+	var rows, workloads, scores []string
+	for i := 0; i < 8; i++ {
+		base := 1.0
+		if i >= 4 {
+			base = 9.0
+		}
+		workloads = append(workloads, fmt.Sprintf("%q", fmt.Sprintf("wl%d", i)))
+		rows = append(rows, fmt.Sprintf("[%g,%g]", base+0.1*float64(i), base-0.1*float64(i)))
+		scores = append(scores, fmt.Sprintf("%g", 1.0+0.5*float64(i)))
+	}
+	return fmt.Sprintf(`{"table":{"workloads":[%s],"features":["f1","f2"],"rows":[%s]},"scores":{"m":[%s]},"config":{"seed":7},"k":2}`,
+		strings.Join(workloads, ","), strings.Join(rows, ","), strings.Join(scores, ","))
+}

@@ -84,3 +84,14 @@ func ValidateParallel(v int) error {
 	}
 	return nil
 }
+
+// ValidateMin checks an integer flag against its lower bound,
+// reporting a UsageError naming the flag on violation. It covers the
+// server-tuning flags (-max-inflight >= 1, -queue-depth >= 0,
+// -cache-size >= 0) without a bespoke check per flag.
+func ValidateMin(flagName string, v, min int) error {
+	if v < min {
+		return Usagef("%s must be >= %d, got %d", flagName, min, v)
+	}
+	return nil
+}

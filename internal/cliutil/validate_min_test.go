@@ -1,0 +1,24 @@
+package cliutil
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestValidateMin(t *testing.T) {
+	if err := ValidateMin("-queue-depth", 0, 0); err != nil {
+		t.Fatalf("ValidateMin at the floor = %v", err)
+	}
+	if err := ValidateMin("-cache-size", 128, 0); err != nil {
+		t.Fatalf("ValidateMin above the floor = %v", err)
+	}
+	err := ValidateMin("-max-inflight", -1, 0)
+	var ue *UsageError
+	if !errors.As(err, &ue) {
+		t.Fatalf("ValidateMin(-1) = %v, want UsageError", err)
+	}
+	if !strings.Contains(err.Error(), "-max-inflight") || !strings.Contains(err.Error(), "-1") {
+		t.Fatalf("message %q names neither flag nor value", err.Error())
+	}
+}

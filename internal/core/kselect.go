@@ -21,6 +21,42 @@ type KRecommendation struct {
 	RatioDamping map[int]float64
 }
 
+// RecommendKQuality picks a cluster count on geometry alone: the
+// silhouette/Davies–Bouldin sweep of cluster.RecommendK over the
+// pipeline's reduced positions, without the paper's ratio-damping
+// signal. It is the recommendation used when only one machine's
+// scores (or none) are available, so no A/B ratio exists to dampen;
+// with two score vectors, prefer RecommendK.
+func (p *Pipeline) RecommendKQuality(kMin, kMax int) (KRecommendation, error) {
+	var rec KRecommendation
+	if kMin < 2 {
+		kMin = 2
+	}
+	if n := p.Dendrogram.Len(); kMax > n {
+		kMax = n
+	}
+	if kMin > kMax {
+		return rec, fmt.Errorf("core: empty recommendation range [%d, %d]", kMin, kMax)
+	}
+	sp := p.obs.StartSpan("kselect", obs.KV("k_min", kMin), obs.KV("k_max", kMax),
+		obs.KV("quality_only", true))
+	defer sp.End()
+	quality, err := p.Dendrogram.QualitySweep(p.Positions, kMin, kMax)
+	if err != nil {
+		return rec, err
+	}
+	rec.Quality = quality
+	k, err := cluster.RecommendK(quality)
+	if err != nil {
+		return rec, err
+	}
+	rec.K = k
+	if o := p.obs; o.Active() {
+		o.Metrics().Gauge("kselect.k").Set(float64(k))
+	}
+	return rec, nil
+}
+
 // RecommendK mechanizes the paper's Section V-B.1 judgment: pick the
 // cluster count where (1) the clustering is geometrically sound
 // (silhouette on the reduced positions) and (2) "the fluctuation of

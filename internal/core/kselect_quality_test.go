@@ -1,0 +1,52 @@
+package core
+
+import "testing"
+
+// RecommendKQuality is the score-free recommendation the service uses
+// when a request carries fewer than two score vectors: silhouette
+// sweep only, no ratio damping.
+func TestRecommendKQuality(t *testing.T) {
+	p, err := DetectClusters(syntheticSuite(t), pipelineConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := p.RecommendKQuality(2, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.K < 2 || rec.K > 6 {
+		t.Fatalf("recommended k = %d out of range [2,6]", rec.K)
+	}
+	if len(rec.Quality) == 0 {
+		t.Fatal("no quality diagnostics")
+	}
+	if len(rec.RatioDamping) != 0 {
+		t.Fatalf("quality-only recommendation has damping diagnostics: %v", rec.RatioDamping)
+	}
+}
+
+func TestRecommendKQualityClampsRange(t *testing.T) {
+	p, err := DetectClusters(syntheticSuite(t), pipelineConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// kMin below 2 clamps up, kMax beyond n clamps down.
+	rec, err := p.RecommendKQuality(0, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := len(p.Workloads)
+	if rec.K < 2 || rec.K > n {
+		t.Fatalf("recommended k = %d out of clamped range [2,%d]", rec.K, n)
+	}
+}
+
+func TestRecommendKQualityEmptyRange(t *testing.T) {
+	p, err := DetectClusters(syntheticSuite(t), pipelineConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.RecommendKQuality(9, 12); err == nil {
+		t.Error("empty range accepted")
+	}
+}

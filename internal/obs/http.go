@@ -105,6 +105,15 @@ func (o *Observer) Handler() http.Handler {
 		fmt.Fprintln(w, "/debug/vars   expvar")
 		fmt.Fprintln(w, "/debug/pprof  CPU/heap/goroutine profiles")
 	})
+	o.Register(mux)
+	return mux
+}
+
+// Register mounts the introspection endpoints (/metrics, /trace,
+// /debug/vars, /debug/pprof/*) on an existing mux, so a server that
+// already has application routes — the hmeansd scoring daemon — can
+// expose its observability on the same port without surrendering "/".
+func (o *Observer) Register(mux *http.ServeMux) {
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		reg := o.Metrics()
 		reg.CaptureMemStats()
@@ -153,7 +162,6 @@ func (o *Observer) Handler() http.Handler {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	return mux
 }
 
 // Serve starts the introspection server on addr in a background

@@ -1,0 +1,44 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// Register mounts the observability endpoints onto a mux that already
+// serves application routes — the way hmeansd shares one port between
+// /v1/score and /metrics.
+func TestRegisterSharesMux(t *testing.T) {
+	o := New()
+	o.Metrics().Counter("service.requests").Add(2)
+	mux := http.NewServeMux()
+	mux.HandleFunc("/app", func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "app here")
+	})
+	o.Register(mux)
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+
+	if code, body := get("/app"); code != 200 || body != "app here" {
+		t.Fatalf("application route broken after Register: %d %q", code, body)
+	}
+	if code, body := get("/metrics"); code != 200 || !strings.Contains(body, "service.requests") {
+		t.Fatalf("/metrics: %d %q", code, body)
+	}
+	if code, _ := get("/debug/pprof/"); code != 200 {
+		t.Fatalf("/debug/pprof/: %d", code)
+	}
+}

@@ -1,0 +1,74 @@
+package service
+
+import (
+	"container/list"
+	"sync"
+)
+
+// cache is a bounded LRU over encoded response bytes, keyed by the
+// request's content address. Values are the exact bytes served to the
+// client, so a hit is bit-identical to the cold-path response by
+// construction. The zero-or-negative capacity cache stores nothing.
+type cache struct {
+	mu  sync.Mutex
+	cap int
+	ll  *list.List // front = most recently used
+	m   map[cacheKey]*list.Element
+}
+
+type cacheKey = [32]byte
+
+type cacheEntry struct {
+	key cacheKey
+	val []byte
+}
+
+func newCache(capacity int) *cache {
+	return &cache{cap: capacity, ll: list.New(), m: make(map[cacheKey]*list.Element)}
+}
+
+// get returns the cached bytes and promotes the entry. Callers must
+// not mutate the returned slice.
+func (c *cache) get(key cacheKey) ([]byte, bool) {
+	if c.cap <= 0 {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.m[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).val, true
+}
+
+// put stores val under key, evicting the least recently used entry
+// when over capacity. Storing an existing key refreshes its value
+// and recency.
+func (c *cache) put(key cacheKey, val []byte) {
+	if c.cap <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*cacheEntry).val = val
+		return
+	}
+	el := c.ll.PushFront(&cacheEntry{key: key, val: val})
+	c.m[key] = el
+	if c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.m, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// len reports the number of cached entries.
+func (c *cache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

@@ -1,0 +1,65 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+)
+
+// ErrOverloaded reports that both the worker pool and its queue are
+// full; the handler maps it to 429 with a Retry-After hint. Shedding
+// at the door beats queueing without bound: a client that retries
+// later costs less than a queue that grows until every request times
+// out.
+var ErrOverloaded = errors.New("service: worker pool and queue are full")
+
+// limiter is the bounded worker pool: at most maxInflight
+// computations run concurrently, and at most queueDepth callers wait
+// for a slot. Callers beyond both bounds are rejected immediately
+// with ErrOverloaded.
+type limiter struct {
+	slots      chan struct{}
+	queueDepth int64
+	waiting    atomic.Int64
+}
+
+func newLimiter(maxInflight, queueDepth int) *limiter {
+	if maxInflight < 1 {
+		maxInflight = 1
+	}
+	if queueDepth < 0 {
+		queueDepth = 0
+	}
+	return &limiter{slots: make(chan struct{}, maxInflight), queueDepth: int64(queueDepth)}
+}
+
+// acquire takes a computation slot, waiting in the bounded queue when
+// the pool is busy. It fails with ErrOverloaded when the queue is
+// full too, and with ctx.Err() when the caller's context fires while
+// queued. Every successful acquire must be paired with release.
+func (l *limiter) acquire(ctx context.Context) error {
+	select {
+	case l.slots <- struct{}{}:
+		return nil
+	default:
+	}
+	if l.waiting.Add(1) > l.queueDepth {
+		l.waiting.Add(-1)
+		return ErrOverloaded
+	}
+	defer l.waiting.Add(-1)
+	select {
+	case l.slots <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (l *limiter) release() { <-l.slots }
+
+// queued reports the current number of queued callers (for metrics).
+func (l *limiter) queued() int64 { return l.waiting.Load() }
+
+// inflight reports the current number of held slots (for metrics).
+func (l *limiter) inflight() int { return len(l.slots) }

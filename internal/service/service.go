@@ -1,0 +1,396 @@
+package service
+
+import (
+	"context"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"time"
+
+	"hmeans/internal/core"
+	"hmeans/internal/obs"
+)
+
+// Config configures a scoring server. The zero value is usable:
+// worker pool sized to the CPU count, no queue, no cache, no compute
+// deadline.
+type Config struct {
+	// MaxInflight bounds concurrent pipeline computations. Values
+	// <= 0 default to the CPU count.
+	MaxInflight int
+	// QueueDepth bounds callers waiting for a computation slot;
+	// arrivals beyond pool+queue are rejected with 429. Negative
+	// values mean no queue.
+	QueueDepth int
+	// CacheSize bounds the content-addressed result cache (entries);
+	// <= 0 disables caching.
+	CacheSize int
+	// Timeout is the per-request compute deadline enforced through
+	// core.DetectClustersCtx; 0 means none. The deadline covers the
+	// computation only, not time spent queued — queued callers are
+	// still bounded by their own HTTP request contexts.
+	Timeout time.Duration
+	// Parallelism is the worker count each pipeline run uses
+	// (core.PipelineConfig.Parallelism). Results are bit-identical
+	// for every value, which is why it is not part of the cache key.
+	Parallelism int
+	// MaxBodyBytes bounds the request body; <= 0 defaults to 64 MiB.
+	MaxBodyBytes int64
+	// Obs receives request spans and the service counters. Nil falls
+	// back to the process-default observer.
+	Obs *obs.Observer
+}
+
+// Server is the scoring service: Handler exposes it over HTTP, and
+// Score is the in-process equivalent the tests and any future
+// embedding use.
+type Server struct {
+	cfg   Config
+	obs   *obs.Observer
+	cache *cache
+	group *group
+	lim   *limiter
+}
+
+// New builds a Server from cfg (see Config for defaulting).
+func New(cfg Config) *Server {
+	if cfg.MaxInflight <= 0 {
+		cfg.MaxInflight = runtime.NumCPU()
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 64 << 20
+	}
+	return &Server{
+		cfg:   cfg,
+		obs:   obs.Or(cfg.Obs),
+		cache: newCache(cfg.CacheSize),
+		group: newGroup(),
+		lim:   newLimiter(cfg.MaxInflight, cfg.QueueDepth),
+	}
+}
+
+// Cache statuses reported in the X-Hmeans-Cache response header.
+const (
+	// CacheMiss marks the request that ran the pipeline.
+	CacheMiss = "miss"
+	// CacheHit marks a response served from the result cache.
+	CacheHit = "hit"
+	// CacheCoalesced marks a request that joined an identical
+	// in-flight computation and shares its result.
+	CacheCoalesced = "coalesced"
+)
+
+// Score answers one request in-process: through the cache, the
+// coalescing group and the worker pool, exactly like the HTTP path.
+// It returns the encoded response bytes (stable for identical
+// requests) plus the cache status. ctx bounds queue waiting and — for
+// a leader — is superseded by the server's compute deadline.
+func (s *Server) Score(ctx context.Context, req *Request) ([]byte, string, error) {
+	if err := req.Validate(); err != nil {
+		s.count("service.invalid")
+		return nil, "", err
+	}
+	key := req.CacheKey()
+	if raw, ok := s.cache.get(key); ok {
+		s.count("service.cache.hit")
+		return raw, CacheHit, nil
+	}
+	raw, leader, err := s.group.do(ctx, key, func() ([]byte, error) {
+		if err := s.lim.acquire(ctx); err != nil {
+			return nil, err
+		}
+		defer s.lim.release()
+		// The compute context is detached from the leader's request:
+		// coalesced followers share this computation, so one client's
+		// disconnect must not poison the result for the rest. The
+		// server's per-request deadline still applies.
+		cctx := context.Background()
+		if s.cfg.Timeout > 0 {
+			var cancel context.CancelFunc
+			cctx, cancel = context.WithTimeout(cctx, s.cfg.Timeout)
+			defer cancel()
+		}
+		resp, err := s.compute(cctx, req)
+		if err != nil {
+			return nil, err
+		}
+		raw, err := json.Marshal(resp)
+		if err != nil {
+			return nil, fmt.Errorf("service: encoding response: %w", err)
+		}
+		raw = append(raw, '\n')
+		s.cache.put(key, raw)
+		return raw, nil
+	})
+	status := CacheCoalesced
+	if leader {
+		status = CacheMiss
+	}
+	if err != nil {
+		s.countErr(err)
+		return nil, status, err
+	}
+	s.count("service.cache." + status)
+	return raw, status, nil
+}
+
+// compute runs the pipeline and assembles the full Response in the
+// deterministic ordering the cache depends on.
+func (s *Server) compute(ctx context.Context, req *Request) (*Response, error) {
+	t, err := req.table()
+	if err != nil {
+		return nil, err
+	}
+	cfg := req.pipelineConfig(s.cfg.Parallelism)
+	cfg.Obs = s.obs
+	p, err := core.DetectClustersCtx(ctx, t, cfg)
+	if err != nil {
+		return nil, err
+	}
+	n := len(p.Workloads)
+	names := req.vectorNames()
+	aligned := make(map[string][]float64, len(names))
+	for _, name := range names {
+		v, err := p.AlignScores(req.Scores[name])
+		if err != nil {
+			return nil, badRequestf("score vector %q: %v", name, err)
+		}
+		for i, x := range v {
+			if !(x > 0) || x > maxFinite {
+				return nil, badRequestf("score vector %q: workload %s has non-positive or non-finite score %v (all three mean families need positive finite scores)",
+					name, p.Workloads[i], x)
+			}
+		}
+		aligned[name] = v
+	}
+
+	resp := &Response{
+		Workloads:  p.Workloads,
+		Positions:  positionsJSON(p),
+		Dendrogram: dendrogramJSON(p.Dendrogram),
+	}
+	if p.Map != nil {
+		resp.SOM = &SOMJSON{Rows: p.Map.Rows(), Cols: p.Map.Cols()}
+	}
+	for _, q := range p.Quarantined {
+		resp.Quarantined = append(resp.Quarantined, QuarantineJSON{Workload: q.Workload, Index: q.Index, Reason: q.Reason})
+	}
+
+	kMin, kMax := req.sweepRange(n)
+	recommended := 1
+	if kMax >= 2 && kMin <= kMax {
+		if len(names) >= 2 {
+			// Two or more machines: the paper's full criterion,
+			// silhouette plus ratio damping of the first two vectors
+			// (sorted by name, so the choice is deterministic).
+			rec, err := p.RecommendK(core.Geometric, aligned[names[0]], aligned[names[1]], kMin, kMax)
+			if err != nil {
+				return nil, err
+			}
+			recommended = rec.K
+		} else {
+			rec, err := p.RecommendKQuality(kMin, kMax)
+			if err != nil {
+				return nil, err
+			}
+			recommended = rec.K
+		}
+	}
+	resp.RecommendedK = recommended
+
+	cutK := req.K
+	if cutK == 0 {
+		cutK = recommended
+	}
+	cut, err := p.ClusteringAtK(cutK)
+	if err != nil {
+		return nil, err
+	}
+	members, err := p.ClusterMembers(cutK)
+	if err != nil {
+		return nil, err
+	}
+	resp.Cut = CutJSON{K: cutK, Labels: cut.Labels, Members: members}
+
+	for k := kMin; k <= kMax; k++ {
+		c, err := p.ClusteringAtK(k)
+		if err != nil {
+			return nil, err
+		}
+		for _, name := range names {
+			m := KMeans{K: k, Vector: name}
+			if m.HGM, err = core.HierarchicalMean(core.Geometric, aligned[name], c); err != nil {
+				return nil, err
+			}
+			if m.HAM, err = core.HierarchicalMean(core.Arithmetic, aligned[name], c); err != nil {
+				return nil, err
+			}
+			if m.HHM, err = core.HierarchicalMean(core.Harmonic, aligned[name], c); err != nil {
+				return nil, err
+			}
+			resp.Means = append(resp.Means, m)
+		}
+	}
+	for _, name := range names {
+		pm := PlainMeans{Vector: name}
+		if pm.GM, err = core.PlainMean(core.Geometric, aligned[name]); err != nil {
+			return nil, err
+		}
+		if pm.AM, err = core.PlainMean(core.Arithmetic, aligned[name]); err != nil {
+			return nil, err
+		}
+		if pm.HM, err = core.PlainMean(core.Harmonic, aligned[name]); err != nil {
+			return nil, err
+		}
+		resp.Plain = append(resp.Plain, pm)
+	}
+	return resp, nil
+}
+
+// maxFinite rejects +Inf while keeping every finite float64: x >
+// maxFinite is true only for +Inf (NaN fails the x > 0 test).
+const maxFinite = 1.7976931348623157e308
+
+func positionsJSON(p *core.Pipeline) [][]float64 {
+	out := make([][]float64, len(p.Positions))
+	for i, v := range p.Positions {
+		out[i] = []float64(v)
+	}
+	return out
+}
+
+// Handler returns the service mux:
+//
+//	POST /v1/score   score a characterization + score vectors
+//	GET  /healthz    liveness ("ok")
+//	GET  /version    build description
+//
+// Observability endpoints (/metrics, /trace, /debug/*) are mounted
+// separately by the daemon via obs.Observer.Register, so embedders
+// can choose to keep them off the service port.
+func (s *Server) Handler() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/score", s.handleScore)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok\n")
+	})
+	mux.HandleFunc("/version", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintf(w, "hmeansd %s\n", obs.Version())
+	})
+	return mux
+}
+
+func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	sp := s.obs.StartSpan("request", obs.KV("path", r.URL.Path))
+	defer sp.End()
+	s.count("service.requests")
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		s.writeError(w, sp, http.StatusMethodNotAllowed, fmt.Errorf("use POST"))
+		return
+	}
+	var req Request
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		s.count("service.invalid")
+		s.writeError(w, sp, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	sp.SetAttr("workloads", len(req.Table.Workloads))
+	sp.SetAttr("vectors", len(req.Scores))
+
+	raw, status, err := s.Score(r.Context(), &req)
+	sp.SetAttr("cache", status)
+	if err != nil {
+		s.writeError(w, sp, httpStatus(err), err)
+		return
+	}
+	key := req.CacheKey()
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Hmeans-Cache", status)
+	w.Header().Set("X-Hmeans-Key", hex.EncodeToString(key[:8]))
+	w.Write(raw)
+	sp.SetAttr("status", http.StatusOK)
+	if s.obs.Active() {
+		s.obs.Metrics().Histogram("service.latency_ms", 1, 5, 10, 50, 100, 500, 1000, 5000).
+			Observe(float64(time.Since(start).Milliseconds()))
+	}
+}
+
+// httpStatus maps the error taxonomy to HTTP statuses, mirroring the
+// CLI exit codes (usage/invalid input → 400 like exit 2/3, timeout →
+// 504 like the "timed out" exit 1 path, overload → 429, the rest →
+// 500).
+func httpStatus(err error) int {
+	var br *BadRequestError
+	if errors.As(err, &br) {
+		return http.StatusBadRequest
+	}
+	var de interface {
+		error
+		DataError() bool
+	}
+	if errors.As(err, &de) && de.DataError() {
+		return http.StatusBadRequest
+	}
+	switch {
+	case errors.Is(err, ErrOverloaded):
+		return http.StatusTooManyRequests
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return http.StatusServiceUnavailable
+	}
+	return http.StatusInternalServerError
+}
+
+func (s *Server) writeError(w http.ResponseWriter, sp *obs.Span, status int, err error) {
+	sp.SetAttr("status", status)
+	sp.SetAttr("error", err.Error())
+	if status == http.StatusTooManyRequests {
+		// A rejected request should come back once the pool has
+		// drained a slot; one second is a safe lower bound for a
+		// pipeline run at suite scale.
+		w.Header().Set("Retry-After", "1")
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+func (s *Server) count(name string) {
+	if s.obs.Active() {
+		s.obs.Metrics().Counter(name).Add(1)
+	}
+}
+
+func (s *Server) countErr(err error) {
+	switch httpStatus(err) {
+	case http.StatusTooManyRequests:
+		s.count("service.rejected")
+	case http.StatusGatewayTimeout:
+		s.count("service.timeout")
+	case http.StatusBadRequest:
+		s.count("service.invalid")
+	default:
+		s.count("service.internal")
+	}
+}
+
+// CacheLen reports the number of cached responses (for tests and the
+// daemon's shutdown log line).
+func (s *Server) CacheLen() int { return s.cache.len() }
+
+// Queued reports the number of requests waiting for a computation
+// slot.
+func (s *Server) Queued() int64 { return s.lim.queued() }
+
+// Inflight reports the number of running computations.
+func (s *Server) Inflight() int { return s.lim.inflight() }

@@ -1,0 +1,75 @@
+package service
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+)
+
+// group coalesces duplicate in-flight computations: the first caller
+// for a key becomes the leader and runs fn; every caller that arrives
+// with the same key while the leader is running waits for the
+// leader's result instead of recomputing it. This is what makes a
+// burst of identical requests train the SOM exactly once.
+//
+// Unlike x/sync/singleflight, waiting is context-aware: a follower
+// whose request deadline fires stops waiting (and gets its context
+// error) while the leader's computation continues for the others.
+type group struct {
+	mu sync.Mutex
+	m  map[cacheKey]*call
+	// followers counts callers currently waiting on another caller's
+	// flight — observability for tests and the /metrics gauge.
+	followers atomic.Int64
+}
+
+type call struct {
+	done chan struct{}
+	val  []byte
+	err  error
+}
+
+func newGroup() *group {
+	return &group{m: make(map[cacheKey]*call)}
+}
+
+// do runs fn for key, coalescing concurrent duplicates. It returns
+// fn's result, plus leader=false when the result came from another
+// caller's computation. fn runs exactly once per flight regardless of
+// how many callers join it.
+func (g *group) do(ctx context.Context, key cacheKey, fn func() ([]byte, error)) (val []byte, leader bool, err error) {
+	g.mu.Lock()
+	if c, ok := g.m[key]; ok {
+		g.mu.Unlock()
+		g.followers.Add(1)
+		defer g.followers.Add(-1)
+		select {
+		case <-c.done:
+			return c.val, false, c.err
+		case <-ctx.Done():
+			return nil, false, ctx.Err()
+		}
+	}
+	c := &call{done: make(chan struct{})}
+	g.m[key] = c
+	g.mu.Unlock()
+
+	c.val, c.err = fn()
+
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	close(c.done)
+	return c.val, true, c.err
+}
+
+// flights reports the number of in-flight computations.
+func (g *group) flights() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.m)
+}
+
+// waiting reports the number of callers waiting on another caller's
+// flight.
+func (g *group) waiting() int64 { return g.followers.Load() }

@@ -1,0 +1,90 @@
+package service
+
+import (
+	"bytes"
+	"net/http"
+	"sync"
+	"testing"
+
+	"hmeans/internal/obs"
+)
+
+// TestStressConcurrentMixedClients is the acceptance stress test: at
+// least 100 concurrent requests over a mix of duplicate and distinct
+// payloads, run under -race in CI. It asserts that every request
+// succeeds, that all responses for one payload are byte-identical
+// (cold, coalesced and cached paths alike), and that the pipeline
+// ran at most once per distinct payload — the cache and the
+// coalescing group absorb every duplicate.
+func TestStressConcurrentMixedClients(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test skipped in -short mode")
+	}
+	const (
+		distinct = 10
+		clients  = 120 // 12 concurrent clients per distinct payload
+	)
+	o := obs.New()
+	_, ts := newTestServer(t, Config{
+		MaxInflight: 4,
+		QueueDepth:  clients, // no shedding in this test: every request must land
+		CacheSize:   distinct,
+		Obs:         o,
+	})
+
+	reqs := make([]*Request, distinct)
+	for i := range reqs {
+		reqs[i] = testRequest(uint64(i + 1))
+	}
+
+	type result struct {
+		payload int
+		status  int
+		cache   string
+		raw     []byte
+	}
+	results := make(chan result, clients)
+	var start, wg sync.WaitGroup
+	start.Add(1)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			start.Wait() // release all clients at once
+			payload := c % distinct
+			r, raw := postScore(t, ts.URL, reqs[payload])
+			results <- result{payload, r.StatusCode, r.Header.Get("X-Hmeans-Cache"), raw}
+		}(c)
+	}
+	start.Done()
+	wg.Wait()
+	close(results)
+
+	first := make([][]byte, distinct)
+	counts := map[string]int{}
+	for res := range results {
+		if res.status != http.StatusOK {
+			t.Fatalf("payload %d: status %d (body %s)", res.payload, res.status, res.raw)
+		}
+		counts[res.cache]++
+		if first[res.payload] == nil {
+			first[res.payload] = res.raw
+			continue
+		}
+		if !bytes.Equal(first[res.payload], res.raw) {
+			t.Fatalf("payload %d: divergent response bytes across clients", res.payload)
+		}
+	}
+	if total := counts[CacheMiss] + counts[CacheHit] + counts[CacheCoalesced]; total != clients {
+		t.Fatalf("accounted for %d responses, want %d (%v)", total, clients, counts)
+	}
+	if counts[CacheMiss] != distinct {
+		t.Fatalf("%d cold computations for %d distinct payloads (%v)", counts[CacheMiss], distinct, counts)
+	}
+	if runs := o.Metrics().Counter("pipeline.runs").Value(); runs != distinct {
+		t.Fatalf("pipeline ran %d times, want %d", runs, distinct)
+	}
+	if rejected := o.Metrics().Counter("service.rejected").Value(); rejected != 0 {
+		t.Fatalf("%d requests were shed despite a %d-deep queue", rejected, clients)
+	}
+}

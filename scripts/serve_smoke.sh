@@ -1,0 +1,83 @@
+#!/bin/sh
+# serve_smoke.sh — end-to-end service smoke test (the CI serve-smoke
+# job, runnable locally as `make serve-smoke`).
+#
+# Boots hmeansd with tracing on, scores the paper's 13-workload case
+# study through hmeansctl, and requires the rendered result to be
+# line-identical to the batch hmeans CLI on the same inputs — the
+# service and the CLI must never disagree about a mean. Also checks
+# that a repeated request is answered from the cache with identical
+# bytes, and validates the request trace the daemon wrote.
+#
+# Artifacts land in $SMOKE_DIR (default: a fresh temp dir).
+set -eu
+
+SMOKE_DIR="${SMOKE_DIR:-$(mktemp -d)}"
+echo "serve-smoke: artifacts in $SMOKE_DIR"
+
+go build -o "$SMOKE_DIR/hmeansd" ./cmd/hmeansd
+go build -o "$SMOKE_DIR/hmeansctl" ./cmd/hmeansctl
+go build -o "$SMOKE_DIR/hmeans" ./cmd/hmeans
+go build -o "$SMOKE_DIR/report" ./cmd/report
+go run ./cmd/benchsim -emit sar > "$SMOKE_DIR/sar.csv"
+go run ./cmd/benchsim -emit speedups > "$SMOKE_DIR/speedups.csv"
+
+"$SMOKE_DIR/hmeansd" -addr 127.0.0.1:0 -cache-size 16 \
+    -obs.trace "$SMOKE_DIR/trace.jsonl" > "$SMOKE_DIR/hmeansd.log" 2>&1 &
+DAEMON=$!
+trap 'kill "$DAEMON" 2>/dev/null || true' EXIT
+
+# The daemon prints its ephemeral address once the listener is up.
+ADDR=""
+for _ in $(seq 1 100); do
+    ADDR="$(sed -n 's/.*listening on \(http:\/\/[0-9.:]*\).*/\1/p' "$SMOKE_DIR/hmeansd.log")"
+    [ -n "$ADDR" ] && break
+    sleep 0.1
+done
+[ -n "$ADDR" ] || { echo "serve-smoke: daemon never came up" >&2; cat "$SMOKE_DIR/hmeansd.log" >&2; exit 1; }
+echo "serve-smoke: daemon at $ADDR"
+
+"$SMOKE_DIR/hmeansctl" -addr "$ADDR" -health > /dev/null
+
+# The service must agree with the batch CLI line for line: same
+# quarantine lines, same hierarchical/plain geometric means at k=6,
+# same cluster memberships.
+"$SMOKE_DIR/hmeans" -scores "$SMOKE_DIR/speedups.csv" -chars "$SMOKE_DIR/sar.csv" -k 6 \
+    > "$SMOKE_DIR/batch.out"
+"$SMOKE_DIR/hmeansctl" -addr "$ADDR" -scores "$SMOKE_DIR/speedups.csv" -chars "$SMOKE_DIR/sar.csv" -k 6 \
+    > "$SMOKE_DIR/service.out" 2> "$SMOKE_DIR/service.err"
+diff -u "$SMOKE_DIR/batch.out" "$SMOKE_DIR/service.out" || {
+    echo "serve-smoke: service result diverges from the batch CLI" >&2; exit 1; }
+
+# The HGM is the paper's headline number; require it to be present and
+# positive in both outputs (the diff above already proved equality).
+HGM="$(sed -n 's/^hierarchical geometric mean (k=6): //p' "$SMOKE_DIR/batch.out")"
+case "$HGM" in
+    ''|0.0000|-*) echo "serve-smoke: implausible HGM '$HGM'" >&2; exit 1 ;;
+esac
+echo "serve-smoke: service HGM matches batch CLI: $HGM"
+
+# A repeat of the same request must be a cache hit with identical raw
+# bytes — the bit-identical-cache contract, over the wire.
+"$SMOKE_DIR/hmeansctl" -addr "$ADDR" -scores "$SMOKE_DIR/speedups.csv" -chars "$SMOKE_DIR/sar.csv" -k 6 \
+    -json -v > "$SMOKE_DIR/raw1.json" 2> "$SMOKE_DIR/raw1.err"
+"$SMOKE_DIR/hmeansctl" -addr "$ADDR" -scores "$SMOKE_DIR/speedups.csv" -chars "$SMOKE_DIR/sar.csv" -k 6 \
+    -json -v > "$SMOKE_DIR/raw2.json" 2> "$SMOKE_DIR/raw2.err"
+grep -q 'cache: hit' "$SMOKE_DIR/raw2.err" || {
+    echo "serve-smoke: repeat request was not a cache hit" >&2; cat "$SMOKE_DIR/raw2.err" >&2; exit 1; }
+cmp "$SMOKE_DIR/raw1.json" "$SMOKE_DIR/raw2.json" || {
+    echo "serve-smoke: cache hit bytes differ from cold-path bytes" >&2; exit 1; }
+echo "serve-smoke: cache hit is byte-identical"
+
+# Service counters must be visible on the shared /metrics endpoint.
+curl -sf "$ADDR/metrics" | grep -q 'service.requests' || {
+    echo "serve-smoke: /metrics lacks service counters" >&2; exit 1; }
+
+# Graceful shutdown flushes the trace; validate it like obs-trace does.
+kill "$DAEMON"
+wait "$DAEMON" || { echo "serve-smoke: daemon exited non-zero" >&2; exit 1; }
+trap - EXIT
+grep -q 'shut down' "$SMOKE_DIR/hmeansd.log" || {
+    echo "serve-smoke: no graceful shutdown line" >&2; cat "$SMOKE_DIR/hmeansd.log" >&2; exit 1; }
+"$SMOKE_DIR/report" -validate-trace "$SMOKE_DIR/trace.jsonl"
+echo "serve-smoke: ok"
