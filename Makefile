@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fmt lint bench bench-json bench-gate bench-baseline trace chaos fuzz serve-smoke cover ci
+.PHONY: all build test race vet fmt lint bench bench-json bench-gate bench-baseline memprofile trace chaos fuzz serve-smoke cover ci
 
 all: build
 
@@ -44,23 +44,36 @@ trace:
 	$(GO) run ./cmd/report -timings trace.jsonl
 
 # The benchmark-regression gate measures a fixed set of kernel
-# benchmarks (stable, single-process, no suite-scale sweeps) with
-# min-of-5 sampling and compares the result against the committed
-# baseline. To refresh the baseline after an intentional performance
-# change: `make bench-baseline` on the reference hardware and commit
+# benchmarks (stable, single-process) with min-of-5 sampling and
+# -benchmem, then compares the result against the committed baseline:
+# ns/op within a 20% noise budget, allocs/op with zero tolerance
+# (allocation counts are deterministic, so any increase is real). To
+# refresh the baseline after an intentional performance change:
+# `make bench-baseline` on the reference hardware and commit
 # BENCH_BASELINE.json (see README "Benchmark regression gate").
-BENCH_PATTERN := ^(BenchmarkHGM|BenchmarkHAM|BenchmarkHHM|BenchmarkPlainGM|BenchmarkBMU|BenchmarkQuantizationError|BenchmarkCutK|BenchmarkSilhouette|BenchmarkRecommendK)$$
+BENCH_PATTERN := ^(BenchmarkHGM|BenchmarkHAM|BenchmarkHHM|BenchmarkPlainGM|BenchmarkBMU|BenchmarkQuantizationError|BenchmarkCutK|BenchmarkSilhouette|BenchmarkRecommendK|BenchmarkTrainBatchSuiteScale|BenchmarkNewDendrogramSuiteScale|BenchmarkNewDendrogramLarge)$$
 
 bench-json:
-	$(GO) test -bench '$(BENCH_PATTERN)' -benchtime 50ms -count 5 -run '^$$' ./... | tee bench-raw.txt
+	$(GO) test -bench '$(BENCH_PATTERN)' -benchmem -benchtime 50ms -count 5 -run '^$$' ./... | tee bench-raw.txt
 	$(GO) run ./cmd/benchdiff -parse bench-raw.txt -o BENCH_PR.json
 
 bench-gate: bench-json
 	$(GO) run ./cmd/benchdiff -baseline BENCH_BASELINE.json -current BENCH_PR.json -max-regress 20
 
 bench-baseline:
-	$(GO) test -bench '$(BENCH_PATTERN)' -benchtime 50ms -count 5 -run '^$$' ./... | tee bench-raw.txt
+	$(GO) test -bench '$(BENCH_PATTERN)' -benchmem -benchtime 50ms -count 5 -run '^$$' ./... | tee bench-raw.txt
 	$(GO) run ./cmd/benchdiff -parse bench-raw.txt -o BENCH_BASELINE.json
+
+# memprofile captures heap profiles of the hot-kernel benchmarks for
+# `go tool pprof`. All artifacts (*.prof, *.test) are gitignored.
+memprofile:
+	$(GO) test -bench '$(BENCH_PATTERN)' -benchmem -benchtime 50ms -run '^$$' \
+		-memprofile mem-core.prof -o core.test ./internal/core
+	$(GO) test -bench '$(BENCH_PATTERN)' -benchmem -benchtime 50ms -run '^$$' \
+		-memprofile mem-som.prof -o som.test ./internal/som
+	$(GO) test -bench '$(BENCH_PATTERN)' -benchmem -benchtime 50ms -run '^$$' \
+		-memprofile mem-cluster.prof -o cluster.test ./internal/cluster
+	@echo "inspect with: $(GO) tool pprof -sample_index=alloc_objects <pkg>.test mem-<pkg>.prof"
 
 # serve-smoke mirrors the CI serve-smoke job: boot hmeansd, score the
 # case study through hmeansctl, require line-identical output to the

@@ -37,6 +37,7 @@ func suiteForBench(b *testing.B) *experiments.Suite {
 }
 
 func benchExperiment(b *testing.B, id string) {
+	b.ReportAllocs()
 	s := suiteForBench(b)
 	e, ok := experiments.ByID(id)
 	if !ok {
@@ -71,6 +72,7 @@ func BenchmarkFig8(b *testing.B) { benchExperiment(b, "fig8") }
 // BenchmarkFullCampaign regenerates every artifact from scratch,
 // including measurement and all three pipelines.
 func BenchmarkFullCampaign(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		s, err := experiments.NewSuite(experiments.Config{})
 		if err != nil {
@@ -96,6 +98,7 @@ func benchScores() ([]float64, hmeans.Clustering) {
 }
 
 func BenchmarkHGM(b *testing.B) {
+	b.ReportAllocs()
 	scores, c := benchScores()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -106,6 +109,7 @@ func BenchmarkHGM(b *testing.B) {
 }
 
 func BenchmarkHAM(b *testing.B) {
+	b.ReportAllocs()
 	scores, c := benchScores()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -116,6 +120,7 @@ func BenchmarkHAM(b *testing.B) {
 }
 
 func BenchmarkHHM(b *testing.B) {
+	b.ReportAllocs()
 	scores, c := benchScores()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -126,6 +131,7 @@ func BenchmarkHHM(b *testing.B) {
 }
 
 func BenchmarkPlainGM(b *testing.B) {
+	b.ReportAllocs()
 	scores, _ := benchScores()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -141,6 +147,7 @@ func BenchmarkPlainGM(b *testing.B) {
 // families on the measured machine-A speedups and the SAR-A
 // clustering.
 func BenchmarkAblationMeanFamily(b *testing.B) {
+	b.ReportAllocs()
 	s := suiteForBench(b)
 	p, err := s.Pipeline(experiments.SARMachineA)
 	if err != nil {
@@ -149,6 +156,7 @@ func BenchmarkAblationMeanFamily(b *testing.B) {
 	for _, kind := range []core.MeanKind{core.Geometric, core.Arithmetic, core.Harmonic} {
 		kind := kind
 		b.Run(kind.String(), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := p.ScoreAtK(kind, s.SpeedupsA, 6); err != nil {
 					b.Fatal(err)
@@ -161,6 +169,7 @@ func BenchmarkAblationMeanFamily(b *testing.B) {
 // BenchmarkAblationLinkage compares linkage rules on the SAR-A SOM
 // positions.
 func BenchmarkAblationLinkage(b *testing.B) {
+	b.ReportAllocs()
 	s := suiteForBench(b)
 	p, err := s.Pipeline(experiments.SARMachineA)
 	if err != nil {
@@ -169,6 +178,7 @@ func BenchmarkAblationLinkage(b *testing.B) {
 	for _, l := range []cluster.Linkage{cluster.Complete, cluster.Single, cluster.Average, cluster.Ward} {
 		l := l
 		b.Run(l.String(), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := cluster.NewDendrogram(p.Positions, vecmath.Euclidean, l); err != nil {
 					b.Fatal(err)
@@ -182,6 +192,7 @@ func BenchmarkAblationLinkage(b *testing.B) {
 // against the prior-work PCA(2) baseline and against clustering the
 // raw standardized vectors directly.
 func BenchmarkAblationReduction(b *testing.B) {
+	b.ReportAllocs()
 	s := suiteForBench(b)
 	p, err := s.Pipeline(experiments.SARMachineA)
 	if err != nil {
@@ -193,6 +204,7 @@ func BenchmarkAblationReduction(b *testing.B) {
 		rows[i] = v
 	}
 	b.Run("som", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			m, err := som.Train(som.Config{Seed: 2007, Rows: 5, Cols: 4}, vectors)
 			if err != nil {
@@ -204,6 +216,7 @@ func BenchmarkAblationReduction(b *testing.B) {
 		}
 	})
 	b.Run("pca2", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			scores, _, err := pca.FitTransform(rows, 2)
 			if err != nil {
@@ -219,6 +232,7 @@ func BenchmarkAblationReduction(b *testing.B) {
 		}
 	})
 	b.Run("raw", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := cluster.NewDendrogram(vectors, vecmath.Euclidean, cluster.Complete); err != nil {
 				b.Fatal(err)
@@ -230,6 +244,7 @@ func BenchmarkAblationReduction(b *testing.B) {
 // BenchmarkAblationGridSize measures SOM training across grid sizes
 // (the stability/size trade-off discussed in som.GridFor).
 func BenchmarkAblationGridSize(b *testing.B) {
+	b.ReportAllocs()
 	s := suiteForBench(b)
 	p, err := s.Pipeline(experiments.SARMachineA)
 	if err != nil {
@@ -239,6 +254,7 @@ func BenchmarkAblationGridSize(b *testing.B) {
 	for _, g := range []struct{ r, c int }{{4, 4}, {5, 4}, {8, 8}, {10, 10}} {
 		g := g
 		b.Run(gridName(g.r, g.c), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := som.Train(som.Config{Rows: g.r, Cols: g.c, Seed: 1}, vectors); err != nil {
 					b.Fatal(err)
@@ -255,6 +271,7 @@ func gridName(r, c int) string {
 // BenchmarkAblationTrainAlgorithm compares sequential and batch SOM
 // training.
 func BenchmarkAblationTrainAlgorithm(b *testing.B) {
+	b.ReportAllocs()
 	s := suiteForBench(b)
 	p, err := s.Pipeline(experiments.SARMachineA)
 	if err != nil {
@@ -264,6 +281,7 @@ func BenchmarkAblationTrainAlgorithm(b *testing.B) {
 	for _, alg := range []som.Algorithm{som.Sequential, som.Batch} {
 		alg := alg
 		b.Run(alg.String(), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := som.Train(som.Config{Rows: 5, Cols: 4, Seed: 1, Algorithm: alg}, vectors); err != nil {
 					b.Fatal(err)
@@ -275,6 +293,7 @@ func BenchmarkAblationTrainAlgorithm(b *testing.B) {
 
 // BenchmarkRedundancySweep measures the malicious-tweak analysis.
 func BenchmarkRedundancySweep(b *testing.B) {
+	b.ReportAllocs()
 	scores, c := benchScores()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -287,6 +306,7 @@ func BenchmarkRedundancySweep(b *testing.B) {
 // BenchmarkExtStability measures the cross-seed stability analysis
 // (4 SOM retrainings per run).
 func BenchmarkExtStability(b *testing.B) {
+	b.ReportAllocs()
 	s := suiteForBench(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -299,6 +319,7 @@ func BenchmarkExtStability(b *testing.B) {
 // BenchmarkExtConfidence measures the paired-bootstrap ratio
 // analysis.
 func BenchmarkExtConfidence(b *testing.B) {
+	b.ReportAllocs()
 	s := suiteForBench(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -311,6 +332,7 @@ func BenchmarkExtConfidence(b *testing.B) {
 // BenchmarkRecommendK measures the cluster-count recommendation over
 // the paper suite.
 func BenchmarkRecommendK(b *testing.B) {
+	b.ReportAllocs()
 	s := suiteForBench(b)
 	p, err := s.Pipeline(experiments.SARMachineA)
 	if err != nil {
@@ -327,6 +349,7 @@ func BenchmarkRecommendK(b *testing.B) {
 // BenchmarkClusteringSensitivity measures the reassignment-robustness
 // analysis at k=6.
 func BenchmarkClusteringSensitivity(b *testing.B) {
+	b.ReportAllocs()
 	s := suiteForBench(b)
 	p, err := s.Pipeline(experiments.SARMachineA)
 	if err != nil {
@@ -372,6 +395,7 @@ func benchPipeline(b *testing.B, o *obs.Observer) {
 // BenchmarkPipelineBare is the uninstrumented pipeline: no observer
 // anywhere, the exact pre-obs hot path.
 func BenchmarkPipelineBare(b *testing.B) {
+	b.ReportAllocs()
 	if obs.Default() != nil {
 		b.Fatal("benchmark requires no default observer")
 	}
@@ -383,12 +407,14 @@ func BenchmarkPipelineBare(b *testing.B) {
 // everything discarded. The acceptance bar is staying within a few
 // percent of BenchmarkPipelineBare.
 func BenchmarkPipelineNoopObs(b *testing.B) {
+	b.ReportAllocs()
 	benchPipeline(b, obs.New())
 }
 
 // BenchmarkMeasurement measures the simulated 10-run measurement
 // campaign for one machine.
 func BenchmarkMeasurement(b *testing.B) {
+	b.ReportAllocs()
 	ws, _, err := simbench.CalibratedSuite()
 	if err != nil {
 		b.Fatal(err)

@@ -1,16 +1,20 @@
 // Command benchdiff turns `go test -bench` output into a comparable
 // JSON record and gates benchmark regressions in CI.
 //
-// Parse mode — read raw bench output, keep the fastest sample per
+// Parse mode — read raw bench output, keep the best sample per
 // benchmark (min across -count repetitions, the standard way to
 // reject scheduler noise), write JSON:
 //
-//	go test -bench '...' -count 5 ./... | benchdiff -parse - -o BENCH_PR.json
+//	go test -bench '...' -benchmem -count 5 ./... | benchdiff -parse - -o BENCH_PR.json
+//
+// When the input was produced with -benchmem, each record also
+// carries bytes_per_op and allocs_per_op.
 //
 // Compare mode — diff a current record against the committed
 // baseline and fail (exit 1) when any shared benchmark regressed by
-// more than -max-regress percent in ns/op, or when a baseline
-// benchmark disappeared:
+// more than -max-regress percent in ns/op, when allocs/op increased
+// at all (alloc counts are deterministic, so the tolerance is zero),
+// or when a baseline benchmark disappeared:
 //
 //	benchdiff -baseline BENCH_BASELINE.json -current BENCH_PR.json -max-regress 20
 //
@@ -39,20 +43,32 @@ type Record struct {
 	// Schema names the format for forward compatibility.
 	Schema string `json:"schema"`
 	// Benchmarks is sorted by name; one entry per benchmark, the
-	// minimum ns/op across samples.
+	// minimum of each metric across samples.
 	Benchmarks []Benchmark `json:"benchmarks"`
 }
 
-// Schema is the current record format identifier.
-const Schema = "hmeans-bench/1"
+// Schema is the current record format identifier. hmeans-bench/2
+// added bytes_per_op and allocs_per_op; version-1 records must be
+// regenerated (make bench-baseline) rather than silently upgraded,
+// because the alloc gate needs real measurements to compare against.
+const Schema = "hmeans-bench/2"
 
-// Benchmark is one benchmark's best observed timing.
+// memUnset marks a benchmark whose input lacked -benchmem columns.
+const memUnset = -1
+
+// Benchmark is one benchmark's best observed figures.
 type Benchmark struct {
 	// Name is the benchmark name with the -GOMAXPROCS suffix
 	// stripped, sub-benchmark path included.
 	Name string `json:"name"`
 	// NsPerOp is the minimum ns/op across samples.
 	NsPerOp float64 `json:"ns_per_op"`
+	// BytesPerOp is the minimum B/op across samples, or -1 when the
+	// bench output carried no -benchmem columns.
+	BytesPerOp int64 `json:"bytes_per_op"`
+	// AllocsPerOp is the minimum allocs/op across samples, or -1 when
+	// the bench output carried no -benchmem columns.
+	AllocsPerOp int64 `json:"allocs_per_op"`
 	// Samples counts how many result lines contributed.
 	Samples int `json:"samples"`
 }
@@ -70,7 +86,7 @@ func run(args []string, stdout io.Writer) error {
 		out        = fs.String("o", "", "output path for -parse (default stdout)")
 		baseline   = fs.String("baseline", "", "baseline JSON record to compare against")
 		current    = fs.String("current", "", "current JSON record to compare")
-		maxRegress = fs.Float64("max-regress", 20, "fail when ns/op regresses by more than this percentage")
+		maxRegress = fs.Float64("max-regress", 20, "fail when ns/op regresses by more than this percentage (allocs/op always gates at zero tolerance)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -92,15 +108,15 @@ func run(args []string, stdout io.Writer) error {
 
 // benchLine matches one result line of `go test -bench` output, e.g.
 //
-//	BenchmarkHGM-8   	  854745	      1404 ns/op	     312 B/op
+//	BenchmarkHGM-8   	  854745	      1404 ns/op	     312 B/op	      15 allocs/op
 //
 // Capture 1 is the name without the trailing -GOMAXPROCS, capture 2
-// the ns/op figure.
-var benchLine = regexp.MustCompile(`^(Benchmark[^\s]*?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+// the ns/op figure, captures 3 and 4 the optional -benchmem columns.
+var benchLine = regexp.MustCompile(`^(Benchmark[^\s]*?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op(?:\s+(\d+) B/op\s+(\d+) allocs/op)?`)
 
 // ParseBench reads raw benchmark output and reduces it to a Record:
-// min ns/op per benchmark name across repeated samples, sorted by
-// name so the encoding is deterministic.
+// the minimum of each metric per benchmark name across repeated
+// samples, sorted by name so the encoding is deterministic.
 func ParseBench(r io.Reader) (*Record, error) {
 	best := make(map[string]*Benchmark)
 	sc := bufio.NewScanner(r)
@@ -114,15 +130,26 @@ func ParseBench(r io.Reader) (*Record, error) {
 		if err != nil {
 			return nil, fmt.Errorf("bad ns/op %q for %s", m[2], m[1])
 		}
+		bytesOp, allocsOp := int64(memUnset), int64(memUnset)
+		if m[3] != "" {
+			if bytesOp, err = strconv.ParseInt(m[3], 10, 64); err != nil {
+				return nil, fmt.Errorf("bad B/op %q for %s", m[3], m[1])
+			}
+			if allocsOp, err = strconv.ParseInt(m[4], 10, 64); err != nil {
+				return nil, fmt.Errorf("bad allocs/op %q for %s", m[4], m[1])
+			}
+		}
 		b, ok := best[m[1]]
 		if !ok {
-			best[m[1]] = &Benchmark{Name: m[1], NsPerOp: ns, Samples: 1}
+			best[m[1]] = &Benchmark{Name: m[1], NsPerOp: ns, BytesPerOp: bytesOp, AllocsPerOp: allocsOp, Samples: 1}
 			continue
 		}
 		b.Samples++
 		if ns < b.NsPerOp {
 			b.NsPerOp = ns
 		}
+		b.BytesPerOp = minMem(b.BytesPerOp, bytesOp)
+		b.AllocsPerOp = minMem(b.AllocsPerOp, allocsOp)
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err
@@ -136,6 +163,21 @@ func ParseBench(r io.Reader) (*Record, error) {
 	}
 	sort.Slice(rec.Benchmarks, func(i, j int) bool { return rec.Benchmarks[i].Name < rec.Benchmarks[j].Name })
 	return rec, nil
+}
+
+// minMem folds one -benchmem sample into the running minimum, where
+// memUnset means "not reported" rather than a measured zero.
+func minMem(a, b int64) int64 {
+	switch {
+	case a == memUnset:
+		return b
+	case b == memUnset:
+		return a
+	case b < a:
+		return b
+	default:
+		return a
+	}
 }
 
 func runParse(in, out string, stdout io.Writer) error {
@@ -181,14 +223,17 @@ func loadRecord(path string) (*Record, error) {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}
 	if rec.Schema != Schema {
-		return nil, fmt.Errorf("%s: schema %q, want %q", path, rec.Schema, Schema)
+		return nil, fmt.Errorf("%s: schema %q, want %q (regenerate with `make bench-baseline`)", path, rec.Schema, Schema)
 	}
 	return &rec, nil
 }
 
 // Compare diffs current against baseline. It returns the rendered
-// rows plus the names of regressed and missing benchmarks.
-func Compare(baseline, current *Record, maxRegress float64) (rows [][3]string, regressed, missing []string) {
+// rows plus the names of regressed and missing benchmarks. The ns/op
+// gate allows maxRegress percent of noise; the allocs/op gate is
+// exact — allocation counts are deterministic, so any increase over
+// the baseline is a real regression.
+func Compare(baseline, current *Record, maxRegress float64) (rows [][4]string, regressed, allocRegressed, missing []string) {
 	cur := make(map[string]Benchmark, len(current.Benchmarks))
 	for _, b := range current.Benchmarks {
 		cur[b.Name] = b
@@ -200,14 +245,22 @@ func Compare(baseline, current *Record, maxRegress float64) (rows [][3]string, r
 			continue
 		}
 		deltaPct := (c.NsPerOp/base.NsPerOp - 1) * 100
-		rows = append(rows, [3]string{base.Name,
+		allocs := "n/a"
+		if base.AllocsPerOp != memUnset && c.AllocsPerOp != memUnset {
+			allocs = fmt.Sprintf("%d → %d", base.AllocsPerOp, c.AllocsPerOp)
+			if c.AllocsPerOp > base.AllocsPerOp {
+				allocRegressed = append(allocRegressed, base.Name)
+			}
+		}
+		rows = append(rows, [4]string{base.Name,
 			fmt.Sprintf("%.0f → %.0f ns/op", base.NsPerOp, c.NsPerOp),
-			fmt.Sprintf("%+.1f%%", deltaPct)})
+			fmt.Sprintf("%+.1f%%", deltaPct),
+			allocs})
 		if deltaPct > maxRegress {
 			regressed = append(regressed, base.Name)
 		}
 	}
-	return rows, regressed, missing
+	return rows, regressed, allocRegressed, missing
 }
 
 func runCompare(basePath, curPath string, maxRegress float64, stdout io.Writer) error {
@@ -219,10 +272,10 @@ func runCompare(basePath, curPath string, maxRegress float64, stdout io.Writer) 
 	if err != nil {
 		return err
 	}
-	rows, regressed, missing := Compare(base, cur, maxRegress)
-	t := viz.NewTable("benchmark", "ns/op", "delta")
+	rows, regressed, allocRegressed, missing := Compare(base, cur, maxRegress)
+	t := viz.NewTable("benchmark", "ns/op", "delta", "allocs/op")
 	for _, r := range rows {
-		t.AddRow(r[0], r[1], r[2])
+		t.AddRow(r[0], r[1], r[2], r[3])
 	}
 	if err := t.Render(stdout); err != nil {
 		return err
@@ -231,10 +284,14 @@ func runCompare(basePath, curPath string, maxRegress float64, stdout io.Writer) 
 		return fmt.Errorf("%d baseline benchmark(s) missing from the current run (%v) — refresh BENCH_BASELINE.json if they were intentionally removed",
 			len(missing), missing)
 	}
+	if len(allocRegressed) > 0 {
+		return fmt.Errorf("%d benchmark(s) increased allocs/op over the baseline (any increase fails — alloc counts are deterministic): %v",
+			len(allocRegressed), allocRegressed)
+	}
 	if len(regressed) > 0 {
 		return fmt.Errorf("%d benchmark(s) regressed more than %.0f%% in ns/op: %v",
 			len(regressed), maxRegress, regressed)
 	}
-	fmt.Fprintf(stdout, "ok: %d benchmarks within %.0f%% of baseline\n", len(rows), maxRegress)
+	fmt.Fprintf(stdout, "ok: %d benchmarks within %.0f%% of baseline, no allocs/op increases\n", len(rows), maxRegress)
 	return nil
 }

@@ -20,12 +20,12 @@ func exec(t *testing.T, args ...string) (code int, stdout, stderr string) {
 const rawBench = `goos: linux
 goarch: amd64
 pkg: hmeans/internal/core
-BenchmarkHGM-8        	  854745	      1404 ns/op	     312 B/op
-BenchmarkHGM-8        	  901522	      1382 ns/op	     312 B/op
-BenchmarkHGM-8        	  812001	      1456 ns/op	     312 B/op
+BenchmarkHGM-8        	  854745	      1404 ns/op	     312 B/op	      15 allocs/op
+BenchmarkHGM-8        	  901522	      1382 ns/op	     320 B/op	      14 allocs/op
+BenchmarkHGM-8        	  812001	      1456 ns/op	     312 B/op	      15 allocs/op
 BenchmarkCutK/k=4-8   	   50000	     25011 ns/op
 BenchmarkCutK/k=4-8   	   52000	     24830.5 ns/op
-BenchmarkTrainBatchSuiteScale/n=128-8 	     100	  11650042 ns/op
+BenchmarkTrainBatchSuiteScale/n=128-8 	     100	  11650042 ns/op	       0 B/op	       0 allocs/op
 PASS
 ok  	hmeans/internal/core	12.3s
 `
@@ -40,11 +40,13 @@ func TestParseBench(t *testing.T) {
 	}
 	want := map[string]struct {
 		ns      float64
+		bytes   int64
+		allocs  int64
 		samples int
 	}{
-		"BenchmarkHGM":                        {1382, 3},
-		"BenchmarkCutK/k=4":                   {24830.5, 2},
-		"BenchmarkTrainBatchSuiteScale/n=128": {11650042, 1},
+		"BenchmarkHGM":                        {1382, 312, 14, 3},
+		"BenchmarkCutK/k=4":                   {24830.5, memUnset, memUnset, 2},
+		"BenchmarkTrainBatchSuiteScale/n=128": {11650042, 0, 0, 1},
 	}
 	if len(rec.Benchmarks) != len(want) {
 		t.Fatalf("parsed %d benchmarks, want %d: %+v", len(rec.Benchmarks), len(want), rec.Benchmarks)
@@ -58,6 +60,10 @@ func TestParseBench(t *testing.T) {
 			t.Errorf("%s: %v ns/op over %d samples, want %v over %d",
 				b.Name, b.NsPerOp, b.Samples, w.ns, w.samples)
 		}
+		if b.BytesPerOp != w.bytes || b.AllocsPerOp != w.allocs {
+			t.Errorf("%s: %d B/op %d allocs/op, want %d / %d",
+				b.Name, b.BytesPerOp, b.AllocsPerOp, w.bytes, w.allocs)
+		}
 		if i > 0 && rec.Benchmarks[i-1].Name > b.Name {
 			t.Error("benchmarks not sorted by name")
 		}
@@ -70,20 +76,23 @@ func TestParseBenchEmpty(t *testing.T) {
 	}
 }
 
-func mkRecord(pairs ...any) *Record {
+// mkRecord builds a record from (name, ns/op, allocs/op) triples;
+// pass allocs memUnset for a benchmark without -benchmem columns.
+func mkRecord(triples ...any) *Record {
 	rec := &Record{Schema: Schema}
-	for i := 0; i < len(pairs); i += 2 {
+	for i := 0; i < len(triples); i += 3 {
 		rec.Benchmarks = append(rec.Benchmarks, Benchmark{
-			Name: pairs[i].(string), NsPerOp: pairs[i+1].(float64), Samples: 1,
+			Name: triples[i].(string), NsPerOp: triples[i+1].(float64),
+			BytesPerOp: memUnset, AllocsPerOp: int64(triples[i+2].(int)), Samples: 1,
 		})
 	}
 	return rec
 }
 
 func TestCompare(t *testing.T) {
-	base := mkRecord("BenchmarkA", 1000.0, "BenchmarkB", 2000.0, "BenchmarkGone", 10.0)
-	cur := mkRecord("BenchmarkA", 1100.0, "BenchmarkB", 2500.0, "BenchmarkNew", 1.0)
-	rows, regressed, missing := Compare(base, cur, 20)
+	base := mkRecord("BenchmarkA", 1000.0, 5, "BenchmarkB", 2000.0, memUnset, "BenchmarkGone", 10.0, 0)
+	cur := mkRecord("BenchmarkA", 1100.0, 5, "BenchmarkB", 2500.0, memUnset, "BenchmarkNew", 1.0, 0)
+	rows, regressed, allocRegressed, missing := Compare(base, cur, 20)
 	if len(rows) != 2 {
 		t.Fatalf("%d rows, want 2", len(rows))
 	}
@@ -91,8 +100,31 @@ func TestCompare(t *testing.T) {
 	if len(regressed) != 1 || regressed[0] != "BenchmarkB" {
 		t.Fatalf("regressed = %v", regressed)
 	}
+	if len(allocRegressed) != 0 {
+		t.Fatalf("allocRegressed = %v, want none", allocRegressed)
+	}
 	if len(missing) != 1 || missing[0] != "BenchmarkGone" {
 		t.Fatalf("missing = %v", missing)
+	}
+}
+
+func TestCompareAllocsExact(t *testing.T) {
+	// A single extra allocation per op fails even when timing improved
+	// and the ns/op budget would have allowed a regression.
+	base := mkRecord("BenchmarkA", 1000.0, 0, "BenchmarkB", 1000.0, 7)
+	cur := mkRecord("BenchmarkA", 900.0, 1, "BenchmarkB", 800.0, 7)
+	_, regressed, allocRegressed, _ := Compare(base, cur, 20)
+	if len(regressed) != 0 {
+		t.Fatalf("regressed = %v, want none", regressed)
+	}
+	if len(allocRegressed) != 1 || allocRegressed[0] != "BenchmarkA" {
+		t.Fatalf("allocRegressed = %v, want [BenchmarkA]", allocRegressed)
+	}
+	// Decreases are fine, and a side missing -benchmem data never gates.
+	halfBlind := mkRecord("BenchmarkA", 1000.0, memUnset, "BenchmarkB", 1000.0, 3)
+	_, _, allocRegressed, _ = Compare(base, halfBlind, 20)
+	if len(allocRegressed) != 0 {
+		t.Fatalf("allocRegressed = %v, want none", allocRegressed)
 	}
 }
 
@@ -125,16 +157,27 @@ func TestRunEndToEnd(t *testing.T) {
 		// Baseline claims HGM used to take 1 ns/op: everything current
 		// is a massive regression.
 		baseline := filepath.Join(dir, "BENCH_BASELINE.json")
-		writeRecord(t, baseline, mkRecord("BenchmarkHGM", 1.0))
+		writeRecord(t, baseline, mkRecord("BenchmarkHGM", 1.0, 14))
 		code, _, stderr := exec(t, "-baseline", baseline, "-current", cur)
 		if code != 1 || !strings.Contains(stderr, "regressed") {
 			t.Fatalf("exit %d, stderr %q", code, stderr)
 		}
 	})
 
+	t.Run("alloc regression fails", func(t *testing.T) {
+		// Timing budget is generous, but the parsed HGM record shows 14
+		// allocs/op against a baseline of 13 — the exact gate trips.
+		baseline := filepath.Join(dir, "BENCH_ALLOC.json")
+		writeRecord(t, baseline, mkRecord("BenchmarkHGM", 1400.0, 13))
+		code, _, stderr := exec(t, "-baseline", baseline, "-current", cur, "-max-regress", "500")
+		if code != 1 || !strings.Contains(stderr, "allocs/op") {
+			t.Fatalf("exit %d, stderr %q", code, stderr)
+		}
+	})
+
 	t.Run("missing baseline benchmark fails", func(t *testing.T) {
 		baseline := filepath.Join(dir, "BENCH_MISSING.json")
-		writeRecord(t, baseline, mkRecord("BenchmarkHGM", 1400.0, "BenchmarkVanished", 1.0))
+		writeRecord(t, baseline, mkRecord("BenchmarkHGM", 1400.0, 14, "BenchmarkVanished", 1.0, 0))
 		code, _, stderr := exec(t, "-baseline", baseline, "-current", cur)
 		if code != 1 || !strings.Contains(stderr, "missing") {
 			t.Fatalf("exit %d, stderr %q", code, stderr)
@@ -143,7 +186,7 @@ func TestRunEndToEnd(t *testing.T) {
 
 	t.Run("bad schema rejected", func(t *testing.T) {
 		bad := filepath.Join(dir, "bad.json")
-		if err := os.WriteFile(bad, []byte(`{"schema":"other/9","benchmarks":[]}`), 0o644); err != nil {
+		if err := os.WriteFile(bad, []byte(`{"schema":"hmeans-bench/1","benchmarks":[]}`), 0o644); err != nil {
 			t.Fatal(err)
 		}
 		code, _, stderr := exec(t, "-baseline", bad, "-current", cur)
@@ -174,7 +217,9 @@ func writeRecord(t *testing.T, path string, rec *Record) {
 		if i > 0 {
 			sb.WriteString(",")
 		}
-		sb.WriteString(`{"name":"` + b.Name + `","ns_per_op":` + trimFloat(b.NsPerOp) + `,"samples":1}`)
+		sb.WriteString(`{"name":"` + b.Name + `","ns_per_op":` + trimFloat(b.NsPerOp) +
+			`,"bytes_per_op":` + strconv.FormatInt(b.BytesPerOp, 10) +
+			`,"allocs_per_op":` + strconv.FormatInt(b.AllocsPerOp, 10) + `,"samples":1}`)
 	}
 	sb.WriteString("]}")
 	if err := os.WriteFile(path, []byte(sb.String()), 0o644); err != nil {

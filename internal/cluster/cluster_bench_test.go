@@ -9,10 +9,12 @@ import (
 )
 
 func BenchmarkDendrogramSuiteScale(b *testing.B) {
+	b.ReportAllocs()
 	pts := randomPoints(13, 2, 1)
 	for _, l := range []Linkage{Complete, Single, Average, Ward} {
 		l := l
 		b.Run(l.String(), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := NewDendrogram(pts, vecmath.Euclidean, l); err != nil {
 					b.Fatal(err)
@@ -23,6 +25,7 @@ func BenchmarkDendrogramSuiteScale(b *testing.B) {
 }
 
 func BenchmarkDendrogramLarge(b *testing.B) {
+	b.ReportAllocs()
 	// 200 points: the O(n³) naive agglomeration at a size well past
 	// any benchmark suite, to keep the scaling behaviour visible.
 	pts := randomPoints(200, 4, 2)
@@ -40,6 +43,7 @@ func BenchmarkDendrogramLarge(b *testing.B) {
 // merge sequences; the parallel arm shards the distance matrix and
 // every nearest-pair scan.
 func BenchmarkDendrogramSerialVsParallel(b *testing.B) {
+	b.ReportAllocs()
 	for _, n := range []int{13, 200, 1000} {
 		pts := randomPoints(n, 2, uint64(n))
 		for _, arm := range []struct {
@@ -47,6 +51,7 @@ func BenchmarkDendrogramSerialVsParallel(b *testing.B) {
 			workers int
 		}{{"serial", 1}, {"parallel", par.Auto()}} {
 			b.Run(fmt.Sprintf("n=%d/%s", n, arm.name), func(b *testing.B) {
+				b.ReportAllocs()
 				for i := 0; i < b.N; i++ {
 					if _, err := NewDendrogramP(pts, vecmath.Euclidean, Complete, arm.workers); err != nil {
 						b.Fatal(err)
@@ -60,12 +65,14 @@ func BenchmarkDendrogramSerialVsParallel(b *testing.B) {
 // BenchmarkKMeansSerialVsParallel compares the Lloyd assignment step
 // at 1 worker against the full machine on a large point set.
 func BenchmarkKMeansSerialVsParallel(b *testing.B) {
+	b.ReportAllocs()
 	pts := randomPoints(1000, 8, 17)
 	for _, arm := range []struct {
 		name    string
 		workers int
 	}{{"serial", 1}, {"parallel", par.Auto()}} {
 		b.Run(arm.name, func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := KMeansP(pts, 12, 5, 2, arm.workers); err != nil {
 					b.Fatal(err)
@@ -76,6 +83,7 @@ func BenchmarkKMeansSerialVsParallel(b *testing.B) {
 }
 
 func BenchmarkCutK(b *testing.B) {
+	b.ReportAllocs()
 	pts := randomPoints(100, 3, 3)
 	d, err := NewDendrogram(pts, vecmath.Euclidean, Complete)
 	if err != nil {
@@ -90,6 +98,7 @@ func BenchmarkCutK(b *testing.B) {
 }
 
 func BenchmarkSilhouette(b *testing.B) {
+	b.ReportAllocs()
 	pts := randomPoints(100, 3, 4)
 	dm := vecmath.DistanceMatrix(vecmath.Euclidean, pts)
 	d, err := FromDistanceMatrix(dm, Complete)
@@ -109,10 +118,39 @@ func BenchmarkSilhouette(b *testing.B) {
 }
 
 func BenchmarkKMeansSuiteScale(b *testing.B) {
+	b.ReportAllocs()
 	pts := randomPoints(13, 2, 5)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := KMeans(pts, 6, uint64(i), 3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkNewDendrogramSuiteScale measures the full condensed-native
+// pipeline (distance build + agglomeration) at the paper's 13-workload
+// suite size; it is part of the allocs/op regression gate.
+func BenchmarkNewDendrogramSuiteScale(b *testing.B) {
+	b.ReportAllocs()
+	pts := randomPoints(13, 2, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := NewDendrogram(pts, vecmath.Euclidean, Complete); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkNewDendrogramLarge is the gate's production-scale arm:
+// 200 points, where the condensed layout's halved working set and
+// single-allocation working matrix dominate.
+func BenchmarkNewDendrogramLarge(b *testing.B) {
+	b.ReportAllocs()
+	pts := randomPoints(200, 4, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := NewDendrogram(pts, vecmath.Euclidean, Complete); err != nil {
 			b.Fatal(err)
 		}
 	}

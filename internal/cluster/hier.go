@@ -78,7 +78,10 @@ type Options struct {
 	MergeEvents bool
 }
 
-// NewDendrogramOpts is NewDendrogram with explicit Options.
+// NewDendrogramOpts is NewDendrogram with explicit Options. The
+// pairwise distances are built directly in condensed (upper-triangle)
+// form — n(n−1)/2 floats instead of n² — and the agglomeration runs
+// natively on that layout; no dense matrix is ever materialized.
 func NewDendrogramOpts(points []vecmath.Vector, m vecmath.Metric, l Linkage, opt Options) (*Dendrogram, error) {
 	if len(points) == 0 {
 		return nil, ErrNoPoints
@@ -87,11 +90,13 @@ func NewDendrogramOpts(points []vecmath.Vector, m vecmath.Metric, l Linkage, opt
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	dm, err := vecmath.DistanceMatrixCtx(ctx, m, points, opt.Workers)
+	cm, err := vecmath.CondensedDistanceMatrixCtx(ctx, m, points, opt.Workers)
 	if err != nil {
 		return nil, fmt.Errorf("cluster: distance matrix: %w", err)
 	}
-	return FromDistanceMatrixOpts(dm, l, opt)
+	// The freshly built matrix is ours: hand it over as the working
+	// matrix instead of cloning it.
+	return fromCondensed(cm, l, opt, true)
 }
 
 // FromDistanceMatrix clusters from a precomputed symmetric distance
@@ -117,13 +122,40 @@ func FromDistanceMatrixP(dm *vecmath.Matrix, l Linkage, workers int) (*Dendrogra
 }
 
 // FromDistanceMatrixOpts is FromDistanceMatrix with explicit
-// Options.
+// Options. It is a thin adapter: the dense matrix is checked for
+// shape and symmetry, condensed to upper-triangle form, and handed to
+// the condensed-native agglomeration.
 func FromDistanceMatrixOpts(dm *vecmath.Matrix, l Linkage, opt Options) (*Dendrogram, error) {
-	workers := opt.Workers
-	ctx := opt.Ctx
-	if ctx == nil {
-		ctx = context.Background()
+	cm, err := condenseChecked(dm)
+	if err != nil {
+		return nil, err
 	}
+	// The condensed copy is private to this call, so the agglomeration
+	// may consume it as its working matrix.
+	return fromCondensed(cm, l, opt, true)
+}
+
+// FromCondensed clusters from a precomputed condensed distance
+// matrix; see FromCondensedOpts.
+func FromCondensed(cm *vecmath.CondensedMatrix, l Linkage) (*Dendrogram, error) {
+	return FromCondensedOpts(cm, l, Options{})
+}
+
+// FromCondensedOpts clusters from a precomputed condensed (strict
+// upper-triangle) distance matrix — the agglomeration's native
+// layout: half the memory of the dense form, contiguous row tails for
+// the nearest-pair scans, and a single shared slot per symmetric pair
+// so Lance–Williams updates write once. Ward linkage interprets the
+// entries as Euclidean distances exactly as FromDistanceMatrix does.
+// The input matrix is not modified.
+func FromCondensedOpts(cm *vecmath.CondensedMatrix, l Linkage, opt Options) (*Dendrogram, error) {
+	return fromCondensed(cm, l, opt, false)
+}
+
+// condenseChecked validates a dense distance matrix (shape, symmetry,
+// diagonal entries — the off-diagonals are validated by the condensed
+// agglomeration itself) and condenses it.
+func condenseChecked(dm *vecmath.Matrix) (*vecmath.CondensedMatrix, error) {
 	n := dm.Rows()
 	if n == 0 || dm.Cols() != n {
 		return nil, fmt.Errorf("cluster: distance matrix must be square and non-empty, got %dx%d", dm.Rows(), dm.Cols())
@@ -131,11 +163,28 @@ func FromDistanceMatrixOpts(dm *vecmath.Matrix, l Linkage, opt Options) (*Dendro
 	if !dm.IsSymmetric(1e-9) {
 		return nil, errors.New("cluster: distance matrix is not symmetric")
 	}
+	for i := 0; i < n; i++ {
+		if v := dm.At(i, i); v < 0 || math.IsNaN(v) {
+			return nil, fmt.Errorf("cluster: invalid distance %v at (%d,%d)", v, i, i)
+		}
+	}
+	return vecmath.CondensedFromDense(dm)
+}
+
+// fromCondensed is the agglomeration core. When owned is true the
+// input matrix becomes the working matrix directly (the caller
+// guarantees nothing else holds it); otherwise it is cloned first.
+func fromCondensed(cm *vecmath.CondensedMatrix, l Linkage, opt Options, owned bool) (*Dendrogram, error) {
+	ctx := opt.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	n := cm.N()
 	d := &Dendrogram{n: n, linkage: l, merges: make([]Merge, 0, n-1)}
 	if n == 1 {
 		return d, nil
 	}
-	workers = par.Resolve(workers)
+	workers := par.Resolve(opt.Workers)
 	o := obs.Or(opt.Obs)
 	sp := o.StartSpan("cluster.linkage",
 		obs.KV("n", n), obs.KV("linkage", l.String()), obs.KV("workers", workers))
@@ -147,26 +196,28 @@ func FromDistanceMatrixOpts(dm *vecmath.Matrix, l Linkage, opt Options) (*Dendro
 	}
 	mergeEvents := opt.MergeEvents || o.Detail()
 
-	// Working pairwise distances between *active* clusters, indexed
-	// by slot in [0, n); slot i initially holds leaf i. After a merge
-	// the merged cluster reuses the lower slot and the higher slot is
-	// deactivated. Rows validate independently, so the build shards
-	// cleanly; rowErr collects at most one error per row.
-	dist := make([][]float64, n)
+	// Working pairwise distances between *active* clusters, indexed by
+	// slot in [0, n); slot i initially holds leaf i. After a merge the
+	// merged cluster reuses the lower slot and the higher slot is
+	// deactivated. Row tails validate independently, so the
+	// validation/Ward-squaring pass shards cleanly; rowErr collects at
+	// most one error per row.
+	w := cm
+	if !owned {
+		w = cm.Clone()
+	}
 	rowErr := make([]error, n)
-	if err := par.ForCtx(ctx, workers, n, func(start, end int) {
+	if err := par.ForCtx(ctx, workers, n-1, func(start, end int) {
 		for i := start; i < end; i++ {
-			dist[i] = make([]float64, n)
-			for j := 0; j < n; j++ {
-				v := dm.At(i, j)
+			row := w.RowTail(i)
+			for t, v := range row {
 				if v < 0 || math.IsNaN(v) {
-					rowErr[i] = fmt.Errorf("cluster: invalid distance %v at (%d,%d)", v, i, j)
-					return
+					rowErr[i] = fmt.Errorf("cluster: invalid distance %v at (%d,%d)", v, i, i+1+t)
+					break
 				}
 				if l == Ward {
-					v *= v
+					row[t] = v * v
 				}
-				dist[i][j] = v
 			}
 		}
 	}); err != nil {
@@ -188,9 +239,34 @@ func FromDistanceMatrixOpts(dm *vecmath.Matrix, l Linkage, opt Options) (*Dendro
 
 	// Row bands are fixed for the whole agglomeration; scans ignore
 	// deactivated slots, so the bands never need rebalancing to stay
-	// correct.
+	// correct. The scan body is bound once and reused by every merge
+	// step's fan-out — per-step state flows through active/cands, not
+	// through fresh closures.
 	chunks := par.Split(n, workers)
 	cands := make([]pairCand, len(chunks))
+	scan := func(cStart, cEnd int) {
+		for c := cStart; c < cEnd; c++ {
+			best := pairCand{i: -1, j: -1, d: math.Inf(1)}
+			for i := chunks[c].Start; i < chunks[c].End; i++ {
+				if !active[i] {
+					continue
+				}
+				// Row i's tail is contiguous: entry t is pair
+				// (i, i+1+t), scanned in exactly the dense row-major
+				// order, so the first-minimal tie-break is unchanged.
+				row := w.RowTail(i)
+				for t, dv := range row {
+					if !active[i+1+t] {
+						continue
+					}
+					if dv < best.d {
+						best = pairCand{i: i, j: i + 1 + t, d: dv}
+					}
+				}
+			}
+			cands[c] = best
+		}
+	}
 	nextID := n
 	for step := 0; step < n-1; step++ {
 		// The agglomeration cancels between merge steps: each step is
@@ -204,26 +280,7 @@ func FromDistanceMatrixOpts(dm *vecmath.Matrix, l Linkage, opt Options) (*Dendro
 		// band order reproduces the serial row-major tie-break
 		// exactly, because a later band can only win with a strictly
 		// smaller distance.
-		par.For(workers, len(chunks), func(cStart, cEnd int) {
-			for c := cStart; c < cEnd; c++ {
-				best := pairCand{i: -1, j: -1, d: math.Inf(1)}
-				for i := chunks[c].Start; i < chunks[c].End; i++ {
-					if !active[i] {
-						continue
-					}
-					row := dist[i]
-					for j := i + 1; j < n; j++ {
-						if !active[j] {
-							continue
-						}
-						if row[j] < best.d {
-							best = pairCand{i: i, j: j, d: row[j]}
-						}
-					}
-				}
-				cands[c] = best
-			}
-		})
+		par.For(workers, len(chunks), scan)
 		bi, bj, best := -1, -1, math.Inf(1)
 		for _, c := range cands {
 			if c.i >= 0 && c.d < best {
@@ -232,14 +289,7 @@ func FromDistanceMatrixOpts(dm *vecmath.Matrix, l Linkage, opt Options) (*Dendro
 		}
 		// Update distances from the merged cluster (slot bi) to every
 		// other active cluster via Lance–Williams.
-		for k := 0; k < n; k++ {
-			if !active[k] || k == bi || k == bj {
-				continue
-			}
-			nd := l.update(dist[bi][k], dist[bj][k], dist[bi][bj], size[bi], size[bj], size[k])
-			dist[bi][k] = nd
-			dist[k][bi] = nd
-		}
+		l.mergeUpdate(w, active, size, bi, bj)
 		height := best
 		if l == Ward {
 			height = math.Sqrt(best)

@@ -74,42 +74,61 @@ func KMeansP(points []vecmath.Vector, k int, seed uint64, restarts, workers int)
 func kmeansOnce(points []vecmath.Vector, k int, r *rng.Source, workers int) KMeansResult {
 	centroids := seedPlusPlus(points, k, r)
 	labels := make([]int, len(points))
+	dim := len(points[0])
+	// The centroid-update accumulators are allocated once (the sum
+	// vectors as views into one flat arena) and zeroed per iteration,
+	// so a Lloyd iteration allocates nothing. The assignment-step
+	// closure is likewise bound once and reused.
+	counts := make([]int, k)
+	sums := make([]vecmath.Vector, k)
+	sumFlat := make([]float64, k*dim)
+	for c := range sums {
+		sums[c] = vecmath.Vector(sumFlat[c*dim : (c+1)*dim : (c+1)*dim])
+	}
+	var changed atomic.Bool
+	assign := func(start, end int) {
+		for i := start; i < end; i++ {
+			p := points[i]
+			bestLabel, bestDist := 0, math.Inf(1)
+			for c, ct := range centroids {
+				if d := vecmath.SquaredEuclidean(p, ct); d < bestDist {
+					bestLabel, bestDist = c, d
+				}
+			}
+			if labels[i] != bestLabel {
+				labels[i] = bestLabel
+				changed.Store(true)
+			}
+		}
+	}
 	const maxIter = 200
 	var iter int
 	for iter = 0; iter < maxIter; iter++ {
-		var changed atomic.Bool
-		par.For(workers, len(points), func(start, end int) {
-			for i := start; i < end; i++ {
-				p := points[i]
-				bestLabel, bestDist := 0, math.Inf(1)
-				for c, ct := range centroids {
-					if d := vecmath.SquaredEuclidean(p, ct); d < bestDist {
-						bestLabel, bestDist = c, d
-					}
-				}
-				if labels[i] != bestLabel {
-					labels[i] = bestLabel
-					changed.Store(true)
-				}
-			}
-		})
+		changed.Store(false)
+		par.For(workers, len(points), assign)
 		if !changed.Load() && iter > 0 {
 			break
 		}
 		// Recompute centroids; an emptied cluster keeps its old
 		// centre (it can win points back next round).
-		counts := make([]int, k)
-		sums := make([]vecmath.Vector, k)
-		for c := range sums {
-			sums[c] = vecmath.NewVector(len(points[0]))
+		for c := range counts {
+			counts[c] = 0
+		}
+		for i := range sumFlat {
+			sumFlat[i] = 0
 		}
 		for i, p := range points {
 			counts[labels[i]]++
-			sums[labels[i]].AXPYInPlace(1, p)
+			sums[labels[i]].AddInPlace(p)
 		}
+		// copy+ScaleInPlace writes c·sum[j] element-wise — the same
+		// expression the allocating Scale computed — into the
+		// centroid's existing storage (always a private clone from
+		// seedPlusPlus, never an input point).
 		for c := range centroids {
 			if counts[c] > 0 {
-				centroids[c] = sums[c].Scale(1 / float64(counts[c]))
+				copy(centroids[c], sums[c])
+				centroids[c].ScaleInPlace(1 / float64(counts[c]))
 			}
 		}
 	}

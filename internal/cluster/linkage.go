@@ -10,7 +10,11 @@
 // linkage are provided for the ablation benches.
 package cluster
 
-import "fmt"
+import (
+	"fmt"
+
+	"hmeans/internal/vecmath"
+)
 
 // Linkage selects the cluster-to-cluster distance definition.
 type Linkage int
@@ -70,5 +74,23 @@ func (l Linkage) update(dac, dbc, dab float64, na, nb, nc int) float64 {
 		return (float64(na+nc)*dac + float64(nb+nc)*dbc - float64(nc)*dab) / n
 	default:
 		panic(fmt.Sprintf("cluster: unknown linkage %d", int(l)))
+	}
+}
+
+// mergeUpdate applies the Lance–Williams recurrence for the merge of
+// slots a and b in place on a condensed working matrix: for every
+// other active slot k (ascending, matching the historical dense
+// update order) the distance d(a∪b, k) replaces slot (a, k). Because
+// a condensed matrix stores one shared slot per symmetric pair, the
+// single Set updates "both halves" at once and can never leave a
+// stale mirror entry. The pass allocates nothing.
+func (l Linkage) mergeUpdate(w *vecmath.CondensedMatrix, active []bool, size []int, a, b int) {
+	dab := w.At(a, b)
+	n := w.N()
+	for k := 0; k < n; k++ {
+		if !active[k] || k == a || k == b {
+			continue
+		}
+		w.Set(a, k, l.update(w.At(a, k), w.At(b, k), dab, size[a], size[b], size[k]))
 	}
 }

@@ -26,105 +26,150 @@ func NNChainDendrogram(points []vecmath.Vector, m vecmath.Metric, l Linkage) (*D
 	if len(points) == 0 {
 		return nil, ErrNoPoints
 	}
-	return NNChainFromDistanceMatrix(vecmath.DistanceMatrix(m, points), l)
+	// Build the distances directly in condensed form and hand them
+	// over as the working matrix.
+	return nnChainFromCondensed(vecmath.CondensedDistanceMatrix(m, points), l, true)
 }
 
 // NNChainFromDistanceMatrix is NNChainDendrogram over a precomputed
-// symmetric distance matrix.
+// symmetric distance matrix. Like FromDistanceMatrix it is a thin
+// adapter: the dense matrix is condensed once and the chain runs
+// natively on the condensed layout.
 func NNChainFromDistanceMatrix(dm *vecmath.Matrix, l Linkage) (*Dendrogram, error) {
-	n := dm.Rows()
-	if n == 0 || dm.Cols() != n {
-		return nil, fmt.Errorf("cluster: distance matrix must be square and non-empty, got %dx%d", dm.Rows(), dm.Cols())
+	cm, err := condenseChecked(dm)
+	if err != nil {
+		return nil, err
 	}
-	if !dm.IsSymmetric(1e-9) {
-		return nil, errors.New("cluster: distance matrix is not symmetric")
+	return nnChainFromCondensed(cm, l, true)
+}
+
+// NNChainFromCondensed is NNChainDendrogram over a precomputed
+// condensed distance matrix. The input is not modified.
+func NNChainFromCondensed(cm *vecmath.CondensedMatrix, l Linkage) (*Dendrogram, error) {
+	return nnChainFromCondensed(cm, l, false)
+}
+
+// rawMerge records a merge in slot terms, to be relabelled later.
+type rawMerge struct {
+	a, b   int // slots at merge time (slot a absorbs b)
+	height float64
+	size   int
+}
+
+// nnChainState is the entire working set of one NN-chain run,
+// allocated once by newNNChainState. Each step — growing the chain by
+// one nearest neighbour or collapsing a reciprocal pair into a merge —
+// then runs without any heap allocation: the chain and raw-merge
+// slices are preallocated to their maximum sizes (n and n−1) and the
+// Lance–Williams update writes the condensed matrix in place.
+type nnChainState struct {
+	w         *vecmath.CondensedMatrix
+	l         Linkage
+	n         int
+	active    []bool
+	size      []int
+	chain     []int
+	raws      []rawMerge
+	remaining int
+}
+
+func newNNChainState(w *vecmath.CondensedMatrix, l Linkage) *nnChainState {
+	n := w.N()
+	st := &nnChainState{
+		w:         w,
+		l:         l,
+		n:         n,
+		active:    make([]bool, n),
+		size:      make([]int, n),
+		chain:     make([]int, 0, n),
+		raws:      make([]rawMerge, 0, n-1),
+		remaining: n,
 	}
+	for i := range st.active {
+		st.active[i] = true
+		st.size[i] = 1
+	}
+	return st
+}
+
+// step advances the chain by one move: restart the chain from the
+// first active slot if empty, then either append the chain top's
+// nearest active neighbour or — when top and its predecessor are
+// reciprocal nearest neighbours — merge them. Ties prefer the chain
+// predecessor so reciprocal pairs terminate.
+func (st *nnChainState) step() {
+	if len(st.chain) == 0 {
+		for s := 0; s < st.n; s++ {
+			if st.active[s] {
+				st.chain = append(st.chain, s)
+				break
+			}
+		}
+	}
+	top := st.chain[len(st.chain)-1]
+	prev := -1
+	if len(st.chain) >= 2 {
+		prev = st.chain[len(st.chain)-2]
+	}
+	nn, best := -1, math.Inf(1)
+	for s := 0; s < st.n; s++ {
+		if !st.active[s] || s == top {
+			continue
+		}
+		ds := st.w.At(top, s)
+		if ds < best || (ds == best && s == prev) {
+			nn, best = s, ds
+		}
+	}
+	if nn == prev && prev >= 0 {
+		// Reciprocal nearest neighbours: merge prev and top.
+		st.chain = st.chain[:len(st.chain)-2]
+		a, b := prev, top
+		st.l.mergeUpdate(st.w, st.active, st.size, a, b)
+		height := best
+		if st.l == Ward {
+			height = math.Sqrt(best)
+		}
+		st.raws = append(st.raws, rawMerge{a: a, b: b, height: height, size: st.size[a] + st.size[b]})
+		st.size[a] += st.size[b]
+		st.active[b] = false
+		st.remaining--
+	} else {
+		st.chain = append(st.chain, nn)
+	}
+}
+
+// nnChainFromCondensed runs the chain to completion and relabels the
+// discovered merges. When owned is true the input matrix becomes the
+// working matrix directly; otherwise it is cloned first.
+func nnChainFromCondensed(cm *vecmath.CondensedMatrix, l Linkage, owned bool) (*Dendrogram, error) {
+	n := cm.N()
 	d := &Dendrogram{n: n, linkage: l, merges: make([]Merge, 0, n-1)}
 	if n == 1 {
 		return d, nil
 	}
 	// Working distances between active slots, Ward on squared
 	// distances as in the naive implementation.
-	dist := make([][]float64, n)
-	for i := range dist {
-		dist[i] = make([]float64, n)
-		for j := 0; j < n; j++ {
-			v := dm.At(i, j)
+	w := cm
+	if !owned {
+		w = cm.Clone()
+	}
+	for i := 0; i < n-1; i++ {
+		row := w.RowTail(i)
+		for t, v := range row {
 			if v < 0 || math.IsNaN(v) {
-				return nil, fmt.Errorf("cluster: invalid distance %v at (%d,%d)", v, i, j)
+				return nil, fmt.Errorf("cluster: invalid distance %v at (%d,%d)", v, i, i+1+t)
 			}
 			if l == Ward {
-				v *= v
+				row[t] = v * v
 			}
-			dist[i][j] = v
 		}
 	}
-	active := make([]bool, n)
-	size := make([]int, n)
-	for i := range active {
-		active[i] = true
-		size[i] = 1
+	st := newNNChainState(w, l)
+	for st.remaining > 1 {
+		st.step()
 	}
-
-	// rawMerge records a merge in slot terms, to be relabelled later.
-	type rawMerge struct {
-		a, b   int // slots at merge time (slot a absorbs b)
-		height float64
-		size   int
-	}
-	raws := make([]rawMerge, 0, n-1)
-	chain := make([]int, 0, n)
-	remaining := n
-	for remaining > 1 {
-		if len(chain) == 0 {
-			for s := 0; s < n; s++ {
-				if active[s] {
-					chain = append(chain, s)
-					break
-				}
-			}
-		}
-		top := chain[len(chain)-1]
-		// Nearest active neighbour of top; prefer the chain
-		// predecessor on ties so reciprocal pairs terminate.
-		nn, best := -1, math.Inf(1)
-		var prev = -1
-		if len(chain) >= 2 {
-			prev = chain[len(chain)-2]
-		}
-		for s := 0; s < n; s++ {
-			if !active[s] || s == top {
-				continue
-			}
-			ds := dist[top][s]
-			if ds < best || (ds == best && s == prev) {
-				nn, best = s, ds
-			}
-		}
-		if nn == prev && prev >= 0 {
-			// Reciprocal nearest neighbours: merge prev and top.
-			chain = chain[:len(chain)-2]
-			a, b := prev, top
-			for k := 0; k < n; k++ {
-				if !active[k] || k == a || k == b {
-					continue
-				}
-				nd := l.update(dist[a][k], dist[b][k], dist[a][b], size[a], size[b], size[k])
-				dist[a][k] = nd
-				dist[k][a] = nd
-			}
-			height := best
-			if l == Ward {
-				height = math.Sqrt(best)
-			}
-			raws = append(raws, rawMerge{a: a, b: b, height: height, size: size[a] + size[b]})
-			size[a] += size[b]
-			active[b] = false
-			remaining--
-		} else {
-			chain = append(chain, nn)
-		}
-	}
+	raws := st.raws
 
 	// Relabel: sort merges by height (stable to keep discovery order
 	// among ties), then assign scipy-style ids by replaying.

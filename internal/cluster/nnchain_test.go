@@ -140,8 +140,10 @@ func TestNNChainWithTies(t *testing.T) {
 }
 
 func BenchmarkNNChainVsNaive(b *testing.B) {
+	b.ReportAllocs()
 	pts := randomPoints(200, 4, 2)
 	b.Run("naive-200", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := NewDendrogram(pts, vecmath.Euclidean, Complete); err != nil {
 				b.Fatal(err)
@@ -149,6 +151,7 @@ func BenchmarkNNChainVsNaive(b *testing.B) {
 		}
 	})
 	b.Run("nnchain-200", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := NNChainDendrogram(pts, vecmath.Euclidean, Complete); err != nil {
 				b.Fatal(err)

@@ -118,26 +118,6 @@ func OneCluster(n int) Clustering {
 	return Clustering{Labels: make([]int, n), K: 1}
 }
 
-// groups splits scores by cluster label.
-func (c Clustering) groups(scores []float64) ([][]float64, error) {
-	if len(scores) != len(c.Labels) {
-		return nil, fmt.Errorf("core: %d scores for %d workloads", len(scores), len(c.Labels))
-	}
-	out := make([][]float64, c.K)
-	for i, l := range c.Labels {
-		if l < 0 || l >= c.K {
-			return nil, fmt.Errorf("core: label %d out of range [0,%d)", l, c.K)
-		}
-		out[l] = append(out[l], scores[i])
-	}
-	for l, g := range out {
-		if len(g) == 0 {
-			return nil, fmt.Errorf("core: cluster %d is empty", l)
-		}
-	}
-	return out, nil
-}
-
 // Sizes returns the number of workloads per cluster.
 func (c Clustering) Sizes() []int {
 	out := make([]int, c.K)
@@ -152,25 +132,19 @@ func (c Clustering) Sizes() []int {
 // HierarchicalMean computes the hierarchical mean of the given family
 // over the scores partitioned by c: the inner mean reduces each
 // cluster to one representative, the outer mean combines the
-// representatives.
+// representatives. It builds a one-shot Scorer; callers evaluating
+// several score vectors or mean families against the same clustering
+// should hold a Scorer and call Mean directly, which allocates
+// nothing per call.
 func HierarchicalMean(kind MeanKind, scores []float64, c Clustering) (float64, error) {
-	groups, err := c.groups(scores)
+	if len(scores) != len(c.Labels) {
+		return 0, fmt.Errorf("core: %d scores for %d workloads", len(scores), len(c.Labels))
+	}
+	s, err := NewScorer(c)
 	if err != nil {
 		return 0, err
 	}
-	reps := make([]float64, len(groups))
-	for i, g := range groups {
-		rep, err := kind.plain(g)
-		if err != nil {
-			return 0, fmt.Errorf("core: inner mean of cluster %d: %w", i, err)
-		}
-		reps[i] = rep
-	}
-	out, err := kind.plain(reps)
-	if err != nil {
-		return 0, fmt.Errorf("core: outer mean: %w", err)
-	}
-	return out, nil
+	return s.Mean(kind, scores)
 }
 
 // PlainMean computes the flat (non-hierarchical) mean of the given

@@ -1,0 +1,112 @@
+package core
+
+import (
+	"testing"
+)
+
+// caseStudy13 reproduces the benchmark suite of the paper's case
+// study: 13 workloads clustered into 5 groups.
+func caseStudy13() ([]float64, Clustering) {
+	scores := make([]float64, 13)
+	labels := make([]int, 13)
+	for i := range scores {
+		scores[i] = 0.5 + float64(i)*0.37
+		labels[i] = i % 5
+	}
+	c, err := NewClustering(labels)
+	if err != nil {
+		panic(err)
+	}
+	return scores, c
+}
+
+// TestScorerMeanAllocationFree pins all three hierarchical means on
+// the 13-workload case study at zero heap allocations per evaluation
+// once a Scorer holds the clustering's gather plan.
+func TestScorerMeanAllocationFree(t *testing.T) {
+	scores, c := caseStudy13()
+	s, err := NewScorer(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range []MeanKind{Geometric, Arithmetic, Harmonic} {
+		kind := kind
+		if avg := testing.AllocsPerRun(200, func() {
+			if _, err := s.Mean(kind, scores); err != nil {
+				t.Fatal(err)
+			}
+		}); avg != 0 {
+			t.Errorf("Scorer.Mean(%v): %v allocs/op, want 0", kind, avg)
+		}
+	}
+}
+
+// TestScorerMatchesHierarchicalMean proves Scorer.Mean is
+// value-identical to HierarchicalMean for every family across several
+// clusterings, including the degenerate ones.
+func TestScorerMatchesHierarchicalMean(t *testing.T) {
+	scores, c13 := caseStudy13()
+	cases := []Clustering{c13, Singletons(13), OneCluster(13)}
+	for ci, c := range cases {
+		s, err := NewScorer(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, kind := range []MeanKind{Geometric, Arithmetic, Harmonic} {
+			want, err := HierarchicalMean(kind, scores, c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := s.Mean(kind, scores)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Errorf("case %d %v: Scorer.Mean %v != HierarchicalMean %v", ci, kind, got, want)
+			}
+		}
+	}
+}
+
+// TestScorerReset proves a reused Scorer re-plans correctly (the
+// service pools one scorer across a whole k-sweep) and that
+// validation errors match the historical messages.
+func TestScorerReset(t *testing.T) {
+	scores, c13 := caseStudy13()
+	s, err := NewScorer(Singletons(13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []Clustering{c13, OneCluster(13), Singletons(13)} {
+		if err := s.Reset(c); err != nil {
+			t.Fatal(err)
+		}
+		want, err := HierarchicalMean(Geometric, scores, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := s.Mean(Geometric, scores)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("after Reset(K=%d): %v != %v", c.K, got, want)
+		}
+	}
+
+	if _, err := NewScorer(Clustering{Labels: []int{0, 7}, K: 2}); err == nil ||
+		err.Error() != "core: label 7 out of range [0,2)" {
+		t.Errorf("out-of-range label error = %v", err)
+	}
+	if _, err := NewScorer(Clustering{Labels: []int{0, 0}, K: 2}); err == nil ||
+		err.Error() != "core: cluster 1 is empty" {
+		t.Errorf("empty cluster error = %v", err)
+	}
+	if err := s.Reset(c13); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Mean(Geometric, scores[:5]); err == nil ||
+		err.Error() != "core: 5 scores for 13 workloads" {
+		t.Errorf("length mismatch error = %v", err)
+	}
+}

@@ -125,6 +125,20 @@ func guard(op string, shard int, r Range, body func(start, end int)) (pe *PanicE
 	return nil
 }
 
+// guardShard is guard for shard-indexed bodies. It is a top-level
+// function (not a closure over body) so the serial FixedShards path
+// stays allocation-free: a long-lived caller handing in a reused func
+// value runs whole shard sweeps with zero heap traffic.
+func guardShard(op string, shard, start, end int, body func(shard, start, end int)) (pe *PanicError) {
+	defer func() {
+		if v := recover(); v != nil {
+			pe = &PanicError{Op: op, Shard: shard, Start: start, End: end, Value: v, Stack: debug.Stack()}
+		}
+	}()
+	body(shard, start, end)
+	return nil
+}
+
 // For runs body over [0, n) split into `workers` contiguous chunks,
 // one goroutine per chunk, and waits for all of them. With workers <= 1
 // (or n small) it runs inline on the calling goroutine. Each body
@@ -308,26 +322,24 @@ func fixedShardsCtx(ctx context.Context, workers, n, shardSize int, body func(sh
 	if err := ctx.Err(); err != nil {
 		return shards, err
 	}
-	run := func(shard int) *PanicError {
-		start := shard * shardSize
-		end := start + shardSize
-		if end > n {
-			end = n
-		}
-		return guard("par.FixedShards", shard, Range{Start: start, End: end}, func(start, end int) {
-			body(shard, start, end)
-		})
-	}
 	done := ctx.Done()
 	workers = Resolve(workers)
 	if workers == 1 || shards == 1 {
+		// Inline loop without the run closure: the serial path is the
+		// steady-state hot loop of single-worker kernels and must not
+		// allocate per call.
 		for s := 0; s < shards; s++ {
 			select {
 			case <-done:
 				return shards, ctx.Err()
 			default:
 			}
-			if pe := run(s); pe != nil {
+			start := s * shardSize
+			end := start + shardSize
+			if end > n {
+				end = n
+			}
+			if pe := guardShard("par.FixedShards", s, start, end, body); pe != nil {
 				return shards, pe
 			}
 		}
@@ -335,6 +347,14 @@ func fixedShardsCtx(ctx context.Context, workers, n, shardSize int, body func(sh
 	}
 	if workers > shards {
 		workers = shards
+	}
+	run := func(shard int) *PanicError {
+		start := shard * shardSize
+		end := start + shardSize
+		if end > n {
+			end = n
+		}
+		return guardShard("par.FixedShards", shard, start, end, body)
 	}
 	// The observer gate costs one atomic load per FixedShards call;
 	// when active, per-shard wall times feed the shard-imbalance

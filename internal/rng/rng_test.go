@@ -170,6 +170,7 @@ func TestSplitIndependence(t *testing.T) {
 }
 
 func BenchmarkUint64(b *testing.B) {
+	b.ReportAllocs()
 	r := New(1)
 	var sink uint64
 	for i := 0; i < b.N; i++ {
@@ -179,6 +180,7 @@ func BenchmarkUint64(b *testing.B) {
 }
 
 func BenchmarkNormFloat64(b *testing.B) {
+	b.ReportAllocs()
 	r := New(1)
 	var sink float64
 	for i := 0; i < b.N; i++ {

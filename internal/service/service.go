@@ -9,6 +9,7 @@ import (
 	"io"
 	"net/http"
 	"runtime"
+	"sync"
 	"time"
 
 	"hmeans/internal/core"
@@ -216,20 +217,29 @@ func (s *Server) compute(ctx context.Context, req *Request) (*Response, error) {
 	}
 	resp.Cut = CutJSON{K: cutK, Labels: cut.Labels, Members: members}
 
+	// One pooled scorer serves the whole sweep: Reset re-plans it per
+	// k and each Mean call is allocation-free, so the k×vectors×3
+	// mean evaluations of a cache-miss request cost O(results)
+	// allocations, not O(evaluations).
+	sc := scorerPool.Get().(*core.Scorer)
+	defer scorerPool.Put(sc)
 	for k := kMin; k <= kMax; k++ {
 		c, err := p.ClusteringAtK(k)
 		if err != nil {
 			return nil, err
 		}
+		if err := sc.Reset(c); err != nil {
+			return nil, err
+		}
 		for _, name := range names {
 			m := KMeans{K: k, Vector: name}
-			if m.HGM, err = core.HierarchicalMean(core.Geometric, aligned[name], c); err != nil {
+			if m.HGM, err = sc.Mean(core.Geometric, aligned[name]); err != nil {
 				return nil, err
 			}
-			if m.HAM, err = core.HierarchicalMean(core.Arithmetic, aligned[name], c); err != nil {
+			if m.HAM, err = sc.Mean(core.Arithmetic, aligned[name]); err != nil {
 				return nil, err
 			}
-			if m.HHM, err = core.HierarchicalMean(core.Harmonic, aligned[name], c); err != nil {
+			if m.HHM, err = sc.Mean(core.Harmonic, aligned[name]); err != nil {
 				return nil, err
 			}
 			resp.Means = append(resp.Means, m)
@@ -254,6 +264,11 @@ func (s *Server) compute(ctx context.Context, req *Request) (*Response, error) {
 // maxFinite rejects +Inf while keeping every finite float64: x >
 // maxFinite is true only for +Inf (NaN fails the x > 0 test).
 const maxFinite = 1.7976931348623157e308
+
+// scorerPool recycles hierarchical-mean scorers across requests; a
+// scorer retains only its gather plan and scratch buffers, never
+// request data, so pooling is safe.
+var scorerPool = sync.Pool{New: func() any { return new(core.Scorer) }}
 
 func positionsJSON(p *core.Pipeline) [][]float64 {
 	out := make([][]float64, len(p.Positions))

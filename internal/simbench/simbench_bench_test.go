@@ -7,6 +7,7 @@ import (
 )
 
 func BenchmarkExecutionTime(b *testing.B) {
+	b.ReportAllocs()
 	ws, _, err := CalibratedSuite()
 	if err != nil {
 		b.Fatal(err)
@@ -19,6 +20,7 @@ func BenchmarkExecutionTime(b *testing.B) {
 }
 
 func BenchmarkCalibration(b *testing.B) {
+	b.ReportAllocs()
 	machines := []Machine{MachineA(), MachineB()}
 	ref := Reference()
 	targets := TableIIITargets()
@@ -31,6 +33,7 @@ func BenchmarkCalibration(b *testing.B) {
 }
 
 func BenchmarkSampleSAR(b *testing.B) {
+	b.ReportAllocs()
 	ws, _, err := CalibratedSuite()
 	if err != nil {
 		b.Fatal(err)
@@ -44,6 +47,7 @@ func BenchmarkSampleSAR(b *testing.B) {
 }
 
 func BenchmarkSARTable(b *testing.B) {
+	b.ReportAllocs()
 	ws, _, err := CalibratedSuite()
 	if err != nil {
 		b.Fatal(err)
@@ -58,6 +62,7 @@ func BenchmarkSARTable(b *testing.B) {
 }
 
 func BenchmarkHprofTable(b *testing.B) {
+	b.ReportAllocs()
 	ws, _, err := CalibratedSuite()
 	if err != nil {
 		b.Fatal(err)
@@ -71,6 +76,7 @@ func BenchmarkHprofTable(b *testing.B) {
 }
 
 func BenchmarkMeasureTime(b *testing.B) {
+	b.ReportAllocs()
 	ws, _, err := CalibratedSuite()
 	if err != nil {
 		b.Fatal(err)

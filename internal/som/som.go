@@ -140,12 +140,23 @@ func GridFor(n int) (rows, cols int) {
 }
 
 // Map is a trained (or initialized) self-organizing map.
+//
+// The unit weights live in one contiguous []float64 backing array
+// (unit u occupies flat[u*dim : (u+1)*dim]); weights[u] is a view
+// into it. Contiguous storage keeps the BMU scan — the innermost loop
+// of both training algorithms — walking a single cache-friendly
+// array, and makes the whole grid one allocation instead of
+// rows×cols+1.
 type Map struct {
 	rows, cols int
 	dim        int
-	// weights[u] is the weight vector of unit u = r*cols + c.
+	// flat is the contiguous backing array of every unit weight.
+	flat []float64
+	// weights[u] is the weight vector of unit u = r*cols + c, a view
+	// into flat.
 	weights []vecmath.Vector
-	// locations[u] is the fixed grid location vector of unit u.
+	// locations[u] is the fixed grid location vector of unit u; views
+	// into one contiguous backing array like the weights.
 	locations []vecmath.Vector
 }
 
@@ -177,20 +188,26 @@ func (c *Config) withDefaults() Config {
 	return out
 }
 
-// newMap allocates the unit grid with zero weights.
+// newMap allocates the unit grid with zero weights: one contiguous
+// backing array per plane (weights, locations) plus the view headers.
 func newMap(rows, cols, dim int) *Map {
+	units := rows * cols
 	m := &Map{
 		rows:      rows,
 		cols:      cols,
 		dim:       dim,
-		weights:   make([]vecmath.Vector, rows*cols),
-		locations: make([]vecmath.Vector, rows*cols),
+		flat:      make([]float64, units*dim),
+		weights:   make([]vecmath.Vector, units),
+		locations: make([]vecmath.Vector, units),
 	}
+	locFlat := make([]float64, units*2)
 	for r := 0; r < rows; r++ {
 		for c := 0; c < cols; c++ {
 			u := r*cols + c
-			m.weights[u] = vecmath.NewVector(dim)
-			m.locations[u] = vecmath.Vector{float64(r), float64(c)}
+			m.weights[u] = vecmath.Vector(m.flat[u*dim : (u+1)*dim : (u+1)*dim])
+			loc := locFlat[u*2 : (u+1)*2 : (u+1)*2]
+			loc[0], loc[1] = float64(r), float64(c)
+			m.locations[u] = vecmath.Vector(loc)
 		}
 	}
 	return m
@@ -225,14 +242,28 @@ func (m *Map) BMU(x vecmath.Vector) (row, col int) {
 // bmu returns the best matching unit's index and its squared
 // Euclidean distance to x — the distance feeds the per-epoch
 // quantization-error telemetry without a second scan.
+//
+// The scan walks the contiguous weight array directly with the
+// dimension check and metric fixed outside the loop: same squared-
+// Euclidean arithmetic as vecmath.SquaredEuclidean in the same
+// element order (so the winner — and training — is bit-identical),
+// without per-unit slice-header loads or length asserts.
 func (m *Map) bmu(x vecmath.Vector) (unit int, sqDist float64) {
-	if len(x) != m.dim {
-		panic(fmt.Sprintf("som: input dim %d != map dim %d", len(x), m.dim))
+	dim := m.dim
+	if len(x) != dim {
+		panic(fmt.Sprintf("som: input dim %d != map dim %d", len(x), dim))
 	}
-	best, bestDist := 0, vecmath.SquaredEuclidean(x, m.weights[0])
-	for u := 1; u < len(m.weights); u++ {
-		if d := vecmath.SquaredEuclidean(x, m.weights[u]); d < bestDist {
-			best, bestDist = u, d
+	flat := m.flat
+	best, bestDist := 0, math.Inf(1)
+	for u, off := 0, 0; off < len(flat); u, off = u+1, off+dim {
+		w := flat[off : off+dim]
+		sum := 0.0
+		for i, xi := range x {
+			d := xi - w[i]
+			sum += d * d
+		}
+		if sum < bestDist {
+			best, bestDist = u, sum
 		}
 	}
 	return best, bestDist

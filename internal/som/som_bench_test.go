@@ -21,6 +21,7 @@ func benchSamplesExact(n, dim int) []vecmath.Vector {
 }
 
 func BenchmarkTrainSequentialSuiteScale(b *testing.B) {
+	b.ReportAllocs()
 	// 13 workloads × ~160 standardized counters, the paper's scale.
 	samples := benchSamples(14, 160)
 	b.ResetTimer()
@@ -32,6 +33,7 @@ func BenchmarkTrainSequentialSuiteScale(b *testing.B) {
 }
 
 func BenchmarkTrainBatchSuiteScale(b *testing.B) {
+	b.ReportAllocs()
 	samples := benchSamples(14, 160)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -46,6 +48,7 @@ func BenchmarkTrainBatchSuiteScale(b *testing.B) {
 // paper's 13-workload suite up to the big-suite regime the parallel
 // layer targets. Both arms produce bit-identical maps.
 func BenchmarkTrainBatchSerialVsParallel(b *testing.B) {
+	b.ReportAllocs()
 	for _, n := range []int{13, 200, 1000} {
 		samples := benchSamplesExact(n, 16)
 		rows, cols := GridFor(n)
@@ -54,6 +57,7 @@ func BenchmarkTrainBatchSerialVsParallel(b *testing.B) {
 			workers int
 		}{{"serial", 1}, {"parallel", par.Auto()}} {
 			b.Run(fmt.Sprintf("n=%d/%s", n, arm.name), func(b *testing.B) {
+				b.ReportAllocs()
 				cfg := Config{
 					Rows: rows, Cols: cols, Algorithm: Batch,
 					BatchEpochs: 20, Seed: 1, Parallelism: arm.workers,
@@ -70,6 +74,7 @@ func BenchmarkTrainBatchSerialVsParallel(b *testing.B) {
 }
 
 func BenchmarkBMU(b *testing.B) {
+	b.ReportAllocs()
 	samples := benchSamples(14, 160)
 	m, err := Train(Config{Rows: 10, Cols: 10, Steps: 2000, Seed: 1}, samples)
 	if err != nil {
@@ -82,6 +87,7 @@ func BenchmarkBMU(b *testing.B) {
 }
 
 func BenchmarkQuantizationError(b *testing.B) {
+	b.ReportAllocs()
 	samples := benchSamples(14, 160)
 	m, err := Train(Config{Rows: 6, Cols: 6, Steps: 2000, Seed: 1}, samples)
 	if err != nil {
@@ -94,6 +100,7 @@ func BenchmarkQuantizationError(b *testing.B) {
 }
 
 func BenchmarkUMatrix(b *testing.B) {
+	b.ReportAllocs()
 	samples := benchSamples(14, 160)
 	m, err := Train(Config{Rows: 10, Cols: 10, Steps: 2000, Seed: 1}, samples)
 	if err != nil {

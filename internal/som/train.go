@@ -102,6 +102,165 @@ func batchEpochs(c Config, nSamples int) int {
 	return epochs
 }
 
+// batchRun is the reusable working set of one batch-training run: the
+// shard-private numerator/denominator accumulators, the per-reduction-
+// shard scratch, and the fan-out bodies themselves. Everything is
+// allocated exactly once (by newBatchRun) and reused across epochs, so
+// a steady-state epoch performs zero heap allocations: the accumulator
+// planes are flat []float64 arenas indexed by (shard, unit, dim), and
+// the shard bodies are method values bound once — not closures rebuilt
+// per epoch.
+type batchRun struct {
+	m       *Map
+	samples []vecmath.Vector
+	// shards is the sample-accumulation shard count; rshards the
+	// unit-reduction shard count. Both use batchShardSize, so both
+	// partitions depend only on problem size, never on worker count.
+	shards, rshards int
+	units, dim      int
+	// num[(s*units+u)*dim : …+dim] is shard s's numerator for unit u;
+	// den[s*units+u] its denominator.
+	num, den []float64
+	// scratch[r*dim : (r+1)*dim] is reduction shard r's private numSum.
+	scratch []float64
+	// qe[s] is shard s's quantization-error sum; nil when no observer
+	// is active.
+	qe []float64
+	// inv2s2 carries the per-epoch kernel parameter 1/(2σ²) into the
+	// shard bodies without a per-epoch closure.
+	inv2s2 float64
+	// accumulate/reduce are method values bound once so the per-epoch
+	// fan-outs pass a reused func value instead of allocating one.
+	accumulate func(shard, start, end int)
+	reduce     func(shard, start, end int)
+}
+
+func newBatchRun(m *Map, samples []vecmath.Vector, withQE bool) *batchRun {
+	units, dim := len(m.weights), m.dim
+	b := &batchRun{
+		m:       m,
+		samples: samples,
+		shards:  (len(samples) + batchShardSize - 1) / batchShardSize,
+		rshards: (units + batchShardSize - 1) / batchShardSize,
+		units:   units,
+		dim:     dim,
+	}
+	b.num = make([]float64, b.shards*units*dim)
+	b.den = make([]float64, b.shards*units)
+	b.scratch = make([]float64, b.rshards*dim)
+	if withQE {
+		b.qe = make([]float64, b.shards)
+	}
+	b.accumulate = b.accumulateShard
+	b.reduce = b.reduceShard
+	return b
+}
+
+// accumulateShard zeroes shard `shard`'s accumulators, then folds
+// samples[start:end] into them: each sample adds h·x to the numerator
+// and h to the denominator of every unit inside its BMU's effective
+// neighbourhood. The arithmetic (w[j] += h·x[j], in index order) is
+// exactly the AXPY of the historical per-unit-vector layout.
+func (b *batchRun) accumulateShard(shard, start, end int) {
+	m, dim := b.m, b.dim
+	snum := b.num[shard*b.units*dim : (shard+1)*b.units*dim]
+	sden := b.den[shard*b.units : (shard+1)*b.units]
+	for i := range snum {
+		snum[i] = 0
+	}
+	for i := range sden {
+		sden[i] = 0
+	}
+	inv2s2 := b.inv2s2
+	var qeSum float64
+	for _, x := range b.samples[start:end] {
+		bu, d2 := m.bmu(x)
+		if b.qe != nil {
+			qeSum += math.Sqrt(d2)
+		}
+		br, bc := bu/m.cols, bu%m.cols
+		for gr := 0; gr < m.rows; gr++ {
+			for gc := 0; gc < m.cols; gc++ {
+				dr, dc := float64(gr-br), float64(gc-bc)
+				h := math.Exp(-(dr*dr + dc*dc) * inv2s2)
+				if h < kernelCutoff {
+					continue
+				}
+				u := gr*m.cols + gc
+				w := snum[u*dim : (u+1)*dim]
+				for j, xj := range x {
+					w[j] += h * xj
+				}
+				sden[u] += h
+			}
+		}
+	}
+	if b.qe != nil {
+		b.qe[shard] = qeSum
+	}
+}
+
+// reduceShard sums every accumulation shard's slot for units
+// [start, end) in ascending shard order — so the float sums do not
+// depend on which worker filled which shard — and applies the weight
+// update. numSum[j] += v is bit-identical to the historical
+// AXPYInPlace(1, ·) because 1·v == v exactly.
+func (b *batchRun) reduceShard(shard, start, end int) {
+	dim := b.dim
+	numSum := b.scratch[shard*dim : (shard+1)*dim]
+	for u := start; u < end; u++ {
+		denSum := 0.0
+		for j := range numSum {
+			numSum[j] = 0
+		}
+		for s := 0; s < b.shards; s++ {
+			sv := b.num[(s*b.units+u)*dim : (s*b.units+u+1)*dim]
+			for j, v := range sv {
+				numSum[j] += v
+			}
+			denSum += b.den[s*b.units+u]
+		}
+		if denSum < kernelCutoff {
+			// The unit is outside every sample's effective
+			// neighbourhood this epoch. Keep its weight: far
+			// units must retain the ordered (PCA-interpolated)
+			// surface rather than be captured by whichever
+			// sample's kernel tail happens to dominate — that
+			// capture is what creates grid-wide weight plateaus
+			// and scatters near-identical samples' BMUs.
+			continue
+		}
+		w := b.m.weights[u]
+		for j := range w {
+			w[j] = numSum[j] / denSum
+		}
+	}
+}
+
+// epoch runs one batch epoch at neighbourhood radius sigma:
+// shard-parallel accumulation, then the shard-order reduction and
+// weight update. The reduction is not cancellable mid-flight — a
+// partial weight update would leave the map inconsistent — so the
+// caller's next epoch checkpoint handles a fired context.
+func (b *batchRun) epoch(ctx context.Context, workers int, sigma float64) error {
+	b.inv2s2 = 1 / (2 * sigma * sigma)
+	if _, err := par.FixedShardsCtx(ctx, workers, len(b.samples), batchShardSize, b.accumulate); err != nil {
+		return err
+	}
+	_, _ = par.FixedShardsCtx(context.Background(), workers, b.units, batchShardSize, b.reduce)
+	return nil
+}
+
+// epochQE returns the epoch's mean sample→BMU distance from the
+// per-shard sums gathered during accumulation.
+func (b *batchRun) epochQE() float64 {
+	var total float64
+	for _, v := range b.qe {
+		total += v
+	}
+	return total / float64(len(b.samples))
+}
+
 // trainBatch runs the batch SOM algorithm: each epoch assigns every
 // sample to its BMU, then recomputes every unit's weight as the
 // kernel-weighted mean of all samples,
@@ -124,6 +283,8 @@ func batchEpochs(c Config, nSamples int) int {
 // update — and therefore the converged map — is bit-identical for
 // any worker count. The BMU searches inside a shard only read the
 // previous epoch's weights, which are frozen until the reduction.
+// All working memory lives in a batchRun allocated once up front;
+// see that type for the allocation discipline.
 //
 // When an observer is active each epoch additionally accumulates the
 // quantization error (mean sample→BMU distance) per shard — the BMU
@@ -137,22 +298,9 @@ func (m *Map) trainBatch(ctx context.Context, c Config, samples []vecmath.Vector
 	}
 	epochs := batchEpochs(c, len(samples))
 	workers := par.Resolve(c.Parallelism)
-	shards := (len(samples) + batchShardSize - 1) / batchShardSize
-
-	units := len(m.weights)
-	num := make([][]vecmath.Vector, shards)
-	den := make([][]float64, shards)
-	for s := range num {
-		num[s] = make([]vecmath.Vector, units)
-		den[s] = make([]float64, units)
-		for u := range num[s] {
-			num[s][u] = vecmath.NewVector(m.dim)
-		}
-	}
-	var qe []float64
+	b := newBatchRun(m, samples, o.Active())
 	var qeGauge, sigmaGauge *obs.Gauge
 	if o.Active() {
-		qe = make([]float64, shards)
 		qeGauge = o.Metrics().Gauge("som.qe")
 		sigmaGauge = o.Metrics().Gauge("som.sigma")
 		o.Metrics().Counter("som.epochs").Add(int64(epochs))
@@ -165,85 +313,15 @@ func (m *Map) trainBatch(ctx context.Context, c Config, samples []vecmath.Vector
 		}
 		t := float64(e) / float64(epochs)
 		sigma := c.RadiusDecay.value(c.Sigma0, floor, t)
-		inv2s2 := 1 / (2 * sigma * sigma)
-		if _, err := par.FixedShardsCtx(ctx, workers, len(samples), batchShardSize, func(shard, start, end int) {
-			snum, sden := num[shard], den[shard]
-			for u := range snum {
-				for j := range snum[u] {
-					snum[u][j] = 0
-				}
-				sden[u] = 0
-			}
-			var qeSum float64
-			for _, x := range samples[start:end] {
-				bu, d2 := m.bmu(x)
-				if qe != nil {
-					qeSum += math.Sqrt(d2)
-				}
-				br, bc := bu/m.cols, bu%m.cols
-				for gr := 0; gr < m.rows; gr++ {
-					for gc := 0; gc < m.cols; gc++ {
-						dr, dc := float64(gr-br), float64(gc-bc)
-						h := math.Exp(-(dr*dr + dc*dc) * inv2s2)
-						if h < kernelCutoff {
-							continue
-						}
-						u := gr*m.cols + gc
-						snum[u].AXPYInPlace(h, x)
-						sden[u] += h
-					}
-				}
-			}
-			if qe != nil {
-				qe[shard] = qeSum
-			}
-		}); err != nil {
+		if err := b.epoch(ctx, workers, sigma); err != nil {
 			return fmt.Errorf("som: epoch %d accumulation: %w", e, err)
 		}
-		if qe != nil {
-			var qeTotal float64
-			for _, v := range qe {
-				qeTotal += v
-			}
-			epochQE := qeTotal / float64(len(samples))
+		if b.qe != nil {
+			epochQE := b.epochQE()
 			qeGauge.Set(epochQE)
 			sigmaGauge.Set(sigma)
 			sp.Event("som.epoch", obs.KV("epoch", e), obs.KV("qe", epochQE), obs.KV("sigma", sigma))
 		}
-		// Reduce shard accumulators and apply the weight update. Each
-		// unit reads every shard's slot in ascending shard order, so
-		// the float sums do not depend on which worker filled which
-		// shard; unit-parallelism is safe because units are
-		// independent. The reduction is not cancellable mid-flight —
-		// a partial weight update would leave the map inconsistent —
-		// so the next epoch's checkpoint handles a fired context.
-		par.For(workers, units, func(uStart, uEnd int) {
-			numSum := vecmath.NewVector(m.dim)
-			for u := uStart; u < uEnd; u++ {
-				denSum := 0.0
-				for j := range numSum {
-					numSum[j] = 0
-				}
-				for s := 0; s < shards; s++ {
-					numSum.AXPYInPlace(1, num[s][u])
-					denSum += den[s][u]
-				}
-				if denSum < kernelCutoff {
-					// The unit is outside every sample's effective
-					// neighbourhood this epoch. Keep its weight: far
-					// units must retain the ordered (PCA-interpolated)
-					// surface rather than be captured by whichever
-					// sample's kernel tail happens to dominate — that
-					// capture is what creates grid-wide weight plateaus
-					// and scatters near-identical samples' BMUs.
-					continue
-				}
-				w := m.weights[u]
-				for j := range w {
-					w[j] = numSum[j] / denSum
-				}
-			}
-		})
 	}
 	return nil
 }
@@ -382,7 +460,8 @@ func (m *Map) SoftPosition(x vecmath.Vector) vecmath.Vector {
 		wsum += wt
 		pos.AXPYInPlace(wt, m.locations[u])
 	}
-	return pos.Scale(1 / wsum)
+	pos.ScaleInPlace(1 / wsum)
+	return pos
 }
 
 // SoftPlacements maps every sample to its soft (interpolated) grid

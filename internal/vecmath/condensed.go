@@ -1,0 +1,173 @@
+package vecmath
+
+import (
+	"context"
+	"fmt"
+
+	"hmeans/internal/par"
+)
+
+// CondensedMatrix stores the strict upper triangle of an n×n symmetric
+// matrix with a zero diagonal — the natural shape of a pairwise
+// distance matrix — in one contiguous []float64 of n(n−1)/2 entries.
+// Pair (i, j) with i < j lives at offset
+//
+//	idx(i, j) = i·(2n−i−1)/2 + (j−i−1),
+//
+// so the entries of row i against all higher-indexed columns
+// (i, i+1), (i, i+2), …, (i, n−1) are contiguous: nearest-pair scans
+// walk a flat array front to back instead of chasing n row pointers,
+// and the whole matrix costs half the memory of the dense form. Both
+// halves of a symmetric pair share one slot, which is also what makes
+// condensed storage safe for in-place Lance–Williams updates: writing
+// d(a, k) can never leave a stale mirror entry behind.
+type CondensedMatrix struct {
+	n    int
+	data []float64
+}
+
+// NewCondensedMatrix returns a zero condensed matrix representing an
+// n×n symmetric matrix. It panics on non-positive n; n == 1 is legal
+// and holds no entries.
+func NewCondensedMatrix(n int) *CondensedMatrix {
+	if n <= 0 {
+		panic(fmt.Sprintf("vecmath: invalid condensed matrix size %d", n))
+	}
+	return &CondensedMatrix{n: n, data: make([]float64, n*(n-1)/2)}
+}
+
+// CondensedFromDense copies the strict upper triangle of a dense
+// symmetric matrix into condensed form. The caller is responsible for
+// symmetry; only the i < j entries are read.
+func CondensedFromDense(m *Matrix) (*CondensedMatrix, error) {
+	n := m.Rows()
+	if n == 0 || m.Cols() != n {
+		return nil, fmt.Errorf("vecmath: cannot condense a %dx%d matrix", m.Rows(), m.Cols())
+	}
+	c := NewCondensedMatrix(n)
+	t := 0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			c.data[t] = m.At(i, j)
+			t++
+		}
+	}
+	return c, nil
+}
+
+// N returns the size of the represented square matrix.
+func (c *CondensedMatrix) N() int { return c.n }
+
+// Index returns the data offset of pair (i, j). The arguments commute;
+// it panics on i == j (the diagonal is implicit) or out-of-range
+// indices.
+func (c *CondensedMatrix) Index(i, j int) int {
+	if i > j {
+		i, j = j, i
+	}
+	if i < 0 || j >= c.n || i == j {
+		panic(fmt.Sprintf("vecmath: condensed index (%d,%d) invalid for n=%d", i, j, c.n))
+	}
+	return i*(2*c.n-i-1)/2 + (j - i - 1)
+}
+
+// At returns the (i, j) entry; the diagonal reads as 0.
+func (c *CondensedMatrix) At(i, j int) float64 {
+	if i == j {
+		if i < 0 || i >= c.n {
+			panic(fmt.Sprintf("vecmath: condensed index (%d,%d) invalid for n=%d", i, j, c.n))
+		}
+		return 0
+	}
+	return c.data[c.Index(i, j)]
+}
+
+// Set assigns the (i, j) entry (and, implicitly, its mirror). It
+// panics on the diagonal.
+func (c *CondensedMatrix) Set(i, j int, v float64) { c.data[c.Index(i, j)] = v }
+
+// RowTail returns the contiguous slice of entries (i, i+1) … (i, n−1)
+// — row i against every higher-indexed column. Entry t of the slice is
+// the pair (i, i+1+t). The slice aliases the matrix storage.
+func (c *CondensedMatrix) RowTail(i int) []float64 {
+	start := c.Index0(i)
+	return c.data[start : start+c.n-1-i]
+}
+
+// Index0 returns the offset of the first entry of row i's tail,
+// idx(i, i+1); for i == n−1 it returns len(Data()) (an empty tail).
+func (c *CondensedMatrix) Index0(i int) int {
+	if i < 0 || i >= c.n {
+		panic(fmt.Sprintf("vecmath: condensed row %d invalid for n=%d", i, c.n))
+	}
+	return i * (2*c.n - i - 1) / 2
+}
+
+// Data returns the backing slice (shared, not a copy): all n(n−1)/2
+// pair entries in row-major tail order.
+func (c *CondensedMatrix) Data() []float64 { return c.data }
+
+// Clone returns an independent deep copy.
+func (c *CondensedMatrix) Clone() *CondensedMatrix {
+	out := &CondensedMatrix{n: c.n, data: make([]float64, len(c.data))}
+	copy(out.data, c.data)
+	return out
+}
+
+// Dense expands the condensed matrix to its full symmetric n×n form
+// with a zero diagonal.
+func (c *CondensedMatrix) Dense() *Matrix {
+	m := NewMatrix(c.n, c.n)
+	t := 0
+	for i := 0; i < c.n; i++ {
+		for j := i + 1; j < c.n; j++ {
+			v := c.data[t]
+			m.Set(i, j, v)
+			m.Set(j, i, v)
+			t++
+		}
+	}
+	return m
+}
+
+// CondensedDistanceMatrix returns the pairwise distances of points
+// under metric m in condensed form: each of the n(n−1)/2 pairs is
+// computed exactly once.
+func CondensedDistanceMatrix(m Metric, points []Vector) *CondensedMatrix {
+	return CondensedDistanceMatrixP(m, points, 1)
+}
+
+// CondensedDistanceMatrixP is CondensedDistanceMatrix sharded across
+// `workers` goroutines. Every entry is a pure function of one point
+// pair and each pair is written by exactly one shard, so the matrix is
+// identical for any worker count.
+func CondensedDistanceMatrixP(m Metric, points []Vector, workers int) *CondensedMatrix {
+	out, _ := CondensedDistanceMatrixCtx(context.Background(), m, points, workers)
+	return out
+}
+
+// CondensedDistanceMatrixCtx is CondensedDistanceMatrixP with
+// cooperative cancellation: row shards not yet started when ctx fires
+// are skipped and the context's error returned (the partial matrix
+// must be discarded). With a context that never fires it is
+// bit-identical to CondensedDistanceMatrixP.
+func CondensedDistanceMatrixCtx(ctx context.Context, m Metric, points []Vector, workers int) (*CondensedMatrix, error) {
+	n := len(points)
+	out := NewCondensedMatrix(n)
+	// Resolve the metric kernel once: the inner loop runs one indirect
+	// call per pair instead of re-dispatching the metric switch.
+	kern := m.Kernel()
+	_, err := par.FixedShardsCtx(ctx, workers, n, distanceMatrixShardRows, func(_, start, end int) {
+		for i := start; i < end; i++ {
+			row := out.RowTail(i)
+			pi := points[i]
+			for t := range row {
+				row[t] = kern(pi, points[i+1+t])
+			}
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

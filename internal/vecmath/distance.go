@@ -42,36 +42,64 @@ func (m Metric) String() string {
 }
 
 // Distance returns the distance between v and w under metric m.
+// Loops computing many distances under one fixed metric should hoist
+// the dispatch with Kernel instead of calling Distance per pair.
 func Distance(m Metric, v, w Vector) float64 {
-	assertSameLen(v, w)
+	return m.Kernel()(v, w)
+}
+
+// Kernel resolves the metric's point-pair distance function once, so
+// bulk callers (distance-matrix builds, nearest-neighbour scans) pay
+// one switch per call instead of one per pair. Every kernel computes
+// exactly what Distance computes — same arithmetic, same order.
+func (m Metric) Kernel() func(v, w Vector) float64 {
 	switch m {
 	case Euclidean:
-		return EuclideanDistance(v, w)
+		return EuclideanDistance
 	case Manhattan:
-		sum := 0.0
-		for i := range v {
-			sum += math.Abs(v[i] - w[i])
-		}
-		return sum
+		return ManhattanDistance
 	case Chebyshev:
-		maxAbs := 0.0
-		for i := range v {
-			if d := math.Abs(v[i] - w[i]); d > maxAbs {
-				maxAbs = d
-			}
-		}
-		return maxAbs
+		return ChebyshevDistance
 	case Cosine:
-		nv, nw := v.Norm(), w.Norm()
-		if nv == 0 || nw == 0 {
-			return 1
-		}
-		cos := v.Dot(w) / (nv * nw)
-		cos = math.Max(-1, math.Min(1, cos))
-		return 1 - cos
+		return CosineDistance
 	default:
 		panic("vecmath: unknown metric")
 	}
+}
+
+// ManhattanDistance returns the L1 distance between v and w.
+func ManhattanDistance(v, w Vector) float64 {
+	assertSameLen(v, w)
+	sum := 0.0
+	for i := range v {
+		sum += math.Abs(v[i] - w[i])
+	}
+	return sum
+}
+
+// ChebyshevDistance returns the L∞ distance between v and w.
+func ChebyshevDistance(v, w Vector) float64 {
+	assertSameLen(v, w)
+	maxAbs := 0.0
+	for i := range v {
+		if d := math.Abs(v[i] - w[i]); d > maxAbs {
+			maxAbs = d
+		}
+	}
+	return maxAbs
+}
+
+// CosineDistance returns 1 − cosine similarity; see the Cosine metric
+// for the zero-vector convention.
+func CosineDistance(v, w Vector) float64 {
+	assertSameLen(v, w)
+	nv, nw := v.Norm(), w.Norm()
+	if nv == 0 || nw == 0 {
+		return 1
+	}
+	cos := v.Dot(w) / (nv * nw)
+	cos = math.Max(-1, math.Min(1, cos))
+	return 1 - cos
 }
 
 // EuclideanDistance returns the L2 distance between v and w without
@@ -121,10 +149,12 @@ func DistanceMatrixP(m Metric, points []Vector, workers int) *Matrix {
 func DistanceMatrixCtx(ctx context.Context, m Metric, points []Vector, workers int) (*Matrix, error) {
 	n := len(points)
 	out := NewMatrix(n, n)
+	// One dispatch per call, not one per pair.
+	kern := m.Kernel()
 	_, err := par.FixedShardsCtx(ctx, workers, n, distanceMatrixShardRows, func(_, start, end int) {
 		for i := start; i < end; i++ {
 			for j := i + 1; j < n; j++ {
-				d := Distance(m, points[i], points[j])
+				d := kern(points[i], points[j])
 				out.Set(i, j, d)
 				out.Set(j, i, d)
 			}

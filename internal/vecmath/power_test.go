@@ -93,8 +93,10 @@ func TestTopEigenErrors(t *testing.T) {
 }
 
 func BenchmarkTopEigen2VsJacobi(b *testing.B) {
+	b.ReportAllocs()
 	a := randomPSD(150, 9)
 	b.Run("power-top2", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := TopEigen(a, 2, 1); err != nil {
 				b.Fatal(err)
@@ -102,6 +104,7 @@ func BenchmarkTopEigen2VsJacobi(b *testing.B) {
 		}
 	})
 	b.Run("jacobi-full", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := SymmetricEigen(a); err != nil {
 				b.Fatal(err)

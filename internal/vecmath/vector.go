@@ -62,6 +62,33 @@ func (v Vector) AXPYInPlace(a float64, w Vector) {
 	}
 }
 
+// AddInPlace performs v += w without allocating. Element order and
+// arithmetic match Add exactly.
+func (v Vector) AddInPlace(w Vector) {
+	assertSameLen(v, w)
+	for i := range v {
+		v[i] += w[i]
+	}
+}
+
+// SubInPlace performs v -= w without allocating. Element order and
+// arithmetic match Sub exactly.
+func (v Vector) SubInPlace(w Vector) {
+	assertSameLen(v, w)
+	for i := range v {
+		v[i] -= w[i]
+	}
+}
+
+// ScaleInPlace performs v = c*v without allocating. Each element is
+// computed as c*v[i], the same expression Scale uses, so the results
+// are bit-identical.
+func (v Vector) ScaleInPlace(c float64) {
+	for i := range v {
+		v[i] = c * v[i]
+	}
+}
+
 // Dot returns the inner product of v and w.
 func (v Vector) Dot(w Vector) float64 {
 	assertSameLen(v, w)
