@@ -55,7 +55,7 @@ func run(args []string, stdout io.Writer) error {
 	var (
 		addr        = fs.String("addr", "127.0.0.1:8080", "listen address (host:port; :0 picks a free port)")
 		maxInflight = fs.Int("max-inflight", 0, "max concurrent pipeline computations (0 = CPU count)")
-		queueDepth  = fs.Int("queue-depth", 64, "max requests queued for a computation slot before shedding with 429")
+		queueDepth  = fs.Int("queue-depth", service.DefaultQueueDepth, "max requests queued for a computation slot before shedding with 429")
 		cacheSize   = fs.Int("cache-size", 128, "content-addressed result cache entries (0 disables)")
 		reqTimeout  = fs.Duration("request-timeout", 0, "per-request compute deadline (e.g. 30s); 0 = none")
 		parallel    = fs.Int("parallel", 1, "worker count per pipeline run (0 = all CPUs); results are identical for every value")

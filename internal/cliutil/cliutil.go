@@ -12,6 +12,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 )
 
 // UsageError marks a command-line mistake (bad flag value, missing
@@ -81,6 +82,16 @@ func Run(name string, stderr io.Writer, fn func() error) int {
 func ValidateParallel(v int) error {
 	if v < 0 {
 		return Usagef("-parallel must be >= 0 (0 = all CPUs), got %d", v)
+	}
+	return nil
+}
+
+// ValidatePositiveFloat checks a float flag that must be strictly
+// positive and finite — rates like -rps, where 0, negatives, NaN and
+// ±Inf are all usage mistakes rather than extreme settings.
+func ValidatePositiveFloat(flagName string, v float64) error {
+	if math.IsNaN(v) || math.IsInf(v, 0) || v <= 0 {
+		return Usagef("%s must be a positive finite number, got %v", flagName, v)
 	}
 	return nil
 }

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"math"
 	"strings"
 	"testing"
 	"time"
@@ -63,6 +64,23 @@ func TestValidateParallel(t *testing.T) {
 	var ue *UsageError
 	if !errors.As(err, &ue) {
 		t.Fatalf("ValidateParallel(-1) = %v, want UsageError", err)
+	}
+}
+
+func TestValidatePositiveFloat(t *testing.T) {
+	if err := ValidatePositiveFloat("-rps", 0.5); err != nil {
+		t.Errorf("0.5 rejected: %v", err)
+	}
+	for _, bad := range []float64{0, -1, math.NaN(), math.Inf(1), math.Inf(-1)} {
+		err := ValidatePositiveFloat("-rps", bad)
+		if err == nil {
+			t.Errorf("%v accepted", bad)
+			continue
+		}
+		var ue *UsageError
+		if !errors.As(err, &ue) || !strings.Contains(err.Error(), "-rps") {
+			t.Errorf("%v: error %v is not a flag-naming UsageError", bad, err)
+		}
 	}
 }
 

@@ -1,0 +1,81 @@
+package load
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"hmeans/internal/rng"
+)
+
+// Dist names an arrival-time distribution. The three families mirror
+// the elastic-hpcc load-driver exemplar: constant arrivals probe
+// steady-state capacity, uniform arrivals add bounded jitter, and
+// Pareto arrivals produce the bursty heavy-tailed traffic that
+// actually exercises queueing and shedding.
+type Dist string
+
+// The supported arrival distributions.
+const (
+	Constant Dist = "constant"
+	Uniform  Dist = "uniform"
+	Pareto   Dist = "pareto"
+)
+
+// ParseDist validates a -dist flag value.
+func ParseDist(s string) (Dist, error) {
+	switch Dist(s) {
+	case Constant, Uniform, Pareto:
+		return Dist(s), nil
+	}
+	return "", fmt.Errorf("unknown arrival distribution %q (want constant, uniform or pareto)", s)
+}
+
+// paretoAlpha is the Pareto shape used for inter-arrival gaps. α=3
+// (the elastic-hpcc setting) keeps a finite variance while still
+// producing multi-×-mean bursts; the scale is solved from α so every
+// distribution has the same mean gap 1/rps and runs are comparable
+// across -dist values.
+const paretoAlpha = 3.0
+
+// Schedule returns n arrival offsets from the start of a run whose
+// inter-arrival gaps are drawn from dist with mean 1/rps seconds.
+// The schedule is a pure function of (dist, rps, n, seed): it draws
+// only from the repo's deterministic rng, so the same seed replays
+// the identical schedule on every box and every Go release — the
+// property the determinism unit tests pin.
+func Schedule(dist Dist, rps float64, n int, seed uint64) ([]time.Duration, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("load: schedule needs n > 0, got %d", n)
+	}
+	if !(rps > 0) {
+		return nil, fmt.Errorf("load: schedule needs rps > 0, got %v", rps)
+	}
+	if _, err := ParseDist(string(dist)); err != nil {
+		return nil, fmt.Errorf("load: %w", err)
+	}
+	mean := 1 / rps // seconds
+	src := rng.New(seed)
+	gap := func() float64 {
+		switch dist {
+		case Uniform:
+			// U[0, 2·mean): same mean, bounded jitter.
+			return 2 * mean * src.Float64()
+		case Pareto:
+			// Inverse-CDF sampling: xm·U^(-1/α), with the scale xm
+			// solved so E[gap] = α·xm/(α−1) = mean.
+			xm := mean * (paretoAlpha - 1) / paretoAlpha
+			u := 1 - src.Float64() // (0, 1]: avoids the U=0 pole
+			return xm * math.Pow(u, -1/paretoAlpha)
+		default:
+			return mean
+		}
+	}
+	offsets := make([]time.Duration, n)
+	var at float64
+	for i := range offsets {
+		at += gap()
+		offsets[i] = time.Duration(at * float64(time.Second))
+	}
+	return offsets, nil
+}

@@ -1,0 +1,125 @@
+package load
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// TestScheduleDeterministicPinned pins the exact arrival schedules
+// for one (rps, n, seed) triple across all three distributions: the
+// load harness's replayability contract is that the same -seed yields
+// the identical schedule, on any box and any Go release. If these
+// literals ever change, the rng stream or the sampling math changed —
+// which silently invalidates every recorded load report.
+func TestScheduleDeterministicPinned(t *testing.T) {
+	want := map[Dist][]time.Duration{
+		Constant: {10 * time.Millisecond, 20 * time.Millisecond, 30 * time.Millisecond,
+			40 * time.Millisecond, 50 * time.Millisecond, 60 * time.Millisecond},
+		Uniform: {1677259, 9256864, 22857732, 41351591, 61187669, 76582459},
+		Pareto:  {6864178, 14678182, 24425349, 40212248, 73277607, 84154435},
+	}
+	for dist, exp := range want {
+		got, err := Schedule(dist, 100, 6, 42)
+		if err != nil {
+			t.Fatalf("%s: %v", dist, err)
+		}
+		for i := range exp {
+			if got[i] != exp[i] {
+				t.Errorf("%s[%d] = %v, want %v", dist, i, got[i], exp[i])
+			}
+		}
+	}
+}
+
+func TestScheduleSameSeedSameSchedule(t *testing.T) {
+	for _, dist := range []Dist{Constant, Uniform, Pareto} {
+		a, err := Schedule(dist, 37.5, 200, 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Schedule(dist, 37.5, 200, 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: schedule diverges at %d: %v vs %v", dist, i, a[i], b[i])
+			}
+		}
+		if dist != Constant {
+			c, _ := Schedule(dist, 37.5, 200, 10)
+			same := true
+			for i := range a {
+				if a[i] != c[i] {
+					same = false
+					break
+				}
+			}
+			if same {
+				t.Errorf("%s: different seeds produced the identical schedule", dist)
+			}
+		}
+	}
+}
+
+// TestScheduleMeanRate checks each distribution actually targets the
+// requested rate: over many arrivals the mean gap must be 1/rps
+// within sampling noise, so p99 numbers are comparable across -dist.
+func TestScheduleMeanRate(t *testing.T) {
+	const rps, n = 50.0, 20000
+	for _, dist := range []Dist{Constant, Uniform, Pareto} {
+		s, err := Schedule(dist, rps, n, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		meanGap := s[n-1].Seconds() / n
+		if math.Abs(meanGap-1/rps) > 0.05/rps {
+			t.Errorf("%s: mean gap %.6fs, want %.6fs ±5%%", dist, meanGap, 1/rps)
+		}
+		for i := 1; i < n; i++ {
+			if s[i] <= s[i-1] {
+				t.Fatalf("%s: schedule not strictly increasing at %d", dist, i)
+			}
+		}
+	}
+}
+
+// TestParetoHeavyTail verifies the Pareto schedule is actually bursty:
+// its largest gap must dwarf its mean gap (constant's never does).
+func TestParetoHeavyTail(t *testing.T) {
+	const rps, n = 50.0, 5000
+	s, _ := Schedule(Pareto, rps, n, 3)
+	var maxGap time.Duration
+	prev := time.Duration(0)
+	for _, at := range s {
+		if g := at - prev; g > maxGap {
+			maxGap = g
+		}
+		prev = at
+	}
+	mean := s[n-1] / n
+	if maxGap < 3*mean {
+		t.Errorf("pareto max gap %v is not heavy-tailed vs mean %v", maxGap, mean)
+	}
+}
+
+func TestScheduleRejectsBadInputs(t *testing.T) {
+	if _, err := Schedule(Constant, 0, 10, 1); err == nil {
+		t.Error("rps=0 accepted")
+	}
+	if _, err := Schedule(Constant, 100, 0, 1); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := Schedule(Dist("zipf"), 100, 10, 1); err == nil {
+		t.Error("unknown distribution accepted")
+	}
+	if _, err := ParseDist("zipf"); err == nil {
+		t.Error("ParseDist accepted zipf")
+	}
+	for _, ok := range []string{"constant", "uniform", "pareto"} {
+		if _, err := ParseDist(ok); err != nil {
+			t.Errorf("ParseDist(%q): %v", ok, err)
+		}
+	}
+}

@@ -1,0 +1,66 @@
+package load
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+
+	"hmeans/internal/obs"
+	"hmeans/internal/service"
+)
+
+// Daemon is a self-managed scoring service for hermetic load runs:
+// the same service stack cmd/hmeansd serves (service.Server behind
+// its Handler, observability endpoints included), booted in-process
+// on an ephemeral loopback port and torn down when the run ends. CI
+// uses it so the load gate needs no externally provisioned daemon and
+// cannot leak one.
+type Daemon struct {
+	// URL is the base URL clients should target.
+	URL string
+
+	srv *service.Server
+	hs  *http.Server
+	err chan error
+}
+
+// StartDaemon boots the service on 127.0.0.1:0 and waits for nothing:
+// the listener is accepting before it returns.
+func StartDaemon(cfg service.Config) (*Daemon, error) {
+	srv := service.New(cfg)
+	mux := srv.Handler()
+	obs.Or(cfg.Obs).Register(mux)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("load: self-managed daemon: %w", err)
+	}
+	d := &Daemon{
+		URL: "http://" + ln.Addr().String(),
+		srv: srv,
+		hs:  &http.Server{Handler: mux},
+		err: make(chan error, 1),
+	}
+	go func() { d.err <- d.hs.Serve(ln) }()
+	return d, nil
+}
+
+// Server exposes the underlying service for tests and the sizing
+// study (cache length, queue depth, inflight count).
+func (d *Daemon) Server() *service.Server { return d.srv }
+
+// Close shuts the daemon down gracefully, letting in-flight requests
+// finish briefly, and surfaces any serve-loop failure.
+func (d *Daemon) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := d.hs.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
+	if err := <-d.err; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,114 @@
+package load
+
+import (
+	"bytes"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestPayloadMixDeterministicPinned pins the exact kind sequence for
+// one (mix, n, seed): the other half of the replayability contract —
+// same -seed, same payload mix, request for request.
+func TestPayloadMixDeterministicPinned(t *testing.T) {
+	base := SyntheticBaseRequest(13, 6, 2007)
+	ps, err := BuildPayloads(base, Mix{HitPct: 60, MissPct: 30, InvalidPct: 10}, 20, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := strings.Fields("invalid miss hit miss miss hit hit invalid hit hit hit invalid invalid hit hit miss miss invalid hit invalid")
+	for i, k := range ps.Kinds {
+		if k.String() != want[i] {
+			t.Errorf("kind[%d] = %s, want %s", i, k, want[i])
+		}
+	}
+}
+
+func TestPayloadsSameSeedSameBytes(t *testing.T) {
+	base := SyntheticBaseRequest(8, 4, 1)
+	mix := Mix{HitPct: 50, MissPct: 40, InvalidPct: 10}
+	a, err := BuildPayloads(base, mix, 50, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BuildPayloads(base, mix, 50, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Bodies {
+		if a.Kinds[i] != b.Kinds[i] || !bytes.Equal(a.Bodies[i], b.Bodies[i]) {
+			t.Fatalf("payload %d diverges across identical builds", i)
+		}
+	}
+}
+
+// TestPayloadIdentities checks the cache semantics each kind encodes:
+// all hit bodies are one identical byte string (the replayed request),
+// every miss body is unique, and invalids expect a 400.
+func TestPayloadIdentities(t *testing.T) {
+	base := SyntheticBaseRequest(8, 4, 1)
+	ps, err := BuildPayloads(base, Mix{HitPct: 40, MissPct: 40, InvalidPct: 20}, 100, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hitBody []byte
+	missSeen := make(map[string]bool)
+	for i, k := range ps.Kinds {
+		switch k {
+		case KindHit:
+			if hitBody == nil {
+				hitBody = ps.Bodies[i]
+			} else if !bytes.Equal(hitBody, ps.Bodies[i]) {
+				t.Fatalf("hit payload %d differs from the replayed request", i)
+			}
+			if ps.Expect[i] != http.StatusOK {
+				t.Fatalf("hit payload %d expects %d", i, ps.Expect[i])
+			}
+		case KindMiss:
+			s := string(ps.Bodies[i])
+			if missSeen[s] {
+				t.Fatalf("miss payload %d is a duplicate — it would cache-hit", i)
+			}
+			missSeen[s] = true
+			if bytes.Equal(ps.Bodies[i], hitBody) {
+				t.Fatalf("miss payload %d equals the hit payload", i)
+			}
+			if ps.Expect[i] != http.StatusOK {
+				t.Fatalf("miss payload %d expects %d", i, ps.Expect[i])
+			}
+		case KindInvalid:
+			if ps.Expect[i] != http.StatusBadRequest {
+				t.Fatalf("invalid payload %d expects %d, want 400", i, ps.Expect[i])
+			}
+		}
+	}
+	if hitBody == nil || len(missSeen) == 0 {
+		t.Fatal("mix produced no hits or no misses at n=100")
+	}
+}
+
+func TestBuildPayloadsRejectsInvalidBase(t *testing.T) {
+	base := SyntheticBaseRequest(8, 4, 1)
+	base.Table.Rows = base.Table.Rows[:3] // shape violation
+	if _, err := BuildPayloads(base, Mix{HitPct: 100}, 10, 1); err == nil {
+		t.Error("malformed base request accepted")
+	}
+}
+
+func TestParseMix(t *testing.T) {
+	m, err := ParseMix("hit=60,miss=30,invalid=10")
+	if err != nil || m != (Mix{60, 30, 10}) {
+		t.Fatalf("ParseMix = %+v, %v", m, err)
+	}
+	if m.String() != "hit=60,miss=30,invalid=10" {
+		t.Errorf("Mix.String = %q", m.String())
+	}
+	if _, err := ParseMix("hit=100"); err != nil {
+		t.Errorf("single-component 100%% mix rejected: %v", err)
+	}
+	for _, bad := range []string{"hit=50,miss=30", "hit=60,miss=30,invalid=20", "hot=100", "hit=abc", "hit", "hit=-5,miss=105"} {
+		if _, err := ParseMix(bad); err == nil {
+			t.Errorf("ParseMix(%q) accepted", bad)
+		}
+	}
+}

@@ -1,0 +1,100 @@
+package load
+
+import (
+	"math"
+	"net/http"
+	"sync/atomic"
+
+	"hmeans/internal/obs"
+)
+
+// latencyBuckets are the recorder's fixed log-spaced bounds: 50µs to
+// 2 minutes at 15% growth (~100 buckets). Growth bounds the quantile
+// error — a reported p99 is within ±15% of the true value at any
+// magnitude — while the fixed layout keeps Observe allocation-free.
+var latencyBuckets = obs.LogBounds(0.05, 120_000, 1.15)
+
+// maxStatus bounds the dense per-status counter array; statuses
+// outside [100, maxStatus) land in the "other" bucket.
+const maxStatus = 600
+
+// recorder is the streaming latency/status sink of one run. Every
+// field is a fixed-size atomic, so recording a response in steady
+// state performs no allocation — the harness can sustain high RPS
+// without its own GC pauses polluting the tail it is measuring.
+type recorder struct {
+	hist      *obs.Histogram // latency in ms, all completed responses
+	statuses  [maxStatus]atomic.Int64
+	other     atomic.Int64 // statuses outside the dense array
+	sent      atomic.Int64 // requests handed to the transport
+	done      atomic.Int64 // responses with a status line
+	transport atomic.Int64 // requests that died without a status
+	mismatch  atomic.Int64 // status ≠ expected and ≠ 429
+	shed      atomic.Int64 // 429 replies (before any retry succeeds)
+	dropped   atomic.Int64 // 429s never resolved (open loop, or retries exhausted)
+	retries   atomic.Int64 // closed-loop Retry-After retries issued
+	maxBits   atomic.Uint64
+}
+
+func newRecorder() *recorder {
+	reg := obs.NewRegistry()
+	return &recorder{hist: reg.Histogram("load.latency_ms", latencyBuckets...)}
+}
+
+// observe records one completed response: its latency, its status,
+// and whether it honored the payload's contract. A 429 is recorded as
+// shed, never as a mismatch — shedding is the daemon keeping its
+// promise under overload; whether an unresolved shed counts against
+// the run is the loop's call (see dropShed).
+func (r *recorder) observe(status, expect int, ms float64) {
+	r.done.Add(1)
+	r.hist.Observe(ms)
+	for {
+		old := r.maxBits.Load()
+		if ms <= math.Float64frombits(old) && old != 0 {
+			break
+		}
+		if r.maxBits.CompareAndSwap(old, math.Float64bits(ms)) {
+			break
+		}
+	}
+	if status >= 100 && status < maxStatus {
+		r.statuses[status].Add(1)
+	} else {
+		r.other.Add(1)
+	}
+	if status == http.StatusTooManyRequests {
+		r.shed.Add(1)
+		return
+	}
+	if status != expect {
+		r.mismatch.Add(1)
+	}
+}
+
+// dropShed marks one shed request as finally unresolved: the open
+// loop never retries, and the closed loop exhausted its budget.
+func (r *recorder) dropShed() { r.dropped.Add(1) }
+
+// max returns the largest observed latency in ms.
+func (r *recorder) max() float64 { return math.Float64frombits(r.maxBits.Load()) }
+
+// statusCounts exports the non-zero status tallies.
+func (r *recorder) statusCounts() map[string]int64 {
+	out := make(map[string]int64)
+	for s := range r.statuses {
+		if v := r.statuses[s].Load(); v != 0 {
+			out[itoa3(s)] = v
+		}
+	}
+	if v := r.other.Load(); v != 0 {
+		out["other"] = v
+	}
+	return out
+}
+
+// itoa3 formats a 3-digit status without strconv's interface boxing
+// (cosmetic — this only runs once per run, at report time).
+func itoa3(s int) string {
+	return string([]byte{byte('0' + s/100), byte('0' + s/10%10), byte('0' + s%10)})
+}

@@ -1,0 +1,145 @@
+package load
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"hmeans/internal/viz"
+)
+
+// Schema identifies the load-report JSON format. Version 1: totals,
+// dense status counts, interpolated log-bucket percentiles.
+const Schema = "hmeans-load/1"
+
+// Report is the hmeans-load/1 record one run produces: enough to gate
+// CI on, diff across commits, and reconstruct what was driven.
+type Report struct {
+	Schema string `json:"schema"`
+	// Config echoes the run parameters, so an uploaded artifact is
+	// self-describing.
+	Config ReportConfig `json:"config"`
+	// Totals are the request-accounting counters; see each field.
+	Totals Totals `json:"totals"`
+	// StatusCounts tallies responses per HTTP status code.
+	StatusCounts map[string]int64 `json:"status_counts"`
+	// LatencyMs summarizes the latency distribution of every response
+	// that carried a status line (shed 429s included — a fast 429 is
+	// still an answer the client waited for).
+	LatencyMs Latency `json:"latency_ms"`
+	// ThroughputRPS is completed responses per wall-clock second.
+	ThroughputRPS float64 `json:"throughput_rps"`
+	// ErrorRate is Totals.Errors / Totals.Sent.
+	ErrorRate float64 `json:"error_rate"`
+	// DurationS is the wall-clock span from first send to last reply.
+	DurationS float64 `json:"duration_s"`
+}
+
+// ReportConfig echoes the parameters of the run.
+type ReportConfig struct {
+	Mode        string         `json:"mode"`
+	Dist        string         `json:"dist"`
+	RPS         float64        `json:"rps"`
+	Requests    int            `json:"requests"`
+	Concurrency int            `json:"concurrency,omitempty"`
+	Seed        uint64         `json:"seed"`
+	Mix         string         `json:"mix"`
+	Payloads    map[string]int `json:"payloads"`
+	Target      string         `json:"target"`
+	SelfManaged bool           `json:"self_managed,omitempty"`
+	MaxInflight int            `json:"max_inflight,omitempty"`
+	QueueDepth  int            `json:"queue_depth,omitempty"`
+	Workloads   int            `json:"workloads"`
+}
+
+// Totals is the request accounting of one run.
+type Totals struct {
+	// Sent counts requests handed to the transport.
+	Sent int64 `json:"sent"`
+	// Done counts responses that carried an HTTP status line.
+	Done int64 `json:"done"`
+	// Retries counts closed-loop re-sends after a 429 Retry-After.
+	Retries int64 `json:"retries"`
+	// Shed counts 429 replies (each retry's 429 counts again).
+	Shed int64 `json:"shed"`
+	// DroppedShed counts requests that ended in a 429: the open loop
+	// never retries, and the closed loop ran out of retry budget.
+	DroppedShed int64 `json:"dropped_shed"`
+	// TransportErrors counts requests with no status line at all.
+	TransportErrors int64 `json:"transport_errors"`
+	// Mismatches counts responses whose status was neither the
+	// payload's expected status nor a 429 — 5xx, unexpected 4xx, or a
+	// 200 for a payload the daemon must reject.
+	Mismatches int64 `json:"mismatches"`
+	// Errors = TransportErrors + Mismatches + DroppedShed: every
+	// request the client could not turn into its contracted answer.
+	Errors int64 `json:"errors"`
+}
+
+// Latency summarizes the latency histogram in milliseconds.
+type Latency struct {
+	P50   float64 `json:"p50"`
+	P90   float64 `json:"p90"`
+	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
+	Max   float64 `json:"max"`
+	Mean  float64 `json:"mean"`
+	Count uint64  `json:"count"`
+}
+
+// ReadReport loads and schema-checks an hmeans-load/1 file.
+func ReadReport(path string) (*Report, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var rep Report
+	if err := json.NewDecoder(f).Decode(&rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if rep.Schema != Schema {
+		return nil, fmt.Errorf("%s: schema %q, want %q", path, rep.Schema, Schema)
+	}
+	return &rep, nil
+}
+
+// WriteJSON encodes the report, indented, with a trailing newline.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// WriteTable renders the human-readable summary the JSON schema
+// serializes.
+func (r *Report) WriteTable(w io.Writer) error {
+	fmt.Fprintf(w, "load run: %s/%s %d requests @ %g rps (mix %s, seed %d) against %s\n",
+		r.Config.Mode, r.Config.Dist, r.Config.Requests, r.Config.RPS,
+		r.Config.Mix, r.Config.Seed, r.Config.Target)
+	t := viz.NewTable("metric", "value")
+	// Two columns per row by construction, so AddRow cannot fail.
+	add := func(name, val string) { _ = t.AddRow(name, val) }
+	add("throughput", fmt.Sprintf("%.1f rps", r.ThroughputRPS))
+	add("duration", fmt.Sprintf("%.2f s", r.DurationS))
+	add("p50 / p95 / p99", fmt.Sprintf("%.1f / %.1f / %.1f ms", r.LatencyMs.P50, r.LatencyMs.P95, r.LatencyMs.P99))
+	add("max / mean", fmt.Sprintf("%.1f / %.1f ms", r.LatencyMs.Max, r.LatencyMs.Mean))
+	add("sent / done", fmt.Sprintf("%d / %d", r.Totals.Sent, r.Totals.Done))
+	add("shed (429) / retries", fmt.Sprintf("%d / %d", r.Totals.Shed, r.Totals.Retries))
+	add("errors", fmt.Sprintf("%d (rate %.4f)", r.Totals.Errors, r.ErrorRate))
+	for _, code := range sortedKeys(r.StatusCounts) {
+		add("status "+code, fmt.Sprintf("%d", r.StatusCounts[code]))
+	}
+	return t.Render(w)
+}
+
+func sortedKeys(m map[string]int64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,128 @@
+package load
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func sampleReport() *Report {
+	return &Report{
+		Schema: Schema,
+		Config: ReportConfig{Mode: "open", Dist: "uniform", RPS: 30, Requests: 300,
+			Seed: 1, Mix: "hit=60,miss=30,invalid=10", Target: "http://127.0.0.1:1"},
+		Totals:        Totals{Sent: 300, Done: 300, Shed: 3, Errors: 3, DroppedShed: 3},
+		StatusCounts:  map[string]int64{"200": 267, "400": 30, "429": 3},
+		LatencyMs:     Latency{P50: 4, P90: 12, P95: 20, P99: 80, Max: 120, Mean: 7, Count: 300},
+		ThroughputRPS: 29.5,
+		ErrorRate:     0.01,
+		DurationS:     10.2,
+	}
+}
+
+func TestReportJSONRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "report.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := sampleReport()
+	if err := rep.WriteJSON(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	got, err := ReadReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Totals != rep.Totals || got.LatencyMs != rep.LatencyMs {
+		t.Fatalf("round trip diverged: %+v vs %+v", got, rep)
+	}
+	if got.Config.Mode != rep.Config.Mode || got.Config.Mix != rep.Config.Mix ||
+		got.StatusCounts["200"] != rep.StatusCounts["200"] {
+		t.Fatalf("config/status round trip diverged: %+v", got)
+	}
+}
+
+func TestReadReportRejectsWrongSchema(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(path, []byte(`{"schema":"hmeans-load/0"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadReport(path); err == nil || !strings.Contains(err.Error(), "schema") {
+		t.Fatalf("wrong schema accepted: %v", err)
+	}
+}
+
+func TestWriteTable(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleReport().WriteTable(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"p50 / p95 / p99", "429", "throughput", "open/uniform"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table output lacks %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSLOCheck(t *testing.T) {
+	rep := sampleReport()
+	ok := &SLO{Schema: SLOSchema, MaxP99Ms: 100, MaxErrorRate: 0.02}
+	if err := rep.Check(ok); err != nil {
+		t.Errorf("within-budget report breached: %v", err)
+	}
+	p99 := &SLO{Schema: SLOSchema, MaxP99Ms: 50, MaxErrorRate: 0.02}
+	if err := rep.Check(p99); err == nil || !strings.Contains(err.Error(), "p99") {
+		t.Errorf("p99 breach not reported: %v", err)
+	}
+	errRate := &SLO{Schema: SLOSchema, MaxP99Ms: 100, MaxErrorRate: 0.001}
+	if err := rep.Check(errRate); err == nil || !strings.Contains(err.Error(), "error rate") {
+		t.Errorf("error-rate breach not reported: %v", err)
+	}
+	thr := &SLO{Schema: SLOSchema, MaxP99Ms: 100, MaxErrorRate: 0.02, MinThroughputRPS: 50}
+	if err := rep.Check(thr); err == nil || !strings.Contains(err.Error(), "throughput") {
+		t.Errorf("throughput breach not reported: %v", err)
+	}
+	// Every breach must be named at once, not just the first.
+	all := &SLO{Schema: SLOSchema, MaxP99Ms: 1, MaxErrorRate: 0.001, MinThroughputRPS: 50}
+	err := rep.Check(all)
+	if err == nil {
+		t.Fatal("triple breach passed")
+	}
+	for _, want := range []string{"p99", "error rate", "throughput"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("triple breach omits %q: %v", want, err)
+		}
+	}
+}
+
+func TestReadSLO(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, body string) string {
+		t.Helper()
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	good := write("good.json", `{"schema":"hmeans-slo/1","max_p99_ms":1500,"max_error_rate":0.01}`)
+	slo, err := ReadSLO(good)
+	if err != nil || slo.MaxP99Ms != 1500 || slo.MaxErrorRate != 0.01 {
+		t.Fatalf("ReadSLO = %+v, %v", slo, err)
+	}
+	for name, body := range map[string]string{
+		"schema.json":  `{"schema":"hmeans-slo/9","max_p99_ms":1}`,
+		"nop99.json":   `{"schema":"hmeans-slo/1","max_error_rate":0.01}`,
+		"badrate.json": `{"schema":"hmeans-slo/1","max_p99_ms":1,"max_error_rate":2}`,
+		"unknown.json": `{"schema":"hmeans-slo/1","max_p99_ms":1,"max_error_rate":0.1,"p99":5}`,
+	} {
+		if _, err := ReadSLO(write(name, body)); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}

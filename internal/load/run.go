@@ -1,0 +1,340 @@
+// Package load is the production load harness behind cmd/hmeansload:
+// it drives a live hmeansd the way a fleet of clients would and turns
+// what comes back into a gateable tail-latency report.
+//
+// Two loop disciplines are supported, because they answer different
+// questions:
+//
+//   - The open loop fires requests on a precomputed arrival schedule
+//     regardless of how fast the daemon answers. Arrivals do not slow
+//     down when the service does, so queueing delay shows up in the
+//     measured latencies instead of being silently absorbed — this is
+//     the discipline that exposes tail collapse and coordinated
+//     omission, and the one the CI gate uses.
+//   - The closed loop keeps a fixed number of workers, each waiting
+//     for its response (honoring 429 Retry-After) before sending the
+//     next request. It measures sustainable throughput under polite
+//     clients and exercises the retry path.
+//
+// Arrival schedules and payload mixes are pure functions of the seed
+// (internal/rng, no math/rand), so a run is replayable: same -seed,
+// same schedule, same payload sequence, byte for byte.
+package load
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hmeans/internal/obs"
+	"hmeans/internal/service"
+)
+
+// Mode names a load-generation loop discipline.
+type Mode string
+
+// The supported modes.
+const (
+	Open   Mode = "open"
+	Closed Mode = "closed"
+)
+
+// ParseMode validates a -mode flag value.
+func ParseMode(s string) (Mode, error) {
+	switch Mode(s) {
+	case Open, Closed:
+		return Mode(s), nil
+	}
+	return "", fmt.Errorf("unknown mode %q (want open or closed)", s)
+}
+
+// Config describes one load run.
+type Config struct {
+	// BaseURL targets the daemon (e.g. http://127.0.0.1:8080).
+	BaseURL string
+	// Mode selects the loop discipline.
+	Mode Mode
+	// Dist shapes inter-arrival (open) or think-time (closed) gaps.
+	Dist Dist
+	// RPS is the target mean arrival rate. In closed mode 0 disables
+	// think time entirely (maximum pressure).
+	RPS float64
+	// Payloads is the pre-built request sequence; its length is the
+	// request count.
+	Payloads *PayloadSet
+	// Concurrency is the closed-loop worker count; ignored when open.
+	Concurrency int
+	// Seed derives the arrival/think schedule (the payload sequence
+	// was seeded at BuildPayloads time).
+	Seed uint64
+	// MaxRetries bounds closed-loop Retry-After retries per request;
+	// negative means 0.
+	MaxRetries int
+	// Obs, when active, receives a span per run plus client-side
+	// counters and the latency histogram under load.* names. Nil
+	// falls back to the process default.
+	Obs *obs.Observer
+	// Client overrides the HTTP client; nil builds one sized for the
+	// run's concurrency.
+	Client *http.Client
+}
+
+// Run executes the configured load run and summarizes it. ctx cancels
+// the run early; whatever was measured up to that point is still
+// reported (with an error only if nothing completed).
+func Run(ctx context.Context, cfg Config) (*Report, error) {
+	if cfg.Payloads == nil || len(cfg.Payloads.Kinds) == 0 {
+		return nil, fmt.Errorf("load: no payloads")
+	}
+	n := len(cfg.Payloads.Kinds)
+	if cfg.Mode == Closed && cfg.Concurrency <= 0 {
+		return nil, fmt.Errorf("load: closed loop needs concurrency > 0, got %d", cfg.Concurrency)
+	}
+	if cfg.MaxRetries < 0 {
+		cfg.MaxRetries = 0
+	}
+	var schedule []time.Duration
+	if cfg.Mode == Open || cfg.RPS > 0 {
+		var err error
+		if schedule, err = Schedule(cfg.Dist, cfg.RPS, n, cfg.Seed); err != nil {
+			return nil, err
+		}
+	}
+	client := cfg.Client
+	if client == nil {
+		workers := cfg.Concurrency
+		if cfg.Mode == Open {
+			workers = n // open loop: every request may be in flight at once
+		}
+		client = &http.Client{Transport: &http.Transport{
+			MaxIdleConns:        workers,
+			MaxIdleConnsPerHost: workers,
+		}}
+	}
+
+	o := obs.Or(cfg.Obs)
+	sp := o.StartSpan("load.run",
+		obs.KV("mode", string(cfg.Mode)), obs.KV("dist", string(cfg.Dist)),
+		obs.KV("requests", n), obs.KV("rps", cfg.RPS))
+	defer sp.End()
+
+	rec := newRecorder()
+	url := cfg.BaseURL + "/v1/score"
+	start := time.Now()
+	switch cfg.Mode {
+	case Open:
+		runOpen(ctx, client, url, cfg.Payloads, schedule, rec)
+	default:
+		runClosed(ctx, client, url, cfg.Payloads, schedule, cfg.Concurrency, cfg.MaxRetries, rec)
+	}
+	wall := time.Since(start)
+
+	rep := assemble(cfg, rec, wall)
+	sp.SetAttr("done", rep.Totals.Done)
+	sp.SetAttr("errors", rep.Totals.Errors)
+	sp.SetAttr("p99_ms", rep.LatencyMs.P99)
+	if o.Active() {
+		m := o.Metrics()
+		m.Counter("load.sent").Add(rep.Totals.Sent)
+		m.Counter("load.errors").Add(rep.Totals.Errors)
+		m.Counter("load.shed").Add(rep.Totals.Shed)
+	}
+	if rep.Totals.Done == 0 {
+		return rep, fmt.Errorf("load: no request completed (transport errors: %d)", rep.Totals.TransportErrors)
+	}
+	return rep, nil
+}
+
+// runOpen fires request i at schedule[i] no matter what came back
+// earlier. A 429 is terminal here: an open-loop client that re-queued
+// sheds would change the arrival process it is supposed to hold fixed.
+func runOpen(ctx context.Context, client *http.Client, url string, ps *PayloadSet, schedule []time.Duration, rec *recorder) {
+	start := time.Now()
+	timer := time.NewTimer(0)
+	defer timer.Stop()
+	var wg sync.WaitGroup
+	for i := range ps.Bodies {
+		wait := schedule[i] - time.Since(start)
+		if wait > 0 {
+			timer.Reset(wait)
+			select {
+			case <-timer.C:
+			case <-ctx.Done():
+				wg.Wait()
+				return
+			}
+		} else if ctx.Err() != nil {
+			wg.Wait()
+			return
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			status := send(ctx, client, url, ps.Bodies[i], ps.Expect[i], rec)
+			if status == http.StatusTooManyRequests {
+				rec.dropShed()
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+// runClosed runs workers pulls requests off a shared index; each
+// worker sleeps its think gap, sends, and on a 429 honors the
+// daemon's Retry-After before re-sending the same payload.
+func runClosed(ctx context.Context, client *http.Client, url string, ps *PayloadSet, schedule []time.Duration, workers, maxRetries int, rec *recorder) {
+	var next atomic.Int64
+	gapAt := func(i int) time.Duration {
+		if schedule == nil {
+			return 0
+		}
+		if i == 0 {
+			return schedule[0]
+		}
+		return schedule[i] - schedule[i-1]
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1) - 1)
+				if i >= len(ps.Bodies) || ctx.Err() != nil {
+					return
+				}
+				if gap := gapAt(i); gap > 0 && !sleep(ctx, gap) {
+					return
+				}
+				for attempt := 0; ; attempt++ {
+					status := send(ctx, client, url, ps.Bodies[i], ps.Expect[i], rec)
+					if status != http.StatusTooManyRequests {
+						break
+					}
+					if attempt >= maxRetries || !sleep(ctx, retryAfterDelay()) {
+						rec.dropShed()
+						break
+					}
+					rec.retries.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// retryAfterDelay converts the service's exported Retry-After
+// contract into a wait. The daemon always sends whole seconds
+// (service.RetryAfter); parsing the shared constant instead of the
+// response header keeps the delay deterministic and pins the two
+// sides together at compile^W test time.
+func retryAfterDelay() time.Duration {
+	secs, err := strconv.Atoi(service.RetryAfter)
+	if err != nil || secs < 1 {
+		secs = 1
+	}
+	return time.Duration(secs) * time.Second
+}
+
+// send issues one request and records the outcome. It returns the
+// HTTP status, or 0 on a transport error.
+func send(ctx context.Context, client *http.Client, url string, body []byte, expect int, rec *recorder) int {
+	rec.sent.Add(1)
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		rec.transport.Add(1)
+		return 0
+	}
+	req.Header.Set("Content-Type", "application/json")
+	t0 := time.Now()
+	resp, err := client.Do(req)
+	if err != nil {
+		rec.transport.Add(1)
+		return 0
+	}
+	// Drain so the connection is reusable, then time the full
+	// response, body included — that is what a client experiences.
+	_, _ = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	rec.observe(resp.StatusCode, expect, float64(time.Since(t0))/float64(time.Millisecond))
+	return resp.StatusCode
+}
+
+// sleep waits d or until ctx fires; it reports whether the full wait
+// completed.
+func sleep(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// assemble folds the recorder into the report.
+func assemble(cfg Config, rec *recorder, wall time.Duration) *Report {
+	sent := rec.sent.Load()
+	errs := rec.transport.Load() + rec.mismatch.Load() + rec.dropped.Load()
+	rep := &Report{
+		Schema: Schema,
+		Config: ReportConfig{
+			Mode:        string(cfg.Mode),
+			Dist:        string(cfg.Dist),
+			RPS:         cfg.RPS,
+			Requests:    len(cfg.Payloads.Kinds),
+			Concurrency: cfg.Concurrency,
+			Seed:        cfg.Seed,
+			Mix:         mixOf(cfg.Payloads),
+			Payloads:    cfg.Payloads.Counts(),
+			Target:      cfg.BaseURL,
+		},
+		Totals: Totals{
+			Sent:            sent,
+			Done:            rec.done.Load(),
+			Retries:         rec.retries.Load(),
+			Shed:            rec.shed.Load(),
+			DroppedShed:     rec.dropped.Load(),
+			TransportErrors: rec.transport.Load(),
+			Mismatches:      rec.mismatch.Load(),
+			Errors:          errs,
+		},
+		StatusCounts: rec.statusCounts(),
+		LatencyMs: Latency{
+			P50:   rec.hist.Quantile(0.50),
+			P90:   rec.hist.Quantile(0.90),
+			P95:   rec.hist.Quantile(0.95),
+			P99:   rec.hist.Quantile(0.99),
+			Max:   rec.max(),
+			Mean:  rec.hist.Mean(),
+			Count: rec.hist.Count(),
+		},
+		DurationS: wall.Seconds(),
+	}
+	if wall > 0 {
+		rep.ThroughputRPS = float64(rep.Totals.Done) / wall.Seconds()
+	}
+	if sent > 0 {
+		rep.ErrorRate = float64(errs) / float64(sent)
+	}
+	return rep
+}
+
+// mixOf reconstructs the percentage string from the materialized set
+// (exact when n is a multiple of 100, descriptive otherwise).
+func mixOf(ps *PayloadSet) string {
+	n := len(ps.Kinds)
+	if n == 0 {
+		return ""
+	}
+	c := ps.Counts()
+	return fmt.Sprintf("hit=%d,miss=%d,invalid=%d",
+		100*c[KindHit.String()]/n, 100*c[KindMiss.String()]/n, 100*c[KindInvalid.String()]/n)
+}

@@ -1,0 +1,74 @@
+package load
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// SLOSchema identifies the SLO file format.
+const SLOSchema = "hmeans-slo/1"
+
+// SLO is the committed service-level objective the load gate enforces
+// (slo.json at the repo root). The gate measures p99 rather than the
+// mean deliberately: a mean hides exactly the queueing collapse the
+// harness exists to catch — a daemon can average 20ms while its 99th
+// percentile sits behind a saturated queue for seconds, and it is the
+// tail every fleet-wide deployment feels first.
+type SLO struct {
+	Schema string `json:"schema"`
+	// MaxP99Ms bounds the 99th-percentile latency in milliseconds.
+	MaxP99Ms float64 `json:"max_p99_ms"`
+	// MaxErrorRate bounds Totals.Errors / Totals.Sent — transport
+	// failures, contract mismatches and unresolved sheds.
+	MaxErrorRate float64 `json:"max_error_rate"`
+	// MinThroughputRPS optionally requires a completion rate; 0
+	// disables the check.
+	MinThroughputRPS float64 `json:"min_throughput_rps,omitempty"`
+}
+
+// ReadSLO loads and schema-checks an hmeans-slo/1 file.
+func ReadSLO(path string) (*SLO, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var slo SLO
+	dec := json.NewDecoder(f)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&slo); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if slo.Schema != SLOSchema {
+		return nil, fmt.Errorf("%s: schema %q, want %q", path, slo.Schema, SLOSchema)
+	}
+	if !(slo.MaxP99Ms > 0) {
+		return nil, fmt.Errorf("%s: max_p99_ms must be > 0, got %v", path, slo.MaxP99Ms)
+	}
+	if slo.MaxErrorRate < 0 || slo.MaxErrorRate > 1 {
+		return nil, fmt.Errorf("%s: max_error_rate must be in [0, 1], got %v", path, slo.MaxErrorRate)
+	}
+	return &slo, nil
+}
+
+// Check compares the report against the SLO and returns an error
+// naming every breach (non-nil means the gate fails).
+func (r *Report) Check(slo *SLO) error {
+	var breaches []string
+	if r.LatencyMs.P99 > slo.MaxP99Ms {
+		breaches = append(breaches, fmt.Sprintf("p99 %.1fms > %.1fms", r.LatencyMs.P99, slo.MaxP99Ms))
+	}
+	if r.ErrorRate > slo.MaxErrorRate {
+		breaches = append(breaches, fmt.Sprintf("error rate %.4f > %.4f (%d errors / %d sent)",
+			r.ErrorRate, slo.MaxErrorRate, r.Totals.Errors, r.Totals.Sent))
+	}
+	if slo.MinThroughputRPS > 0 && r.ThroughputRPS < slo.MinThroughputRPS {
+		breaches = append(breaches, fmt.Sprintf("throughput %.1f rps < %.1f rps", r.ThroughputRPS, slo.MinThroughputRPS))
+	}
+	if len(breaches) > 0 {
+		return fmt.Errorf("SLO breach: %s", strings.Join(breaches, "; "))
+	}
+	return nil
+}

@@ -168,6 +168,62 @@ func (h *Histogram) Mean() float64 {
 	return h.Sum() / float64(n)
 }
 
+// Quantile estimates the q-quantile (0 < q <= 1) of the observed
+// values from the bucket counts, interpolating linearly inside the
+// bucket that contains the target rank. The estimate is therefore
+// never off by more than one bucket width — with LogBounds buckets,
+// a bounded relative error. Values that landed in the overflow
+// bucket are reported as the last bound (a lower bound on the truth).
+// Returns 0 before any observation.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	total := float64(h.count.Load())
+	if total == 0 || len(h.bounds) == 0 {
+		return 0
+	}
+	rank := q * total
+	if rank < 1 {
+		rank = 1
+	}
+	cum := 0.0
+	for i := range h.counts {
+		c := float64(h.counts[i].Load())
+		if c == 0 || cum+c < rank {
+			cum += c
+			continue
+		}
+		if i == len(h.bounds) {
+			return h.bounds[len(h.bounds)-1]
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = h.bounds[i-1]
+		}
+		return lo + (rank-cum)/c*(h.bounds[i]-lo)
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// LogBounds builds geometrically spaced histogram bucket bounds from
+// lo up to at least hi, each growth times the previous. Log spacing
+// gives latency histograms a constant *relative* resolution: the
+// quantile error is bounded by the growth factor at every magnitude,
+// which a linear grid cannot do across µs-to-minutes ranges.
+func LogBounds(lo, hi, growth float64) []float64 {
+	if !(lo > 0) || !(hi > lo) || !(growth > 1) {
+		return nil
+	}
+	var bounds []float64
+	for b := lo; ; b *= growth {
+		bounds = append(bounds, b)
+		if b >= hi {
+			return bounds
+		}
+	}
+}
+
 // HistogramSnapshot is an exportable view of a histogram.
 type HistogramSnapshot struct {
 	Bounds []float64 `json:"bounds"`

@@ -1,0 +1,99 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"hmeans/internal/rng"
+)
+
+// TestQuantileAgainstSortedOracle pins the histogram's percentile
+// math against the exact answer computed from a sorted slice: for
+// log-spaced buckets with growth g, the interpolated estimate must
+// land within one bucket of the oracle, i.e. within a factor of g.
+func TestQuantileAgainstSortedOracle(t *testing.T) {
+	const growth = 1.15
+	bounds := LogBounds(0.05, 120_000, growth)
+	for _, seed := range []uint64{1, 2, 3} {
+		r := NewRegistry()
+		h := r.Histogram("lat", bounds...)
+		src := rng.New(seed)
+		// A mix of a log-uniform body and a heavy tail, the shape the
+		// recorder sees in practice.
+		vals := make([]float64, 5000)
+		for i := range vals {
+			v := math.Exp(src.Float64()*8 - 2) // ~0.14ms .. 400ms
+			if src.Float64() < 0.02 {
+				v *= 40 // tail spikes
+			}
+			vals[i] = v
+			h.Observe(v)
+		}
+		sorted := append([]float64(nil), vals...)
+		sort.Float64s(sorted)
+		for _, q := range []float64{0.50, 0.90, 0.95, 0.99, 0.999} {
+			rank := int(math.Ceil(q * float64(len(sorted))))
+			oracle := sorted[rank-1]
+			got := h.Quantile(q)
+			if got < oracle/growth || got > oracle*growth {
+				t.Errorf("seed %d q=%v: Quantile = %v, oracle %v (allowed ×/÷ %v)",
+					seed, q, got, oracle, growth)
+			}
+		}
+	}
+}
+
+func TestQuantileEdgeCases(t *testing.T) {
+	var nilH *Histogram
+	if got := nilH.Quantile(0.99); got != 0 {
+		t.Errorf("nil histogram Quantile = %v, want 0", got)
+	}
+	r := NewRegistry()
+	h := r.Histogram("empty", 1, 10)
+	if got := h.Quantile(0.5); got != 0 {
+		t.Errorf("empty histogram Quantile = %v, want 0", got)
+	}
+	h.Observe(5)
+	got := h.Quantile(0.5)
+	if got <= 1 || got > 10 {
+		t.Errorf("single observation in (1,10] bucket: Quantile = %v", got)
+	}
+	// Overflow observations report the last bound, a lower bound on
+	// the truth, never a fabricated larger number.
+	h2 := r.Histogram("overflow", 1, 10)
+	h2.Observe(1e9)
+	if got := h2.Quantile(0.99); got != 10 {
+		t.Errorf("overflow Quantile = %v, want last bound 10", got)
+	}
+}
+
+func TestLogBounds(t *testing.T) {
+	b := LogBounds(1, 1000, 2)
+	if len(b) == 0 || b[0] != 1 {
+		t.Fatalf("LogBounds start = %v", b)
+	}
+	if last := b[len(b)-1]; last < 1000 {
+		t.Errorf("LogBounds stops at %v before hi", last)
+	}
+	for i := 1; i < len(b); i++ {
+		if b[i] != b[i-1]*2 {
+			t.Errorf("bound %d: %v is not 2× %v", i, b[i], b[i-1])
+		}
+	}
+	if LogBounds(0, 10, 2) != nil || LogBounds(1, 1, 2) != nil || LogBounds(1, 10, 1) != nil {
+		t.Error("degenerate LogBounds inputs must return nil")
+	}
+}
+
+// TestHistogramObserveAllocationFree pins the recorder contract the
+// load harness depends on: recording a latency in steady state must
+// not allocate.
+func TestHistogramObserveAllocationFree(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("alloc", LogBounds(0.05, 120_000, 1.15)...)
+	h.Observe(1) // warm up
+	if allocs := testing.AllocsPerRun(100, func() { h.Observe(3.7) }); allocs != 0 {
+		t.Errorf("Histogram.Observe allocates %v per op, want 0", allocs)
+	}
+}

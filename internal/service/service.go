@@ -16,6 +16,14 @@ import (
 	"hmeans/internal/obs"
 )
 
+// DefaultQueueDepth is the -queue-depth default shared by cmd/hmeansd
+// and hmeansload's self-managed daemon. Sized empirically with the
+// load harness (see EXPERIMENTS.md "Sizing the daemon's queue"): deep
+// enough that transient bursts at sustainable rates queue instead of
+// shedding, shallow enough that queueing delay cannot push p99 past
+// the SLO before the limiter starts saying 429.
+const DefaultQueueDepth = 64
+
 // Config configures a scoring server. The zero value is usable:
 // worker pool sized to the CPU count, no queue, no cache, no compute
 // deadline.
@@ -73,6 +81,14 @@ func New(cfg Config) *Server {
 		lim:   newLimiter(cfg.MaxInflight, cfg.QueueDepth),
 	}
 }
+
+// RetryAfter is the Retry-After header value (whole seconds) sent
+// with every 429: a shed request should come back once the pool has
+// drained a slot, and one second is a safe lower bound for a pipeline
+// run at suite scale. Exported so load clients (cmd/hmeansload's
+// closed loop) and the overload tests share the service's contract
+// instead of re-parsing a magic number.
+const RetryAfter = "1"
 
 // Cache statuses reported in the X-Hmeans-Cache response header.
 const (
@@ -370,10 +386,7 @@ func (s *Server) writeError(w http.ResponseWriter, sp *obs.Span, status int, err
 	sp.SetAttr("status", status)
 	sp.SetAttr("error", err.Error())
 	if status == http.StatusTooManyRequests {
-		// A rejected request should come back once the pool has
-		// drained a slot; one second is a safe lower bound for a
-		// pipeline run at suite scale.
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", RetryAfter)
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
