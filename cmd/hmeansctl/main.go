@@ -9,6 +9,10 @@
 //
 // -json dumps the raw response bytes instead, byte-identical across
 // cache hits and cold paths for identical inputs.
+//
+// Every request is sent with an X-Request-ID (-request-id, generated
+// when omitted); -v prints it, and the daemon logs and traces the
+// same ID, so one key correlates client output with server telemetry.
 package main
 
 import (
@@ -47,7 +51,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 		seed       = fs.Uint64("seed", 2007, "SOM training seed")
 		health     = fs.Bool("health", false, "check the daemon's /healthz and exit")
 		rawJSON    = fs.Bool("json", false, "print the raw JSON response instead of the rendered result")
-		verbose    = fs.Bool("v", false, "report the cache status (X-Hmeans-Cache) on stderr")
+		verbose    = fs.Bool("v", false, "report the request ID and cache status (X-Request-ID, X-Hmeans-Cache) on stderr")
+		requestID  = fs.String("request-id", "", "X-Request-ID to send for cross-process correlation (empty: generate one)")
 	)
 	timeout := cliutil.RegisterTimeout(fs)
 	obsFlags := obs.RegisterFlags(fs)
@@ -70,7 +75,17 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if err != nil {
 		return err
 	}
-	raw, cacheStatus, err := post(ctx, base+"/v1/score", req)
+	// The correlation ID is decided client-side (or generated here) so
+	// it is known even when the daemon never answers: the same ID then
+	// names this request in the daemon's access log and trace.
+	id := *requestID
+	if id == "" {
+		id = service.NewRequestID()
+	}
+	if *verbose {
+		fmt.Fprintf(stderr, "request: %s\n", id)
+	}
+	raw, cacheStatus, err := post(ctx, base+"/v1/score", id, req)
 	if err != nil {
 		return err
 	}
@@ -169,7 +184,7 @@ func (e *remoteError) Error() string { return fmt.Sprintf("%s (HTTP %d)", e.msg,
 // DataError implements cliutil's marker for invalid-input errors.
 func (e *remoteError) DataError() bool { return e.status == http.StatusBadRequest }
 
-func post(ctx context.Context, url string, req *service.Request) (raw []byte, cacheStatus string, err error) {
+func post(ctx context.Context, url, requestID string, req *service.Request) (raw []byte, cacheStatus string, err error) {
 	body, err := json.Marshal(req)
 	if err != nil {
 		return nil, "", err
@@ -179,6 +194,7 @@ func post(ctx context.Context, url string, req *service.Request) (raw []byte, ca
 		return nil, "", err
 	}
 	hreq.Header.Set("Content-Type", "application/json")
+	hreq.Header.Set(service.HeaderRequestID, requestID)
 	resp, err := http.DefaultClient.Do(hreq)
 	if err != nil {
 		return nil, "", err

@@ -155,6 +155,32 @@ func TestJSONByteIdentity(t *testing.T) {
 	}
 }
 
+// TestRequestIDFlag checks the correlation contract from the client
+// side: -v names the request before posting, a chosen -request-id is
+// sent verbatim, and an omitted one is generated in the r- shape.
+func TestRequestIDFlag(t *testing.T) {
+	base := startDaemon(t)
+	scoresPath, charsPath := writeInputs(t)
+	code, _, stderr := exec(t, "-addr", base,
+		"-scores", scoresPath, "-chars", charsPath, "-k", "2",
+		"-request-id", "ctl-test-7", "-v")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, stderr)
+	}
+	if !strings.Contains(stderr, "request: ctl-test-7\n") {
+		t.Fatalf("-v did not report the chosen request id: %q", stderr)
+	}
+
+	code, _, stderr = exec(t, "-addr", base,
+		"-scores", scoresPath, "-chars", charsPath, "-k", "2", "-v")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, stderr)
+	}
+	if !strings.Contains(stderr, "request: r-") {
+		t.Fatalf("-v did not report a generated request id: %q", stderr)
+	}
+}
+
 // TestRemoteBadRequestExitsThree checks that a daemon-side 400 maps to
 // the batch CLI's invalid-input exit code.
 func TestRemoteBadRequestExitsThree(t *testing.T) {

@@ -22,6 +22,15 @@
 // worker pool and its queue are both full the daemon sheds load with
 // 429 + Retry-After instead of queueing without bound.
 //
+// Request telemetry: every request gets an X-Request-ID (the client's
+// when valid, generated otherwise) that is echoed in the response,
+// stamped on the request's trace span, and written to the structured
+// access log enabled with -access-log (one slog JSON line per request
+// including shed 429s and timed-out 504s). /metrics answers JSON by
+// default and the Prometheus text exposition under Accept: text/plain
+// or ?format=prometheus; -runtime-sample feeds goroutine/heap/GC-pause
+// metrics into it periodically.
+//
 // The daemon shuts down cleanly on SIGINT/SIGTERM (and when -timeout
 // elapses), flushing any -obs.trace file on the way out.
 package main
@@ -32,6 +41,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -59,6 +69,8 @@ func run(args []string, stdout io.Writer) error {
 		cacheSize   = fs.Int("cache-size", 128, "content-addressed result cache entries (0 disables)")
 		reqTimeout  = fs.Duration("request-timeout", 0, "per-request compute deadline (e.g. 30s); 0 = none")
 		parallel    = fs.Int("parallel", 1, "worker count per pipeline run (0 = all CPUs); results are identical for every value")
+		accessLog   = fs.String("access-log", "", "structured request log destination: a file path, or - for stderr (empty disables)")
+		sampleEvery = fs.Duration("runtime-sample", 5*time.Second, "runtime metrics sampling interval (goroutines, heap, GC pauses); 0 disables")
 	)
 	timeout := cliutil.RegisterTimeout(fs)
 	obsFlags := obs.RegisterFlags(fs)
@@ -83,6 +95,9 @@ func run(args []string, stdout io.Writer) error {
 	if *reqTimeout < 0 {
 		return cliutil.Usagef("-request-timeout must be >= 0, got %v", *reqTimeout)
 	}
+	if *sampleEvery < 0 {
+		return cliutil.Usagef("-runtime-sample must be >= 0, got %v", *sampleEvery)
+	}
 	sess, err := obsFlags.Start()
 	if err != nil {
 		return err
@@ -96,6 +111,8 @@ func run(args []string, stdout io.Writer) error {
 		cacheSize:   *cacheSize,
 		reqTimeout:  *reqTimeout,
 		parallel:    *parallel,
+		accessLog:   *accessLog,
+		sampleEvery: *sampleEvery,
 		obs:         sess.Obs,
 	}, stdout)
 	if cerr := sess.Close(); err == nil {
@@ -111,12 +128,36 @@ type serveArgs struct {
 	cacheSize   int
 	reqTimeout  time.Duration
 	parallel    int
+	accessLog   string
+	sampleEvery time.Duration
 	obs         *obs.Observer
+}
+
+// openAccessLog builds the slog JSON access logger for the -access-log
+// flag: nil for "", stderr for "-", an append-mode file otherwise.
+// The returned closer is a no-op unless a file was opened.
+func openAccessLog(dest string) (*slog.Logger, func() error, error) {
+	switch dest {
+	case "":
+		return nil, func() error { return nil }, nil
+	case "-":
+		return slog.New(slog.NewJSONHandler(os.Stderr, nil)), func() error { return nil }, nil
+	}
+	f, err := os.OpenFile(dest, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("opening -access-log: %w", err)
+	}
+	return slog.New(slog.NewJSONHandler(f, nil)), f.Close, nil
 }
 
 // serve runs the daemon until ctx fires or a termination signal
 // arrives; both are planned shutdowns, so it returns nil for them.
 func serve(ctx context.Context, a serveArgs, stdout io.Writer) error {
+	logger, closeLog, err := openAccessLog(a.accessLog)
+	if err != nil {
+		return err
+	}
+	defer closeLog()
 	srv := service.New(service.Config{
 		MaxInflight: a.maxInflight,
 		QueueDepth:  a.queueDepth,
@@ -124,11 +165,17 @@ func serve(ctx context.Context, a serveArgs, stdout io.Writer) error {
 		Timeout:     a.reqTimeout,
 		Parallelism: a.parallel,
 		Obs:         a.obs,
+		AccessLog:   logger,
 	})
 	mux := srv.Handler()
 	// The observability endpoints share the service port: one address
 	// to scrape, and /metrics carries the service counters.
-	obs.Or(a.obs).Register(mux)
+	o := obs.Or(a.obs)
+	o.Register(mux)
+	// Runtime health (goroutines, heap, GC pauses) flows into the same
+	// registry /metrics serves; the sampler is inert when obs is off.
+	sampler := o.Metrics().StartRuntimeSampler(a.sampleEvery)
+	defer sampler.Stop()
 
 	ln, err := net.Listen("tcp", a.addr)
 	if err != nil {

@@ -2,8 +2,12 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
+	"os"
+	"path/filepath"
 	"regexp"
 	"strings"
 	"sync"
@@ -11,6 +15,8 @@ import (
 	"time"
 
 	"hmeans/internal/cliutil"
+	"hmeans/internal/obs"
+	"hmeans/internal/service"
 )
 
 // exec runs the daemon through the same cliutil.Run wrapper main
@@ -126,6 +132,116 @@ func TestServeEndToEnd(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "shut down") {
 		t.Fatalf("no shutdown line in %q", out.String())
+	}
+}
+
+// TestServeRequestTelemetry boots the daemon with -access-log and a
+// fast -runtime-sample, scores under a chosen X-Request-ID, and
+// checks the whole telemetry story: the ID comes back in the
+// response, the access log names it, and /metrics answers both JSON
+// and valid Prometheus text with runtime gauges present.
+func TestServeRequestTelemetry(t *testing.T) {
+	dir := t.TempDir()
+	logPath := filepath.Join(dir, "access.log")
+	tracePath := filepath.Join(dir, "trace.jsonl")
+	var out syncBuffer
+	done := make(chan int, 1)
+	go func() {
+		code, stderr := exec(t, &out,
+			"-addr", "127.0.0.1:0", "-timeout", "3s", "-cache-size", "4",
+			"-access-log", logPath, "-runtime-sample", "10ms",
+			"-obs.trace", tracePath)
+		if stderr != "" {
+			t.Errorf("unexpected stderr: %s", stderr)
+		}
+		done <- code
+	}()
+
+	base := waitForAddr(t, &out)
+	req, err := http.NewRequest(http.MethodPost, base+"/v1/score", strings.NewReader(scoreBody()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(service.HeaderRequestID, "e2e-telemetry-1")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("score: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("score status %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get(service.HeaderRequestID); got != "e2e-telemetry-1" {
+		t.Fatalf("echoed request id %q", got)
+	}
+
+	// Default scrape stays JSON; Accept: text/plain switches to the
+	// Prometheus exposition, which must pass the format oracle.
+	mresp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatalf("metrics: %v", err)
+	}
+	jsonBody, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	if !strings.Contains(string(jsonBody), `"service.requests"`) {
+		t.Fatalf("JSON metrics missing service.requests:\n%s", jsonBody)
+	}
+	preq, err := http.NewRequest(http.MethodGet, base+"/metrics", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	preq.Header.Set("Accept", "text/plain")
+	presp, err := http.DefaultClient.Do(preq)
+	if err != nil {
+		t.Fatalf("prom metrics: %v", err)
+	}
+	promBody, _ := io.ReadAll(presp.Body)
+	presp.Body.Close()
+	if ct := presp.Header.Get("Content-Type"); ct != obs.PrometheusContentType {
+		t.Fatalf("prom content type %q", ct)
+	}
+	if _, err := obs.ValidatePrometheus(bytes.NewReader(promBody)); err != nil {
+		t.Fatalf("prom exposition invalid: %v\n%s", err, promBody)
+	}
+	for _, want := range []string{"service_requests", "runtime_goroutines"} {
+		if !strings.Contains(string(promBody), want) {
+			t.Fatalf("prom metrics missing %s:\n%s", want, promBody)
+		}
+	}
+
+	if code := <-done; code != 0 {
+		t.Fatalf("daemon exited %d", code)
+	}
+	logBytes, err := os.ReadFile(logPath)
+	if err != nil {
+		t.Fatalf("reading access log: %v", err)
+	}
+	line := ""
+	for _, l := range strings.Split(string(logBytes), "\n") {
+		if strings.Contains(l, "e2e-telemetry-1") {
+			line = l
+		}
+	}
+	if line == "" {
+		t.Fatalf("access log has no line for the request:\n%s", logBytes)
+	}
+	var entry map[string]any
+	if err := json.Unmarshal([]byte(line), &entry); err != nil {
+		t.Fatalf("access log line not JSON: %v\n%s", err, line)
+	}
+	if entry["status"] != float64(200) || entry["cache"] != "miss" || entry["path"] != "/v1/score" {
+		t.Fatalf("access log entry %v", entry)
+	}
+
+	// The same ID correlates into the JSONL trace: the request span
+	// carries it as an attribute.
+	traceBytes, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatalf("reading trace: %v", err)
+	}
+	if !strings.Contains(string(traceBytes), "e2e-telemetry-1") {
+		t.Fatalf("trace has no span for the request id:\n%s", traceBytes)
 	}
 }
 

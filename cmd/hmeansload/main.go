@@ -16,7 +16,12 @@
 //
 // The run is replayable: the arrival schedule and the payload mix are
 // pure functions of -seed, so the same command line reproduces the
-// same request sequence byte for byte. The report is versioned JSON
+// same request sequence byte for byte — including the X-Request-ID
+// each request is sent under (load-<seed>-<index>). The report names
+// the slowest requests by those IDs, so a tail sample joins directly
+// against the daemon's access log and JSONL trace
+// (report -timings trace.jsonl -request load-7-000042).
+// The report is versioned JSON
 // (hmeans-load/1, via -o) plus a human table on stdout; -check gates
 // the run against a committed SLO file (hmeans-slo/1) and exits
 // non-zero on any breach — after writing the report, so the artifact

@@ -6,10 +6,18 @@
 //	report -machine A
 //	report -machine B -chars methods -mean harmonic
 //
-// It also post-processes JSONL traces written with -obs.trace:
+// It also post-processes JSONL traces written with -obs.trace and
+// Prometheus text scraped from a daemon's /metrics:
 //
 //	report -timings trace.jsonl         # per-stage timing table
+//	report -timings trace.jsonl -request r-4f…   # one request's spans only
 //	report -validate-trace trace.jsonl  # schema check, non-zero on failure
+//	report -validate-metrics m.prom     # exposition check, non-zero on failure
+//
+// -request takes the X-Request-ID a client sent (hmeansctl -v prints
+// it; hmeansload reports its slowest ones) and narrows -timings to
+// that request's span subtree — the server-side breakdown of exactly
+// the request the client measured.
 package main
 
 import (
@@ -46,7 +54,9 @@ func run(args []string, stdout io.Writer) error {
 		seed     = fs.Uint64("seed", 1, "measurement seed")
 		somSeed  = fs.Uint64("somseed", 2007, "SOM training seed")
 		timings  = fs.String("timings", "", "render the per-stage timing table of this JSONL trace and exit")
+		request  = fs.String("request", "", "with -timings: restrict the table to the request span carrying this X-Request-ID")
 		validate = fs.String("validate-trace", "", "validate this JSONL trace against the trace schema and exit")
+		valProm  = fs.String("validate-metrics", "", "validate this Prometheus text exposition file and exit")
 	)
 	timeout := cliutil.RegisterTimeout(fs)
 	obsFlags := obs.RegisterFlags(fs)
@@ -59,8 +69,14 @@ func run(args []string, stdout io.Writer) error {
 	if *validate != "" {
 		return validateTrace(*validate, stdout)
 	}
+	if *valProm != "" {
+		return validateMetrics(*valProm, stdout)
+	}
 	if *timings != "" {
-		return renderTimings(*timings, stdout)
+		return renderTimings(*timings, *request, stdout)
+	}
+	if *request != "" {
+		return cliutil.Usagef("-request only applies together with -timings")
 	}
 
 	sess, err := obsFlags.Start()
@@ -179,10 +195,31 @@ func validateTrace(path string, stdout io.Writer) error {
 	return nil
 }
 
+// validateMetrics checks a Prometheus text exposition file (a scrape
+// of a daemon's /metrics) against the format's invariants and prints
+// a one-line summary; any violation surfaces as an error (and
+// therefore a non-zero exit).
+func validateMetrics(path string, stdout io.Writer) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	stats, err := obs.ValidatePrometheus(f)
+	if err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	fmt.Fprintf(stdout, "metrics OK: %d counters, %d gauges, %d histograms, %d samples\n",
+		stats.Counters, stats.Gauges, stats.Histograms, stats.Samples)
+	return nil
+}
+
 // renderTimings reads a trace and renders the per-stage rollup: how
 // often each stage ran, where wall-clock and CPU time went, and how
-// much of the pipeline's wall-clock the stage spans explain.
-func renderTimings(path string, stdout io.Writer) error {
+// much of the pipeline's wall-clock the stage spans explain. A
+// non-empty requestID narrows the rollup to the span subtree of the
+// service request that carried that X-Request-ID.
+func renderTimings(path, requestID string, stdout io.Writer) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -192,11 +229,19 @@ func renderTimings(path string, stdout io.Writer) error {
 	if err != nil {
 		return fmt.Errorf("%s: %w", path, err)
 	}
-	if len(tr.Spans) == 0 {
+	spans := tr.Spans
+	if requestID != "" {
+		spans, err = requestSubtree(tr.Spans, requestID)
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		fmt.Fprintf(stdout, "request %s: %d spans\n", requestID, len(spans))
+	}
+	if len(spans) == 0 {
 		return fmt.Errorf("%s: trace has no spans", path)
 	}
 	t := viz.NewTable("stage", "count", "wall", "cpu", "min", "max")
-	for _, st := range obs.Summarize(tr.Spans) {
+	for _, st := range obs.Summarize(spans) {
 		if err := t.AddRow(st.Name, fmt.Sprintf("%d", st.Count),
 			fmtDur(st.Wall), fmtDur(st.CPU), fmtDur(st.Min), fmtDur(st.Max)); err != nil {
 			return err
@@ -205,10 +250,54 @@ func renderTimings(path string, stdout io.Writer) error {
 	if err := t.Render(stdout); err != nil {
 		return err
 	}
-	if cov, ok := tr.Coverage("pipeline"); ok {
-		fmt.Fprintf(stdout, "\nstage spans cover %.1f%% of pipeline wall-clock\n", 100*cov)
+	// For a single request the interesting root is its request span;
+	// for a whole trace it is the pipeline.
+	root := "pipeline"
+	if requestID != "" {
+		root = "request"
+	}
+	if cov, ok := (&obs.Trace{Spans: spans}).Coverage(root); ok {
+		fmt.Fprintf(stdout, "\nstage spans cover %.1f%% of %s wall-clock\n", 100*cov, root)
 	}
 	return nil
+}
+
+// requestSubtree selects the request span stamped with the given
+// X-Request-ID plus every descendant, following Parent links — the
+// server-side breakdown of one client-visible request.
+func requestSubtree(spans []obs.SpanData, requestID string) ([]obs.SpanData, error) {
+	keep := make(map[uint64]bool)
+	for _, s := range spans {
+		if s.Name != "request" {
+			continue
+		}
+		for _, a := range s.Attrs {
+			if a.Key == "request_id" && fmt.Sprint(a.Val) == requestID {
+				keep[s.ID] = true
+			}
+		}
+	}
+	if len(keep) == 0 {
+		return nil, fmt.Errorf("no request span with request_id %q", requestID)
+	}
+	// Spans are written child-before-parent, so walk until no new
+	// descendants join instead of assuming an order.
+	for grew := true; grew; {
+		grew = false
+		for _, s := range spans {
+			if keep[s.Parent] && !keep[s.ID] {
+				keep[s.ID] = true
+				grew = true
+			}
+		}
+	}
+	out := make([]obs.SpanData, 0, len(keep))
+	for _, s := range spans {
+		if keep[s.ID] {
+			out = append(out, s)
+		}
+	}
+	return out, nil
 }
 
 // fmtDur renders a duration rounded for table display.

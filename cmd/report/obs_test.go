@@ -71,6 +71,100 @@ func TestTimingsMode(t *testing.T) {
 	}
 }
 
+// writeServiceTrace mimics the daemon's span shape: request roots
+// stamped with request_id, each wrapping a compute child.
+func writeServiceTrace(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "service.jsonl")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := obs.NewJSONLSink(f)
+	o := obs.New(sink)
+	for _, id := range []string{"ctl-1", "ctl-2"} {
+		root := o.StartSpan("request", obs.KV("path", "/v1/score"), obs.KV("request_id", id))
+		sp := root.Child("compute")
+		sp.Child("som.train").End()
+		sp.End()
+		root.End()
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestTimingsRequestFilter(t *testing.T) {
+	path := writeServiceTrace(t)
+	var out strings.Builder
+	if err := run([]string{"-timings", path, "-request", "ctl-2"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"request ctl-2: 3 spans", "compute", "som.train", "of request wall-clock"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("filtered timings missing %q:\n%s", want, got)
+		}
+	}
+	// Exactly one request's subtree: one count per stage, not two.
+	if strings.Contains(got, "| 2 ") {
+		t.Fatalf("filtered timings count a second request's spans:\n%s", got)
+	}
+}
+
+func TestTimingsRequestFilterUnknownID(t *testing.T) {
+	path := writeServiceTrace(t)
+	var out strings.Builder
+	err := run([]string{"-timings", path, "-request", "nope"}, &out)
+	if err == nil || !strings.Contains(err.Error(), `request_id "nope"`) {
+		t.Fatalf("unknown request id: err = %v", err)
+	}
+}
+
+func TestRequestFlagRequiresTimings(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-request", "ctl-1"}, &out); err == nil {
+		t.Fatal("-request without -timings accepted")
+	}
+}
+
+func TestValidateMetricsMode(t *testing.T) {
+	r := obs.NewRegistry()
+	r.Counter("service.requests").Add(3)
+	r.Gauge("runtime.goroutines").Set(7)
+	r.Histogram("service.latency_ms", obs.LogBounds(0.1, 1000, 4)...).Observe(2.5)
+	var buf strings.Builder
+	if err := obs.WritePrometheus(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "metrics.prom")
+	if err := os.WriteFile(path, []byte(buf.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := run([]string{"-validate-metrics", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "metrics OK: 1 counters, 1 gauges, 1 histograms") {
+		t.Fatalf("validate-metrics output %q", out.String())
+	}
+}
+
+func TestValidateMetricsModeRejectsGarbage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.prom")
+	if err := os.WriteFile(path, []byte("service_requests 1\nservice_requests 2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := run([]string{"-validate-metrics", path}, &out); err == nil {
+		t.Fatal("malformed exposition accepted")
+	}
+}
+
 func TestReportVersionFlag(t *testing.T) {
 	var out strings.Builder
 	if err := run([]string{"-version"}, &out); err != nil {

@@ -3,6 +3,8 @@ package load
 import (
 	"math"
 	"net/http"
+	"sort"
+	"sync"
 	"sync/atomic"
 
 	"hmeans/internal/obs"
@@ -34,6 +36,7 @@ type recorder struct {
 	dropped   atomic.Int64 // 429s never resolved (open loop, or retries exhausted)
 	retries   atomic.Int64 // closed-loop Retry-After retries issued
 	maxBits   atomic.Uint64
+	slow      slowTracker // top-k slowest requests by correlation ID
 }
 
 func newRecorder() *recorder {
@@ -45,8 +48,11 @@ func newRecorder() *recorder {
 // and whether it honored the payload's contract. A 429 is recorded as
 // shed, never as a mismatch — shedding is the daemon keeping its
 // promise under overload; whether an unresolved shed counts against
-// the run is the loop's call (see dropShed).
-func (r *recorder) observe(status, expect int, ms float64) {
+// the run is the loop's call (see dropShed). id is the request's
+// X-Request-ID, kept for the slowest-request leaderboard so a bad
+// tail sample can be chased into the daemon's access log and trace.
+func (r *recorder) observe(id string, status, expect int, ms float64) {
+	r.slow.add(id, status, ms)
 	r.done.Add(1)
 	r.hist.Observe(ms)
 	for {
@@ -97,4 +103,62 @@ func (r *recorder) statusCounts() map[string]int64 {
 // (cosmetic — this only runs once per run, at report time).
 func itoa3(s int) string {
 	return string([]byte{byte('0' + s/100), byte('0' + s/10%10), byte('0' + s%10)})
+}
+
+// SlowRequest identifies one of a run's slowest completed requests.
+// Because the harness sends every request with a deterministic
+// X-Request-ID (see RequestID) and hmeansd logs and traces that same
+// ID, each entry is a direct pointer into the server-side telemetry
+// for the exact requests that built the tail.
+type SlowRequest struct {
+	RequestID string  `json:"request_id"`
+	Status    int     `json:"status"`
+	LatencyMs float64 `json:"latency_ms"`
+}
+
+// slowTrackDepth is the leaderboard size: enough to cover the p99
+// stragglers of a CI-sized run without bloating the report.
+const slowTrackDepth = 10
+
+// slowTracker keeps the k slowest responses seen so far in a fixed
+// array (replace-the-minimum), so steady-state tracking allocates
+// nothing — the IDs it stores were built once, before the hot loop.
+type slowTracker struct {
+	mu      sync.Mutex
+	entries [slowTrackDepth]SlowRequest
+	n       int
+}
+
+func (t *slowTracker) add(id string, status int, ms float64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.n < len(t.entries) {
+		t.entries[t.n] = SlowRequest{RequestID: id, Status: status, LatencyMs: ms}
+		t.n++
+		return
+	}
+	minI := 0
+	for i := 1; i < t.n; i++ {
+		if t.entries[i].LatencyMs < t.entries[minI].LatencyMs {
+			minI = i
+		}
+	}
+	if ms > t.entries[minI].LatencyMs {
+		t.entries[minI] = SlowRequest{RequestID: id, Status: status, LatencyMs: ms}
+	}
+}
+
+// sorted returns the leaderboard slowest-first, ties broken by ID so
+// the report is deterministic for a deterministic run.
+func (t *slowTracker) sorted() []SlowRequest {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := append([]SlowRequest(nil), t.entries[:t.n]...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].LatencyMs != out[j].LatencyMs {
+			return out[i].LatencyMs > out[j].LatencyMs
+		}
+		return out[i].RequestID < out[j].RequestID
+	})
+	return out
 }

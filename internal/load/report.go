@@ -29,6 +29,11 @@ type Report struct {
 	// that carried a status line (shed 429s included — a fast 429 is
 	// still an answer the client waited for).
 	LatencyMs Latency `json:"latency_ms"`
+	// Slowest lists the top slowTrackDepth slowest completed requests
+	// (slowest first) with the X-Request-ID each was sent under, so a
+	// tail sample can be joined against the daemon's access log and
+	// JSONL trace. Additive in schema 1: older readers ignore it.
+	Slowest []SlowRequest `json:"slowest,omitempty"`
 	// ThroughputRPS is completed responses per wall-clock second.
 	ThroughputRPS float64 `json:"throughput_rps"`
 	// ErrorRate is Totals.Errors / Totals.Sent.
@@ -131,6 +136,9 @@ func (r *Report) WriteTable(w io.Writer) error {
 	add("errors", fmt.Sprintf("%d (rate %.4f)", r.Totals.Errors, r.ErrorRate))
 	for _, code := range sortedKeys(r.StatusCounts) {
 		add("status "+code, fmt.Sprintf("%d", r.StatusCounts[code]))
+	}
+	for i, s := range r.Slowest {
+		add(fmt.Sprintf("slow #%d", i+1), fmt.Sprintf("%s (%d, %.1f ms)", s.RequestID, s.Status, s.LatencyMs))
 	}
 	return t.Render(w)
 }

@@ -126,12 +126,20 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 
 	rec := newRecorder()
 	url := cfg.BaseURL + "/v1/score"
+	// Correlation IDs are precomputed so the hot loop only indexes:
+	// request i of a run is always RequestID(seed, i), which makes a
+	// report's slowest-request IDs reproducible run over run and
+	// greppable straight out of the daemon's access log and trace.
+	ids := make([]string, n)
+	for i := range ids {
+		ids[i] = RequestID(cfg.Seed, i)
+	}
 	start := time.Now()
 	switch cfg.Mode {
 	case Open:
-		runOpen(ctx, client, url, cfg.Payloads, schedule, rec)
+		runOpen(ctx, client, url, cfg.Payloads, ids, schedule, rec)
 	default:
-		runClosed(ctx, client, url, cfg.Payloads, schedule, cfg.Concurrency, cfg.MaxRetries, rec)
+		runClosed(ctx, client, url, cfg.Payloads, ids, schedule, cfg.Concurrency, cfg.MaxRetries, rec)
 	}
 	wall := time.Since(start)
 
@@ -154,7 +162,7 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 // runOpen fires request i at schedule[i] no matter what came back
 // earlier. A 429 is terminal here: an open-loop client that re-queued
 // sheds would change the arrival process it is supposed to hold fixed.
-func runOpen(ctx context.Context, client *http.Client, url string, ps *PayloadSet, schedule []time.Duration, rec *recorder) {
+func runOpen(ctx context.Context, client *http.Client, url string, ps *PayloadSet, ids []string, schedule []time.Duration, rec *recorder) {
 	start := time.Now()
 	timer := time.NewTimer(0)
 	defer timer.Stop()
@@ -176,7 +184,7 @@ func runOpen(ctx context.Context, client *http.Client, url string, ps *PayloadSe
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			status := send(ctx, client, url, ps.Bodies[i], ps.Expect[i], rec)
+			status := send(ctx, client, url, ids[i], ps.Bodies[i], ps.Expect[i], rec)
 			if status == http.StatusTooManyRequests {
 				rec.dropShed()
 			}
@@ -188,7 +196,7 @@ func runOpen(ctx context.Context, client *http.Client, url string, ps *PayloadSe
 // runClosed runs workers pulls requests off a shared index; each
 // worker sleeps its think gap, sends, and on a 429 honors the
 // daemon's Retry-After before re-sending the same payload.
-func runClosed(ctx context.Context, client *http.Client, url string, ps *PayloadSet, schedule []time.Duration, workers, maxRetries int, rec *recorder) {
+func runClosed(ctx context.Context, client *http.Client, url string, ps *PayloadSet, ids []string, schedule []time.Duration, workers, maxRetries int, rec *recorder) {
 	var next atomic.Int64
 	gapAt := func(i int) time.Duration {
 		if schedule == nil {
@@ -213,7 +221,10 @@ func runClosed(ctx context.Context, client *http.Client, url string, ps *Payload
 					return
 				}
 				for attempt := 0; ; attempt++ {
-					status := send(ctx, client, url, ps.Bodies[i], ps.Expect[i], rec)
+					// Retries reuse the same ID: they are the same
+					// logical request, and the server-side log then
+					// shows every attempt under one correlation key.
+					status := send(ctx, client, url, ids[i], ps.Bodies[i], ps.Expect[i], rec)
 					if status != http.StatusTooManyRequests {
 						break
 					}
@@ -242,9 +253,18 @@ func retryAfterDelay() time.Duration {
 	return time.Duration(secs) * time.Second
 }
 
+// RequestID is the deterministic correlation ID the harness sends as
+// X-Request-ID for request i of a run seeded with seed. Pure function
+// of (seed, i), like the schedule and the payload bytes — so a
+// report's slowest-request IDs name the same requests on every replay
+// and can be grepped through the daemon's access log and JSONL trace.
+func RequestID(seed uint64, i int) string {
+	return fmt.Sprintf("load-%d-%06d", seed, i)
+}
+
 // send issues one request and records the outcome. It returns the
 // HTTP status, or 0 on a transport error.
-func send(ctx context.Context, client *http.Client, url string, body []byte, expect int, rec *recorder) int {
+func send(ctx context.Context, client *http.Client, url, id string, body []byte, expect int, rec *recorder) int {
 	rec.sent.Add(1)
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
 	if err != nil {
@@ -252,6 +272,7 @@ func send(ctx context.Context, client *http.Client, url string, body []byte, exp
 		return 0
 	}
 	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(service.HeaderRequestID, id)
 	t0 := time.Now()
 	resp, err := client.Do(req)
 	if err != nil {
@@ -262,7 +283,7 @@ func send(ctx context.Context, client *http.Client, url string, body []byte, exp
 	// response, body included — that is what a client experiences.
 	_, _ = io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
-	rec.observe(resp.StatusCode, expect, float64(time.Since(t0))/float64(time.Millisecond))
+	rec.observe(id, resp.StatusCode, expect, float64(time.Since(t0))/float64(time.Millisecond))
 	return resp.StatusCode
 }
 
@@ -307,6 +328,7 @@ func assemble(cfg Config, rec *recorder, wall time.Duration) *Report {
 			Errors:          errs,
 		},
 		StatusCounts: rec.statusCounts(),
+		Slowest:      rec.slow.sorted(),
 		LatencyMs: Latency{
 			P50:   rec.hist.Quantile(0.50),
 			P90:   rec.hist.Quantile(0.90),

@@ -1,0 +1,98 @@
+package load
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"hmeans/internal/service"
+)
+
+func TestRequestIDDeterministic(t *testing.T) {
+	if got := RequestID(2007, 41); got != "load-2007-000041" {
+		t.Fatalf("RequestID(2007, 41) = %q", got)
+	}
+	if got := RequestID(0, 0); got != "load-0-000000" {
+		t.Fatalf("RequestID(0, 0) = %q", got)
+	}
+}
+
+func TestSlowTrackerKeepsTopK(t *testing.T) {
+	var tr slowTracker
+	// Feed 3*depth observations with distinct latencies 1..30 ms.
+	for i := 1; i <= 3*slowTrackDepth; i++ {
+		tr.add(fmt.Sprintf("id-%02d", i), 200, float64(i))
+	}
+	got := tr.sorted()
+	if len(got) != slowTrackDepth {
+		t.Fatalf("kept %d entries, want %d", len(got), slowTrackDepth)
+	}
+	if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i].LatencyMs > got[j].LatencyMs }) {
+		t.Fatalf("not sorted slowest-first: %v", got)
+	}
+	// The survivors must be exactly the slowest k.
+	for i, s := range got {
+		want := float64(3*slowTrackDepth - i)
+		if s.LatencyMs != want {
+			t.Fatalf("entry %d: latency %v, want %v (%v)", i, s.LatencyMs, want, got)
+		}
+	}
+	// Ties break on ID so a deterministic run reports deterministically.
+	var tie slowTracker
+	tie.add("b", 200, 5)
+	tie.add("a", 200, 5)
+	ties := tie.sorted()
+	if ties[0].RequestID != "a" || ties[1].RequestID != "b" {
+		t.Fatalf("tie-break not by ID: %v", ties)
+	}
+}
+
+// TestRunReportsSlowestRequests drives a tiny run end-to-end and
+// checks the report's slowest list: populated, bounded, slowest
+// first, and every ID is the deterministic (seed, i) form the daemon
+// also saw — the join key of the whole telemetry story.
+func TestRunReportsSlowestRequests(t *testing.T) {
+	if testing.Short() {
+		t.Skip("load run skipped in -short mode")
+	}
+	goConcurrency(t)
+	base := SyntheticBaseRequest(8, 4, 2007)
+	ps, err := BuildPayloads(base, Mix{HitPct: 100}, 24, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := runSelfManaged(t,
+		service.Config{MaxInflight: 4, QueueDepth: 64, CacheSize: 16},
+		Config{Mode: Open, Dist: Constant, RPS: 200, Payloads: ps, Seed: 7})
+	checkAccounting(t, rep)
+
+	if len(rep.Slowest) == 0 || len(rep.Slowest) > slowTrackDepth {
+		t.Fatalf("slowest has %d entries", len(rep.Slowest))
+	}
+	if !sort.SliceIsSorted(rep.Slowest, func(i, j int) bool {
+		return rep.Slowest[i].LatencyMs > rep.Slowest[j].LatencyMs
+	}) {
+		t.Fatalf("slowest not sorted: %v", rep.Slowest)
+	}
+	for _, s := range rep.Slowest {
+		if !strings.HasPrefix(s.RequestID, "load-7-") {
+			t.Fatalf("unexpected request id %q", s.RequestID)
+		}
+		if s.LatencyMs <= 0 || s.Status == 0 {
+			t.Fatalf("degenerate slow entry %+v", s)
+		}
+	}
+	if rep.Slowest[0].LatencyMs != rep.LatencyMs.Max {
+		t.Fatalf("slowest[0] %.3f ms != max %.3f ms", rep.Slowest[0].LatencyMs, rep.LatencyMs.Max)
+	}
+
+	// The table renderer surfaces the leaderboard for humans.
+	var sb strings.Builder
+	if err := rep.WriteTable(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "slow #1") || !strings.Contains(sb.String(), rep.Slowest[0].RequestID) {
+		t.Fatalf("table missing slowest rows:\n%s", sb.String())
+	}
+}

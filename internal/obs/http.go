@@ -4,9 +4,11 @@ import (
 	"encoding/json"
 	"expvar"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"strings"
 	"sync"
 	"time"
 )
@@ -88,7 +90,9 @@ func (l *LiveSink) WriteEvent(e EventData) {
 // Handler returns the live-introspection mux:
 //
 //	/              endpoint index
-//	/metrics       registry snapshot as JSON (memstats refreshed)
+//	/metrics       registry snapshot: JSON by default, Prometheus
+//	               text exposition via Accept or ?format=prometheus
+//	               (memstats refreshed either way)
 //	/trace         live spans/events streamed as JSONL
 //	/debug/vars    expvar (includes the registry when published)
 //	/debug/pprof/  the full net/http/pprof suite
@@ -100,7 +104,7 @@ func (o *Observer) Handler() http.Handler {
 			return
 		}
 		fmt.Fprintf(w, "hmeans observability — build %s\n\n", Version())
-		fmt.Fprintln(w, "/metrics      metrics registry snapshot (JSON)")
+		fmt.Fprintln(w, "/metrics      metrics registry snapshot (JSON; ?format=prometheus for text exposition)")
 		fmt.Fprintln(w, "/trace        live span/event stream (JSONL; terminate with ^C)")
 		fmt.Fprintln(w, "/debug/vars   expvar")
 		fmt.Fprintln(w, "/debug/pprof  CPU/heap/goroutine profiles")
@@ -117,10 +121,13 @@ func (o *Observer) Register(mux *http.ServeMux) {
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		reg := o.Metrics()
 		reg.CaptureMemStats()
+		if wantsPrometheus(r) {
+			w.Header().Set("Content-Type", PrometheusContentType)
+			WritePrometheus(w, reg)
+			return
+		}
 		w.Header().Set("Content-Type", "application/json")
-		enc := json.NewEncoder(w)
-		enc.SetIndent("", "  ")
-		enc.Encode(reg.Snapshot())
+		writeSnapshotJSON(w, reg)
 	})
 	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
 		live := (*LiveSink)(nil)
@@ -157,6 +164,39 @@ func (o *Observer) Register(mux *http.ServeMux) {
 		}
 	})
 	mux.Handle("/debug/vars", expvar.Handler())
+	registerPprof(mux)
+}
+
+// wantsPrometheus decides the /metrics representation. The JSON
+// snapshot is the historical default (plain GETs, the serve-smoke
+// grep and the hmeans tooling all expect it), so text exposition is
+// opt-in: `?format=prometheus` forces it, `?format=json` forces JSON,
+// and otherwise an Accept header naming text/plain or OpenMetrics —
+// what a Prometheus scraper actually sends — selects it. A browser's
+// or curl's */* stays JSON.
+func wantsPrometheus(r *http.Request) bool {
+	switch r.URL.Query().Get("format") {
+	case "prometheus", "prom":
+		return true
+	case "json":
+		return false
+	}
+	accept := r.Header.Get("Accept")
+	return strings.Contains(accept, "application/openmetrics-text") ||
+		strings.Contains(accept, "text/plain")
+}
+
+// writeSnapshotJSON renders the registry's JSON representation.
+// encoding/json sorts map keys, so for a quiescent registry the
+// output is byte-deterministic — scrapes archived as CI artifacts
+// diff clean.
+func writeSnapshotJSON(w io.Writer, reg *Registry) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(reg.Snapshot())
+}
+
+func registerPprof(mux *http.ServeMux) {
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)

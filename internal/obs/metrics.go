@@ -233,7 +233,10 @@ type HistogramSnapshot struct {
 }
 
 // Snapshot returns a point-in-time copy of every instrument, shaped
-// for JSON (the /metrics endpoint and the expvar export).
+// for JSON (the /metrics endpoint and the expvar export). Instruments
+// are read in sorted-name order and encoding/json sorts map keys, so
+// rendering a snapshot of a quiescent registry is byte-deterministic:
+// two scrapes diff clean in CI artifacts.
 func (r *Registry) Snapshot() map[string]any {
 	out := make(map[string]any)
 	if r == nil {
@@ -241,13 +244,14 @@ func (r *Registry) Snapshot() map[string]any {
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	for name, c := range r.counters {
-		out[name] = c.Value()
+	for _, name := range sortedKeys(r.counters) {
+		out[name] = r.counters[name].Value()
 	}
-	for name, g := range r.gauges {
-		out[name] = g.Value()
+	for _, name := range sortedKeys(r.gauges) {
+		out[name] = r.gauges[name].Value()
 	}
-	for name, h := range r.hists {
+	for _, name := range sortedKeys(r.hists) {
+		h := r.hists[name]
 		snap := HistogramSnapshot{
 			Bounds: h.bounds,
 			Counts: make([]uint64, len(h.counts)),
@@ -262,6 +266,17 @@ func (r *Registry) Snapshot() map[string]any {
 	return out
 }
 
+// sortedKeys returns the map's keys in ascending order, giving every
+// snapshot and exposition a deterministic instrument order.
+func sortedKeys[M map[string]V, V any](m M) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
 // CaptureMemStats copies the headline runtime.ReadMemStats figures
 // into gauges (mem.heap_alloc_bytes, mem.total_alloc_bytes,
 // mem.sys_bytes, mem.mallocs, mem.num_gc, mem.pause_total_ms).
@@ -273,6 +288,13 @@ func (r *Registry) CaptureMemStats() {
 	}
 	var ms runtime.MemStats
 	runtime.ReadMemStats(&ms)
+	r.setMemStats(&ms)
+}
+
+// setMemStats publishes one already-read MemStats, shared by
+// CaptureMemStats and the RuntimeSampler so both take exactly one
+// stop-the-world read per capture.
+func (r *Registry) setMemStats(ms *runtime.MemStats) {
 	r.Gauge("mem.heap_alloc_bytes").Set(float64(ms.HeapAlloc))
 	r.Gauge("mem.total_alloc_bytes").Set(float64(ms.TotalAlloc))
 	r.Gauge("mem.sys_bytes").Set(float64(ms.Sys))

@@ -2,6 +2,7 @@ package obs
 
 import (
 	"bytes"
+	"expvar"
 	"strings"
 	"sync"
 	"testing"
@@ -197,9 +198,27 @@ func TestHistogramConcurrent(t *testing.T) {
 func TestCaptureMemStats(t *testing.T) {
 	r := NewRegistry()
 	r.CaptureMemStats()
+	snap := r.Snapshot()
+	for _, name := range []string{
+		"mem.heap_alloc_bytes", "mem.total_alloc_bytes", "mem.sys_bytes",
+		"mem.mallocs", "mem.num_gc", "mem.pause_total_ms",
+	} {
+		if _, ok := snap[name]; !ok {
+			t.Fatalf("CaptureMemStats did not set %s (snapshot: %v)", name, snap)
+		}
+	}
 	if r.Gauge("mem.total_alloc_bytes").Value() <= 0 {
 		t.Fatal("memstats gauges not captured")
 	}
+	// A second capture must move the monotone figures forward, never
+	// back: the gauges track the live runtime, not a stale copy.
+	before := r.Gauge("mem.total_alloc_bytes").Value()
+	_ = make([]byte, 1<<16)
+	r.CaptureMemStats()
+	if after := r.Gauge("mem.total_alloc_bytes").Value(); after < before {
+		t.Fatalf("total_alloc_bytes went backwards: %v -> %v", before, after)
+	}
+	(*Registry)(nil).CaptureMemStats() // nil-safe
 }
 
 func TestPublishExpvarRebinds(t *testing.T) {
@@ -211,6 +230,20 @@ func TestPublishExpvarRebinds(t *testing.T) {
 	r2.PublishExpvar("obs-test") // must not panic, must rebind
 	if got := currentExpvarTarget("obs-test").Counter("x").Value(); got != 7 {
 		t.Fatalf("expvar bound to stale registry (x=%d)", got)
+	}
+	// The published expvar.Func must follow the rebind too: /debug/vars
+	// renders the *current* registry, not the one live at first publish.
+	v := expvar.Get("obs-test")
+	if v == nil {
+		t.Fatal("expvar name not published")
+	}
+	if s := v.String(); !strings.Contains(s, `"x":7`) {
+		t.Fatalf("expvar renders stale registry: %s", s)
+	}
+	// Mutations after the swap are visible without re-publishing.
+	r2.Counter("x").Add(1)
+	if s := v.String(); !strings.Contains(s, `"x":8`) {
+		t.Fatalf("expvar not live after rebind: %s", s)
 	}
 }
 

@@ -1,0 +1,392 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// PrometheusContentType is the Content-Type of the text exposition
+// format version 0.0.4 served by /metrics when negotiated.
+const PrometheusContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// promName maps a dotted registry name (service.cache.hit) onto the
+// Prometheus metric-name alphabet [a-zA-Z0-9_:]: every disallowed
+// byte becomes '_', and a leading digit is prefixed with '_'. The
+// mapping is deterministic so scrapes stay diffable.
+func promName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name) + 1)
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+			b.WriteByte(c)
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// promFloat renders a sample value the way Prometheus expects:
+// shortest round-trip decimal, with infinities spelled +Inf/-Inf.
+func promFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus renders the registry in the Prometheus text
+// exposition format (version 0.0.4): counters and gauges as single
+// samples, histograms as cumulative le-labelled _bucket series plus
+// _sum and _count. Families are emitted in sorted order and names are
+// sanitized with promName, so two scrapes of a quiescent registry are
+// byte-identical. A nil registry writes nothing.
+//
+// The registry's log-bucketed histograms translate directly: bucket i
+// counts values <= bounds[i] (see Histogram.Observe), so the running
+// prefix sum over the buckets is exactly the cumulative count the
+// le="bounds[i]" convention requires; the overflow bucket folds into
+// le="+Inf". The _count sample is computed from the same prefix sum —
+// not the histogram's separate total — so `+Inf bucket == _count`
+// holds even while other goroutines are observing mid-scrape.
+func WritePrometheus(w io.Writer, r *Registry) error {
+	if r == nil {
+		return nil
+	}
+
+	type hist struct {
+		bounds []float64
+		counts []uint64
+		sum    float64
+	}
+	counters := make(map[string]int64)
+	gauges := make(map[string]float64)
+	hists := make(map[string]hist)
+	help := make(map[string]string)
+
+	r.mu.Lock()
+	for name, c := range r.counters {
+		n := promName(name)
+		counters[n] = c.Value()
+		help[n] = name
+	}
+	for name, g := range r.gauges {
+		n := promName(name)
+		gauges[n] = g.Value()
+		help[n] = name
+	}
+	for name, h := range r.hists {
+		n := promName(name)
+		hs := hist{
+			bounds: h.bounds,
+			counts: make([]uint64, len(h.counts)),
+			sum:    h.Sum(),
+		}
+		for i := range h.counts {
+			hs.counts[i] = h.counts[i].Load()
+		}
+		hists[n] = hs
+		help[n] = name
+	}
+	r.mu.Unlock()
+
+	names := make([]string, 0, len(counters)+len(gauges)+len(hists))
+	for n := range counters {
+		names = append(names, n)
+	}
+	for n := range gauges {
+		names = append(names, n)
+	}
+	for n := range hists {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	bw := bufio.NewWriter(w)
+	for _, n := range names {
+		fmt.Fprintf(bw, "# HELP %s hmeans metric %s\n", n, help[n])
+		if v, ok := counters[n]; ok {
+			fmt.Fprintf(bw, "# TYPE %s counter\n", n)
+			fmt.Fprintf(bw, "%s %s\n", n, promFloat(float64(v)))
+			continue
+		}
+		if v, ok := gauges[n]; ok {
+			fmt.Fprintf(bw, "# TYPE %s gauge\n", n)
+			fmt.Fprintf(bw, "%s %s\n", n, promFloat(v))
+			continue
+		}
+		h := hists[n]
+		fmt.Fprintf(bw, "# TYPE %s histogram\n", n)
+		var cum uint64
+		for i, b := range h.bounds {
+			cum += h.counts[i]
+			fmt.Fprintf(bw, "%s_bucket{le=%q} %d\n", n, promFloat(b), cum)
+		}
+		cum += h.counts[len(h.counts)-1]
+		fmt.Fprintf(bw, "%s_bucket{le=\"+Inf\"} %d\n", n, cum)
+		fmt.Fprintf(bw, "%s_sum %s\n", n, promFloat(h.sum))
+		fmt.Fprintf(bw, "%s_count %d\n", n, cum)
+	}
+	return bw.Flush()
+}
+
+// PromStats summarizes a validated exposition document.
+type PromStats struct {
+	Counters   int // families typed counter
+	Gauges     int // families typed gauge
+	Histograms int // families typed histogram
+	Samples    int // total sample lines
+}
+
+var promNameRe = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+
+// promFamily tracks validator state for one metric family.
+type promFamily struct {
+	typ     string
+	help    bool
+	lastLE  float64
+	lastCum uint64
+	buckets int
+	infSeen bool
+	infCum  uint64
+	sumSeen bool
+	count   uint64
+	cntSeen bool
+}
+
+// ValidatePrometheus is a hand-rolled oracle for the text exposition
+// format, used by tests and `report -validate-metrics` so CI does not
+// need a real Prometheus server to prove /metrics is scrapable. It
+// checks structure rather than values:
+//
+//   - every sample line belongs to a family announced by a # TYPE
+//     line earlier in the document, and that family also carries HELP
+//   - TYPE appears at most once per family and names match the
+//     Prometheus metric-name grammar
+//   - histogram buckets have strictly ascending le labels, cumulative
+//     counts that never decrease, a terminal le="+Inf" bucket, and
+//     _sum/_count samples with _count equal to the +Inf bucket
+//
+// It returns counts of what it saw so callers can also assert the
+// document is non-trivial.
+func ValidatePrometheus(r io.Reader) (PromStats, error) {
+	var stats PromStats
+	fams := make(map[string]*promFamily)
+	family := func(name string) *promFamily {
+		f := fams[name]
+		if f == nil {
+			f = &promFamily{lastLE: math.Inf(-1)}
+			fams[name] = f
+		}
+		return f
+	}
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		fail := func(format string, args ...any) (PromStats, error) {
+			return stats, fmt.Errorf("line %d: %s", lineNo, fmt.Sprintf(format, args...))
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			rest := strings.TrimPrefix(line, "# HELP ")
+			name, _, ok := strings.Cut(rest, " ")
+			if !ok || !promNameRe.MatchString(name) {
+				return fail("malformed HELP: %q", line)
+			}
+			family(name).help = true
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			rest := strings.TrimPrefix(line, "# TYPE ")
+			name, typ, ok := strings.Cut(rest, " ")
+			if !ok || !promNameRe.MatchString(name) {
+				return fail("malformed TYPE: %q", line)
+			}
+			switch typ {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				return fail("unknown type %q for %s", typ, name)
+			}
+			f := family(name)
+			if f.typ != "" {
+				return fail("duplicate TYPE for %s", name)
+			}
+			f.typ = typ
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue // other comments are legal and ignored
+		}
+
+		// Sample line: name[{labels}] value
+		nameEnd := strings.IndexAny(line, "{ ")
+		if nameEnd < 0 {
+			return fail("malformed sample: %q", line)
+		}
+		name := line[:nameEnd]
+		if !promNameRe.MatchString(name) {
+			return fail("invalid metric name %q", name)
+		}
+		var labels, valueStr string
+		if line[nameEnd] == '{' {
+			close := strings.Index(line, "}")
+			if close < 0 {
+				return fail("unterminated labels: %q", line)
+			}
+			labels = line[nameEnd+1 : close]
+			valueStr = strings.TrimSpace(line[close+1:])
+		} else {
+			valueStr = strings.TrimSpace(line[nameEnd+1:])
+		}
+		// A timestamp after the value is legal; we do not emit one.
+		if i := strings.IndexByte(valueStr, ' '); i >= 0 {
+			valueStr = valueStr[:i]
+		}
+		value, err := parsePromValue(valueStr)
+		if err != nil {
+			return fail("bad value %q for %s: %v", valueStr, name, err)
+		}
+		stats.Samples++
+
+		// Resolve the family: histogram samples use suffixed names.
+		fam, suffix := name, ""
+		for _, s := range []string{"_bucket", "_sum", "_count"} {
+			base := strings.TrimSuffix(name, s)
+			if base != name {
+				if f, ok := fams[base]; ok && f.typ == "histogram" {
+					fam, suffix = base, s
+				}
+				break
+			}
+		}
+		f, ok := fams[fam]
+		if !ok || f.typ == "" {
+			return fail("sample %s has no preceding # TYPE", name)
+		}
+		if !f.help {
+			return fail("family %s has no # HELP", fam)
+		}
+
+		switch suffix {
+		case "_bucket":
+			le, lok := promLabel(labels, "le")
+			if !lok {
+				return fail("%s_bucket without le label", fam)
+			}
+			bound, err := parsePromValue(le)
+			if err != nil {
+				return fail("bad le %q on %s: %v", le, fam, err)
+			}
+			if !(bound > f.lastLE) {
+				return fail("%s buckets not ascending: le=%q after %v", fam, le, f.lastLE)
+			}
+			cum := uint64(value)
+			if value < 0 || float64(cum) != value {
+				return fail("%s bucket count %v not a whole number", fam, value)
+			}
+			if cum < f.lastCum {
+				return fail("%s cumulative counts decrease at le=%q (%d < %d)", fam, le, cum, f.lastCum)
+			}
+			f.lastLE, f.lastCum = bound, cum
+			f.buckets++
+			if math.IsInf(bound, 1) {
+				f.infSeen, f.infCum = true, cum
+			}
+		case "_sum":
+			f.sumSeen = true
+		case "_count":
+			f.cntSeen = true
+			f.count = uint64(value)
+		default:
+			if f.typ == "histogram" {
+				return fail("bare sample %s inside histogram family", name)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return stats, err
+	}
+
+	for name, f := range fams {
+		if f.typ == "" {
+			return stats, fmt.Errorf("family %s has HELP but no TYPE", name)
+		}
+		switch f.typ {
+		case "counter":
+			stats.Counters++
+		case "gauge":
+			stats.Gauges++
+		case "histogram":
+			stats.Histograms++
+			if f.buckets == 0 {
+				return stats, fmt.Errorf("histogram %s has no buckets", name)
+			}
+			if !f.infSeen {
+				return stats, fmt.Errorf("histogram %s is missing its le=\"+Inf\" terminal bucket", name)
+			}
+			if !f.sumSeen {
+				return stats, fmt.Errorf("histogram %s is missing _sum", name)
+			}
+			if !f.cntSeen {
+				return stats, fmt.Errorf("histogram %s is missing _count", name)
+			}
+			if f.count != f.infCum {
+				return stats, fmt.Errorf("histogram %s: _count=%d != +Inf bucket %d", name, f.count, f.infCum)
+			}
+		}
+	}
+	return stats, nil
+}
+
+func parsePromValue(s string) (float64, error) {
+	switch s {
+	case "+Inf", "Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// promLabel pulls one label value out of a label body like
+// `le="0.25",code="200"`. Our emitted labels never contain escaped
+// quotes, and the validator only needs le.
+func promLabel(body, key string) (string, bool) {
+	for _, part := range strings.Split(body, ",") {
+		k, v, ok := strings.Cut(part, "=")
+		if !ok || strings.TrimSpace(k) != key {
+			continue
+		}
+		v = strings.TrimSpace(v)
+		if len(v) >= 2 && v[0] == '"' && v[len(v)-1] == '"' {
+			return v[1 : len(v)-1], true
+		}
+	}
+	return "", false
+}

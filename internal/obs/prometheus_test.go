@@ -1,0 +1,274 @@
+package obs
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+func testRegistry() *Registry {
+	r := NewRegistry()
+	r.Counter("service.requests").Add(42)
+	r.Gauge("mem.heap_alloc_bytes").Set(12345)
+	h := r.Histogram("service.latency_ms", 1, 5, 25)
+	h.Observe(0.5)  // le="1"
+	h.Observe(3)    // le="5"
+	h.Observe(4)    // le="5"
+	h.Observe(1000) // overflow -> +Inf only
+	return r
+}
+
+func TestWritePrometheusRendersAllKinds(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, testRegistry()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# HELP service_requests hmeans metric service.requests",
+		"# TYPE service_requests counter",
+		"service_requests 42",
+		"# TYPE mem_heap_alloc_bytes gauge",
+		"mem_heap_alloc_bytes 12345",
+		"# TYPE service_latency_ms histogram",
+		`service_latency_ms_bucket{le="1"} 1`,
+		`service_latency_ms_bucket{le="5"} 3`,
+		`service_latency_ms_bucket{le="25"} 3`,
+		`service_latency_ms_bucket{le="+Inf"} 4`,
+		"service_latency_ms_sum 1007.5",
+		"service_latency_ms_count 4",
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWritePrometheusNilRegistry(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("nil registry wrote %q", buf.String())
+	}
+}
+
+func TestWritePrometheusDeterministic(t *testing.T) {
+	r := testRegistry()
+	var a, b bytes.Buffer
+	if err := WritePrometheus(&a, r); err != nil {
+		t.Fatal(err)
+	}
+	if err := WritePrometheus(&b, r); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatalf("quiescent registry not byte-deterministic:\n%s\nvs\n%s", a.String(), b.String())
+	}
+	// Families must come out sorted, so scrapes diff clean.
+	var fams []string
+	for _, line := range strings.Split(a.String(), "\n") {
+		if strings.HasPrefix(line, "# TYPE ") {
+			fams = append(fams, strings.Fields(line)[2])
+		}
+	}
+	if len(fams) < 3 {
+		t.Fatalf("families = %v", fams)
+	}
+	for i := 1; i < len(fams); i++ {
+		if fams[i-1] >= fams[i] {
+			t.Fatalf("families not sorted: %v", fams)
+		}
+	}
+}
+
+func TestPromNameSanitization(t *testing.T) {
+	cases := map[string]string{
+		"service.cache.hit": "service_cache_hit",
+		"latency-ms":        "latency_ms",
+		"0weird":            "_0weird",
+		"already_fine:ok":   "already_fine:ok",
+	}
+	for in, want := range cases {
+		if got := promName(in); got != want {
+			t.Fatalf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestPrometheusOracleAcceptsOwnOutput is the round-trip half of the
+// exposition oracle: whatever WritePrometheus emits must satisfy the
+// hand-rolled validator.
+func TestPrometheusOracleAcceptsOwnOutput(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, testRegistry()); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := ValidatePrometheus(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("own output does not validate: %v", err)
+	}
+	if stats.Counters != 1 || stats.Gauges != 1 || stats.Histograms != 1 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	if stats.Samples == 0 {
+		t.Fatal("no samples counted")
+	}
+}
+
+func TestPrometheusOracleRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"sample without TYPE": "orphan 1\n",
+		"missing HELP": "# TYPE x counter\n" +
+			"x 1\n",
+		"duplicate TYPE": "# HELP x hmeans\n# TYPE x counter\n# TYPE x counter\n",
+		"unknown type":   "# HELP x hmeans\n# TYPE x widget\n",
+		"bad value": "# HELP x hmeans\n# TYPE x counter\n" +
+			"x pancake\n",
+		"buckets not ascending": "# HELP h hmeans\n# TYPE h histogram\n" +
+			"h_bucket{le=\"5\"} 1\nh_bucket{le=\"1\"} 2\n" +
+			"h_bucket{le=\"+Inf\"} 2\nh_sum 3\nh_count 2\n",
+		"cumulative counts decrease": "# HELP h hmeans\n# TYPE h histogram\n" +
+			"h_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\n" +
+			"h_bucket{le=\"+Inf\"} 5\nh_sum 3\nh_count 5\n",
+		"no +Inf terminal bucket": "# HELP h hmeans\n# TYPE h histogram\n" +
+			"h_bucket{le=\"1\"} 1\nh_sum 1\nh_count 1\n",
+		"count disagrees with +Inf": "# HELP h hmeans\n# TYPE h histogram\n" +
+			"h_bucket{le=\"1\"} 1\nh_bucket{le=\"+Inf\"} 2\n" +
+			"h_sum 1\nh_count 3\n",
+		"missing _sum": "# HELP h hmeans\n# TYPE h histogram\n" +
+			"h_bucket{le=\"+Inf\"} 1\nh_count 1\n",
+		"bucket without le": "# HELP h hmeans\n# TYPE h histogram\n" +
+			"h_bucket{code=\"200\"} 1\n",
+	}
+	for name, doc := range cases {
+		if _, err := ValidatePrometheus(strings.NewReader(doc)); err == nil {
+			t.Fatalf("%s: validator accepted %q", name, doc)
+		}
+	}
+}
+
+func TestMetricsContentNegotiation(t *testing.T) {
+	o := New(nil)
+	o.Metrics().Counter("service.requests").Add(3)
+	srv := httptest.NewServer(o.Handler())
+	defer srv.Close()
+
+	get := func(path, accept string) (string, string) {
+		req, err := http.NewRequest(http.MethodGet, srv.URL+path, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if accept != "" {
+			req.Header.Set("Accept", accept)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body), resp.Header.Get("Content-Type")
+	}
+
+	// Default (no Accept, like http.Get) stays the historical JSON.
+	body, ct := get("/metrics", "")
+	if ct != "application/json" || !strings.Contains(body, `"service.requests"`) {
+		t.Fatalf("default scrape: ct=%q body=%q", ct, body)
+	}
+	// A Prometheus scraper's Accept header selects text exposition.
+	body, ct = get("/metrics", "text/plain;version=0.0.4")
+	if ct != PrometheusContentType || !strings.Contains(body, "service_requests 3") {
+		t.Fatalf("accept scrape: ct=%q body=%q", ct, body)
+	}
+	if _, err := ValidatePrometheus(strings.NewReader(body)); err != nil {
+		t.Fatalf("endpoint exposition does not validate: %v", err)
+	}
+	// Query param wins in both directions.
+	if body, ct = get("/metrics?format=prometheus", ""); ct != PrometheusContentType {
+		t.Fatalf("?format=prometheus: ct=%q body=%q", ct, body)
+	}
+	if body, ct = get("/metrics?format=json", "text/plain"); ct != "application/json" {
+		t.Fatalf("?format=json: ct=%q body=%q", ct, body)
+	}
+	// Browsers and curl send */* — that must stay JSON.
+	if _, ct = get("/metrics", "*/*"); ct != "application/json" {
+		t.Fatalf("*/* scrape: ct=%q", ct)
+	}
+}
+
+func TestSnapshotJSONDeterministic(t *testing.T) {
+	r := testRegistry()
+	render := func() []byte {
+		var buf bytes.Buffer
+		if err := writeSnapshotJSON(&buf, r); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	if a, b := render(), render(); !bytes.Equal(a, b) {
+		t.Fatalf("snapshot JSON not deterministic:\n%s\nvs\n%s", a, b)
+	}
+}
+
+func TestRuntimeSampler(t *testing.T) {
+	r := NewRegistry()
+	s := r.StartRuntimeSampler(time.Hour) // one synchronous sample, no ticks
+	defer s.Stop()
+
+	if r.Gauge("runtime.goroutines").Value() <= 0 {
+		t.Fatal("goroutine gauge not sampled")
+	}
+	if r.Gauge("mem.total_alloc_bytes").Value() <= 0 {
+		t.Fatal("memstats gauges not sampled")
+	}
+
+	// Force GC cycles and resample: the pause ring must feed the
+	// histogram and the cursor must advance to NumGC.
+	runtime.GC()
+	runtime.GC()
+	s.sample()
+	h := r.Histogram("runtime.gc_pause_ms")
+	if h.Count() == 0 {
+		t.Fatal("gc pause histogram empty after runtime.GC")
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	if s.lastGC == 0 || s.lastGC > ms.NumGC {
+		t.Fatalf("lastGC cursor = %d, NumGC = %d", s.lastGC, ms.NumGC)
+	}
+
+	s.Stop()
+	s.Stop()                      // idempotent
+	(*RuntimeSampler)(nil).Stop() // nil-safe
+	if r.StartRuntimeSampler(0) != nil {
+		t.Fatal("non-positive interval must return a nil sampler")
+	}
+	if (*Registry)(nil).StartRuntimeSampler(time.Second) != nil {
+		t.Fatal("nil registry must return a nil sampler")
+	}
+}
+
+func TestRuntimeSamplerTicks(t *testing.T) {
+	r := NewRegistry()
+	s := r.StartRuntimeSampler(time.Millisecond)
+	defer s.Stop()
+	h := r.Histogram("runtime.gc_pause_ms")
+	deadline := time.Now().Add(5 * time.Second)
+	for h.Count() == 0 && time.Now().Before(deadline) {
+		runtime.GC()
+		time.Sleep(2 * time.Millisecond)
+	}
+	if h.Count() == 0 {
+		t.Fatal("background ticks never observed a GC pause")
+	}
+}

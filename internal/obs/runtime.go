@@ -1,0 +1,93 @@
+package obs
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// RuntimeSampler periodically folds runtime health into a registry:
+// the CaptureMemStats gauges, a runtime.goroutines gauge, and a
+// runtime.gc_pause_ms histogram fed from the MemStats pause ring so
+// GC stalls show up as a tail, not just a total. A nil sampler is
+// inert, so callers can unconditionally defer Stop.
+type RuntimeSampler struct {
+	reg      *Registry
+	pause    *Histogram
+	interval time.Duration
+	lastGC   uint32
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// StartRuntimeSampler launches a background goroutine sampling the
+// runtime into r every interval until Stop is called. It returns nil
+// (a no-op sampler) for a nil registry or a non-positive interval.
+// One synchronous sample is taken before returning so /metrics is
+// never empty between boot and the first tick.
+func (r *Registry) StartRuntimeSampler(interval time.Duration) *RuntimeSampler {
+	if r == nil || interval <= 0 {
+		return nil
+	}
+	s := &RuntimeSampler{
+		reg:      r,
+		pause:    r.Histogram("runtime.gc_pause_ms", LogBounds(0.01, 10_000, 2)...),
+		interval: interval,
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	s.sample()
+	go s.run()
+	return s
+}
+
+func (s *RuntimeSampler) run() {
+	defer close(s.done)
+	t := time.NewTicker(s.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-t.C:
+			s.sample()
+		}
+	}
+}
+
+// sample takes one ReadMemStats and publishes it. It reuses the same
+// gauges as CaptureMemStats so scrapers see a single source of truth.
+func (s *RuntimeSampler) sample() {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	s.reg.setMemStats(&ms)
+	s.reg.Gauge("runtime.goroutines").Set(float64(runtime.NumGoroutine()))
+
+	// PauseNs is a 256-entry ring: the pause of GC cycle j (1-based)
+	// lives at PauseNs[(j+255)%256]. Observe every cycle since the
+	// previous sample; if more than 256 elapsed, the oldest were
+	// overwritten and only the surviving window is recorded.
+	n := ms.NumGC
+	from := s.lastGC
+	if n > 256 && from < n-256 {
+		from = n - 256
+	}
+	for j := from + 1; j <= n; j++ {
+		s.pause.Observe(float64(ms.PauseNs[(j+255)%256]) / 1e6)
+	}
+	s.lastGC = n
+}
+
+// Stop halts the sampler and waits for its goroutine to exit. Safe to
+// call multiple times and on a nil sampler.
+func (s *RuntimeSampler) Stop() {
+	if s == nil {
+		return
+	}
+	s.stopOnce.Do(func() {
+		close(s.stop)
+		<-s.done
+	})
+}

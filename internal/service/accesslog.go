@@ -1,0 +1,76 @@
+package service
+
+import (
+	"context"
+	"encoding/hex"
+	"log/slog"
+	"net/http"
+	"time"
+)
+
+// Shed reasons recorded in the access log so rejected requests leave
+// a server-side record naming *why* capacity was refused.
+const (
+	// ShedReasonOverload marks a 429: worker pool and queue full.
+	ShedReasonOverload = "pool_and_queue_full"
+	// ShedReasonDeadline marks a 504: the compute deadline expired.
+	ShedReasonDeadline = "compute_deadline"
+)
+
+// scoreStats carries per-request timing out of the scoring path for
+// the access log and the request span. A nil *scoreStats disables
+// collection entirely: the dark path takes no extra time.Now calls
+// and no extra allocations, preserving the PR 4/5 guarantees.
+type scoreStats struct {
+	queueWait time.Duration // time spent waiting for a worker slot
+	compute   time.Duration // time inside the pipeline computation
+}
+
+// logAccess emits one structured line per HTTP request. It is the
+// single exit point for request accounting: success, invalid, shed
+// (429) and timed-out (504) requests all pass through, so overload
+// is visible server-side, not just as client errors. No-op when
+// Config.AccessLog is nil.
+func (s *Server) logAccess(r *http.Request, reqID string, code int, cacheStatus string, key []byte, st *scoreStats, start time.Time, err error) {
+	l := s.cfg.AccessLog
+	if l == nil {
+		return
+	}
+	attrs := make([]slog.Attr, 0, 12)
+	attrs = append(attrs,
+		slog.String("request_id", reqID),
+		slog.String("method", r.Method),
+		slog.String("path", r.URL.Path),
+		slog.Int("status", code),
+		slog.Float64("total_ms", float64(time.Since(start).Nanoseconds())/1e6),
+	)
+	if cacheStatus != "" {
+		attrs = append(attrs, slog.String("cache", cacheStatus))
+	}
+	if key != nil {
+		attrs = append(attrs, slog.String("key", hex.EncodeToString(key)))
+	}
+	if st != nil {
+		attrs = append(attrs,
+			slog.Float64("queue_wait_ms", float64(st.queueWait.Nanoseconds())/1e6),
+			slog.Float64("compute_ms", float64(st.compute.Nanoseconds())/1e6),
+		)
+	}
+	switch code {
+	case http.StatusTooManyRequests:
+		attrs = append(attrs,
+			slog.String("shed_reason", ShedReasonOverload),
+			slog.String("retry_after", RetryAfter),
+		)
+	case http.StatusGatewayTimeout:
+		attrs = append(attrs, slog.String("shed_reason", ShedReasonDeadline))
+	}
+	if err != nil {
+		attrs = append(attrs, slog.String("error", err.Error()))
+	}
+	level := slog.LevelInfo
+	if code >= 400 {
+		level = slog.LevelWarn
+	}
+	l.LogAttrs(context.Background(), level, "request", attrs...)
+}

@@ -1,0 +1,250 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"log/slog"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"hmeans/internal/obs"
+)
+
+func TestValidRequestID(t *testing.T) {
+	for _, ok := range []string{"a", "r-0123abcd", "load-2007-000041", "A.b:c/d_e-9"} {
+		if !validRequestID(ok) {
+			t.Fatalf("validRequestID(%q) = false", ok)
+		}
+	}
+	for _, bad := range []string{"", "has space", "héllo", "x\n", strings.Repeat("a", 129)} {
+		if validRequestID(bad) {
+			t.Fatalf("validRequestID(%q) = true", bad)
+		}
+	}
+}
+
+func TestNewRequestIDShapeAndUniqueness(t *testing.T) {
+	seen := make(map[string]bool)
+	for i := 0; i < 100; i++ {
+		id := NewRequestID()
+		if !strings.HasPrefix(id, "r-") || len(id) != 18 || !validRequestID(id) {
+			t.Fatalf("malformed generated id %q", id)
+		}
+		if seen[id] {
+			t.Fatalf("duplicate generated id %q", id)
+		}
+		seen[id] = true
+	}
+}
+
+func postScoreWithID(t *testing.T, url, id string, req *Request) (*http.Response, []byte) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatalf("marshal request: %v", err)
+	}
+	hreq, err := http.NewRequest(http.MethodPost, url+"/v1/score", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	if id != "" {
+		hreq.Header.Set(HeaderRequestID, id)
+	}
+	resp, err := http.DefaultClient.Do(hreq)
+	if err != nil {
+		t.Fatalf("POST /v1/score: %v", err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, buf.Bytes()
+}
+
+func TestRequestIDHonoredGeneratedEchoed(t *testing.T) {
+	_, ts := newTestServer(t, Config{CacheSize: 4})
+
+	// A valid client ID is honored verbatim.
+	r, _ := postScoreWithID(t, ts.URL, "client-abc.1", testRequest(1))
+	if got := r.Header.Get(HeaderRequestID); got != "client-abc.1" {
+		t.Fatalf("echoed id = %q, want client-abc.1", got)
+	}
+	// No ID: the server generates one and echoes it.
+	r, _ = postScoreWithID(t, ts.URL, "", testRequest(1))
+	if got := r.Header.Get(HeaderRequestID); !strings.HasPrefix(got, "r-") || !validRequestID(got) {
+		t.Fatalf("generated id = %q", got)
+	}
+	// A hostile ID is replaced, never echoed back.
+	r, _ = postScoreWithID(t, ts.URL, strings.Repeat("z", 200), testRequest(1))
+	if got := r.Header.Get(HeaderRequestID); strings.Contains(got, "zzz") || !validRequestID(got) {
+		t.Fatalf("invalid client id leaked through: %q", got)
+	}
+}
+
+// logLines decodes each JSON line the access logger wrote.
+func logLines(t *testing.T, buf *bytes.Buffer) []map[string]any {
+	t.Helper()
+	var out []map[string]any
+	for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		if line == "" {
+			continue
+		}
+		var m map[string]any
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Fatalf("access log line %q: %v", line, err)
+		}
+		out = append(out, m)
+	}
+	return out
+}
+
+func TestAccessLogSuccessFields(t *testing.T) {
+	var buf bytes.Buffer
+	logger := slog.New(slog.NewJSONHandler(&buf, nil))
+	_, ts := newTestServer(t, Config{CacheSize: 4, AccessLog: logger})
+
+	r, _ := postScoreWithID(t, ts.URL, "test-req-1", testRequest(1))
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", r.StatusCode)
+	}
+	lines := logLines(t, &buf)
+	if len(lines) != 1 {
+		t.Fatalf("got %d log lines, want 1: %s", len(lines), buf.String())
+	}
+	m := lines[0]
+	if m["request_id"] != "test-req-1" || m["status"] != float64(200) || m["cache"] != CacheMiss {
+		t.Fatalf("line = %v", m)
+	}
+	if m["key"] != strings.ToLower(r.Header.Get("X-Hmeans-Key")) {
+		t.Fatalf("log key %v != header key %v", m["key"], r.Header.Get("X-Hmeans-Key"))
+	}
+	for _, f := range []string{"method", "path", "total_ms", "queue_wait_ms", "compute_ms"} {
+		if _, ok := m[f]; !ok {
+			t.Fatalf("missing %s in %v", f, m)
+		}
+	}
+	if m["compute_ms"].(float64) <= 0 {
+		t.Fatalf("compute_ms = %v, want > 0 on a miss", m["compute_ms"])
+	}
+
+	// The cache hit logs too, with cache=hit and no recompute time.
+	buf.Reset()
+	postScoreWithID(t, ts.URL, "test-req-2", testRequest(1))
+	lines = logLines(t, &buf)
+	if len(lines) != 1 || lines[0]["cache"] != CacheHit {
+		t.Fatalf("hit line = %v", lines)
+	}
+	if lines[0]["compute_ms"].(float64) != 0 {
+		t.Fatalf("cache hit recorded compute time: %v", lines[0])
+	}
+}
+
+func TestAccessLogShed429(t *testing.T) {
+	var buf bytes.Buffer
+	logger := slog.New(slog.NewJSONHandler(&buf, nil))
+	srv, ts := newTestServer(t, Config{MaxInflight: 1, QueueDepth: 0, AccessLog: logger})
+	if err := srv.lim.acquire(context.Background()); err != nil {
+		t.Fatalf("priming acquire: %v", err)
+	}
+	defer srv.lim.release()
+
+	r, _ := postScoreWithID(t, ts.URL, "shed-me-1", testRequest(1))
+	if r.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429", r.StatusCode)
+	}
+	lines := logLines(t, &buf)
+	if len(lines) != 1 {
+		t.Fatalf("got %d log lines, want 1", len(lines))
+	}
+	m := lines[0]
+	if m["request_id"] != "shed-me-1" || m["status"] != float64(429) {
+		t.Fatalf("line = %v", m)
+	}
+	if m["shed_reason"] != ShedReasonOverload {
+		t.Fatalf("shed_reason = %v, want %q", m["shed_reason"], ShedReasonOverload)
+	}
+	if m["retry_after"] != RetryAfter {
+		t.Fatalf("retry_after = %v, want %q", m["retry_after"], RetryAfter)
+	}
+	if m["level"] != "WARN" {
+		t.Fatalf("shed logged at %v, want WARN", m["level"])
+	}
+}
+
+func TestAccessLogTimeout504(t *testing.T) {
+	var buf bytes.Buffer
+	logger := slog.New(slog.NewJSONHandler(&buf, nil))
+	_, ts := newTestServer(t, Config{Timeout: time.Nanosecond, AccessLog: logger})
+
+	r, _ := postScoreWithID(t, ts.URL, "late-1", testRequest(1))
+	if r.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d, want 504", r.StatusCode)
+	}
+	lines := logLines(t, &buf)
+	if len(lines) != 1 {
+		t.Fatalf("got %d log lines, want 1", len(lines))
+	}
+	m := lines[0]
+	if m["request_id"] != "late-1" || m["status"] != float64(504) || m["shed_reason"] != ShedReasonDeadline {
+		t.Fatalf("line = %v", m)
+	}
+	if _, ok := m["error"]; !ok {
+		t.Fatalf("504 line carries no error: %v", m)
+	}
+}
+
+func TestAccessLogInvalidAndMethod(t *testing.T) {
+	var buf bytes.Buffer
+	logger := slog.New(slog.NewJSONHandler(&buf, nil))
+	_, ts := newTestServer(t, Config{AccessLog: logger})
+
+	resp, err := http.Post(ts.URL+"/v1/score", "application/json", strings.NewReader("{nope"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	resp, err = http.Get(ts.URL + "/v1/score")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	lines := logLines(t, &buf)
+	if len(lines) != 2 {
+		t.Fatalf("got %d log lines, want 2: %s", len(lines), buf.String())
+	}
+	if lines[0]["status"] != float64(400) || lines[1]["status"] != float64(405) {
+		t.Fatalf("lines = %v", lines)
+	}
+	for _, m := range lines {
+		if !validRequestID(m["request_id"].(string)) {
+			t.Fatalf("error line without request id: %v", m)
+		}
+	}
+}
+
+// TestResponseByteIdenticalTelemetryOnVsOff pins the tentpole's
+// guarantee: enabling the full telemetry stack (access log + active
+// observer + request IDs) must not change a single response byte.
+func TestResponseByteIdenticalTelemetryOnVsOff(t *testing.T) {
+	_, dark := newTestServer(t, Config{CacheSize: 4})
+	var buf bytes.Buffer
+	logger := slog.New(slog.NewJSONHandler(&buf, nil))
+	o := obs.New(obs.NewJSONLSink(&bytes.Buffer{}))
+	_, lit := newTestServer(t, Config{CacheSize: 4, AccessLog: logger, Obs: o})
+
+	req := testRequest(3)
+	_, rawDark := postScore(t, dark.URL, req)
+	_, rawLit := postScoreWithID(t, lit.URL, "parity-check", req)
+	if !bytes.Equal(rawDark, rawLit) {
+		t.Fatal("telemetry changed the response bytes")
+	}
+	if buf.Len() == 0 {
+		t.Fatal("telemetry server wrote no access log")
+	}
+}

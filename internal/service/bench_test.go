@@ -1,0 +1,50 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// benchScore drives the HTTP cache-hit path — decode, content hash,
+// cache lookup, response write — with access logging either dark
+// (nil) or enabled. The pair is wired into the bench gate: the
+// logged variant must stay inside the ns/op budget, and the dark
+// variant's allocs/op must not move at all, proving telemetry is
+// free when disabled.
+func benchScore(b *testing.B, logger *slog.Logger) {
+	srv := New(Config{CacheSize: 4, AccessLog: logger})
+	body, err := json.Marshal(testRequest(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	mux := srv.Handler()
+	prime := httptest.NewRequest(http.MethodPost, "/v1/score", bytes.NewReader(body))
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, prime)
+	if rec.Code != http.StatusOK {
+		b.Fatalf("priming request: status %d, body %s", rec.Code, rec.Body.String())
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := httptest.NewRequest(http.MethodPost, "/v1/score", bytes.NewReader(body))
+		req.Header.Set(HeaderRequestID, "bench-000001")
+		rec := httptest.NewRecorder()
+		mux.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			b.Fatalf("status %d", rec.Code)
+		}
+	}
+}
+
+func BenchmarkServiceScoreDark(b *testing.B) { benchScore(b, nil) }
+
+func BenchmarkServiceScoreLogged(b *testing.B) {
+	benchScore(b, slog.New(slog.NewJSONHandler(io.Discard, nil)))
+}

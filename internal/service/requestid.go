@@ -1,0 +1,54 @@
+package service
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"net/http"
+)
+
+// HeaderRequestID is the correlation header: hmeansd honors a valid
+// client-supplied value or generates one, stamps it on the request
+// span (and so into the JSONL trace), echoes it in the response, and
+// writes it to the access log — one ID follows a request across every
+// process boundary. Clients (hmeansctl, internal/load) send it so
+// client-side artifacts and server-side telemetry join on the same
+// key.
+const HeaderRequestID = "X-Request-ID"
+
+// NewRequestID returns a fresh random request ID ("r-" + 16 hex
+// chars). Random rather than sequential so IDs from independent
+// clients and replicas cannot collide; no coordination needed.
+func NewRequestID() string {
+	var b [8]byte
+	rand.Read(b[:]) // crypto/rand.Read never fails on supported platforms
+	return "r-" + hex.EncodeToString(b[:])
+}
+
+// validRequestID bounds what the service will honor and echo:
+// 1–128 bytes of a conservative token alphabet. Anything else is
+// replaced with a generated ID, so hostile header values can never
+// reach the access log or the trace verbatim.
+func validRequestID(s string) bool {
+	if len(s) == 0 || len(s) > 128 {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+		case c == '-', c == '_', c == '.', c == ':', c == '/':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// ensureRequestID returns the request's correlation ID: the inbound
+// header when valid, a freshly generated one otherwise.
+func ensureRequestID(r *http.Request) string {
+	if id := r.Header.Get(HeaderRequestID); validRequestID(id) {
+		return id
+	}
+	return NewRequestID()
+}

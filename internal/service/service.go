@@ -7,6 +7,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"runtime"
 	"sync"
@@ -52,6 +53,11 @@ type Config struct {
 	// Obs receives request spans and the service counters. Nil falls
 	// back to the process-default observer.
 	Obs *obs.Observer
+	// AccessLog receives one structured line per HTTP request (see
+	// logAccess for the fields). Nil disables access logging entirely
+	// — the hot path then takes no extra allocations, preserving the
+	// zero-alloc and bit-identical guarantees.
+	AccessLog *slog.Logger
 }
 
 // Server is the scoring service: Handler exposes it over HTTP, and
@@ -107,6 +113,14 @@ const (
 // requests) plus the cache status. ctx bounds queue waiting and — for
 // a leader — is superseded by the server's compute deadline.
 func (s *Server) Score(ctx context.Context, req *Request) ([]byte, string, error) {
+	return s.score(ctx, req, nil)
+}
+
+// score is Score with optional per-request timing collection: when st
+// is non-nil the leader records queue wait and compute time into it
+// for the access log. A nil st (the dark path, and every coalesced
+// follower or cache hit) skips all clock reads.
+func (s *Server) score(ctx context.Context, req *Request, st *scoreStats) ([]byte, string, error) {
 	if err := req.Validate(); err != nil {
 		s.count("service.invalid")
 		return nil, "", err
@@ -117,8 +131,18 @@ func (s *Server) Score(ctx context.Context, req *Request) ([]byte, string, error
 		return raw, CacheHit, nil
 	}
 	raw, leader, err := s.group.do(ctx, key, func() ([]byte, error) {
+		var qStart time.Time
+		if st != nil {
+			qStart = time.Now()
+		}
 		if err := s.lim.acquire(ctx); err != nil {
+			if st != nil {
+				st.queueWait = time.Since(qStart)
+			}
 			return nil, err
+		}
+		if st != nil {
+			st.queueWait = time.Since(qStart)
 		}
 		defer s.lim.release()
 		// The compute context is detached from the leader's request:
@@ -131,7 +155,14 @@ func (s *Server) Score(ctx context.Context, req *Request) ([]byte, string, error
 			cctx, cancel = context.WithTimeout(cctx, s.cfg.Timeout)
 			defer cancel()
 		}
+		var cStart time.Time
+		if st != nil {
+			cStart = time.Now()
+		}
 		resp, err := s.compute(cctx, req)
+		if st != nil {
+			st.compute = time.Since(cStart)
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -317,12 +348,22 @@ func (s *Server) Handler() *http.ServeMux {
 
 func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
-	sp := s.obs.StartSpan("request", obs.KV("path", r.URL.Path))
+	reqID := ensureRequestID(r)
+	w.Header().Set(HeaderRequestID, reqID)
+	sp := s.obs.StartSpan("request", obs.KV("path", r.URL.Path), obs.KV("request_id", reqID))
 	defer sp.End()
 	s.count("service.requests")
+	// Timing collection exists for the access log only; the dark path
+	// (AccessLog nil) must not pay its clock reads or allocation.
+	var st *scoreStats
+	if s.cfg.AccessLog != nil {
+		st = new(scoreStats)
+	}
 	if r.Method != http.MethodPost {
 		w.Header().Set("Allow", http.MethodPost)
-		s.writeError(w, sp, http.StatusMethodNotAllowed, fmt.Errorf("use POST"))
+		err := fmt.Errorf("use POST")
+		s.writeError(w, sp, http.StatusMethodNotAllowed, err)
+		s.logAccess(r, reqID, http.StatusMethodNotAllowed, "", nil, st, start, err)
 		return
 	}
 	var req Request
@@ -331,16 +372,20 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
 		s.count("service.invalid")
-		s.writeError(w, sp, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		err = fmt.Errorf("decoding request: %w", err)
+		s.writeError(w, sp, http.StatusBadRequest, err)
+		s.logAccess(r, reqID, http.StatusBadRequest, "", nil, st, start, err)
 		return
 	}
 	sp.SetAttr("workloads", len(req.Table.Workloads))
 	sp.SetAttr("vectors", len(req.Scores))
 
-	raw, status, err := s.Score(r.Context(), &req)
+	raw, status, err := s.score(r.Context(), &req, st)
 	sp.SetAttr("cache", status)
 	if err != nil {
-		s.writeError(w, sp, httpStatus(err), err)
+		code := httpStatus(err)
+		s.writeError(w, sp, code, err)
+		s.logAccess(r, reqID, code, status, nil, st, start, err)
 		return
 	}
 	key := req.CacheKey()
@@ -353,6 +398,7 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 		s.obs.Metrics().Histogram("service.latency_ms", 1, 5, 10, 50, 100, 500, 1000, 5000).
 			Observe(float64(time.Since(start).Milliseconds()))
 	}
+	s.logAccess(r, reqID, http.StatusOK, status, key[:8], st, start, nil)
 }
 
 // httpStatus maps the error taxonomy to HTTP statuses, mirroring the

@@ -9,6 +9,13 @@
 # that a repeated request is answered from the cache with identical
 # bytes, and validates the request trace the daemon wrote.
 #
+# On top of that it exercises the request-telemetry story end to end:
+# one X-Request-ID chosen by hmeansctl and one reported by hmeansload
+# are each traced through the daemon's structured access log and JSONL
+# trace; /metrics is scraped in both JSON and Prometheus form and the
+# exposition is validated; and an undersized second daemon proves shed
+# 429s land in the access log with their shed reason and Retry-After.
+#
 # Artifacts land in $SMOKE_DIR (default: a fresh temp dir).
 set -eu
 
@@ -19,10 +26,12 @@ go build -o "$SMOKE_DIR/hmeansd" ./cmd/hmeansd
 go build -o "$SMOKE_DIR/hmeansctl" ./cmd/hmeansctl
 go build -o "$SMOKE_DIR/hmeans" ./cmd/hmeans
 go build -o "$SMOKE_DIR/report" ./cmd/report
+go build -o "$SMOKE_DIR/hmeansload" ./cmd/hmeansload
 go run ./cmd/benchsim -emit sar > "$SMOKE_DIR/sar.csv"
 go run ./cmd/benchsim -emit speedups > "$SMOKE_DIR/speedups.csv"
 
 "$SMOKE_DIR/hmeansd" -addr 127.0.0.1:0 -cache-size 16 \
+    -access-log "$SMOKE_DIR/access.log" -runtime-sample 100ms \
     -obs.trace "$SMOKE_DIR/trace.jsonl" > "$SMOKE_DIR/hmeansd.log" 2>&1 &
 DAEMON=$!
 trap 'kill "$DAEMON" 2>/dev/null || true' EXIT
@@ -45,9 +54,13 @@ echo "serve-smoke: daemon at $ADDR"
 "$SMOKE_DIR/hmeans" -scores "$SMOKE_DIR/speedups.csv" -chars "$SMOKE_DIR/sar.csv" -k 6 \
     > "$SMOKE_DIR/batch.out"
 "$SMOKE_DIR/hmeansctl" -addr "$ADDR" -scores "$SMOKE_DIR/speedups.csv" -chars "$SMOKE_DIR/sar.csv" -k 6 \
+    -request-id smoke-ctl-1 -v \
     > "$SMOKE_DIR/service.out" 2> "$SMOKE_DIR/service.err"
 diff -u "$SMOKE_DIR/batch.out" "$SMOKE_DIR/service.out" || {
     echo "serve-smoke: service result diverges from the batch CLI" >&2; exit 1; }
+grep -q 'request: smoke-ctl-1' "$SMOKE_DIR/service.err" || {
+    echo "serve-smoke: hmeansctl -v did not report its request ID" >&2
+    cat "$SMOKE_DIR/service.err" >&2; exit 1; }
 
 # The HGM is the paper's headline number; require it to be present and
 # positive in both outputs (the diff above already proved equality).
@@ -69,9 +82,29 @@ cmp "$SMOKE_DIR/raw1.json" "$SMOKE_DIR/raw2.json" || {
     echo "serve-smoke: cache hit bytes differ from cold-path bytes" >&2; exit 1; }
 echo "serve-smoke: cache hit is byte-identical"
 
-# Service counters must be visible on the shared /metrics endpoint.
-curl -sf "$ADDR/metrics" | grep -q 'service.requests' || {
-    echo "serve-smoke: /metrics lacks service counters" >&2; exit 1; }
+# A short load run against the same daemon: the report names its
+# slowest requests by the X-Request-IDs it sent, giving us a second,
+# machine-chosen ID to trace through the server-side artifacts.
+"$SMOKE_DIR/hmeansload" -addr "$ADDR" -rps 100 -n 30 -seed 7 \
+    -mix "hit=70,miss=30,invalid=0" -workloads 13 -features 6 \
+    -o "$SMOKE_DIR/smoke-load.json" > "$SMOKE_DIR/hmeansload.out"
+SLOW_ID="$(sed -n 's/.*"request_id": "\(load-[^"]*\)".*/\1/p' "$SMOKE_DIR/smoke-load.json" | head -n 1)"
+[ -n "$SLOW_ID" ] || {
+    echo "serve-smoke: load report names no slowest request" >&2
+    cat "$SMOKE_DIR/smoke-load.json" >&2; exit 1; }
+echo "serve-smoke: slowest load request was $SLOW_ID"
+
+# /metrics speaks both formats: JSON (the default, dotted names) and
+# the Prometheus text exposition (content-negotiated), which must pass
+# the format validator.
+curl -sf "$ADDR/metrics?format=json" > "$SMOKE_DIR/metrics.json"
+grep -q 'service.requests' "$SMOKE_DIR/metrics.json" || {
+    echo "serve-smoke: JSON /metrics lacks service counters" >&2; exit 1; }
+curl -sf -H 'Accept: text/plain' "$ADDR/metrics" > "$SMOKE_DIR/metrics.prom"
+grep -q '^service_requests ' "$SMOKE_DIR/metrics.prom" || {
+    echo "serve-smoke: Prometheus /metrics lacks service counters" >&2
+    cat "$SMOKE_DIR/metrics.prom" >&2; exit 1; }
+"$SMOKE_DIR/report" -validate-metrics "$SMOKE_DIR/metrics.prom"
 
 # Graceful shutdown flushes the trace; validate it like obs-trace does.
 kill "$DAEMON"
@@ -80,4 +113,53 @@ trap - EXIT
 grep -q 'shut down' "$SMOKE_DIR/hmeansd.log" || {
     echo "serve-smoke: no graceful shutdown line" >&2; cat "$SMOKE_DIR/hmeansd.log" >&2; exit 1; }
 "$SMOKE_DIR/report" -validate-trace "$SMOKE_DIR/trace.jsonl"
+
+# Cross-process correlation: both request IDs — the one hmeansctl
+# chose and the one hmeansload reported — must appear in the daemon's
+# access log AND its JSONL trace, and -request must pull the ctl
+# request's server-side span breakdown out of the trace.
+for id in smoke-ctl-1 "$SLOW_ID"; do
+    grep -q "$id" "$SMOKE_DIR/access.log" || {
+        echo "serve-smoke: access log has no line for $id" >&2; exit 1; }
+    grep -q "$id" "$SMOKE_DIR/trace.jsonl" || {
+        echo "serve-smoke: trace has no span for $id" >&2; exit 1; }
+done
+"$SMOKE_DIR/report" -timings "$SMOKE_DIR/trace.jsonl" -request smoke-ctl-1 \
+    > "$SMOKE_DIR/request-timings.out"
+grep -q 'request smoke-ctl-1' "$SMOKE_DIR/request-timings.out" || {
+    echo "serve-smoke: no per-request timing table" >&2
+    cat "$SMOKE_DIR/request-timings.out" >&2; exit 1; }
+echo "serve-smoke: request IDs correlate across client, access log and trace"
+
+# Shed paths are telemetry too: an undersized daemon under sustained
+# closed-loop pressure (8 workers, no think time, no retries) must log
+# its 429s with the shed reason and Retry-After. The closed loop keeps
+# concurrent requests in flight for the whole run, so shedding does
+# not depend on a one-shot burst landing just right.
+"$SMOKE_DIR/hmeansd" -addr 127.0.0.1:0 -cache-size 0 \
+    -max-inflight 1 -queue-depth 0 \
+    -access-log "$SMOKE_DIR/access2.log" > "$SMOKE_DIR/hmeansd2.log" 2>&1 &
+DAEMON2=$!
+trap 'kill "$DAEMON2" 2>/dev/null || true' EXIT
+ADDR2=""
+for _ in $(seq 1 100); do
+    ADDR2="$(sed -n 's/.*listening on \(http:\/\/[0-9.:]*\).*/\1/p' "$SMOKE_DIR/hmeansd2.log")"
+    [ -n "$ADDR2" ] && break
+    sleep 0.1
+done
+[ -n "$ADDR2" ] || { echo "serve-smoke: shed daemon never came up" >&2; exit 1; }
+"$SMOKE_DIR/hmeansload" -addr "$ADDR2" -mode closed -concurrency 8 -rps 0 \
+    -n 40 -seed 11 -max-retries 0 \
+    -mix "hit=0,miss=100,invalid=0" > "$SMOKE_DIR/hmeansload-shed.out"
+kill "$DAEMON2"
+wait "$DAEMON2" || { echo "serve-smoke: shed daemon exited non-zero" >&2; exit 1; }
+trap - EXIT
+grep -q '"status":429' "$SMOKE_DIR/access2.log" || {
+    echo "serve-smoke: no shed 429 in the undersized daemon's access log" >&2
+    cat "$SMOKE_DIR/access2.log" >&2; exit 1; }
+grep '"status":429' "$SMOKE_DIR/access2.log" | head -n 1 | grep -q 'pool_and_queue_full' || {
+    echo "serve-smoke: shed line lacks its shed_reason" >&2; exit 1; }
+grep '"status":429' "$SMOKE_DIR/access2.log" | head -n 1 | grep -q 'retry_after' || {
+    echo "serve-smoke: shed line lacks retry_after" >&2; exit 1; }
+echo "serve-smoke: shed 429s are logged with reason and Retry-After"
 echo "serve-smoke: ok"
