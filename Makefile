@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fmt lint staticcheck bench bench-json bench-gate bench-baseline memprofile trace chaos fuzz serve-smoke load-gate cover ci
+.PHONY: all build test race vet fmt lint staticcheck bench bench-json bench-gate bench-baseline memprofile trace chaos chaos-service fuzz serve-smoke load-gate cover ci
 
 all: build
 
@@ -123,6 +123,15 @@ cover:
 chaos:
 	$(GO) test -race -run Chaos ./...
 
+# chaos-service mirrors the CI chaos-service job: the network-level
+# chaos suite — a seeded TCP chaos proxy (drops, stalls, truncated and
+# corrupted responses) in front of a live scoring service — under the
+# race detector. Every fault must surface as a typed client error, a
+# successful retry, or a breaker-open; on failure the test log carries
+# the proxy's seeded fault schedule, which replays the run exactly.
+chaos-service:
+	$(GO) test -race -count=1 -run ChaosService ./internal/faultinject/
+
 # fuzz smoke-runs every serialization fuzz target (the CI fuzz-smoke
 # job). Go permits one -fuzz pattern per invocation, so one line per
 # target; raise FUZZTIME for a real fuzzing session.
@@ -133,5 +142,6 @@ fuzz:
 	$(GO) test -fuzz FuzzReadClusters -fuzztime $(FUZZTIME) ./internal/dataio
 	$(GO) test -fuzz FuzzLoadMap -fuzztime $(FUZZTIME) ./internal/som
 	$(GO) test -fuzz FuzzLoadDendrogram -fuzztime $(FUZZTIME) ./internal/cluster
+	$(GO) test -fuzz FuzzRestoreSnapshot -fuzztime $(FUZZTIME) ./internal/service
 
-ci: build lint test race chaos fuzz bench trace bench-gate serve-smoke load-gate cover
+ci: build lint test race chaos chaos-service fuzz bench trace bench-gate serve-smoke load-gate cover

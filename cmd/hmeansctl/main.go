@@ -13,22 +13,37 @@
 // Every request is sent with an X-Request-ID (-request-id, generated
 // when omitted); -v prints it, and the daemon logs and traces the
 // same ID, so one key correlates client output with server telemetry.
+//
+// Resilience: -retries retries transient failures (shed 429s,
+// draining 503s, network errors, integrity failures) with seeded
+// jittered backoff, honoring the server's Retry-After; -hedge races a
+// second request when the first is slow. Response bodies are verified
+// against the daemon's X-Hmeans-Digest header, so a corrupted byte
+// stream is an error, never a silently wrong score.
+//
+// Exit codes: 0 ok, 1 internal/timeout, 2 usage, 3 invalid input
+// (HTTP 400), 4 service unavailable (HTTP 429/503 after retries),
+// 5 transport failure (network error or integrity mismatch).
 package main
 
 import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"net/http"
 	"os"
+	"strconv"
 	"strings"
+	"time"
 
 	"hmeans/internal/cliutil"
 	"hmeans/internal/dataio"
 	"hmeans/internal/obs"
+	"hmeans/internal/resilience"
 	"hmeans/internal/service"
 	"hmeans/internal/viz"
 )
@@ -53,6 +68,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 		rawJSON    = fs.Bool("json", false, "print the raw JSON response instead of the rendered result")
 		verbose    = fs.Bool("v", false, "report the request ID and cache status (X-Request-ID, X-Hmeans-Cache) on stderr")
 		requestID  = fs.String("request-id", "", "X-Request-ID to send for cross-process correlation (empty: generate one)")
+		retries    = fs.Int("retries", 0, "retry transient failures (429/503, network errors) up to this many times")
+		retryBase  = fs.Duration("retry.base", 100*time.Millisecond, "base backoff between retries (doubles per attempt, ±25% seeded jitter)")
+		retrySeed  = fs.Uint64("retry.seed", 2007, "seed for the retry jitter (deterministic schedules for scripted runs)")
+		hedge      = fs.Duration("hedge", 0, "race a second identical request if the first has not answered after this long (0 disables)")
 	)
 	timeout := cliutil.RegisterTimeout(fs)
 	obsFlags := obs.RegisterFlags(fs)
@@ -61,6 +80,15 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	if obsFlags.PrintVersion(stdout, "hmeansctl") {
 		return nil
+	}
+	if err := cliutil.ValidateMin("-retries", *retries, 0); err != nil {
+		return err
+	}
+	if *retryBase < 0 {
+		return cliutil.Usagef("-retry.base must be >= 0, got %v", *retryBase)
+	}
+	if *hedge < 0 {
+		return cliutil.Usagef("-hedge must be >= 0, got %v", *hedge)
 	}
 	ctx, cancel := cliutil.WithTimeout(*timeout)
 	defer cancel()
@@ -85,7 +113,21 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if *verbose {
 		fmt.Fprintf(stderr, "request: %s\n", id)
 	}
-	raw, cacheStatus, err := post(ctx, base+"/v1/score", id, req)
+	rt := resilience.NewRetryer(resilience.Policy{
+		MaxRetries: *retries,
+		BaseDelay:  *retryBase,
+		Jitter:     0.25,
+	}, *retrySeed)
+	var raw []byte
+	var cacheStatus string
+	err = rt.Do(ctx, func(ctx context.Context) error {
+		r, cs, err := post(ctx, base+"/v1/score", id, req, *hedge)
+		if err != nil {
+			return err
+		}
+		raw, cacheStatus = r, cs
+		return nil
+	}, retryable)
 	if err != nil {
 		return err
 	}
@@ -173,10 +215,13 @@ func buildRequest(scoresPath, charsPath, kind string, seed uint64, k int) (*serv
 
 // remoteError carries an error reported by the daemon. 400s mark
 // invalid input, so hmeansctl exits with the same status 3 the batch
-// CLI uses for bad data.
+// CLI uses for bad data; 429 (shed) and 503 (draining) mark a service
+// that will take the work later, so they exit 4 — distinct from both
+// bad data and real failures.
 type remoteError struct {
-	status int
-	msg    string
+	status     int
+	msg        string
+	retryAfter time.Duration
 }
 
 func (e *remoteError) Error() string { return fmt.Sprintf("%s (HTTP %d)", e.msg, e.status) }
@@ -184,25 +229,92 @@ func (e *remoteError) Error() string { return fmt.Sprintf("%s (HTTP %d)", e.msg,
 // DataError implements cliutil's marker for invalid-input errors.
 func (e *remoteError) DataError() bool { return e.status == http.StatusBadRequest }
 
-func post(ctx context.Context, url, requestID string, req *service.Request) (raw []byte, cacheStatus string, err error) {
+// ExitCode implements cliutil.ExitCoder: 4 for "unavailable, retry
+// later" statuses, the conventional 1 for everything else. (400 never
+// reaches this — the DataError mapping to 3 wins first.)
+func (e *remoteError) ExitCode() int {
+	if e.status == http.StatusTooManyRequests || e.status == http.StatusServiceUnavailable {
+		return cliutil.ExitUnavailable
+	}
+	return 1
+}
+
+// RetryAfter feeds the server's Retry-After hint to the retryer.
+func (e *remoteError) RetryAfter() time.Duration { return e.retryAfter }
+
+// transportError marks a network-level failure: the request may never
+// have reached the daemon, or the response never cleanly arrived
+// (connection errors, torn reads, integrity mismatches). Exit code 5.
+type transportError struct{ err error }
+
+func (e *transportError) Error() string { return fmt.Sprintf("transport: %v", e.err) }
+func (e *transportError) Unwrap() error { return e.err }
+func (e *transportError) ExitCode() int { return cliutil.ExitTransport }
+
+// retryable says which failures a retry can plausibly fix: transport
+// damage and "come back later" statuses. Invalid input and server
+// bugs fail the same way every time — retrying them is noise.
+func retryable(err error) bool {
+	var te *transportError
+	if errors.As(err, &te) {
+		return true
+	}
+	var re *remoteError
+	if errors.As(err, &re) {
+		switch re.status {
+		case http.StatusTooManyRequests, http.StatusServiceUnavailable,
+			http.StatusBadGateway, http.StatusGatewayTimeout:
+			return true
+		}
+	}
+	return false
+}
+
+type postResult struct {
+	raw         []byte
+	cacheStatus string
+}
+
+// post sends the score request once (plus an optional hedge) and
+// classifies every failure mode: network errors and integrity
+// mismatches become transportError, non-200s become remoteError with
+// the Retry-After hint attached, and a 200 body must match its
+// X-Hmeans-Digest before it counts as an answer.
+func post(ctx context.Context, url, requestID string, req *service.Request, hedge time.Duration) (raw []byte, cacheStatus string, err error) {
 	body, err := json.Marshal(req)
 	if err != nil {
 		return nil, "", err
 	}
-	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	res, err := resilience.Hedged(ctx, hedge, func(ctx context.Context) (postResult, error) {
+		return postOnce(ctx, url, requestID, body)
+	})
 	if err != nil {
 		return nil, "", err
+	}
+	return res.raw, res.cacheStatus, nil
+}
+
+func postOnce(ctx context.Context, url, requestID string, body []byte) (postResult, error) {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return postResult{}, err
 	}
 	hreq.Header.Set("Content-Type", "application/json")
 	hreq.Header.Set(service.HeaderRequestID, requestID)
 	resp, err := http.DefaultClient.Do(hreq)
 	if err != nil {
-		return nil, "", err
+		if ctx.Err() != nil {
+			return postResult{}, ctx.Err()
+		}
+		return postResult{}, &transportError{err: err}
 	}
 	defer resp.Body.Close()
-	raw, err = io.ReadAll(resp.Body)
+	raw, err := io.ReadAll(resp.Body)
 	if err != nil {
-		return nil, "", err
+		if ctx.Err() != nil {
+			return postResult{}, ctx.Err()
+		}
+		return postResult{}, &transportError{err: err}
 	}
 	if resp.StatusCode != http.StatusOK {
 		msg := strings.TrimSpace(string(raw))
@@ -212,12 +324,20 @@ func post(ctx context.Context, url, requestID string, req *service.Request) (raw
 		if json.Unmarshal(raw, &werr) == nil && werr.Error != "" {
 			msg = werr.Error
 		}
+		re := &remoteError{status: resp.StatusCode, msg: msg}
 		if ra := resp.Header.Get("Retry-After"); ra != "" {
 			msg += " (retry after " + ra + "s)"
+			re.msg = msg
+			if sec, err := strconv.Atoi(ra); err == nil && sec > 0 {
+				re.retryAfter = time.Duration(sec) * time.Second
+			}
 		}
-		return nil, "", &remoteError{status: resp.StatusCode, msg: msg}
+		return postResult{}, re
 	}
-	return raw, resp.Header.Get("X-Hmeans-Cache"), nil
+	if err := service.VerifyDigest(resp.Header.Get(service.HeaderDigest), raw); err != nil {
+		return postResult{}, &transportError{err: err}
+	}
+	return postResult{raw: raw, cacheStatus: resp.Header.Get("X-Hmeans-Cache")}, nil
 }
 
 // render prints the response in the batch CLI's format: the same

@@ -2,10 +2,13 @@ package main
 
 import (
 	"fmt"
+	"io"
+	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
+	"sync/atomic"
 	"testing"
 
 	"hmeans/internal/cliutil"
@@ -201,11 +204,143 @@ func TestRemoteBadRequestExitsThree(t *testing.T) {
 	}
 }
 
+// TestUnreachableDaemon checks a connection failure exits with the
+// transport code, distinct from internal errors and bad input.
 func TestUnreachableDaemon(t *testing.T) {
 	scoresPath, charsPath := writeInputs(t)
 	code, _, stderr := exec(t, "-addr", "http://127.0.0.1:1",
 		"-scores", scoresPath, "-chars", charsPath)
-	if code != 1 {
-		t.Fatalf("exit %d, want 1; stderr %q", code, stderr)
+	if code != cliutil.ExitTransport {
+		t.Fatalf("exit %d, want %d; stderr %q", code, cliutil.ExitTransport, stderr)
+	}
+	if !strings.Contains(stderr, "transport") {
+		t.Fatalf("stderr %q lacks the transport marker", stderr)
+	}
+}
+
+// TestStatusExitMapping pins the full HTTP status → exit code table:
+// scripts branch on these, so a drift here is an interface break.
+// 400 keeps the batch CLI's invalid-input code 3; 429 and 503 are
+// "come back later" (4); server bugs and timeouts stay 1.
+func TestStatusExitMapping(t *testing.T) {
+	scoresPath, charsPath := writeInputs(t)
+	cases := []struct {
+		status int
+		body   string
+		exit   int
+	}{
+		{http.StatusBadRequest, `{"error":"score vector bad"}`, 3},
+		{http.StatusTooManyRequests, `{"error":"overloaded"}`, cliutil.ExitUnavailable},
+		{http.StatusServiceUnavailable, `{"error":"draining"}`, cliutil.ExitUnavailable},
+		{http.StatusInternalServerError, `{"error":"panic"}`, 1},
+		{http.StatusGatewayTimeout, `{"error":"deadline"}`, 1},
+	}
+	for _, tc := range cases {
+		t.Run(fmt.Sprintf("%d", tc.status), func(t *testing.T) {
+			ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				if tc.status == http.StatusTooManyRequests || tc.status == http.StatusServiceUnavailable {
+					w.Header().Set("Retry-After", service.RetryAfter)
+				}
+				w.WriteHeader(tc.status)
+				io.WriteString(w, tc.body)
+			}))
+			defer ts.Close()
+			code, _, stderr := exec(t, "-addr", ts.URL, "-scores", scoresPath, "-chars", charsPath)
+			if code != tc.exit {
+				t.Fatalf("status %d: exit %d, want %d; stderr %q", tc.status, code, tc.exit, stderr)
+			}
+		})
+	}
+}
+
+// TestRetriesRecoverFromShed sheds the first two attempts with 429 +
+// Retry-After and answers the third: with -retries the run must
+// succeed, and without them it must exit 4.
+func TestRetriesRecoverFromShed(t *testing.T) {
+	scoresPath, charsPath := writeInputs(t)
+	o := obs.New()
+	srv := service.New(service.Config{Obs: o, CacheSize: 8})
+	mux := srv.Handler()
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			w.Header().Set("Retry-After", "0") // keep the test fast: jitter on 0s is 0
+			w.WriteHeader(http.StatusTooManyRequests)
+			io.WriteString(w, `{"error":"overloaded"}`)
+			return
+		}
+		mux.ServeHTTP(w, r)
+	}))
+	defer ts.Close()
+
+	code, _, stderr := exec(t, "-addr", ts.URL, "-scores", scoresPath, "-chars", charsPath,
+		"-retries", "3", "-retry.base", "1ms", "-k", "2")
+	if code != 0 {
+		t.Fatalf("exit %d with retries, stderr %q", code, stderr)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("daemon saw %d calls, want 3 (two sheds + success)", got)
+	}
+
+	calls.Store(0)
+	code, _, _ = exec(t, "-addr", ts.URL, "-scores", scoresPath, "-chars", charsPath)
+	if code != cliutil.ExitUnavailable {
+		t.Fatalf("exit %d without retries, want %d", code, cliutil.ExitUnavailable)
+	}
+}
+
+// TestIntegrityMismatchIsTransport serves a valid-looking 200 whose
+// digest does not match the body: the client must refuse it as a
+// transport failure instead of rendering a corrupted score.
+func TestIntegrityMismatchIsTransport(t *testing.T) {
+	scoresPath, charsPath := writeInputs(t)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set(service.HeaderDigest, service.Digest([]byte("what the server meant")))
+		w.Header().Set("X-Hmeans-Cache", "miss")
+		io.WriteString(w, `{"workloads":[]}`)
+	}))
+	defer ts.Close()
+	code, _, stderr := exec(t, "-addr", ts.URL, "-scores", scoresPath, "-chars", charsPath)
+	if code != cliutil.ExitTransport {
+		t.Fatalf("exit %d, want %d; stderr %q", code, cliutil.ExitTransport, stderr)
+	}
+	if !strings.Contains(stderr, "integrity") {
+		t.Fatalf("stderr %q does not name the integrity failure", stderr)
+	}
+}
+
+// TestHedgeRescuesSlowRequest stalls the first attempt until the
+// hedge has answered; the run must succeed via the hedge.
+func TestHedgeRescuesSlowRequest(t *testing.T) {
+	scoresPath, charsPath := writeInputs(t)
+	o := obs.New()
+	srv := service.New(service.Config{Obs: o, CacheSize: 8})
+	mux := srv.Handler()
+	var calls atomic.Int64
+	stall := make(chan struct{})
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			// First attempt stalls until the hedge wins (its context
+			// is cancelled) or the test tears down.
+			select {
+			case <-r.Context().Done():
+			case <-stall:
+			}
+			return
+		}
+		mux.ServeHTTP(w, r)
+	}))
+	defer ts.Close()
+	defer close(stall)
+	code, stdout, stderr := exec(t, "-addr", ts.URL, "-scores", scoresPath, "-chars", charsPath,
+		"-hedge", "20ms", "-k", "2")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, stderr)
+	}
+	if !strings.Contains(stdout, "hierarchical geometric mean") {
+		t.Fatalf("hedged run produced no result: %q", stdout)
+	}
+	if got := calls.Load(); got < 2 {
+		t.Fatalf("daemon saw %d calls, want the hedge to have fired", got)
 	}
 }

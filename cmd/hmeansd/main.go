@@ -8,7 +8,8 @@
 //	POST /v1/score   characterization table + score vectors → full
 //	                 pipeline result (SOM, dendrogram, recommended
 //	                 cut, hierarchical means per k)
-//	GET  /healthz    liveness
+//	GET  /healthz    liveness (200 even while draining)
+//	GET  /readyz     readiness (503 once shutdown begins)
 //	GET  /version    build description
 //	GET  /metrics    metrics registry snapshot (cache hit/miss/
 //	                 coalesce counters, queue rejections, latency)
@@ -31,8 +32,19 @@
 // or ?format=prometheus; -runtime-sample feeds goroutine/heap/GC-pause
 // metrics into it periodically.
 //
+// Crash safety: -snapshot names a durable cache file (format
+// hmeansd-snap/1). The daemon restores it on boot — warm-restart hits
+// are byte-identical to the pre-restart responses, because the
+// snapshot stores the served bytes themselves — writes it atomically
+// on every graceful shutdown, and optionally on a -snapshot.interval
+// ticker so even a crash loses at most one interval of cache warmth.
+// Corrupt records are skipped and logged, never served.
+//
 // The daemon shuts down cleanly on SIGINT/SIGTERM (and when -timeout
-// elapses), flushing any -obs.trace file on the way out.
+// elapses): /readyz flips to 503, new scoring requests are refused
+// with 503 + Retry-After, in-flight and queued requests get up to
+// -drain.timeout to finish, then the snapshot is written and any
+// -obs.trace file flushed on the way out.
 package main
 
 import (
@@ -71,6 +83,9 @@ func run(args []string, stdout io.Writer) error {
 		parallel    = fs.Int("parallel", 1, "worker count per pipeline run (0 = all CPUs); results are identical for every value")
 		accessLog   = fs.String("access-log", "", "structured request log destination: a file path, or - for stderr (empty disables)")
 		sampleEvery = fs.Duration("runtime-sample", 5*time.Second, "runtime metrics sampling interval (goroutines, heap, GC pauses); 0 disables")
+		snapshot    = fs.String("snapshot", "", "durable cache snapshot file: restored on boot, written on graceful shutdown (empty disables)")
+		snapEvery   = fs.Duration("snapshot.interval", 0, "also write the snapshot periodically (0 = only on shutdown); requires -snapshot")
+		drainWait   = fs.Duration("drain.timeout", 5*time.Second, "how long in-flight requests may finish after a termination signal")
 	)
 	timeout := cliutil.RegisterTimeout(fs)
 	obsFlags := obs.RegisterFlags(fs)
@@ -98,6 +113,15 @@ func run(args []string, stdout io.Writer) error {
 	if *sampleEvery < 0 {
 		return cliutil.Usagef("-runtime-sample must be >= 0, got %v", *sampleEvery)
 	}
+	if *snapEvery < 0 {
+		return cliutil.Usagef("-snapshot.interval must be >= 0, got %v", *snapEvery)
+	}
+	if *snapEvery > 0 && *snapshot == "" {
+		return cliutil.Usagef("-snapshot.interval requires -snapshot")
+	}
+	if *drainWait <= 0 {
+		return cliutil.Usagef("-drain.timeout must be > 0, got %v", *drainWait)
+	}
 	sess, err := obsFlags.Start()
 	if err != nil {
 		return err
@@ -113,6 +137,9 @@ func run(args []string, stdout io.Writer) error {
 		parallel:    *parallel,
 		accessLog:   *accessLog,
 		sampleEvery: *sampleEvery,
+		snapshot:    *snapshot,
+		snapEvery:   *snapEvery,
+		drainWait:   *drainWait,
 		obs:         sess.Obs,
 	}, stdout)
 	if cerr := sess.Close(); err == nil {
@@ -130,6 +157,9 @@ type serveArgs struct {
 	parallel    int
 	accessLog   string
 	sampleEvery time.Duration
+	snapshot    string
+	snapEvery   time.Duration
+	drainWait   time.Duration
 	obs         *obs.Observer
 }
 
@@ -167,6 +197,21 @@ func serve(ctx context.Context, a serveArgs, stdout io.Writer) error {
 		Obs:         a.obs,
 		AccessLog:   logger,
 	})
+	if a.snapshot != "" {
+		st, err := srv.LoadSnapshot(a.snapshot, snapshotLogger(logger))
+		if err != nil {
+			if !errors.Is(err, service.ErrSnapshotFormat) {
+				return err
+			}
+			// Not a snapshot at all: start cold rather than refuse to
+			// boot — the file will be replaced on the next shutdown.
+			fmt.Fprintf(stdout, "hmeansd ignoring %s: %v\n", a.snapshot, err)
+		}
+		if st.Restored > 0 || st.Skipped > 0 || st.Truncated {
+			fmt.Fprintf(stdout, "hmeansd restored %d cached results from %s (skipped %d, truncated %v)\n",
+				st.Restored, a.snapshot, st.Skipped, st.Truncated)
+		}
+	}
 	mux := srv.Handler()
 	// The observability endpoints share the service port: one address
 	// to scrape, and /metrics carries the service counters.
@@ -190,20 +235,77 @@ func serve(ctx context.Context, a serveArgs, stdout io.Writer) error {
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
 	defer signal.Stop(sigc)
 
+	// Periodic snapshots bound the cache warmth a crash can lose to
+	// one interval; each write is atomic, so a crash mid-write leaves
+	// the previous snapshot intact.
+	tickDone := make(chan struct{})
+	tickStopped := make(chan struct{})
+	if a.snapshot != "" && a.snapEvery > 0 {
+		ticker := time.NewTicker(a.snapEvery)
+		go func() {
+			defer close(tickStopped)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-ticker.C:
+					if _, err := srv.SaveSnapshot(a.snapshot); err != nil {
+						fmt.Fprintf(os.Stderr, "hmeansd: periodic snapshot: %v\n", err)
+					}
+				case <-tickDone:
+					return
+				}
+			}
+		}()
+	} else {
+		close(tickStopped)
+	}
+
 	select {
 	case err := <-errc:
+		close(tickDone)
 		return err
 	case <-sigc:
 	case <-ctx.Done():
 	}
-	// Planned shutdown: let in-flight requests finish briefly, then
-	// report the run. The -timeout deadline is an operator request
-	// here, not a failure, so it maps to exit 0.
-	sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	// Planned shutdown: stop advertising readiness and refuse new
+	// scoring work immediately, give everything already admitted the
+	// -drain.timeout budget to finish, then persist the cache. The
+	// -timeout deadline is an operator request here, not a failure, so
+	// it maps to exit 0.
+	srv.BeginDrain()
+	drainWait := a.drainWait
+	if drainWait <= 0 {
+		drainWait = 5 * time.Second
+	}
+	sctx, cancel := context.WithTimeout(context.Background(), drainWait)
 	defer cancel()
 	if err := hs.Shutdown(sctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		close(tickDone)
 		return err
+	}
+	// The periodic writer must be fully stopped before the final save:
+	// a tick racing the shutdown write could rename an older snapshot
+	// over the complete one.
+	close(tickDone)
+	<-tickStopped
+	if a.snapshot != "" {
+		n, err := srv.SaveSnapshot(a.snapshot)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "hmeansd wrote snapshot (%d records) to %s\n", n, a.snapshot)
 	}
 	fmt.Fprintf(stdout, "hmeansd shut down (%d cached results)\n", srv.CacheLen())
 	return nil
+}
+
+// snapshotLogger picks where snapshot restore warnings (skipped
+// records, truncation) go: the access log when one is configured,
+// stderr otherwise — corruption must be visible even on the dark
+// path.
+func snapshotLogger(accessLog *slog.Logger) *slog.Logger {
+	if accessLog != nil {
+		return accessLog
+	}
+	return slog.New(slog.NewJSONHandler(os.Stderr, nil))
 }

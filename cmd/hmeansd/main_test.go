@@ -54,6 +54,9 @@ func TestFlagValidation(t *testing.T) {
 		{"-cache-size", "-1"},
 		{"-parallel", "-2"},
 		{"-request-timeout", "-1s"},
+		{"-snapshot.interval", "-1s"},
+		{"-snapshot.interval", "1s"}, // requires -snapshot
+		{"-drain.timeout", "0s"},
 	}
 	for _, args := range cases {
 		t.Run(strings.Join(args, " "), func(t *testing.T) {
@@ -243,6 +246,106 @@ func TestServeRequestTelemetry(t *testing.T) {
 	if !strings.Contains(string(traceBytes), "e2e-telemetry-1") {
 		t.Fatalf("trace has no span for the request id:\n%s", traceBytes)
 	}
+}
+
+// postJSONRead is postJSON plus the response body, for byte-identity
+// assertions.
+func postJSONRead(t *testing.T, url, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("reading %s response: %v", url, err)
+	}
+	return resp, b
+}
+
+// TestWarmRestartByteIdentical runs the full crash-safety story
+// in-process: boot with -snapshot, populate the cache over HTTP, shut
+// down (which persists the cache), boot a second daemon from the same
+// snapshot, and check the warm hit is byte-for-byte the pre-restart
+// response — digest header included.
+func TestWarmRestartByteIdentical(t *testing.T) {
+	dir := t.TempDir()
+	snap := filepath.Join(dir, "cache.snap")
+	body := scoreBody()
+
+	// First life: cold boot, miss then hit, planned shutdown writes
+	// the snapshot.
+	var out1 syncBuffer
+	done1 := make(chan int, 1)
+	go func() {
+		code, stderr := exec(t, &out1,
+			"-addr", "127.0.0.1:0", "-timeout", "3s", "-cache-size", "8",
+			"-snapshot", snap, "-snapshot.interval", "200ms", "-drain.timeout", "2s")
+		if stderr != "" {
+			t.Errorf("unexpected stderr: %s", stderr)
+		}
+		done1 <- code
+	}()
+	base := waitForAddr(t, &out1)
+	r1, b1 := postJSONRead(t, base+"/v1/score", body)
+	if r1.StatusCode != http.StatusOK || r1.Header.Get("X-Hmeans-Cache") != "miss" {
+		t.Fatalf("first score: status %d cache %q", r1.StatusCode, r1.Header.Get("X-Hmeans-Cache"))
+	}
+	digest := r1.Header.Get(service.HeaderDigest)
+	if err := service.VerifyDigest(digest, b1); err != nil {
+		t.Fatalf("first response digest: %v", err)
+	}
+	if resp := mustGet(t, base+"/readyz"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("/readyz while serving: %d", resp.StatusCode)
+	}
+	if code := <-done1; code != 0 {
+		t.Fatalf("first daemon exited %d", code)
+	}
+	if !strings.Contains(out1.String(), "wrote snapshot (1 records)") {
+		t.Fatalf("no snapshot line in first life's stdout: %q", out1.String())
+	}
+
+	// Second life: warm boot from the snapshot. The very first request
+	// must be a cache hit with the exact pre-restart bytes.
+	var out2 syncBuffer
+	done2 := make(chan int, 1)
+	go func() {
+		code, stderr := exec(t, &out2,
+			"-addr", "127.0.0.1:0", "-timeout", "3s", "-cache-size", "8",
+			"-snapshot", snap)
+		if stderr != "" {
+			t.Errorf("unexpected stderr: %s", stderr)
+		}
+		done2 <- code
+	}()
+	base = waitForAddr(t, &out2)
+	if !strings.Contains(out2.String(), "restored 1 cached results") {
+		t.Fatalf("no restore line in second life's stdout: %q", out2.String())
+	}
+	r2, b2 := postJSONRead(t, base+"/v1/score", body)
+	if r2.Header.Get("X-Hmeans-Cache") != "hit" {
+		t.Fatalf("warm-restart cache %q, want hit", r2.Header.Get("X-Hmeans-Cache"))
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Fatal("warm-restart response is not byte-identical to the pre-restart response")
+	}
+	if got := r2.Header.Get(service.HeaderDigest); got != digest {
+		t.Fatalf("warm-restart digest %q, want %q", got, digest)
+	}
+	if code := <-done2; code != 0 {
+		t.Fatalf("second daemon exited %d", code)
+	}
+}
+
+func mustGet(t *testing.T, url string) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	resp.Body.Close()
+	return resp
 }
 
 func waitForAddr(t *testing.T, out *syncBuffer) string {

@@ -58,7 +58,8 @@ func run(args []string, stdout io.Writer) error {
 		conc       = fs.Int("concurrency", 8, "closed-loop worker count (open loop ignores it)")
 		seed       = fs.Uint64("seed", 2007, "run seed: same seed, same arrival schedule and payload sequence")
 		mixFlag    = fs.String("mix", "hit=60,miss=30,invalid=10", "payload mix percentages (cache-hit replays, unique misses, invalid 400s)")
-		maxRetries = fs.Int("max-retries", 3, "closed-loop Retry-After retries per request before counting it dropped")
+		maxRetries = fs.Int("max-retries", 3, "closed-loop retries per request (429s, transport errors) before counting it dropped")
+		breakerThr = fs.Int("breaker.threshold", 0, "closed-loop shared circuit breaker: consecutive transport failures that open it (0 disables)")
 		scoresPath = fs.String("scores", "", "CSV of workload,score for the base request (requires -chars)")
 		charsPath  = fs.String("chars", "", "CSV characterization matrix for the base request (requires -scores)")
 		kind       = fs.String("kind", "counters", "characterization kind for CSV base requests: counters or bits")
@@ -110,6 +111,9 @@ func run(args []string, stdout io.Writer) error {
 		return err
 	}
 	if err := cliutil.ValidateMin("-max-retries", *maxRetries, 0); err != nil {
+		return err
+	}
+	if err := cliutil.ValidateMin("-breaker.threshold", *breakerThr, 0); err != nil {
 		return err
 	}
 	if loopMode == load.Open || *rps != 0 {
@@ -171,15 +175,16 @@ func run(args []string, stdout io.Writer) error {
 	}
 
 	rep, err := load.Run(ctx, load.Config{
-		BaseURL:     target,
-		Mode:        loopMode,
-		Dist:        loopDist,
-		RPS:         *rps,
-		Payloads:    payloads,
-		Concurrency: *conc,
-		Seed:        *seed,
-		MaxRetries:  *maxRetries,
-		Obs:         sess.Obs,
+		BaseURL:          target,
+		Mode:             loopMode,
+		Dist:             loopDist,
+		RPS:              *rps,
+		Payloads:         payloads,
+		Concurrency:      *conc,
+		Seed:             *seed,
+		MaxRetries:       *maxRetries,
+		BreakerThreshold: *breakerThr,
+		Obs:              sess.Obs,
 	})
 	if err != nil {
 		return err

@@ -3,7 +3,8 @@
 // 2 and a one-line hint, a shared -timeout flag that bounds a whole
 // run with a context deadline, and the main-function wrapper that
 // maps a run function's error to the process exit code (0 ok, 1
-// internal/runtime failure, 2 usage mistake, 3 invalid input data).
+// internal/runtime failure, 2 usage mistake, 3 invalid input data,
+// 4 service unavailable, 5 transport failure).
 package cliutil
 
 import (
@@ -36,6 +37,30 @@ type dataError interface {
 	DataError() bool
 }
 
+// Exit codes beyond the classic 0/1/2/3 quartet, for errors that
+// carry their own code via ExitCoder. Scripts branch on these: 4
+// means "come back later" (retry against the service), 5 means "check
+// the network path" — neither is a reason to distrust the inputs.
+const (
+	// ExitUnavailable (4) marks a service that refused work it will
+	// accept later: shed with 429, draining with 503, or a client-side
+	// circuit breaker holding requests back.
+	ExitUnavailable = 4
+	// ExitTransport (5) marks a network-level failure: connection
+	// refused or reset, a torn response, or a body that failed its
+	// integrity check — the request may never have reached the
+	// service, or the answer never cleanly left it.
+	ExitTransport = 5
+)
+
+// ExitCoder lets an error pick its own exit code. Checked after the
+// usage and data-error conventions, so those classic mappings can
+// never be overridden.
+type ExitCoder interface {
+	error
+	ExitCode() int
+}
+
 // Run executes a command's run function and maps its error to an exit
 // code, printing diagnostics to stderr:
 //
@@ -43,6 +68,7 @@ type dataError interface {
 //	flag.ErrHelp     → 0 (the flag package already printed usage)
 //	*UsageError      → 2, message plus a "-h" hint on one line
 //	data error       → 3, message prefixed with "invalid input"
+//	ExitCoder        → its ExitCode() (4 unavailable, 5 transport)
 //	anything else    → 1, message prefixed with the tool name
 //
 // A data error is any error whose chain carries a DataError() bool
@@ -67,6 +93,11 @@ func Run(name string, stderr io.Writer, fn func() error) int {
 	if errors.As(err, &de) && de.DataError() {
 		fmt.Fprintf(stderr, "%s: invalid input: %v\n", name, err)
 		return 3
+	}
+	var ec ExitCoder
+	if errors.As(err, &ec) {
+		fmt.Fprintf(stderr, "%s: %v\n", name, err)
+		return ec.ExitCode()
 	}
 	if errors.Is(err, context.DeadlineExceeded) {
 		fmt.Fprintf(stderr, "%s: timed out: %v\n", name, err)

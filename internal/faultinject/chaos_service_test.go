@@ -1,0 +1,337 @@
+// Network-level chaos suite: a seeded TCP chaos proxy sits between an
+// HTTP client and a live scoring service, and every injected fault —
+// dropped connections, stalls past the client timeout, truncated and
+// corrupted responses — must surface as a typed client error, a
+// successful retry, or a breaker-open. Never a hang, a crash, a
+// silently wrong score, or a poisoned cache/snapshot. CI runs these
+// under -race via `go test -race -run ChaosService ./internal/faultinject/`
+// (make chaos-service); on failure the proxy's fault schedule is the
+// replay artifact (see WriteSchedule).
+package faultinject_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"hmeans/internal/faultinject"
+	"hmeans/internal/resilience"
+	"hmeans/internal/service"
+)
+
+// chaosRequest mirrors the service package's test payload: two clear
+// workload blobs so clustering is stable, strictly positive scores.
+func chaosRequest(seed uint64) *service.Request {
+	const n, f = 8, 4
+	req := &service.Request{
+		Config: service.ConfigJSON{Seed: seed},
+		Scores: map[string][]float64{"A": make([]float64, n), "B": make([]float64, n)},
+	}
+	for i := 0; i < n; i++ {
+		req.Table.Workloads = append(req.Table.Workloads, fmt.Sprintf("wl%02d", i))
+		row := make([]float64, f)
+		for j := 0; j < f; j++ {
+			base := 1.0
+			if i >= n/2 {
+				base = 9.0
+			}
+			row[j] = base + 0.1*float64(i) + 0.01*float64(j*i)
+		}
+		req.Table.Rows = append(req.Table.Rows, row)
+		req.Scores["A"][i] = 1.0 + 0.25*float64(i)
+		req.Scores["B"][i] = 2.0 + 0.5*float64(i)
+	}
+	for j := 0; j < f; j++ {
+		req.Table.Features = append(req.Table.Features, fmt.Sprintf("feat%d", j))
+	}
+	return req
+}
+
+// startScoringService boots a real service on a real TCP listener and
+// returns the server, its base URL, and the upstream host:port a
+// chaos proxy fronts.
+func startScoringService(t *testing.T) (*service.Server, string, string) {
+	t.Helper()
+	srv := service.New(service.Config{MaxInflight: 4, QueueDepth: 64, CacheSize: 64})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return srv, ts.URL, ts.Listener.Addr().String()
+}
+
+func marshalRequest(t *testing.T, req *service.Request) []byte {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return body
+}
+
+// postDirect fetches the canonical answer without any proxy in the
+// way, digest-verified.
+func postDirect(t *testing.T, baseURL string, body []byte) []byte {
+	t.Helper()
+	resp, err := http.Post(baseURL+"/v1/score", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("direct POST status %d: %s", resp.StatusCode, raw)
+	}
+	if err := service.VerifyDigest(resp.Header.Get(service.HeaderDigest), raw); err != nil {
+		t.Fatalf("direct response failed its own digest: %v", err)
+	}
+	return raw
+}
+
+// dumpScheduleOnFailure attaches the proxy's seeded fault schedule to
+// a failing test's log — that log is the artifact CI uploads, so a
+// red chaos run names the exact injected sequence and replays.
+func dumpScheduleOnFailure(t *testing.T, proxy *faultinject.ChaosProxy) {
+	t.Cleanup(func() {
+		if !t.Failed() {
+			return
+		}
+		var buf bytes.Buffer
+		if err := proxy.WriteSchedule(&buf); err == nil {
+			t.Logf("injected fault schedule:\n%s", buf.String())
+		}
+	})
+}
+
+// chaosClient is how clients must face the proxy: keep-alives off so
+// every request is one proxied connection (and the upstream closes
+// after answering, which truncate/corrupt rely on), and a hard
+// timeout so a stalled connection can never hang the caller.
+func chaosClient(timeout time.Duration) *http.Client {
+	return &http.Client{
+		Timeout:   timeout,
+		Transport: &http.Transport{DisableKeepAlives: true},
+	}
+}
+
+// TestChaosServiceFaultsSurfaceTyped drives one request per proxied
+// connection through the full fault mix and checks the outcome of
+// every connection against the proxy's own schedule: clean relays are
+// byte-identical digest-verified successes, corruptions are caught by
+// the digest (never returned as answers), and drops/stalls/truncations
+// all resolve to transport errors within the client timeout.
+func TestChaosServiceFaultsSurfaceTyped(t *testing.T) {
+	srv, baseURL, upstream := startScoringService(t)
+	body := marshalRequest(t, chaosRequest(1))
+	want := postDirect(t, baseURL, body)
+
+	proxy, err := faultinject.NewChaosProxy(upstream, 7, faultinject.ChaosPlan{
+		DropPct: 25, SlowPct: 10, TruncatePct: 20, CorruptPct: 20,
+		SlowDelay: 2 * time.Second, // beyond the client timeout below
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer proxy.Close()
+	dumpScheduleOnFailure(t, proxy)
+
+	client := chaosClient(time.Second)
+	const attempts = 20
+	var ok, transport, integrity int
+	for i := 0; i < attempts; i++ {
+		resp, err := client.Post(proxy.URL()+"/v1/score", "application/json", bytes.NewReader(body))
+		if err != nil {
+			transport++
+			continue
+		}
+		raw, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			transport++
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("attempt %d: unexpected status %d: %s", i, resp.StatusCode, raw)
+		}
+		if service.VerifyDigest(resp.Header.Get(service.HeaderDigest), raw) != nil {
+			integrity++
+			continue
+		}
+		if !bytes.Equal(raw, want) {
+			t.Fatalf("attempt %d: digest-verified success differs from the direct answer", i)
+		}
+		ok++
+	}
+
+	// Tie the outcomes to the proxy's own schedule, kind by kind.
+	sched := proxy.Schedule()
+	if len(sched) != attempts {
+		t.Fatalf("proxy saw %d connections, client made %d", len(sched), attempts)
+	}
+	kinds := map[faultinject.FaultKind]int{}
+	for _, f := range sched {
+		kinds[f.Kind]++
+	}
+	for _, k := range []faultinject.FaultKind{faultinject.FaultNone, faultinject.FaultDrop, faultinject.FaultCorrupt} {
+		if kinds[k] == 0 {
+			t.Fatalf("seed exercised no %q connections — rechoose the seed/mix: %v", k, kinds)
+		}
+	}
+	if ok != kinds[faultinject.FaultNone] {
+		t.Errorf("clean successes = %d, want %d (one per untouched relay)", ok, kinds[faultinject.FaultNone])
+	}
+	if integrity != kinds[faultinject.FaultCorrupt] {
+		t.Errorf("integrity catches = %d, want %d (one per corrupted response)", integrity, kinds[faultinject.FaultCorrupt])
+	}
+	if wantTransport := kinds[faultinject.FaultDrop] + kinds[faultinject.FaultSlow] + kinds[faultinject.FaultTruncate]; transport != wantTransport {
+		t.Errorf("transport errors = %d, want %d (drops + stalls + truncations)", transport, wantTransport)
+	}
+
+	// The schedule is the replay artifact: it must serialize.
+	var buf bytes.Buffer
+	if err := proxy.WriteSchedule(&buf); err != nil {
+		t.Fatalf("schedule artifact: %v", err)
+	}
+	var back []faultinject.ConnFault
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil || len(back) != attempts {
+		t.Fatalf("schedule artifact round-trip: err=%v n=%d", err, len(back))
+	}
+
+	// Nothing the network did may poison the server side: the same
+	// request asked directly is still byte-identical, and a snapshot
+	// written after the chaos restores into a server that still
+	// serves the exact same bytes.
+	if after := postDirect(t, baseURL, body); !bytes.Equal(after, want) {
+		t.Fatal("server-side answer changed after network chaos")
+	}
+	snap := filepath.Join(t.TempDir(), "chaos.snap")
+	if n, err := srv.SaveSnapshot(snap); err != nil || n < 1 {
+		t.Fatalf("snapshot after chaos: n=%d err=%v", n, err)
+	}
+	srv2 := service.New(service.Config{MaxInflight: 4, QueueDepth: 64, CacheSize: 64})
+	if st, err := srv2.LoadSnapshot(snap, nil); err != nil || st.Restored < 1 || st.Skipped != 0 {
+		t.Fatalf("restore after chaos: stats=%+v err=%v", st, err)
+	}
+	ts2 := httptest.NewServer(srv2.Handler())
+	defer ts2.Close()
+	if warm := postDirect(t, ts2.URL, body); !bytes.Equal(warm, want) {
+		t.Fatal("warm-restored answer differs — the snapshot was poisoned")
+	}
+}
+
+// TestChaosServiceRetryRecoversEveryRequest puts the client-side
+// retryer in front of a 50%-faulty proxy: with a seeded bounded retry
+// budget every request must still resolve to the byte-identical
+// digest-verified answer — the fault mix is survivable, not fatal.
+func TestChaosServiceRetryRecoversEveryRequest(t *testing.T) {
+	_, baseURL, upstream := startScoringService(t)
+	body := marshalRequest(t, chaosRequest(2))
+	want := postDirect(t, baseURL, body)
+
+	proxy, err := faultinject.NewChaosProxy(upstream, 11, faultinject.ChaosPlan{
+		DropPct: 20, TruncatePct: 15, CorruptPct: 15, // no stalls: keep the test fast
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer proxy.Close()
+	dumpScheduleOnFailure(t, proxy)
+
+	client := chaosClient(time.Second)
+	rt := resilience.NewRetryer(resilience.Policy{MaxRetries: 6, BaseDelay: time.Millisecond, Jitter: 0.25}, 3)
+	var retried int
+	for i := 0; i < 12; i++ {
+		attempts := 0
+		err := rt.Do(context.Background(), func(ctx context.Context) error {
+			attempts++
+			req, err := http.NewRequestWithContext(ctx, http.MethodPost, proxy.URL()+"/v1/score", bytes.NewReader(body))
+			if err != nil {
+				return err
+			}
+			req.Header.Set("Content-Type", "application/json")
+			resp, err := client.Do(req)
+			if err != nil {
+				return err
+			}
+			raw, err := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if err != nil {
+				return err
+			}
+			if resp.StatusCode != http.StatusOK {
+				return fmt.Errorf("status %d", resp.StatusCode)
+			}
+			if err := service.VerifyDigest(resp.Header.Get(service.HeaderDigest), raw); err != nil {
+				return err
+			}
+			if !bytes.Equal(raw, want) {
+				t.Fatalf("request %d: verified answer differs from the direct one", i)
+			}
+			return nil
+		}, nil)
+		if err != nil {
+			t.Fatalf("request %d unrecovered after retries: %v\nschedule: %+v", i, err, proxy.Schedule())
+		}
+		retried += attempts - 1
+	}
+	if retried == 0 {
+		t.Fatal("fault mix never forced a retry — the chaos was a no-op")
+	}
+}
+
+// TestChaosServiceBreakerStopsHammering points a breaker-guarded
+// client at a 100%-drop proxy: after threshold consecutive transport
+// failures the breaker opens and the remaining attempts never reach
+// the network — ErrBreakerOpen is the typed answer, and the proxy's
+// connection count proves the hammering stopped.
+func TestChaosServiceBreakerStopsHammering(t *testing.T) {
+	_, _, upstream := startScoringService(t)
+	body := marshalRequest(t, chaosRequest(3))
+
+	proxy, err := faultinject.NewChaosProxy(upstream, 5, faultinject.ChaosPlan{DropPct: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer proxy.Close()
+	dumpScheduleOnFailure(t, proxy)
+
+	client := chaosClient(time.Second)
+	br := resilience.NewBreaker(3, time.Minute)
+	var blocked int
+	const attempts = 10
+	for i := 0; i < attempts; i++ {
+		if err := br.Allow(); err != nil {
+			if err != resilience.ErrBreakerOpen {
+				t.Fatalf("attempt %d: blocked with %v, want ErrBreakerOpen", i, err)
+			}
+			blocked++
+			continue
+		}
+		resp, err := client.Post(proxy.URL()+"/v1/score", "application/json", bytes.NewReader(body))
+		if err == nil {
+			resp.Body.Close()
+			t.Fatalf("attempt %d: a dropped connection produced a response", i)
+		}
+		br.Record(true)
+	}
+	if blocked != attempts-3 {
+		t.Errorf("breaker blocked %d attempts, want %d (everything past the threshold)", blocked, attempts-3)
+	}
+	if got := br.State(); got != "open" {
+		t.Errorf("breaker state %q after a dead run, want open", got)
+	}
+	if br.Opens() != 1 {
+		t.Errorf("breaker opened %d times, want 1", br.Opens())
+	}
+	if conns := len(proxy.Schedule()); conns != 3 {
+		t.Errorf("proxy saw %d connections, want 3 — the breaker must stop the hammering", conns)
+	}
+}

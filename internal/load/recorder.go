@@ -34,9 +34,19 @@ type recorder struct {
 	mismatch  atomic.Int64 // status ≠ expected and ≠ 429
 	shed      atomic.Int64 // 429 replies (before any retry succeeds)
 	dropped   atomic.Int64 // 429s never resolved (open loop, or retries exhausted)
-	retries   atomic.Int64 // closed-loop Retry-After retries issued
-	maxBits   atomic.Uint64
-	slow      slowTracker // top-k slowest requests by correlation ID
+	retries   atomic.Int64 // closed-loop retries issued (429s, transport errors)
+	// integrity counts 200s whose body failed the X-Hmeans-Digest
+	// check. Each is also counted in transport (no trustworthy status),
+	// so done + transport == sent still holds.
+	integrity atomic.Int64
+	// failedDrop counts requests whose FINAL attempt was a transport
+	// or integrity failure: transport counts attempts, failedDrop
+	// counts requests that never resolved (like dropped for sheds).
+	failedDrop atomic.Int64
+	blocked    atomic.Int64 // requests abandoned while the breaker was open
+	opens      atomic.Int64 // closed→open transitions of the shared breaker
+	maxBits    atomic.Uint64
+	slow       slowTracker // top-k slowest requests by correlation ID
 }
 
 func newRecorder() *recorder {
@@ -81,6 +91,16 @@ func (r *recorder) observe(id string, status, expect int, ms float64) {
 // dropShed marks one shed request as finally unresolved: the open
 // loop never retries, and the closed loop exhausted its budget.
 func (r *recorder) dropShed() { r.dropped.Add(1) }
+
+// dropBlocked marks one request abandoned because the circuit breaker
+// stayed open through its whole retry budget — it never got an answer,
+// and its last attempts were never even sent.
+func (r *recorder) dropBlocked() { r.blocked.Add(1) }
+
+// dropFailed marks one request whose final attempt died without a
+// trustworthy answer (transport or integrity failure, retries
+// exhausted or never attempted).
+func (r *recorder) dropFailed() { r.failedDrop.Add(1) }
 
 // max returns the largest observed latency in ms.
 func (r *recorder) max() float64 { return math.Float64frombits(r.maxBits.Load()) }

@@ -65,21 +65,45 @@ type Totals struct {
 	Sent int64 `json:"sent"`
 	// Done counts responses that carried an HTTP status line.
 	Done int64 `json:"done"`
-	// Retries counts closed-loop re-sends after a 429 Retry-After.
+	// Retries counts closed-loop re-sends: after a 429 Retry-After,
+	// a transport error, or an integrity failure.
 	Retries int64 `json:"retries"`
 	// Shed counts 429 replies (each retry's 429 counts again).
 	Shed int64 `json:"shed"`
 	// DroppedShed counts requests that ended in a 429: the open loop
 	// never retries, and the closed loop ran out of retry budget.
 	DroppedShed int64 `json:"dropped_shed"`
-	// TransportErrors counts requests with no status line at all.
+	// TransportErrors counts attempts with no trustworthy answer: no
+	// status line at all, a body torn mid-read, or a 200 that failed
+	// its integrity check. Counted per attempt, so done +
+	// transport_errors == sent even when failed attempts are retried.
 	TransportErrors int64 `json:"transport_errors"`
+	// TransportDropped counts requests whose FINAL attempt was a
+	// transport/integrity failure — the open loop never retries, the
+	// closed loop exhausted its budget. A retried-and-recovered
+	// transport error counts here zero times, exactly like a
+	// retried-and-recovered shed. Additive in schema 1.
+	TransportDropped int64 `json:"transport_dropped,omitempty"`
 	// Mismatches counts responses whose status was neither the
 	// payload's expected status nor a 429 — 5xx, unexpected 4xx, or a
 	// 200 for a payload the daemon must reject.
 	Mismatches int64 `json:"mismatches"`
-	// Errors = TransportErrors + Mismatches + DroppedShed: every
-	// request the client could not turn into its contracted answer.
+	// IntegrityErrors counts 200s whose body failed its
+	// X-Hmeans-Digest check. Each is also counted in TransportErrors
+	// (a corrupted answer is no answer), so this field refines rather
+	// than extends the accounting. Additive in schema 1.
+	IntegrityErrors int64 `json:"integrity_errors,omitempty"`
+	// BreakerDropped counts requests abandoned because the shared
+	// circuit breaker stayed open through their whole retry budget.
+	// Additive in schema 1.
+	BreakerDropped int64 `json:"breaker_dropped,omitempty"`
+	// BreakerOpens counts closed→open transitions of the shared
+	// breaker over the run. Additive in schema 1.
+	BreakerOpens int64 `json:"breaker_opens,omitempty"`
+	// Errors = TransportDropped + Mismatches + DroppedShed +
+	// BreakerDropped: every request the client could not turn into
+	// its contracted answer, counted once per request (not per
+	// attempt).
 	Errors int64 `json:"errors"`
 }
 

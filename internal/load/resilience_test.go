@@ -1,0 +1,119 @@
+package load
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"hmeans/internal/service"
+)
+
+// TestClosedLoopVerifiesDigestAndRetries drives the closed loop
+// against a stub daemon that corrupts the X-Hmeans-Digest of every
+// request's FIRST response: the harness must refuse to count the
+// corrupted 200 as done, record it as an integrity + transport
+// failure, retry under the same request ID, and finish the run clean.
+func TestClosedLoopVerifiesDigestAndRetries(t *testing.T) {
+	if testing.Short() {
+		t.Skip("jittered retry waits skipped in -short mode")
+	}
+	goConcurrency(t)
+	body := []byte(`{"score":1}` + "\n")
+	var (
+		mu   sync.Mutex
+		seen = map[string]bool{}
+	)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, _ = io.Copy(io.Discard, r.Body)
+		id := r.Header.Get(service.HeaderRequestID)
+		mu.Lock()
+		first := !seen[id]
+		seen[id] = true
+		mu.Unlock()
+		if first {
+			w.Header().Set(service.HeaderDigest, service.Digest([]byte("not the body")))
+		} else {
+			w.Header().Set(service.HeaderDigest, service.Digest(body))
+		}
+		_, _ = w.Write(body)
+	}))
+	defer ts.Close()
+
+	const n = 4
+	base := SyntheticBaseRequest(8, 4, 2007)
+	ps, err := BuildPayloads(base, Mix{HitPct: 100}, n, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(context.Background(), Config{
+		BaseURL: ts.URL, Mode: Closed, Dist: Constant, RPS: 0,
+		Payloads: ps, Concurrency: n, Seed: 11, MaxRetries: 2,
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	checkAccounting(t, rep)
+	tot := rep.Totals
+	if tot.IntegrityErrors != n {
+		t.Errorf("integrity errors = %d, want %d (one corrupted first response each)", tot.IntegrityErrors, n)
+	}
+	if tot.TransportErrors != n {
+		t.Errorf("transport errors = %d, want %d (each integrity failure counts)", tot.TransportErrors, n)
+	}
+	if tot.Retries < n {
+		t.Errorf("retries = %d, want >= %d (every corruption must be retried)", tot.Retries, n)
+	}
+	if tot.Done != n {
+		t.Errorf("done = %d, want %d (retries recover every request)", tot.Done, n)
+	}
+	if tot.Errors != 0 {
+		t.Errorf("errors = %d, want 0 — recovered integrity failures are not request errors: %+v", tot.Errors, tot)
+	}
+}
+
+// TestClosedLoopBreakerOpensOnDeadTarget points the closed loop with
+// an armed breaker at a closed listener: consecutive connection
+// failures must open the shared breaker (visible in the report), and
+// every request must resolve to a drop — never a hang.
+func TestClosedLoopBreakerOpensOnDeadTarget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("jittered retry waits skipped in -short mode")
+	}
+	goConcurrency(t)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	url := ts.URL
+	ts.Close() // nothing listens: every dial is refused
+
+	const n = 4
+	base := SyntheticBaseRequest(8, 4, 2007)
+	ps, err := BuildPayloads(base, Mix{HitPct: 100}, n, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(context.Background(), Config{
+		BaseURL: url, Mode: Closed, Dist: Constant, RPS: 0,
+		Payloads: ps, Concurrency: 2, Seed: 11, MaxRetries: 1,
+		BreakerThreshold: 2,
+	})
+	if err == nil {
+		t.Fatal("run against a dead target reported success")
+	}
+	checkAccounting(t, rep)
+	tot := rep.Totals
+	if tot.BreakerOpens == 0 {
+		t.Errorf("breaker never opened against a dead target: %+v", tot)
+	}
+	if tot.Done != 0 {
+		t.Errorf("done = %d against a dead target, want 0", tot.Done)
+	}
+	if tot.TransportDropped+tot.BreakerDropped != n {
+		t.Errorf("dropped %d (transport) + %d (breaker) != %d requests: %+v",
+			tot.TransportDropped, tot.BreakerDropped, n, tot)
+	}
+	if tot.Errors != n {
+		t.Errorf("errors = %d, want %d (every request unresolved)", tot.Errors, n)
+	}
+}

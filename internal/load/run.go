@@ -33,6 +33,8 @@ import (
 	"time"
 
 	"hmeans/internal/obs"
+	"hmeans/internal/resilience"
+	"hmeans/internal/rng"
 	"hmeans/internal/service"
 )
 
@@ -73,9 +75,15 @@ type Config struct {
 	// Seed derives the arrival/think schedule (the payload sequence
 	// was seeded at BuildPayloads time).
 	Seed uint64
-	// MaxRetries bounds closed-loop Retry-After retries per request;
-	// negative means 0.
+	// MaxRetries bounds closed-loop retries per request (Retry-After
+	// 429s, transport errors, integrity failures); negative means 0.
 	MaxRetries int
+	// BreakerThreshold, when > 0, arms a shared circuit breaker for
+	// the closed loop: that many consecutive transport failures open
+	// it, workers back off for roughly one Retry-After instead of
+	// hammering a dead daemon, and a half-open probe closes it again
+	// once the daemon answers. 0 disables the breaker.
+	BreakerThreshold int
 	// Obs, when active, receives a span per run plus client-side
 	// counters and the latency histogram under load.* names. Nil
 	// falls back to the process default.
@@ -139,7 +147,7 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 	case Open:
 		runOpen(ctx, client, url, cfg.Payloads, ids, schedule, rec)
 	default:
-		runClosed(ctx, client, url, cfg.Payloads, ids, schedule, cfg.Concurrency, cfg.MaxRetries, rec)
+		runClosed(ctx, client, url, cfg, ids, schedule, rec)
 	}
 	wall := time.Since(start)
 
@@ -185,7 +193,10 @@ func runOpen(ctx context.Context, client *http.Client, url string, ps *PayloadSe
 		go func(i int) {
 			defer wg.Done()
 			status := send(ctx, client, url, ids[i], ps.Bodies[i], ps.Expect[i], rec)
-			if status == http.StatusTooManyRequests {
+			switch {
+			case status == 0:
+				rec.dropFailed() // open loop never retries: terminal
+			case status == http.StatusTooManyRequests:
 				rec.dropShed()
 			}
 		}(i)
@@ -193,10 +204,18 @@ func runOpen(ctx context.Context, client *http.Client, url string, ps *PayloadSe
 	wg.Wait()
 }
 
-// runClosed runs workers pulls requests off a shared index; each
-// worker sleeps its think gap, sends, and on a 429 honors the
-// daemon's Retry-After before re-sending the same payload.
-func runClosed(ctx context.Context, client *http.Client, url string, ps *PayloadSet, ids []string, schedule []time.Duration, workers, maxRetries int, rec *recorder) {
+// runClosed runs workers pulling requests off a shared index; each
+// worker sleeps its think gap, sends, and retries the same payload on
+// a 429 (waiting out a jittered Retry-After) or a transport/integrity
+// failure, up to cfg.MaxRetries. With BreakerThreshold > 0 the workers
+// share one circuit breaker: consecutive transport failures open it,
+// and workers then back off instead of hammering a dead daemon.
+func runClosed(ctx context.Context, client *http.Client, url string, cfg Config, ids []string, schedule []time.Duration, rec *recorder) {
+	ps := cfg.Payloads
+	var br *resilience.Breaker
+	if cfg.BreakerThreshold > 0 {
+		br = resilience.NewBreaker(cfg.BreakerThreshold, retryAfterDelay())
+	}
 	var next atomic.Int64
 	gapAt := func(i int) time.Duration {
 		if schedule == nil {
@@ -208,10 +227,14 @@ func runClosed(ctx context.Context, client *http.Client, url string, ps *Payload
 		return schedule[i] - schedule[i-1]
 	}
 	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
+	for w := 0; w < cfg.Concurrency; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
+			// Each worker jitters its waits from its own seeded stream:
+			// the run stays replayable from -seed alone, but workers
+			// that shed together do not wake in lockstep and re-shed.
+			jr := rng.New(cfg.Seed + 0x9E3779B97F4A7C15*uint64(w+1))
 			for {
 				i := int(next.Add(1) - 1)
 				if i >= len(ps.Bodies) || ctx.Err() != nil {
@@ -221,30 +244,50 @@ func runClosed(ctx context.Context, client *http.Client, url string, ps *Payload
 					return
 				}
 				for attempt := 0; ; attempt++ {
-					// Retries reuse the same ID: they are the same
-					// logical request, and the server-side log then
-					// shows every attempt under one correlation key.
-					status := send(ctx, client, url, ids[i], ps.Bodies[i], ps.Expect[i], rec)
-					if status != http.StatusTooManyRequests {
-						break
+					status, blocked := 0, false
+					if br != nil && br.Allow() != nil {
+						blocked = true
+					} else {
+						// Retries reuse the same ID: they are the same
+						// logical request, and the server-side log then
+						// shows every attempt under one correlation key.
+						status = send(ctx, client, url, ids[i], ps.Bodies[i], ps.Expect[i], rec)
+						if br != nil {
+							br.Record(status == 0)
+						}
 					}
-					if attempt >= maxRetries || !sleep(ctx, retryAfterDelay()) {
-						rec.dropShed()
+					if status != 0 && status != http.StatusTooManyRequests {
+						break // a real answer, even a 4xx/5xx: the request resolved
+					}
+					if attempt >= cfg.MaxRetries || !sleep(ctx, service.RetryAfterJitter(jr)) {
+						switch {
+						case blocked:
+							rec.dropBlocked()
+						case status == http.StatusTooManyRequests:
+							rec.dropShed()
+						default: // status 0: transport/integrity, never resolved
+							rec.dropFailed()
+						}
 						break
 					}
 					rec.retries.Add(1)
 				}
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
+	if br != nil {
+		rec.opens.Store(br.Opens())
+	}
 }
 
 // retryAfterDelay converts the service's exported Retry-After
-// contract into a wait. The daemon always sends whole seconds
-// (service.RetryAfter); parsing the shared constant instead of the
-// response header keeps the delay deterministic and pins the two
-// sides together at compile^W test time.
+// contract into a base wait, used as the breaker cooldown. The daemon
+// always sends whole seconds (service.RetryAfter); parsing the shared
+// constant instead of the response header keeps the delay
+// deterministic and pins the two sides together at compile^W test
+// time. Worker sleeps jitter around this base via
+// service.RetryAfterJitter.
 func retryAfterDelay() time.Duration {
 	secs, err := strconv.Atoi(service.RetryAfter)
 	if err != nil || secs < 1 {
@@ -279,10 +322,25 @@ func send(ctx context.Context, client *http.Client, url, id string, body []byte,
 		rec.transport.Add(1)
 		return 0
 	}
-	// Drain so the connection is reusable, then time the full
-	// response, body included — that is what a client experiences.
-	_, _ = io.Copy(io.Discard, resp.Body)
+	// Read the full body so the connection is reusable and the timing
+	// covers the whole response — that is what a client experiences —
+	// and so a 200's bytes can be checked against their digest.
+	raw, err := io.ReadAll(resp.Body)
 	resp.Body.Close()
+	if err != nil {
+		rec.transport.Add(1) // torn mid-body: no trustworthy answer
+		return 0
+	}
+	if resp.StatusCode == http.StatusOK {
+		if service.VerifyDigest(resp.Header.Get(service.HeaderDigest), raw) != nil {
+			// A corrupted 200 is worse than no answer: count it as an
+			// integrity failure AND a transport error (never as done),
+			// so it is retried and can never pass as a good response.
+			rec.integrity.Add(1)
+			rec.transport.Add(1)
+			return 0
+		}
+	}
 	rec.observe(id, resp.StatusCode, expect, float64(time.Since(t0))/float64(time.Millisecond))
 	return resp.StatusCode
 }
@@ -303,7 +361,7 @@ func sleep(ctx context.Context, d time.Duration) bool {
 // assemble folds the recorder into the report.
 func assemble(cfg Config, rec *recorder, wall time.Duration) *Report {
 	sent := rec.sent.Load()
-	errs := rec.transport.Load() + rec.mismatch.Load() + rec.dropped.Load()
+	errs := rec.failedDrop.Load() + rec.mismatch.Load() + rec.dropped.Load() + rec.blocked.Load()
 	rep := &Report{
 		Schema: Schema,
 		Config: ReportConfig{
@@ -318,14 +376,18 @@ func assemble(cfg Config, rec *recorder, wall time.Duration) *Report {
 			Target:      cfg.BaseURL,
 		},
 		Totals: Totals{
-			Sent:            sent,
-			Done:            rec.done.Load(),
-			Retries:         rec.retries.Load(),
-			Shed:            rec.shed.Load(),
-			DroppedShed:     rec.dropped.Load(),
-			TransportErrors: rec.transport.Load(),
-			Mismatches:      rec.mismatch.Load(),
-			Errors:          errs,
+			Sent:             sent,
+			Done:             rec.done.Load(),
+			Retries:          rec.retries.Load(),
+			Shed:             rec.shed.Load(),
+			DroppedShed:      rec.dropped.Load(),
+			TransportErrors:  rec.transport.Load(),
+			TransportDropped: rec.failedDrop.Load(),
+			Mismatches:       rec.mismatch.Load(),
+			IntegrityErrors:  rec.integrity.Load(),
+			BreakerDropped:   rec.blocked.Load(),
+			BreakerOpens:     rec.opens.Load(),
+			Errors:           errs,
 		},
 		StatusCounts: rec.statusCounts(),
 		Slowest:      rec.slow.sorted(),

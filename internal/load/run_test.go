@@ -60,9 +60,17 @@ func checkAccounting(t *testing.T, rep *Report) {
 	if uint64(tot.Done) != rep.LatencyMs.Count {
 		t.Errorf("latency count %d != done %d", rep.LatencyMs.Count, tot.Done)
 	}
-	if tot.Errors != tot.TransportErrors+tot.Mismatches+tot.DroppedShed {
-		t.Errorf("errors %d != transport %d + mismatches %d + dropped %d",
-			tot.Errors, tot.TransportErrors, tot.Mismatches, tot.DroppedShed)
+	if tot.Errors != tot.TransportDropped+tot.Mismatches+tot.DroppedShed+tot.BreakerDropped {
+		t.Errorf("errors %d != transport-dropped %d + mismatches %d + dropped %d + breaker-dropped %d",
+			tot.Errors, tot.TransportDropped, tot.Mismatches, tot.DroppedShed, tot.BreakerDropped)
+	}
+	if tot.TransportDropped > tot.TransportErrors {
+		t.Errorf("transport-dropped %d exceeds per-attempt transport errors %d",
+			tot.TransportDropped, tot.TransportErrors)
+	}
+	if tot.IntegrityErrors > tot.TransportErrors {
+		t.Errorf("integrity errors %d exceed transport errors %d (each must be counted in both)",
+			tot.IntegrityErrors, tot.TransportErrors)
 	}
 }
 

@@ -1,0 +1,140 @@
+package resilience
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// ErrBreakerOpen reports that the circuit breaker refused an attempt:
+// the target failed ConsecutiveFailures times in a row recently, and
+// the cooldown has not yet elapsed. Clients surface it instead of
+// hammering a dead or draining daemon; cmd/hmeansctl maps it to the
+// "unavailable" exit code the same way it maps a 503.
+var ErrBreakerOpen = errors.New("resilience: circuit breaker open")
+
+// breakerState is the classic three-state machine.
+type breakerState int
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+// Breaker is a half-open circuit breaker: Threshold consecutive
+// failures open it; after Cooldown one probe attempt is allowed
+// (half-open), and its outcome decides between closing again and
+// re-opening for another cooldown. Safe for concurrent use — the
+// closed-loop load workers share one per run so a dead daemon is
+// detected once, not once per worker.
+type Breaker struct {
+	mu        sync.Mutex
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time
+
+	state    breakerState
+	failures int       // consecutive failures while closed
+	openedAt time.Time // when the breaker last opened
+	probing  bool      // a half-open probe is in flight
+	opens    int64     // times the breaker opened (for reports/metrics)
+}
+
+// NewBreaker builds a breaker that opens after threshold consecutive
+// failures (minimum 1) and allows a probe after cooldown.
+func NewBreaker(threshold int, cooldown time.Duration) *Breaker {
+	if threshold < 1 {
+		threshold = 1
+	}
+	return &Breaker{threshold: threshold, cooldown: cooldown, now: time.Now}
+}
+
+// SetClock replaces the breaker's clock for deterministic tests.
+func (b *Breaker) SetClock(now func() time.Time) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.now = now
+}
+
+// Allow asks whether an attempt may proceed. It returns nil when the
+// breaker is closed, or when it is open but the cooldown has elapsed
+// and this caller won the single half-open probe slot; otherwise
+// ErrBreakerOpen. Every nil return must be matched by a Record call
+// with the attempt's outcome.
+func (b *Breaker) Allow() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return nil
+	case breakerOpen:
+		if b.now().Sub(b.openedAt) < b.cooldown {
+			return ErrBreakerOpen
+		}
+		b.state = breakerHalfOpen
+		b.probing = true
+		return nil
+	default: // half-open
+		if b.probing {
+			return ErrBreakerOpen // one probe at a time
+		}
+		b.probing = true
+		return nil
+	}
+}
+
+// Record reports an attempt's outcome. failed=true counts toward the
+// threshold (and re-opens a half-open breaker immediately);
+// failed=false resets the streak and closes a half-open breaker.
+func (b *Breaker) Record(failed bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == breakerHalfOpen {
+		b.probing = false
+		if failed {
+			b.open()
+		} else {
+			b.state = breakerClosed
+			b.failures = 0
+		}
+		return
+	}
+	if !failed {
+		b.failures = 0
+		return
+	}
+	b.failures++
+	if b.state == breakerClosed && b.failures >= b.threshold {
+		b.open()
+	}
+}
+
+// open transitions to the open state (mu held).
+func (b *Breaker) open() {
+	b.state = breakerOpen
+	b.openedAt = b.now()
+	b.failures = 0
+	b.opens++
+}
+
+// Opens reports how many times the breaker has opened.
+func (b *Breaker) Opens() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.opens
+}
+
+// State reports the breaker's current state as a string (for
+// metrics and reports): "closed", "open" or "half-open".
+func (b *Breaker) State() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	}
+	return "closed"
+}

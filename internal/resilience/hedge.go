@@ -1,0 +1,68 @@
+package resilience
+
+import (
+	"context"
+	"time"
+)
+
+// Hedged runs attempt and, if no result has arrived after delay,
+// launches one hedge attempt of the same work; the first result to
+// come back wins and the loser's context is cancelled. delay <= 0
+// disables hedging (a plain call). attempt must be safe to run twice
+// concurrently — for the scoring tier that holds by construction,
+// because identical requests coalesce server-side onto one
+// computation and hits are served from the content-addressed cache.
+//
+// Hedging trades duplicate work for tail latency: it cuts the p99 a
+// straggling connection causes while the duplicate usually lands as a
+// cache hit or coalesced follower. The classic reference is Dean &
+// Barroso, "The Tail at Scale" (CACM 2013).
+func Hedged[T any](ctx context.Context, delay time.Duration, attempt func(ctx context.Context) (T, error)) (T, error) {
+	if delay <= 0 {
+		return attempt(ctx)
+	}
+	type result struct {
+		v   T
+		err error
+	}
+	hctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	results := make(chan result, 2)
+	run := func() {
+		v, err := attempt(hctx)
+		results <- result{v, err}
+	}
+	go run()
+	timer := time.NewTimer(delay)
+	defer timer.Stop()
+	launched := 1
+	select {
+	case r := <-results:
+		return r.v, r.err
+	case <-timer.C:
+		go run()
+		launched = 2
+	case <-ctx.Done():
+		var zero T
+		return zero, ctx.Err()
+	}
+	// Two attempts racing: the first success wins; if the first
+	// arrival failed, wait for the other before giving up.
+	var firstErr error
+	for i := 0; i < launched; i++ {
+		select {
+		case r := <-results:
+			if r.err == nil {
+				return r.v, nil
+			}
+			if firstErr == nil {
+				firstErr = r.err
+			}
+		case <-ctx.Done():
+			var zero T
+			return zero, ctx.Err()
+		}
+	}
+	var zero T
+	return zero, firstErr
+}

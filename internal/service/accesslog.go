@@ -3,6 +3,7 @@ package service
 import (
 	"context"
 	"encoding/hex"
+	"errors"
 	"log/slog"
 	"net/http"
 	"time"
@@ -15,6 +16,9 @@ const (
 	ShedReasonOverload = "pool_and_queue_full"
 	// ShedReasonDeadline marks a 504: the compute deadline expired.
 	ShedReasonDeadline = "compute_deadline"
+	// ShedReasonDraining marks a 503 issued because the server is
+	// draining for shutdown.
+	ShedReasonDraining = "draining"
 )
 
 // scoreStats carries per-request timing out of the scoring path for
@@ -64,6 +68,13 @@ func (s *Server) logAccess(r *http.Request, reqID string, code int, cacheStatus 
 		)
 	case http.StatusGatewayTimeout:
 		attrs = append(attrs, slog.String("shed_reason", ShedReasonDeadline))
+	case http.StatusServiceUnavailable:
+		if errors.Is(err, ErrDraining) {
+			attrs = append(attrs,
+				slog.String("shed_reason", ShedReasonDraining),
+				slog.String("retry_after", RetryAfter),
+			)
+		}
 	}
 	if err != nil {
 		attrs = append(attrs, slog.String("error", err.Error()))

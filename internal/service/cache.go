@@ -72,3 +72,18 @@ func (c *cache) len() int {
 	defer c.mu.Unlock()
 	return c.ll.Len()
 }
+
+// entries returns the cache contents ordered least-recently-used
+// first — the order a snapshot is written in, so replaying it through
+// put rebuilds both the contents and the recency order. The returned
+// entries alias the cached value slices; callers must not mutate
+// them.
+func (c *cache) entries() []cacheEntry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]cacheEntry, 0, c.ll.Len())
+	for el := c.ll.Back(); el != nil; el = el.Prev() {
+		out = append(out, *el.Value.(*cacheEntry))
+	}
+	return out
+}

@@ -1,0 +1,50 @@
+package service
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+)
+
+// HeaderDigest carries the integrity digest of the response body:
+// "sha256:" + hex of the exact bytes written. The scoring tier's
+// correctness story is byte-identity (cache hits, warm restarts,
+// coalesced followers all serve the same bytes), and this header is
+// how a client checks that the bytes survived the network: a proxy or
+// link that corrupts or truncates the body produces a digest mismatch
+// — a typed IntegrityError — never a silently wrong score.
+const HeaderDigest = "X-Hmeans-Digest"
+
+const digestPrefix = "sha256:"
+
+// Digest returns the integrity digest for a response body, in the
+// form carried by HeaderDigest.
+func Digest(body []byte) string {
+	sum := sha256.Sum256(body)
+	return digestPrefix + hex.EncodeToString(sum[:])
+}
+
+// IntegrityError reports a response body that does not match the
+// digest the server attached: the bytes were damaged in flight.
+// Retryable — the server's copy is fine.
+type IntegrityError struct {
+	Want string // digest the server attached
+	Got  string // digest of the bytes received
+}
+
+func (e *IntegrityError) Error() string {
+	return fmt.Sprintf("service: response body failed integrity check (want %s, got %s)", e.Want, e.Got)
+}
+
+// VerifyDigest checks body against the digest header value a server
+// attached. An empty digest (header absent — an older server) passes:
+// the check is opportunistic, not mandatory.
+func VerifyDigest(digest string, body []byte) error {
+	if digest == "" {
+		return nil
+	}
+	if got := Digest(body); got != digest {
+		return &IntegrityError{Want: digest, Got: got}
+	}
+	return nil
+}

