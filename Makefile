@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fmt lint staticcheck bench bench-json bench-gate bench-baseline memprofile trace chaos chaos-service fuzz serve-smoke load-gate cover ci
+.PHONY: all build test race vet fmt lint staticcheck bench bench-json bench-gate bench-baseline memprofile trace chaos chaos-service fuzz serve-smoke cluster-smoke load-gate cover ci tidy-check
 
 all: build
 
@@ -93,6 +93,14 @@ memprofile:
 serve-smoke:
 	sh scripts/serve_smoke.sh
 
+# cluster-smoke mirrors the CI cluster-smoke job: two hmeansd replicas
+# behind an hmeansgw gateway — byte identity through the routing hop,
+# cross-replica singleflight (one fleet-wide compute for a concurrent
+# burst), 2-hop request-ID correlation, and a mid-load replica SIGTERM
+# that must surface zero untyped 5xx.
+cluster-smoke:
+	sh scripts/cluster_smoke.sh
+
 # load-gate mirrors the CI load-slo job: drive the paper's
 # 13-workload case study through a self-managed hmeansd with the load
 # harness (open loop, bursty pareto arrivals, the default
@@ -117,6 +125,12 @@ cover:
 	echo "total coverage: $$total% (baseline $(COVER_BASELINE)%)"; \
 	awk -v t="$$total" -v b="$(COVER_BASELINE)" 'BEGIN { exit (t+0 < b+0) ? 1 : 0 }' \
 		|| { echo "coverage fell below the $(COVER_BASELINE)% baseline" >&2; exit 1; }
+
+# tidy-check mirrors the CI vet-job drift check: go.mod must already
+# be tidy (the module is dependency-free, so there is no go.sum).
+tidy-check:
+	$(GO) mod tidy
+	git diff --exit-code -- go.mod
 
 # chaos mirrors the CI chaos job: the deterministic fault-injection
 # suite (internal/faultinject) under the race detector.
@@ -144,4 +158,4 @@ fuzz:
 	$(GO) test -fuzz FuzzLoadDendrogram -fuzztime $(FUZZTIME) ./internal/cluster
 	$(GO) test -fuzz FuzzRestoreSnapshot -fuzztime $(FUZZTIME) ./internal/service
 
-ci: build lint test race chaos chaos-service fuzz bench trace bench-gate serve-smoke load-gate cover
+ci: build lint tidy-check test race chaos chaos-service fuzz bench trace bench-gate serve-smoke cluster-smoke load-gate cover

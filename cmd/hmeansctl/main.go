@@ -6,6 +6,12 @@
 //
 //	hmeansctl -addr http://127.0.0.1:8080 -scores speedups.csv -chars sar.csv -k 6
 //	hmeansctl -addr http://127.0.0.1:8080 -health
+//	hmeansctl -gateway http://127.0.0.1:8090 -scores speedups.csv -chars sar.csv -k 6
+//
+// -gateway targets an hmeansgw front tier instead of a single daemon;
+// the protocol (and the bytes) are identical, and -v additionally
+// reports which replica served the response and the routing role
+// (X-Hmeans-Replica, X-Hmeans-Route).
 //
 // -json dumps the raw response bytes instead, byte-identical across
 // cache hits and cold paths for identical inputs.
@@ -58,6 +64,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("hmeansctl", flag.ContinueOnError)
 	var (
 		addr       = fs.String("addr", "http://127.0.0.1:8080", "base URL of the hmeansd service")
+		gatewayURL = fs.String("gateway", "", "base URL of an hmeansgw gateway to target instead of -addr")
 		scoresPath = fs.String("scores", "", "CSV of workload,score")
 		charsPath  = fs.String("chars", "", "CSV characterization matrix")
 		kind       = fs.String("kind", "counters", "characterization kind: counters or bits")
@@ -92,7 +99,13 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	ctx, cancel := cliutil.WithTimeout(*timeout)
 	defer cancel()
+	// A gateway speaks the same protocol as a replica (same /v1/score,
+	// same digests, byte-identical responses), so targeting one is just
+	// a different base URL — plus routing headers that -v reports.
 	base := strings.TrimSuffix(*addr, "/")
+	if *gatewayURL != "" {
+		base = strings.TrimSuffix(*gatewayURL, "/")
+	}
 	if *health {
 		return checkHealth(ctx, base, stdout)
 	}
@@ -118,28 +131,30 @@ func run(args []string, stdout, stderr io.Writer) error {
 		BaseDelay:  *retryBase,
 		Jitter:     0.25,
 	}, *retrySeed)
-	var raw []byte
-	var cacheStatus string
+	var res postResult
 	err = rt.Do(ctx, func(ctx context.Context) error {
-		r, cs, err := post(ctx, base+"/v1/score", id, req, *hedge)
+		r, err := post(ctx, base+"/v1/score", id, req, *hedge)
 		if err != nil {
 			return err
 		}
-		raw, cacheStatus = r, cs
+		res = r
 		return nil
 	}, retryable)
 	if err != nil {
 		return err
 	}
 	if *verbose {
-		fmt.Fprintf(stderr, "cache: %s\n", cacheStatus)
+		fmt.Fprintf(stderr, "cache: %s\n", res.cacheStatus)
+		if res.replica != "" {
+			fmt.Fprintf(stderr, "replica: %s (route %s)\n", res.replica, res.route)
+		}
 	}
 	if *rawJSON {
-		_, err := stdout.Write(raw)
+		_, err := stdout.Write(res.raw)
 		return err
 	}
 	var resp service.Response
-	if err := json.Unmarshal(raw, &resp); err != nil {
+	if err := json.Unmarshal(res.raw, &resp); err != nil {
 		return fmt.Errorf("decoding response: %w", err)
 	}
 	return render(&resp, *meanName, *k, stdout)
@@ -273,6 +288,12 @@ func retryable(err error) bool {
 type postResult struct {
 	raw         []byte
 	cacheStatus string
+	// replica and route are set when the answer came through a gateway
+	// (X-Hmeans-Replica / X-Hmeans-Route): which replica computed the
+	// bytes, and whether this request led, followed or took over the
+	// cross-replica singleflight lease.
+	replica string
+	route   string
 }
 
 // post sends the score request once (plus an optional hedge) and
@@ -280,18 +301,14 @@ type postResult struct {
 // mismatches become transportError, non-200s become remoteError with
 // the Retry-After hint attached, and a 200 body must match its
 // X-Hmeans-Digest before it counts as an answer.
-func post(ctx context.Context, url, requestID string, req *service.Request, hedge time.Duration) (raw []byte, cacheStatus string, err error) {
+func post(ctx context.Context, url, requestID string, req *service.Request, hedge time.Duration) (postResult, error) {
 	body, err := json.Marshal(req)
 	if err != nil {
-		return nil, "", err
+		return postResult{}, err
 	}
-	res, err := resilience.Hedged(ctx, hedge, func(ctx context.Context) (postResult, error) {
+	return resilience.Hedged(ctx, hedge, func(ctx context.Context) (postResult, error) {
 		return postOnce(ctx, url, requestID, body)
 	})
-	if err != nil {
-		return nil, "", err
-	}
-	return res.raw, res.cacheStatus, nil
 }
 
 func postOnce(ctx context.Context, url, requestID string, body []byte) (postResult, error) {
@@ -337,7 +354,12 @@ func postOnce(ctx context.Context, url, requestID string, body []byte) (postResu
 	if err := service.VerifyDigest(resp.Header.Get(service.HeaderDigest), raw); err != nil {
 		return postResult{}, &transportError{err: err}
 	}
-	return postResult{raw: raw, cacheStatus: resp.Header.Get("X-Hmeans-Cache")}, nil
+	return postResult{
+		raw:         raw,
+		cacheStatus: resp.Header.Get("X-Hmeans-Cache"),
+		replica:     resp.Header.Get("X-Hmeans-Replica"),
+		route:       resp.Header.Get("X-Hmeans-Route"),
+	}, nil
 }
 
 // render prints the response in the batch CLI's format: the same

@@ -72,6 +72,7 @@ func run(args []string, stdout io.Writer) error {
 		selfInfl   = fs.Int("self.max-inflight", 0, "self-managed daemon: max concurrent computations (0 = CPU count)")
 		selfQueue  = fs.Int("self.queue-depth", service.DefaultQueueDepth, "self-managed daemon: queued requests before shedding with 429")
 		selfCache  = fs.Int("self.cache-size", 128, "self-managed daemon: content-addressed cache entries (0 disables)")
+		selfRepl   = fs.Int("self.replicas", 1, "self-managed mode: boot this many replicas behind an in-process hmeansgw gateway (1 = single daemon, no gateway)")
 	)
 	timeout := cliutil.RegisterTimeout(fs)
 	obsFlags := obs.RegisterFlags(fs)
@@ -135,6 +136,12 @@ func run(args []string, stdout io.Writer) error {
 	if err := cliutil.ValidateMin("-self.cache-size", *selfCache, 0); err != nil {
 		return err
 	}
+	if err := cliutil.ValidateMin("-self.replicas", *selfRepl, 1); err != nil {
+		return err
+	}
+	if *addr != "" && *selfRepl > 1 {
+		return cliutil.Usagef("-self.replicas only applies to self-managed mode (drop -addr)")
+	}
 
 	base, err := baseRequest(*scoresPath, *charsPath, *kind, *workloads, *features, *seed)
 	if err != nil {
@@ -155,23 +162,43 @@ func run(args []string, stdout io.Writer) error {
 
 	target := strings.TrimSuffix(*addr, "/")
 	if target == "" {
-		d, err := load.StartDaemon(service.Config{
+		selfCfg := service.Config{
 			MaxInflight: *selfInfl,
 			QueueDepth:  *selfQueue,
 			CacheSize:   *selfCache,
 			Obs:         sess.Obs,
-		})
-		if err != nil {
-			return err
 		}
-		defer func() {
-			if cerr := d.Close(); cerr != nil {
-				fmt.Fprintf(stdout, "self-managed daemon close: %v\n", cerr)
+		if *selfRepl > 1 {
+			// Cluster mode: the load loop targets an in-process gateway
+			// over N replicas, exercising routing, failover and the
+			// cross-replica lease under the same schedule a single
+			// daemon gets.
+			c, err := load.StartCluster(*selfRepl, selfCfg)
+			if err != nil {
+				return err
 			}
-		}()
-		target = d.URL
-		fmt.Fprintf(stdout, "self-managed hmeansd on %s (max-inflight %d, queue-depth %d, cache %d)\n",
-			target, *selfInfl, *selfQueue, *selfCache)
+			defer func() {
+				if cerr := c.Close(); cerr != nil {
+					fmt.Fprintf(stdout, "self-managed cluster close: %v\n", cerr)
+				}
+			}()
+			target = c.URL
+			fmt.Fprintf(stdout, "self-managed hmeansgw on %s (%d replicas, max-inflight %d, queue-depth %d, cache %d)\n",
+				target, *selfRepl, *selfInfl, *selfQueue, *selfCache)
+		} else {
+			d, err := load.StartDaemon(selfCfg)
+			if err != nil {
+				return err
+			}
+			defer func() {
+				if cerr := d.Close(); cerr != nil {
+					fmt.Fprintf(stdout, "self-managed daemon close: %v\n", cerr)
+				}
+			}()
+			target = d.URL
+			fmt.Fprintf(stdout, "self-managed hmeansd on %s (max-inflight %d, queue-depth %d, cache %d)\n",
+				target, *selfInfl, *selfQueue, *selfCache)
+		}
 	}
 
 	rep, err := load.Run(ctx, load.Config{

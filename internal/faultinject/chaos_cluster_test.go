@@ -1,0 +1,169 @@
+// Cluster-level chaos: a seeded TCP chaos proxy sits between the
+// gateway and ONE of its replicas, while the other replica stays
+// clean. Every injected fault — dropped connections, truncated and
+// corrupted responses — must resolve through the gateway as a
+// retry-to-another-replica or a typed error: never a wrong score,
+// never a stranded singleflight follower. Runs with the rest of the
+// ChaosService suite under `make chaos-service`
+// (go test -race -run ChaosService ./internal/faultinject/).
+package faultinject_test
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"hmeans/internal/faultinject"
+	"hmeans/internal/gateway"
+	"hmeans/internal/service"
+)
+
+// startChaosCluster boots a clean replica, a chaotic replica (fronted
+// by a seeded proxy), and a gateway over both. The gateway's dispatch
+// client has keep-alives off (truncate/corrupt need one connection per
+// request) and a hard timeout so no fault can hang a dispatch.
+func startChaosCluster(t *testing.T, seed uint64, plan faultinject.ChaosPlan) (*gateway.Gateway, string, *faultinject.ChaosProxy, string) {
+	t.Helper()
+	clean := httptest.NewServer(service.New(service.Config{MaxInflight: 4, QueueDepth: 64, CacheSize: 64}).Handler())
+	t.Cleanup(clean.Close)
+	chaotic := httptest.NewServer(service.New(service.Config{MaxInflight: 4, QueueDepth: 64, CacheSize: 64}).Handler())
+	t.Cleanup(chaotic.Close)
+
+	proxy, err := faultinject.NewChaosProxy(chaotic.Listener.Addr().String(), seed, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { proxy.Close() })
+	t.Cleanup(func() {
+		if !t.Failed() {
+			return
+		}
+		var buf bytes.Buffer
+		if err := proxy.WriteSchedule(&buf); err == nil {
+			t.Logf("injected fault schedule:\n%s", buf.String())
+		}
+	})
+
+	gw, err := gateway.New(gateway.Config{
+		Replicas:  []string{clean.URL, proxy.URL()},
+		Retries:   2,
+		RetryBase: time.Millisecond,
+		Seed:      seed,
+		// High threshold: keep the chaotic replica in rotation so the
+		// walk keeps exercising the fault path instead of settling on
+		// the clean replica after three failures.
+		BreakerThreshold: 1000,
+		Client: &http.Client{
+			Timeout:   2 * time.Second,
+			Transport: &http.Transport{DisableKeepAlives: true},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(gw.Handler())
+	t.Cleanup(ts.Close)
+	return gw, ts.URL, proxy, clean.URL
+}
+
+// TestChaosServiceClusterEveryFaultResolves drives payloads through
+// the gateway while one replica's wire drops, truncates and corrupts:
+// with per-replica retries plus ring failover every request must
+// resolve to the byte-identical digest-verified answer — the fault mix
+// reroutes work, it never loses or falsifies it.
+func TestChaosServiceClusterEveryFaultResolves(t *testing.T) {
+	_, gwURL, proxy, cleanURL := startChaosCluster(t, 17, faultinject.ChaosPlan{
+		DropPct: 25, TruncatePct: 20, CorruptPct: 20, // no stalls: keep the suite fast
+	})
+
+	for i := 0; i < 10; i++ {
+		body := marshalRequest(t, chaosRequest(uint64(100+i)))
+		// Content addressing means any replica's direct answer is THE
+		// answer; the clean one is always reachable for the oracle.
+		want := postDirect(t, cleanURL, body)
+
+		resp, err := http.Post(gwURL+"/v1/score", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatalf("request %d: gateway transport error: %v\nschedule: %+v", i, err, proxy.Schedule())
+		}
+		raw, rerr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if rerr != nil {
+			t.Fatalf("request %d: reading gateway response: %v", i, rerr)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("request %d: gateway status %d (%s) — retries + failover must absorb this mix\nschedule: %+v",
+				i, resp.StatusCode, raw, proxy.Schedule())
+		}
+		if err := service.VerifyDigest(resp.Header.Get(service.HeaderDigest), raw); err != nil {
+			t.Fatalf("request %d: gateway response failed its digest: %v", i, err)
+		}
+		if !bytes.Equal(raw, want) {
+			t.Fatalf("request %d: gateway served different bytes than the direct answer", i)
+		}
+	}
+	if len(proxy.Schedule()) == 0 {
+		t.Fatal("the chaotic replica never saw a connection — the chaos was a no-op")
+	}
+}
+
+// TestChaosServiceClusterNoStrandedFollowers fires a concurrent burst
+// of one identical payload through the gateway under the same fault
+// mix: the singleflight leader's dispatch may be damaged and retried
+// or failed over, but every follower must still complete with the same
+// byte-identical answer — a fault on the leader's wire must never
+// strand the requests coalesced behind it.
+func TestChaosServiceClusterNoStrandedFollowers(t *testing.T) {
+	_, gwURL, proxy, cleanURL := startChaosCluster(t, 23, faultinject.ChaosPlan{
+		DropPct: 30, TruncatePct: 20, CorruptPct: 20,
+	})
+	body := marshalRequest(t, chaosRequest(4))
+	want := postDirect(t, cleanURL, body)
+
+	const burst = 8
+	var wg sync.WaitGroup
+	results := make([][]byte, burst)
+	codes := make([]int, burst)
+	errs := make([]error, burst)
+	for i := 0; i < burst; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := http.Post(gwURL+"/v1/score", "application/json", bytes.NewReader(body))
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			defer resp.Body.Close()
+			raw, err := io.ReadAll(resp.Body)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			results[i], codes[i] = raw, resp.StatusCode
+		}(i)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatalf("burst never completed — a follower is stranded\nschedule: %+v", proxy.Schedule())
+	}
+
+	for i := 0; i < burst; i++ {
+		if errs[i] != nil {
+			t.Fatalf("request %d: transport error %v", i, errs[i])
+		}
+		if codes[i] != http.StatusOK {
+			t.Fatalf("request %d: status %d (%s)\nschedule: %+v", i, codes[i], results[i], proxy.Schedule())
+		}
+		if !bytes.Equal(results[i], want) {
+			t.Fatalf("request %d: bytes differ from the direct answer", i)
+		}
+	}
+}

@@ -1,0 +1,30 @@
+package gateway
+
+import (
+	"bytes"
+	"log/slog"
+	"sync"
+)
+
+// syncBuffer is a mutex-guarded bytes.Buffer: the replica's access log
+// writes from its handler goroutines while the test reads.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+func newJSONLogger(w *syncBuffer) *slog.Logger {
+	return slog.New(slog.NewJSONHandler(w, nil))
+}

@@ -1,0 +1,199 @@
+package gateway
+
+import (
+	"bytes"
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestLeaseCoalesces proves the singleflight property: N concurrent
+// callers on one key produce exactly one dispatch, one leader and N-1
+// followers, all sharing the same bytes.
+func TestLeaseCoalesces(t *testing.T) {
+	lt := newLeaseTable(time.Minute)
+	key := testKey(1)
+	var dispatches atomic.Int32
+	release := make(chan struct{})
+	fn := func(ctx context.Context) leaseResult {
+		dispatches.Add(1)
+		<-release
+		return leaseResult{raw: []byte("payload"), status: "miss", replica: "r0"}
+	}
+
+	const callers = 8
+	var wg sync.WaitGroup
+	roles := make([]string, callers)
+	results := make([]leaseResult, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], roles[i] = lt.do(context.Background(), key, fn)
+		}(i)
+	}
+	// Wait until the leader is inside fn and everyone else is parked on
+	// the lease before releasing.
+	waitFor(t, func() bool {
+		return dispatches.Load() == 1 && lt.waiting.Load() == callers-1
+	})
+	close(release)
+	wg.Wait()
+
+	if got := dispatches.Load(); got != 1 {
+		t.Fatalf("%d dispatches, want 1", got)
+	}
+	leaders, followers := 0, 0
+	for i := range roles {
+		switch roles[i] {
+		case RoleLeader:
+			leaders++
+		case RoleFollower:
+			followers++
+		default:
+			t.Fatalf("caller %d got role %q", i, roles[i])
+		}
+		if !bytes.Equal(results[i].raw, []byte("payload")) {
+			t.Fatalf("caller %d got bytes %q", i, results[i].raw)
+		}
+	}
+	if leaders != 1 || followers != callers-1 {
+		t.Fatalf("%d leaders / %d followers, want 1 / %d", leaders, followers, callers-1)
+	}
+	if lt.len() != 0 {
+		t.Fatalf("%d leases left after completion, want 0", lt.len())
+	}
+}
+
+// TestLeaseDistinctKeysDoNotCoalesce pins that the table is per-key.
+func TestLeaseDistinctKeysDoNotCoalesce(t *testing.T) {
+	lt := newLeaseTable(time.Minute)
+	var dispatches atomic.Int32
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			lt.do(context.Background(), testKey(i), func(ctx context.Context) leaseResult {
+				dispatches.Add(1)
+				return leaseResult{raw: []byte("x")}
+			})
+		}(i)
+	}
+	wg.Wait()
+	if got := dispatches.Load(); got != 4 {
+		t.Fatalf("%d dispatches for 4 distinct keys, want 4", got)
+	}
+}
+
+// TestLeaseExpiryTakeover is the leader-death drill: a leader that
+// never finishes strands its lease; a follower must take over at the
+// TTL, dispatch on its own, and get a byte-identical result (the
+// dispatch is content-addressed — same key, same bytes). The usurped
+// leader's own late result still serves anyone who joined it.
+func TestLeaseExpiryTakeover(t *testing.T) {
+	lt := newLeaseTable(50 * time.Millisecond)
+	key := testKey(2)
+	leaderStarted := make(chan struct{})
+	leaderStuck := make(chan struct{})
+
+	var wg sync.WaitGroup
+	var leaderRes, followerRes leaseResult
+	var leaderRole, followerRole string
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		leaderRes, leaderRole = lt.do(context.Background(), key, func(ctx context.Context) leaseResult {
+			close(leaderStarted)
+			<-leaderStuck // hangs far past the TTL
+			return leaseResult{raw: []byte("score-bytes"), replica: "r0"}
+		})
+	}()
+	<-leaderStarted
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		followerRes, followerRole = lt.do(context.Background(), key, func(ctx context.Context) leaseResult {
+			// The takeover dispatch: content addressing guarantees the
+			// same bytes as the stuck leader would eventually produce.
+			return leaseResult{raw: []byte("score-bytes"), replica: "r1"}
+		})
+		// Only now unstick the original leader: the takeover completed
+		// without it.
+		close(leaderStuck)
+	}()
+	wg.Wait()
+
+	if followerRole != RoleTakeover {
+		t.Fatalf("follower role = %q, want %q", followerRole, RoleTakeover)
+	}
+	if leaderRole != RoleLeader {
+		t.Fatalf("leader role = %q, want %q", leaderRole, RoleLeader)
+	}
+	if !bytes.Equal(followerRes.raw, leaderRes.raw) {
+		t.Fatalf("takeover bytes %q != leader bytes %q", followerRes.raw, leaderRes.raw)
+	}
+	if followerRes.replica != "r1" {
+		t.Fatalf("takeover served by %q, want its own dispatch r1", followerRes.replica)
+	}
+	if lt.len() != 0 {
+		t.Fatalf("%d leases left, want 0", lt.len())
+	}
+}
+
+// TestLeaseFollowerHonorsContext pins that a follower whose own
+// context fires stops waiting with ctx.Err() instead of blocking on a
+// leader it no longer wants.
+func TestLeaseFollowerHonorsContext(t *testing.T) {
+	lt := newLeaseTable(time.Minute)
+	key := testKey(3)
+	started := make(chan struct{})
+	release := make(chan struct{})
+	defer close(release)
+	go lt.do(context.Background(), key, func(ctx context.Context) leaseResult {
+		close(started)
+		<-release
+		return leaseResult{}
+	})
+	<-started
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	var res leaseResult
+	var role string
+	go func() {
+		defer close(done)
+		res, role = lt.do(ctx, key, func(ctx context.Context) leaseResult {
+			t.Error("cancelled follower dispatched")
+			return leaseResult{}
+		})
+	}()
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled follower never returned")
+	}
+	if res.err != context.Canceled {
+		t.Fatalf("follower err = %v, want context.Canceled", res.err)
+	}
+	if role != RoleFollower {
+		t.Fatalf("role = %q, want %q", role, RoleFollower)
+	}
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("condition never held")
+}

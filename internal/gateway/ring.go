@@ -1,0 +1,164 @@
+package gateway
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"strconv"
+)
+
+// DefaultVNodes is the per-replica virtual-node count. 64 points per
+// replica keeps the largest/smallest arc ratio tight (the balance
+// property test pins ±25% of fair share over 3 replicas) while the
+// whole ring for a handful of replicas stays a few hundred entries —
+// lookup is one binary search.
+const DefaultVNodes = 64
+
+// Ring is a consistent-hash ring over replica base URLs. Each replica
+// owns VNodes points on a uint64 circle (the SHA-256 of "addr#i"
+// truncated to 64 bits); a request's home is the owner of the first
+// point at or after its content address. Consistent hashing — not
+// key mod N — because the whole reason to route by content address is
+// cache affinity: when a replica joins or leaves, only the arcs it
+// owned change hands, so the other replicas' caches stay warm. With
+// modulo routing every membership change reshuffles almost every key
+// and the fleet recomputes its whole working set.
+//
+// A Ring is immutable after construction; membership changes build a
+// new Ring (the remap property — removing a replica moves only its own
+// arc — is pinned by TestRingRemovalRemapsOnlyItsArc).
+type Ring struct {
+	vnodes   int
+	replicas []string
+	points   []ringPoint // sorted by hash
+}
+
+type ringPoint struct {
+	hash    uint64
+	replica int // index into replicas
+}
+
+// NewRing builds a ring over the given replica addresses. vnodes <= 0
+// takes DefaultVNodes. Addresses must be non-empty and distinct —
+// duplicates would silently double a replica's arc.
+func NewRing(replicas []string, vnodes int) (*Ring, error) {
+	if len(replicas) == 0 {
+		return nil, fmt.Errorf("gateway: ring needs at least one replica")
+	}
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	seen := make(map[string]bool, len(replicas))
+	for _, a := range replicas {
+		if a == "" {
+			return nil, fmt.Errorf("gateway: empty replica address")
+		}
+		if seen[a] {
+			return nil, fmt.Errorf("gateway: duplicate replica address %q", a)
+		}
+		seen[a] = true
+	}
+	r := &Ring{
+		vnodes:   vnodes,
+		replicas: append([]string(nil), replicas...),
+		points:   make([]ringPoint, 0, len(replicas)*vnodes),
+	}
+	for ri, addr := range r.replicas {
+		for i := 0; i < vnodes; i++ {
+			r.points = append(r.points, ringPoint{hash: pointHash(addr, i), replica: ri})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// A 64-bit collision between distinct (addr, i) pairs is
+		// vanishingly unlikely; break the tie deterministically anyway
+		// so two gateways over the same replica list agree on homes.
+		return r.points[i].replica < r.points[j].replica
+	})
+	return r, nil
+}
+
+// pointHash places virtual node i of addr on the circle: the first 8
+// bytes of SHA-256("addr#i"). SHA-256 rather than a fast hash because
+// the keys being located are themselves SHA-256 content addresses —
+// the two distributions should be equally uniform — and ring
+// construction is cold path.
+func pointHash(addr string, i int) uint64 {
+	sum := sha256.Sum256([]byte(addr + "#" + strconv.Itoa(i)))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// keyPoint maps a content address onto the circle: its first 8 bytes,
+// big endian, matching pointHash's truncation.
+func keyPoint(key [32]byte) uint64 {
+	return binary.BigEndian.Uint64(key[:8])
+}
+
+// Replicas returns the ring's membership in construction order.
+func (r *Ring) Replicas() []string { return append([]string(nil), r.replicas...) }
+
+// Home returns the replica that owns key: the first ring point at or
+// after the key's position, wrapping at the top of the circle.
+func (r *Ring) Home(key [32]byte) string {
+	return r.replicas[r.points[r.firstPoint(keyPoint(key))].replica]
+}
+
+// Candidates returns every replica exactly once, ordered by the ring
+// walk from key: the home first, then each successor as the walk first
+// reaches one of its points. This is the failover order — when the
+// home is breaker-open or down, the key's new home is the next
+// distinct replica on the ring, which is also exactly where the key
+// would live if the home were removed from the ring. Failover and
+// membership change therefore agree about reassignment, and a
+// recovered home resumes owning its old arc (and its still-warm
+// cache).
+func (r *Ring) Candidates(key [32]byte) []string {
+	out := make([]string, 0, len(r.replicas))
+	seen := make([]bool, len(r.replicas))
+	start := r.firstPoint(keyPoint(key))
+	for i := 0; i < len(r.points) && len(out) < len(r.replicas); i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.replica] {
+			seen[p.replica] = true
+			out = append(out, r.replicas[p.replica])
+		}
+	}
+	return out
+}
+
+// firstPoint locates the index of the first point with hash >= h,
+// wrapping to 0 past the last point.
+func (r *Ring) firstPoint(h uint64) int {
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		return 0
+	}
+	return i
+}
+
+// Arcs reports the share of the hash circle each replica owns —
+// surfaced on the gateway's /ring endpoint so balance is observable,
+// and asserted by the balance property test.
+func (r *Ring) Arcs() map[string]float64 {
+	shares := make(map[string]float64, len(r.replicas))
+	n := len(r.points)
+	for i, p := range r.points {
+		var span uint64
+		if i+1 < n {
+			span = r.points[i+1].hash - p.hash
+		} else {
+			// Last point owns the wrap: up to the top of the circle
+			// plus down to the first point.
+			span = (^uint64(0) - p.hash) + r.points[0].hash + 1
+		}
+		// A key strictly after points[i] resolves to the NEXT point
+		// (firstPoint finds the first hash >= key), so each span is
+		// credited to its successor's replica.
+		next := r.points[(i+1)%n]
+		shares[r.replicas[next.replica]] += float64(span) / float64(1<<63) / 2
+	}
+	return shares
+}

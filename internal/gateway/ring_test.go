@@ -1,0 +1,142 @@
+package gateway
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+// testKey derives a deterministic content address from an index.
+func testKey(i int) [32]byte {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], uint64(i))
+	return sha256.Sum256(b[:])
+}
+
+func TestRingRejectsBadMembership(t *testing.T) {
+	if _, err := NewRing(nil, 0); err == nil {
+		t.Fatal("empty membership accepted")
+	}
+	if _, err := NewRing([]string{"a", ""}, 0); err == nil {
+		t.Fatal("empty address accepted")
+	}
+	if _, err := NewRing([]string{"a", "b", "a"}, 0); err == nil {
+		t.Fatal("duplicate address accepted")
+	}
+}
+
+// TestRingBalance is the balance property test: with the default
+// virtual-node count, keys spread over 3 replicas within a tolerance
+// of fair share, and the arc shares /ring reports agree with an
+// empirical key count.
+func TestRingBalance(t *testing.T) {
+	replicas := []string{"http://r0", "http://r1", "http://r2"}
+	r, err := NewRing(replicas, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const keys = 30_000
+	counts := make(map[string]int, len(replicas))
+	for i := 0; i < keys; i++ {
+		counts[r.Home(testKey(i))]++
+	}
+	fair := float64(keys) / float64(len(replicas))
+	for _, addr := range replicas {
+		got := float64(counts[addr])
+		if got < 0.75*fair || got > 1.25*fair {
+			t.Errorf("replica %s owns %d of %d keys (%.1f%%), outside ±25%% of fair share",
+				addr, counts[addr], keys, 100*got/keys)
+		}
+	}
+	arcs := r.Arcs()
+	var total float64
+	for _, addr := range replicas {
+		total += arcs[addr]
+		// Arc share should predict the empirical key share closely — the
+		// keys are SHA-256 outputs, as uniform as the ring points.
+		if diff := math.Abs(arcs[addr] - float64(counts[addr])/keys); diff > 0.02 {
+			t.Errorf("replica %s: arc share %.4f vs empirical %.4f (diff %.4f)",
+				addr, arcs[addr], float64(counts[addr])/keys, diff)
+		}
+	}
+	if math.Abs(total-1) > 1e-9 {
+		t.Errorf("arc shares sum to %v, want 1", total)
+	}
+}
+
+// TestRingRemovalRemapsOnlyItsArc pins the property consistent hashing
+// exists for: removing a replica moves only the keys it owned —
+// every other key keeps its home, so every other cache stays warm.
+func TestRingRemovalRemapsOnlyItsArc(t *testing.T) {
+	all := []string{"http://r0", "http://r1", "http://r2"}
+	before, err := NewRing(all, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := NewRing(all[:2], 0) // r2 removed
+	if err != nil {
+		t.Fatal(err)
+	}
+	const keys = 10_000
+	moved := 0
+	for i := 0; i < keys; i++ {
+		k := testKey(i)
+		oldHome := before.Home(k)
+		newHome := after.Home(k)
+		if oldHome == "http://r2" {
+			moved++
+			// The evicted arc must land exactly where the failover walk
+			// would have sent it: the next distinct replica on the ring.
+			if want := before.Candidates(k)[1]; newHome != want {
+				t.Fatalf("key %d: remapped to %s, failover order says %s", i, newHome, want)
+			}
+			continue
+		}
+		if newHome != oldHome {
+			t.Fatalf("key %d moved from %s to %s though %s was not removed", i, oldHome, newHome, oldHome)
+		}
+	}
+	if moved == 0 {
+		t.Fatal("no keys owned by the removed replica — test is vacuous")
+	}
+}
+
+func TestRingCandidatesCoverAllReplicasOnce(t *testing.T) {
+	replicas := []string{"http://r0", "http://r1", "http://r2", "http://r3"}
+	r, err := NewRing(replicas, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		c := r.Candidates(testKey(i))
+		if len(c) != len(replicas) {
+			t.Fatalf("key %d: %d candidates, want %d", i, len(c), len(replicas))
+		}
+		if c[0] != r.Home(testKey(i)) {
+			t.Fatalf("key %d: first candidate %s is not the home %s", i, c[0], r.Home(testKey(i)))
+		}
+		seen := make(map[string]bool)
+		for _, addr := range c {
+			if seen[addr] {
+				t.Fatalf("key %d: candidate %s repeated", i, addr)
+			}
+			seen[addr] = true
+		}
+	}
+}
+
+// TestRingDeterministic pins that two rings over the same membership
+// agree point for point — two gateway processes must route every key
+// identically or cache affinity is fiction.
+func TestRingDeterministic(t *testing.T) {
+	replicas := []string{"http://r0", "http://r1", "http://r2"}
+	a, _ := NewRing(replicas, 0)
+	b, _ := NewRing(replicas, 0)
+	for i := 0; i < 1000; i++ {
+		k := testKey(i)
+		if a.Home(k) != b.Home(k) {
+			t.Fatalf("key %d: ring A homes %s, ring B homes %s", i, a.Home(k), b.Home(k))
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package load
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+
+	"hmeans/internal/gateway"
+	"hmeans/internal/obs"
+	"hmeans/internal/service"
+)
+
+// Cluster is a self-managed horizontal deployment for hermetic load
+// runs: N in-process replicas (each a full Daemon) fronted by an
+// hmeansgw gateway on an ephemeral loopback port. The load loop
+// targets Cluster.URL exactly as it would a single daemon — the
+// gateway speaks the same protocol and serves the same bytes — so the
+// cluster load leg in CI needs no externally provisioned fleet and
+// cannot leak one.
+type Cluster struct {
+	// URL is the gateway base URL clients should target.
+	URL string
+	// Replicas are the backing daemons, in ring membership order.
+	Replicas []*Daemon
+
+	gw  *gateway.Gateway
+	hs  *http.Server
+	err chan error
+}
+
+// StartCluster boots n replicas and a gateway over them. Each replica
+// gets its own server built from cfg (so caches and queues are
+// per-replica, as they would be across processes); cfg.Obs is shared,
+// which merges the replicas' counters into one registry — fine for a
+// load run, where fleet-wide totals are what the report wants.
+func StartCluster(n int, cfg service.Config) (*Cluster, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("load: cluster needs at least 1 replica, got %d", n)
+	}
+	c := &Cluster{err: make(chan error, 1)}
+	addrs := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		d, err := StartDaemon(cfg)
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		c.Replicas = append(c.Replicas, d)
+		addrs = append(addrs, d.URL)
+	}
+	gw, err := gateway.New(gateway.Config{
+		Replicas: addrs,
+		Obs:      cfg.Obs,
+	})
+	if err != nil {
+		c.Close()
+		return nil, err
+	}
+	mux := gw.Handler()
+	obs.Or(cfg.Obs).Register(mux)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		c.Close()
+		return nil, fmt.Errorf("load: self-managed gateway: %w", err)
+	}
+	c.gw = gw
+	c.URL = "http://" + ln.Addr().String()
+	c.hs = &http.Server{Handler: mux}
+	go func() { c.err <- c.hs.Serve(ln) }()
+	return c, nil
+}
+
+// Gateway exposes the routing tier for tests (ring state, breakers).
+func (c *Cluster) Gateway() *gateway.Gateway { return c.gw }
+
+// Close tears the cluster down front-to-back: the gateway first (so
+// nothing routes into a dying replica), then every replica. The first
+// failure wins; teardown still visits everything.
+func (c *Cluster) Close() error {
+	var first error
+	if c.hs != nil {
+		c.gw.BeginDrain()
+		if err := c.hs.Close(); err != nil {
+			first = err
+		}
+		if err := <-c.err; err != nil && err != http.ErrServerClosed && first == nil {
+			first = err
+		}
+	}
+	for _, d := range c.Replicas {
+		if err := d.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

@@ -1,0 +1,87 @@
+package resilience
+
+import (
+	"sync"
+	"time"
+)
+
+// Trip force-opens the breaker immediately, without waiting for the
+// failure threshold. The gateway uses it when a replica *declares*
+// unavailability (a draining 503): the replica has said it will refuse
+// work until it restarts, so counting further failures toward the
+// threshold only wastes requests. The normal half-open probe after
+// Cooldown is how the target re-enters rotation.
+func (b *Breaker) Trip() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.probing = false
+	b.open()
+}
+
+// BreakerSet is a keyed collection of breakers sharing one
+// threshold/cooldown configuration — one breaker per target address,
+// created on first use. The gateway keeps one per replica so an
+// unreachable or draining replica is taken out of rotation without
+// affecting routing to the others. Safe for concurrent use.
+type BreakerSet struct {
+	mu        sync.Mutex
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time
+	m         map[string]*Breaker
+}
+
+// NewBreakerSet builds a set whose breakers open after threshold
+// consecutive failures (minimum 1) and allow a half-open probe after
+// cooldown.
+func NewBreakerSet(threshold int, cooldown time.Duration) *BreakerSet {
+	return &BreakerSet{
+		threshold: threshold,
+		cooldown:  cooldown,
+		now:       time.Now,
+		m:         make(map[string]*Breaker),
+	}
+}
+
+// SetClock replaces the clock used by every breaker in the set —
+// existing and future — for deterministic tests.
+func (s *BreakerSet) SetClock(now func() time.Time) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.now = now
+	for _, b := range s.m {
+		b.SetClock(now)
+	}
+}
+
+// Get returns the breaker for key, creating it (closed) on first use.
+func (s *BreakerSet) Get(key string) *Breaker {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, ok := s.m[key]
+	if !ok {
+		b = NewBreaker(s.threshold, s.cooldown)
+		b.SetClock(s.now)
+		s.m[key] = b
+	}
+	return b
+}
+
+// States reports every known key's breaker state ("closed", "open",
+// "half-open") — the gateway's /ring debug endpoint exposes this so an
+// operator can see which replicas are out of rotation.
+func (s *BreakerSet) States() map[string]string {
+	s.mu.Lock()
+	keys := make([]string, 0, len(s.m))
+	breakers := make([]*Breaker, 0, len(s.m))
+	for k, b := range s.m {
+		keys = append(keys, k)
+		breakers = append(breakers, b)
+	}
+	s.mu.Unlock()
+	out := make(map[string]string, len(keys))
+	for i, k := range keys {
+		out[k] = breakers[i].State()
+	}
+	return out
+}

@@ -1,0 +1,89 @@
+package resilience
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBreakerTrip(t *testing.T) {
+	b := NewBreaker(5, time.Minute)
+	if b.State() != "closed" {
+		t.Fatalf("fresh breaker state = %q", b.State())
+	}
+	// Trip bypasses the threshold entirely: one declared drain is
+	// enough, no five-failure streak needed.
+	b.Trip()
+	if b.State() != "open" {
+		t.Fatalf("tripped breaker state = %q, want open", b.State())
+	}
+	if b.Allow() == nil {
+		t.Fatal("tripped breaker allowed an attempt inside the cooldown")
+	}
+	if b.Opens() != 1 {
+		t.Fatalf("opens = %d, want 1", b.Opens())
+	}
+}
+
+func TestBreakerTripDuringHalfOpenProbe(t *testing.T) {
+	base := time.Unix(0, 0)
+	now := base
+	b := NewBreaker(1, time.Minute)
+	b.SetClock(func() time.Time { return now })
+	b.Record(true) // open
+	now = now.Add(2 * time.Minute)
+	if err := b.Allow(); err != nil {
+		t.Fatalf("half-open probe refused: %v", err)
+	}
+	// A Trip while the probe is in flight must clear the probing flag,
+	// or the next half-open window would deadlock with no probe slot.
+	b.Trip()
+	now = now.Add(2 * time.Minute)
+	if err := b.Allow(); err != nil {
+		t.Fatalf("post-trip probe refused: %v", err)
+	}
+	b.Record(false)
+	if b.State() != "closed" {
+		t.Fatalf("state after successful probe = %q, want closed", b.State())
+	}
+}
+
+func TestBreakerSet(t *testing.T) {
+	s := NewBreakerSet(2, time.Minute)
+	a := s.Get("http://r0")
+	if a != s.Get("http://r0") {
+		t.Fatal("Get is not stable per key")
+	}
+	if a == s.Get("http://r1") {
+		t.Fatal("distinct keys share a breaker")
+	}
+	a.Record(true)
+	a.Record(true)
+	states := s.States()
+	if states["http://r0"] != "open" || states["http://r1"] != "closed" {
+		t.Fatalf("states = %v", states)
+	}
+}
+
+func TestBreakerSetClock(t *testing.T) {
+	s := NewBreakerSet(1, time.Minute)
+	early := s.Get("early")
+	base := time.Unix(0, 0)
+	now := base
+	s.SetClock(func() time.Time { return now })
+	late := s.Get("late")
+
+	// The injected clock must govern members created both before and
+	// after SetClock.
+	for _, b := range []*Breaker{early, late} {
+		b.Record(true)
+		if b.Allow() == nil {
+			t.Fatal("open breaker allowed inside cooldown")
+		}
+		now = now.Add(2 * time.Minute)
+		if err := b.Allow(); err != nil {
+			t.Fatalf("cooldown elapsed on fake clock but probe refused: %v", err)
+		}
+		b.Record(false)
+		now = base
+	}
+}

@@ -1,0 +1,246 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"hmeans/internal/resilience"
+)
+
+// Backend executes one score request and returns the encoded response
+// bytes plus the cache status that produced them. It is the seam
+// between "where a score is asked for" and "where it is computed": the
+// same request can run in-process (Local, wrapping a Server) or on a
+// remote replica over HTTP (Remote), and the caller — the gateway, a
+// test, an embedding — cannot tell the difference, because both paths
+// serve the same canonical bytes for the same content address.
+type Backend interface {
+	Score(ctx context.Context, req *Request) ([]byte, string, error)
+}
+
+// Server is itself the in-process backend.
+var _ Backend = (*Server)(nil)
+
+// Local adapts a Server to the Backend seam explicitly. Functionally
+// identical to using the Server directly; it exists so call sites that
+// mix local and remote execution name which one they mean.
+type Local struct{ Srv *Server }
+
+// Score answers the request in-process through the wrapped server's
+// cache, singleflight group and worker pool.
+func (l Local) Score(ctx context.Context, req *Request) ([]byte, string, error) {
+	return l.Srv.Score(ctx, req)
+}
+
+// RemoteConfig configures a Remote backend.
+type RemoteConfig struct {
+	// BaseURL targets the replica (e.g. http://127.0.0.1:8080).
+	BaseURL string
+	// Client overrides the HTTP client; nil uses a shared default.
+	// Chaos tests inject one with keep-alives disabled and a short
+	// timeout.
+	Client *http.Client
+	// Retry shapes per-dispatch retries against this one replica
+	// (transient failures only: 429/502/503/504, transport damage,
+	// integrity mismatches). The zero value dispatches exactly once —
+	// routing-level failover across replicas is the caller's job.
+	Retry resilience.Policy
+	// Seed derives the retry jitter streams; per-call retryers are
+	// seeded with Seed + the call ordinal so concurrent dispatches do
+	// not share a (non-concurrency-safe) jitter stream.
+	Seed uint64
+}
+
+// Remote dispatches score requests to one replica over HTTP, with the
+// PR 8 resilience stack applied: bounded seeded retry, Retry-After
+// honoring, and digest verification of every 200 body — a corrupted
+// wire can produce a typed IntegrityError, never a silently wrong
+// score. Safe for concurrent use.
+type Remote struct {
+	base   string
+	client *http.Client
+	retry  resilience.Policy
+	seed   uint64
+	calls  atomic.Uint64
+}
+
+// NewRemote builds a Remote backend for cfg.
+func NewRemote(cfg RemoteConfig) *Remote {
+	client := cfg.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	return &Remote{
+		base:   strings.TrimSuffix(cfg.BaseURL, "/"),
+		client: client,
+		retry:  cfg.Retry,
+		seed:   cfg.Seed,
+	}
+}
+
+// BaseURL reports the replica this backend targets.
+func (r *Remote) BaseURL() string { return r.base }
+
+// Score marshals the request, POSTs it to the replica's /v1/score
+// (forwarding any correlation ID carried by ctx via WithRequestID),
+// and classifies every failure mode: network damage and integrity
+// mismatches become *TransportError, non-200 statuses become
+// *UpstreamError with the Retry-After hint attached. Transient
+// failures are retried per the configured policy; the returned bytes
+// of a success are digest-verified.
+func (r *Remote) Score(ctx context.Context, req *Request) ([]byte, string, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, "", fmt.Errorf("service: encoding remote request: %w", err)
+	}
+	rt := resilience.NewRetryer(r.retry, r.seed+r.calls.Add(1))
+	var raw []byte
+	var status string
+	err = rt.Do(ctx, func(ctx context.Context) error {
+		var aerr error
+		raw, status, aerr = r.scoreOnce(ctx, body)
+		return aerr
+	}, RetryableUpstream)
+	if err != nil {
+		return nil, "", err
+	}
+	return raw, status, nil
+}
+
+func (r *Remote) scoreOnce(ctx context.Context, body []byte) ([]byte, string, error) {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, r.base+"/v1/score", bytes.NewReader(body))
+	if err != nil {
+		return nil, "", err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	if id := RequestIDFrom(ctx); id != "" {
+		hreq.Header.Set(HeaderRequestID, id)
+	}
+	resp, err := r.client.Do(hreq)
+	if err != nil {
+		if ctx.Err() != nil {
+			return nil, "", ctx.Err()
+		}
+		return nil, "", &TransportError{Err: err}
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		if ctx.Err() != nil {
+			return nil, "", ctx.Err()
+		}
+		return nil, "", &TransportError{Err: err}
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, "", upstreamError(resp, raw)
+	}
+	if err := VerifyDigest(resp.Header.Get(HeaderDigest), raw); err != nil {
+		// Damaged in flight: the replica's copy is fine, so this is
+		// transport-shaped and retryable, exactly like a torn read.
+		return nil, "", &TransportError{Err: err}
+	}
+	return raw, resp.Header.Get("X-Hmeans-Cache"), nil
+}
+
+// UpstreamError is a non-200 answer from a replica, preserved so the
+// caller can relay it faithfully: the gateway answers a client with
+// the replica's own status and message for non-retryable failures
+// (a 400 through the gateway reads exactly like a 400 from the
+// replica).
+type UpstreamError struct {
+	// Status is the replica's HTTP status.
+	Status int
+	// Msg is the replica's error message (the "error" field of its
+	// JSON error body, or the raw body).
+	Msg string
+	// RetryAfterSecs carries the replica's Retry-After hint (whole
+	// seconds), 0 when absent.
+	RetryAfterSecs int
+}
+
+func (e *UpstreamError) Error() string {
+	return fmt.Sprintf("replica: %s (HTTP %d)", e.Msg, e.Status)
+}
+
+// DataError marks 400s as invalid input, so the taxonomy's exit-code
+// and HTTP-status mappings treat a relayed bad request like a local
+// one.
+func (e *UpstreamError) DataError() bool { return e.Status == http.StatusBadRequest }
+
+// RetryAfter feeds the replica's hint to a Retryer.
+func (e *UpstreamError) RetryAfter() time.Duration {
+	return time.Duration(e.RetryAfterSecs) * time.Second
+}
+
+// Temporary reports whether another attempt (against this replica or
+// a different one) can plausibly succeed: sheds, drains and gateway-
+// class failures, but not invalid input or deterministic server
+// errors.
+func (e *UpstreamError) Temporary() bool {
+	switch e.Status {
+	case http.StatusTooManyRequests, http.StatusBadGateway,
+		http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+		return true
+	}
+	return false
+}
+
+// upstreamError builds the typed error for a non-200 replica answer.
+func upstreamError(resp *http.Response, raw []byte) *UpstreamError {
+	msg := strings.TrimSpace(string(raw))
+	var werr struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(raw, &werr) == nil && werr.Error != "" {
+		msg = werr.Error
+	}
+	e := &UpstreamError{Status: resp.StatusCode, Msg: msg}
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		if sec, err := strconv.Atoi(ra); err == nil && sec > 0 {
+			e.RetryAfterSecs = sec
+		}
+	}
+	return e
+}
+
+// TransportError marks a network-level dispatch failure: the request
+// may never have reached the replica, or the response never cleanly
+// arrived (connection errors, torn reads, integrity mismatches).
+// Always retryable — the replica's state is intact.
+type TransportError struct{ Err error }
+
+func (e *TransportError) Error() string { return fmt.Sprintf("transport: %v", e.Err) }
+func (e *TransportError) Unwrap() error { return e.Err }
+
+// RetryableUpstream says whether a dispatch failure is worth another
+// attempt — by this backend's retry loop and by the gateway's
+// failover walk alike: transport damage, integrity mismatches and
+// temporary upstream statuses, but never invalid input (which fails
+// identically on every replica) or a context that already fired.
+func RetryableUpstream(err error) bool {
+	if err == nil || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	var te *TransportError
+	if errors.As(err, &te) {
+		return true
+	}
+	var ie *IntegrityError
+	if errors.As(err, &ie) {
+		return true
+	}
+	var ue *UpstreamError
+	if errors.As(err, &ue) {
+		return ue.Temporary()
+	}
+	return false
+}

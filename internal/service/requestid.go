@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"crypto/rand"
 	"encoding/hex"
 	"net/http"
@@ -44,11 +45,34 @@ func validRequestID(s string) bool {
 	return true
 }
 
-// ensureRequestID returns the request's correlation ID: the inbound
-// header when valid, a freshly generated one otherwise.
-func ensureRequestID(r *http.Request) string {
+// EnsureRequestID returns the request's correlation ID: the inbound
+// header when valid, a freshly generated one otherwise. Exported so
+// the gateway applies exactly the same honor-or-generate rule at its
+// hop — the ID a client sent (or the gateway minted) is then the one
+// the replica sees, which is what makes a single grep span both access
+// logs and the trace.
+func EnsureRequestID(r *http.Request) string {
 	if id := r.Header.Get(HeaderRequestID); validRequestID(id) {
 		return id
 	}
 	return NewRequestID()
+}
+
+// requestIDKey carries the correlation ID through a context, so a
+// Backend dispatching over HTTP (Remote) can forward the ID of the
+// request it is serving without threading an extra parameter through
+// the Backend interface.
+type requestIDKey struct{}
+
+// WithRequestID returns ctx carrying the correlation ID for any Remote
+// dispatch made under it.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, requestIDKey{}, id)
+}
+
+// RequestIDFrom extracts the correlation ID WithRequestID stored, or
+// "" when none was.
+func RequestIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey{}).(string)
+	return id
 }

@@ -390,7 +390,7 @@ func (s *Server) Handler() *http.ServeMux {
 
 func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
-	reqID := ensureRequestID(r)
+	reqID := EnsureRequestID(r)
 	w.Header().Set(HeaderRequestID, reqID)
 	sp := s.obs.StartSpan("request", obs.KV("path", r.URL.Path), obs.KV("request_id", reqID))
 	defer sp.End()
