@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fmt lint staticcheck bench bench-json bench-gate bench-baseline memprofile trace chaos chaos-service fuzz serve-smoke cluster-smoke load-gate cover ci tidy-check
+.PHONY: all build test race vet fmt lint staticcheck bench bench-json bench-gate bench-baseline bench-large memprofile trace chaos chaos-service fuzz serve-smoke cluster-smoke load-gate cover ci tidy-check
 
 all: build
 
@@ -75,6 +75,17 @@ bench-gate: bench-json
 bench-baseline:
 	$(GO) test -bench '$(BENCH_PATTERN)' -benchmem -benchtime 50ms -count 5 -run '^$$' ./... | tee bench-raw.txt
 	$(GO) run ./cmd/benchdiff -parse bench-raw.txt -o BENCH_BASELINE.json
+
+# bench-large runs the opt-in large-n measurements that are far too
+# slow for CI: the n=10000 reference scan (minutes) and the n=100000
+# NN-chain headline (tens of minutes, ~20 GB float32 condensed
+# matrix). Both skip unless HMEANS_BENCH_LARGE is set, so they never
+# fire from `make bench` or the gate; record wall-clock results in
+# EXPERIMENTS.md ("Large-n campaign"), not in BENCH_BASELINE.json.
+bench-large:
+	HMEANS_BENCH_LARGE=1 $(GO) test ./internal/cluster \
+		-bench '^(BenchmarkNewDendrogramScanLarge|BenchmarkNewDendrogramHundredK)$$' \
+		-benchmem -benchtime 1x -count 1 -run '^$$' -timeout 120m | tee bench-large.txt
 
 # memprofile captures heap profiles of the hot-kernel benchmarks for
 # `go tool pprof`. All artifacts (*.prof, *.test) are gitignored.

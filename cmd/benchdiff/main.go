@@ -229,11 +229,24 @@ func loadRecord(path string) (*Record, error) {
 }
 
 // Compare diffs current against baseline. It returns the rendered
-// rows plus the names of regressed and missing benchmarks. The ns/op
-// gate allows maxRegress percent of noise; the allocs/op gate is
-// exact — allocation counts are deterministic, so any increase over
-// the baseline is a real regression.
-func Compare(baseline, current *Record, maxRegress float64) (rows [][4]string, regressed, allocRegressed, missing []string) {
+// rows plus the names of regressed, missing and unknown benchmarks.
+// The ns/op gate allows maxRegress percent of noise; the allocs/op
+// gate is exact — allocation counts are deterministic, so any
+// increase over the baseline is a real regression. A current
+// benchmark absent from the baseline (unknown) also fails: a new
+// benchmark only starts gating once the baseline records it, so
+// landing one without refreshing BENCH_BASELINE.json would silently
+// exempt it from the gate.
+func Compare(baseline, current *Record, maxRegress float64) (rows [][4]string, regressed, allocRegressed, missing, unknown []string) {
+	seen := make(map[string]bool, len(baseline.Benchmarks))
+	for _, b := range baseline.Benchmarks {
+		seen[b.Name] = true
+	}
+	for _, c := range current.Benchmarks {
+		if !seen[c.Name] {
+			unknown = append(unknown, c.Name)
+		}
+	}
 	cur := make(map[string]Benchmark, len(current.Benchmarks))
 	for _, b := range current.Benchmarks {
 		cur[b.Name] = b
@@ -260,7 +273,7 @@ func Compare(baseline, current *Record, maxRegress float64) (rows [][4]string, r
 			regressed = append(regressed, base.Name)
 		}
 	}
-	return rows, regressed, allocRegressed, missing
+	return rows, regressed, allocRegressed, missing, unknown
 }
 
 func runCompare(basePath, curPath string, maxRegress float64, stdout io.Writer) error {
@@ -272,7 +285,7 @@ func runCompare(basePath, curPath string, maxRegress float64, stdout io.Writer) 
 	if err != nil {
 		return err
 	}
-	rows, regressed, allocRegressed, missing := Compare(base, cur, maxRegress)
+	rows, regressed, allocRegressed, missing, unknown := Compare(base, cur, maxRegress)
 	t := viz.NewTable("benchmark", "ns/op", "delta", "allocs/op")
 	for _, r := range rows {
 		t.AddRow(r[0], r[1], r[2], r[3])
@@ -283,6 +296,10 @@ func runCompare(basePath, curPath string, maxRegress float64, stdout io.Writer) 
 	if len(missing) > 0 {
 		return fmt.Errorf("%d baseline benchmark(s) missing from the current run (%v) — refresh BENCH_BASELINE.json if they were intentionally removed",
 			len(missing), missing)
+	}
+	if len(unknown) > 0 {
+		return fmt.Errorf("%d current benchmark(s) have no baseline entry (%v) — refresh BENCH_BASELINE.json so new benchmarks gate from day one",
+			len(unknown), unknown)
 	}
 	if len(allocRegressed) > 0 {
 		return fmt.Errorf("%d benchmark(s) increased allocs/op over the baseline (any increase fails — alloc counts are deterministic): %v",

@@ -92,11 +92,12 @@ func mkRecord(triples ...any) *Record {
 func TestCompare(t *testing.T) {
 	base := mkRecord("BenchmarkA", 1000.0, 5, "BenchmarkB", 2000.0, memUnset, "BenchmarkGone", 10.0, 0)
 	cur := mkRecord("BenchmarkA", 1100.0, 5, "BenchmarkB", 2500.0, memUnset, "BenchmarkNew", 1.0, 0)
-	rows, regressed, allocRegressed, missing := Compare(base, cur, 20)
+	rows, regressed, allocRegressed, missing, unknown := Compare(base, cur, 20)
 	if len(rows) != 2 {
 		t.Fatalf("%d rows, want 2", len(rows))
 	}
-	// A is +10% (within budget), B is +25% (regressed), Gone is missing.
+	// A is +10% (within budget), B is +25% (regressed), Gone is
+	// missing, New has no baseline entry.
 	if len(regressed) != 1 || regressed[0] != "BenchmarkB" {
 		t.Fatalf("regressed = %v", regressed)
 	}
@@ -106,6 +107,9 @@ func TestCompare(t *testing.T) {
 	if len(missing) != 1 || missing[0] != "BenchmarkGone" {
 		t.Fatalf("missing = %v", missing)
 	}
+	if len(unknown) != 1 || unknown[0] != "BenchmarkNew" {
+		t.Fatalf("unknown = %v", unknown)
+	}
 }
 
 func TestCompareAllocsExact(t *testing.T) {
@@ -113,7 +117,7 @@ func TestCompareAllocsExact(t *testing.T) {
 	// and the ns/op budget would have allowed a regression.
 	base := mkRecord("BenchmarkA", 1000.0, 0, "BenchmarkB", 1000.0, 7)
 	cur := mkRecord("BenchmarkA", 900.0, 1, "BenchmarkB", 800.0, 7)
-	_, regressed, allocRegressed, _ := Compare(base, cur, 20)
+	_, regressed, allocRegressed, _, _ := Compare(base, cur, 20)
 	if len(regressed) != 0 {
 		t.Fatalf("regressed = %v, want none", regressed)
 	}
@@ -122,7 +126,7 @@ func TestCompareAllocsExact(t *testing.T) {
 	}
 	// Decreases are fine, and a side missing -benchmem data never gates.
 	halfBlind := mkRecord("BenchmarkA", 1000.0, memUnset, "BenchmarkB", 1000.0, 3)
-	_, _, allocRegressed, _ = Compare(base, halfBlind, 20)
+	_, _, allocRegressed, _, _ = Compare(base, halfBlind, 20)
 	if len(allocRegressed) != 0 {
 		t.Fatalf("allocRegressed = %v, want none", allocRegressed)
 	}
@@ -154,10 +158,12 @@ func TestRunEndToEnd(t *testing.T) {
 	})
 
 	t.Run("regression fails", func(t *testing.T) {
-		// Baseline claims HGM used to take 1 ns/op: everything current
-		// is a massive regression.
+		// Baseline claims HGM used to take 1 ns/op: it is a massive
+		// regression in the current record.
 		baseline := filepath.Join(dir, "BENCH_BASELINE.json")
-		writeRecord(t, baseline, mkRecord("BenchmarkHGM", 1.0, 14))
+		writeRecord(t, baseline, mkRecord("BenchmarkHGM", 1.0, 14,
+			"BenchmarkCutK/k=4", 25000.0, memUnset,
+			"BenchmarkTrainBatchSuiteScale/n=128", 11650042.0, 0))
 		code, _, stderr := exec(t, "-baseline", baseline, "-current", cur)
 		if code != 1 || !strings.Contains(stderr, "regressed") {
 			t.Fatalf("exit %d, stderr %q", code, stderr)
@@ -168,7 +174,9 @@ func TestRunEndToEnd(t *testing.T) {
 		// Timing budget is generous, but the parsed HGM record shows 14
 		// allocs/op against a baseline of 13 — the exact gate trips.
 		baseline := filepath.Join(dir, "BENCH_ALLOC.json")
-		writeRecord(t, baseline, mkRecord("BenchmarkHGM", 1400.0, 13))
+		writeRecord(t, baseline, mkRecord("BenchmarkHGM", 1400.0, 13,
+			"BenchmarkCutK/k=4", 25000.0, memUnset,
+			"BenchmarkTrainBatchSuiteScale/n=128", 11650042.0, 0))
 		code, _, stderr := exec(t, "-baseline", baseline, "-current", cur, "-max-regress", "500")
 		if code != 1 || !strings.Contains(stderr, "allocs/op") {
 			t.Fatalf("exit %d, stderr %q", code, stderr)
@@ -180,6 +188,17 @@ func TestRunEndToEnd(t *testing.T) {
 		writeRecord(t, baseline, mkRecord("BenchmarkHGM", 1400.0, 14, "BenchmarkVanished", 1.0, 0))
 		code, _, stderr := exec(t, "-baseline", baseline, "-current", cur)
 		if code != 1 || !strings.Contains(stderr, "missing") {
+			t.Fatalf("exit %d, stderr %q", code, stderr)
+		}
+	})
+
+	t.Run("unknown current benchmark fails", func(t *testing.T) {
+		// The parsed record has three benchmarks; a baseline knowing
+		// only HGM must reject the other two as unbaselined.
+		baseline := filepath.Join(dir, "BENCH_UNKNOWN.json")
+		writeRecord(t, baseline, mkRecord("BenchmarkHGM", 1400.0, 14))
+		code, _, stderr := exec(t, "-baseline", baseline, "-current", cur, "-max-regress", "500")
+		if code != 1 || !strings.Contains(stderr, "no baseline entry") {
 			t.Fatalf("exit %d, stderr %q", code, stderr)
 		}
 	})

@@ -57,6 +57,7 @@ func TestFlagValidation(t *testing.T) {
 		{"-snapshot.interval", "-1s"},
 		{"-snapshot.interval", "1s"}, // requires -snapshot
 		{"-drain.timeout", "0s"},
+		{"-linkage-algo", "fast"},
 	}
 	for _, args := range cases {
 		t.Run(strings.Join(args, " "), func(t *testing.T) {

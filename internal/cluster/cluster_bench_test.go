@@ -2,9 +2,11 @@ package cluster
 
 import (
 	"fmt"
+	"os"
 	"testing"
 
 	"hmeans/internal/par"
+	"hmeans/internal/simbench"
 	"hmeans/internal/vecmath"
 )
 
@@ -129,14 +131,73 @@ func BenchmarkKMeansSuiteScale(b *testing.B) {
 }
 
 // BenchmarkNewDendrogramSuiteScale measures the full condensed-native
-// pipeline (distance build + agglomeration) at the paper's 13-workload
-// suite size; it is part of the allocs/op regression gate.
+// pipeline (distance build + agglomeration) from the paper's
+// 13-workload suite up through production sizes; it is part of the
+// allocs/op regression gate. The n=1000 pair keeps the scan-vs-chain
+// speed gap continuously measured in the committed baseline; at
+// n=10000 only the NN-chain runs in the gate (the scan there takes
+// minutes — its one-time measurement lives in EXPERIMENTS.md and the
+// env-gated BenchmarkNewDendrogramScanLarge below).
 func BenchmarkNewDendrogramSuiteScale(b *testing.B) {
+	for _, arm := range []struct {
+		name string
+		n    int
+		algo Algorithm
+	}{
+		{"n=13", 13, AlgoAuto},
+		{"n=1000/scan", 1000, AlgoScan},
+		{"n=1000/nnchain", 1000, AlgoNNChain},
+		{"n=10000/nnchain", 10000, AlgoNNChain},
+	} {
+		pts := simbench.SyntheticSpec{N: arm.n, Dims: 3, Clusters: 16, Seed: 1}.Points()
+		b.Run(arm.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := NewDendrogramOpts(pts, vecmath.Euclidean, Complete, Options{Algorithm: arm.algo}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// benchLargeEnv is the opt-in switch for the long benchmarks below:
+// they run only under `make bench-large`, never in CI or `make bench`
+// (which runs every non-gated benchmark at -benchtime=1x).
+const benchLargeEnv = "HMEANS_BENCH_LARGE"
+
+// BenchmarkNewDendrogramScanLarge is the one-time oracle measurement
+// behind the EXPERIMENTS.md scan-vs-chain table: the retained
+// reference scan at n=10000, minutes per op.
+func BenchmarkNewDendrogramScanLarge(b *testing.B) {
+	if os.Getenv(benchLargeEnv) == "" {
+		b.Skipf("set %s=1 (make bench-large) to run the n=10000 scan oracle", benchLargeEnv)
+	}
 	b.ReportAllocs()
-	pts := randomPoints(13, 2, 1)
+	pts := simbench.SyntheticSpec{N: 10000, Dims: 3, Clusters: 16, Seed: 1}.Points()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := NewDendrogram(pts, vecmath.Euclidean, Complete); err != nil {
+		if _, err := NewDendrogramOpts(pts, vecmath.Euclidean, Complete, Options{Algorithm: AlgoScan}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkNewDendrogramHundredK is the interactive-scale headline:
+// n=100000 through the fastest stack — tiled float32 condensed build
+// (the full float64 working matrix would be 40 GB; float32 halves it)
+// into the NN-chain, which consumes the matrix in place rather than
+// cloning it. Wall-clock for one pass is recorded in EXPERIMENTS.md.
+func BenchmarkNewDendrogramHundredK(b *testing.B) {
+	if os.Getenv(benchLargeEnv) == "" {
+		b.Skipf("set %s=1 (make bench-large) to run the n=100000 benchmark", benchLargeEnv)
+	}
+	b.ReportAllocs()
+	pts := simbench.SyntheticSpec{N: 100000, Dims: 3, Clusters: 32, Seed: 1}.Points()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cm := vecmath.Condensed32DistanceMatrixP(vecmath.Euclidean, pts, par.Auto())
+		if _, err := NNChainFromCondensed32(cm, Complete); err != nil {
 			b.Fatal(err)
 		}
 	}

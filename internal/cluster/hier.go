@@ -76,6 +76,19 @@ type Options struct {
 	// off unless requested (Observer.Detail is the conventional
 	// source).
 	MergeEvents bool
+	// Algorithm selects the agglomeration strategy. The default
+	// AlgoAuto runs the historical O(n³) nearest-pair scan up to
+	// AutoThreshold points and the O(n²) NN-chain above it; AlgoScan
+	// and AlgoNNChain force one path. The two algorithms produce
+	// identical merge sequences whenever pairwise merge heights are
+	// distinct; with ties (common for integer SOM grid positions) they
+	// build equivalent trees — same height multiset, possibly
+	// different ids — which is why auto keeps small suites on the
+	// scan's historical output.
+	Algorithm Algorithm
+	// AutoThreshold overrides the point count above which AlgoAuto
+	// switches to NN-chain; <= 0 means DefaultAutoThreshold.
+	AutoThreshold int
 }
 
 // NewDendrogramOpts is NewDendrogram with explicit Options. The
@@ -184,10 +197,15 @@ func fromCondensed(cm *vecmath.CondensedMatrix, l Linkage, opt Options, owned bo
 	if n == 1 {
 		return d, nil
 	}
+	algo, err := opt.effectiveAlgorithm(n)
+	if err != nil {
+		return nil, err
+	}
 	workers := par.Resolve(opt.Workers)
 	o := obs.Or(opt.Obs)
 	sp := o.StartSpan("cluster.linkage",
-		obs.KV("n", n), obs.KV("linkage", l.String()), obs.KV("workers", workers))
+		obs.KV("n", n), obs.KV("linkage", l.String()), obs.KV("workers", workers),
+		obs.KV("algorithm", algo.String()))
 	defer sp.End()
 	var mergeHist *obs.Histogram
 	if o.Active() {
@@ -227,6 +245,31 @@ func fromCondensed(cm *vecmath.CondensedMatrix, l Linkage, opt Options, owned bo
 		if err != nil {
 			return nil, err
 		}
+	}
+	// Long agglomerations advertise a coarse completion fraction so a
+	// large-n run is visible on /metrics instead of a silent hang.
+	var progGauge *obs.Gauge
+	if o.Active() {
+		progGauge = o.Metrics().Gauge("cluster.progress")
+		progGauge.Set(0)
+	}
+	if algo == AlgoNNChain {
+		var progress func(done, total int)
+		if progGauge != nil {
+			progress = func(done, total int) { progGauge.Set(float64(done) / float64(total)) }
+		}
+		if err := nnChainAgglomerate(ctx, w, l, d, progress); err != nil {
+			return nil, err
+		}
+		for step, mg := range d.merges {
+			mergeHist.Observe(mg.Distance)
+			if mergeEvents {
+				sp.Event("cluster.merge", obs.KV("step", step), obs.KV("a", mg.A), obs.KV("b", mg.B),
+					obs.KV("distance", mg.Distance), obs.KV("size", mg.Size))
+			}
+		}
+		progGauge.Set(1)
+		return d, nil
 	}
 	active := make([]bool, n)
 	id := make([]int, n)   // cluster id held by each slot
@@ -268,6 +311,7 @@ func fromCondensed(cm *vecmath.CondensedMatrix, l Linkage, opt Options, owned bo
 		}
 	}
 	nextID := n
+	progEvery := progressStride(n - 1)
 	for step := 0; step < n-1; step++ {
 		// The agglomeration cancels between merge steps: each step is
 		// O(n·workers) work, so this is the natural checkpoint spacing.
@@ -289,7 +333,7 @@ func fromCondensed(cm *vecmath.CondensedMatrix, l Linkage, opt Options, owned bo
 		}
 		// Update distances from the merged cluster (slot bi) to every
 		// other active cluster via Lance–Williams.
-		l.mergeUpdate(w, active, size, bi, bj)
+		mergeUpdateCondensed(l, w, active, size, bi, bj)
 		height := best
 		if l == Ward {
 			height = math.Sqrt(best)
@@ -308,8 +352,22 @@ func fromCondensed(cm *vecmath.CondensedMatrix, l Linkage, opt Options, owned bo
 		id[bi] = nextID
 		nextID++
 		active[bj] = false
+		if progGauge != nil && (step+1)%progEvery == 0 {
+			progGauge.Set(float64(step+1) / float64(n-1))
+		}
 	}
+	progGauge.Set(1)
 	return d, nil
+}
+
+// progressStride spaces progress reports over total units of work:
+// roughly 64 updates per run, never more often than every unit.
+func progressStride(total int) int {
+	stride := total / 64
+	if stride < 1 {
+		stride = 1
+	}
+	return stride
 }
 
 // Len returns the number of clustered points (leaves).

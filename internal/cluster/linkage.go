@@ -84,6 +84,10 @@ func (l Linkage) update(dac, dbc, dab float64, na, nb, nc int) float64 {
 // a condensed matrix stores one shared slot per symmetric pair, the
 // single Set updates "both halves" at once and can never leave a
 // stale mirror entry. The pass allocates nothing.
+//
+// This is the retained reference implementation: the agglomeration
+// paths run mergeUpdateCondensed, which is proven bit-identical to
+// this pass by TestMergeUpdateCondensedMatchesReference.
 func (l Linkage) mergeUpdate(w *vecmath.CondensedMatrix, active []bool, size []int, a, b int) {
 	dab := w.At(a, b)
 	n := w.N()
@@ -92,5 +96,62 @@ func (l Linkage) mergeUpdate(w *vecmath.CondensedMatrix, active []bool, size []i
 			continue
 		}
 		w.Set(a, k, l.update(w.At(a, k), w.At(b, k), dab, size[a], size[b], size[k]))
+	}
+}
+
+// mergeUpdateCondensed is mergeUpdate with the condensed addressing
+// done incrementally instead of through Index's per-slot
+// multiply-and-bounds-check. The ascending-k walk splits into three
+// ranges — below both merged slots, between them, above both — and in
+// each range the offsets of pairs (k, a) and (k, b) move by a fixed
+// stride per step: down a column by n−k−2, along a row tail by 1. The
+// update calls, their arguments and their order are exactly the
+// reference pass's, so the float64 instantiation is bit-identical to
+// mergeUpdate; the float32 instantiation widens each operand to
+// float64 for the recurrence and rounds once on store.
+func mergeUpdateCondensed[F vecmath.Float](l Linkage, w *vecmath.Condensed[F], active []bool, size []int, a, b int) {
+	data := w.Data()
+	n := w.N()
+	dab := float64(w.At(a, b))
+	na, nb := size[a], size[b]
+	lo, hi := a, b
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	aIsLo := a == lo
+	apply := func(kLo, kHi, k int) {
+		sa, sb := kLo, kHi
+		if !aIsLo {
+			sa, sb = kHi, kLo
+		}
+		data[sa] = F(l.update(float64(data[sa]), float64(data[sb]), dab, na, nb, size[k]))
+	}
+	// k < lo: both pair slots walk down columns lo and hi of row k.
+	kLo, kHi := lo-1, hi-1 // idx(0, lo), idx(0, hi)
+	for k := 0; k < lo; k++ {
+		if active[k] {
+			apply(kLo, kHi, k)
+		}
+		kLo += n - k - 2
+		kHi += n - k - 2
+	}
+	// lo < k < hi: (lo, k) runs along lo's row tail, (k, hi) keeps
+	// walking down column hi.
+	loBase := w.Index0(lo) - lo - 1 // idx(lo, k) = loBase + k
+	if lo+1 < n {
+		kHi = w.Index0(lo+1) + hi - lo - 2 // idx(lo+1, hi)
+	}
+	for k := lo + 1; k < hi; k++ {
+		if active[k] {
+			apply(loBase+k, kHi, k)
+		}
+		kHi += n - k - 2
+	}
+	// k > hi: both pair slots run along the row tails of lo and hi.
+	hiBase := w.Index0(hi) - hi - 1
+	for k := hi + 1; k < n; k++ {
+		if active[k] {
+			apply(loBase+k, hiBase+k, k)
+		}
 	}
 }

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -11,9 +12,10 @@ import (
 
 // NNChainDendrogram builds the same dendrogram as FromDistanceMatrix
 // using the nearest-neighbour-chain algorithm: O(n²) time instead of
-// the naive O(n³). Benchmark suites never need this, but anyone
-// clustering thousands of program phases or basic-block vectors (the
-// scale of the paper's related work) does.
+// the naive O(n³). It is the default large-n path (see
+// Options.Algorithm); anyone clustering thousands of program phases
+// or basic-block vectors (the scale of the paper's related work)
+// lands here.
 //
 // NN-chain is exact for the *reducible* linkages — complete, single,
 // average and Ward all are: merging two clusters never brings either
@@ -49,6 +51,60 @@ func NNChainFromCondensed(cm *vecmath.CondensedMatrix, l Linkage) (*Dendrogram, 
 	return nnChainFromCondensed(cm, l, false)
 }
 
+// NNChainFromCondensed32 runs the chain natively on float32 condensed
+// storage — the opt-in half-memory mode for very large n, where the
+// float64 triangle alone would be ~40 GB at n=100k. Distances stay
+// float32 in memory; every Lance–Williams update widens its operands
+// to float64, applies the exact recurrence, and rounds once on store,
+// and merge heights are reported as the widened float32 values. The
+// resulting tree matches the float64 tree wherever the ~2⁻²⁴-relative
+// storage rounding does not reorder two merge heights.
+//
+// Unlike NNChainFromCondensed, the input matrix is CONSUMED as the
+// in-place working matrix — cloning would forfeit exactly the memory
+// the float32 mode exists to save. Callers must not reuse cm.
+func NNChainFromCondensed32(cm *vecmath.Condensed32, l Linkage) (*Dendrogram, error) {
+	return NNChainFromCondensed32Ctx(context.Background(), cm, l)
+}
+
+// NNChainFromCondensed32Ctx is NNChainFromCondensed32 with
+// cooperative cancellation between chain steps.
+func NNChainFromCondensed32Ctx(ctx context.Context, cm *vecmath.Condensed32, l Linkage) (*Dendrogram, error) {
+	n := cm.N()
+	d := &Dendrogram{n: n, linkage: l, merges: make([]Merge, 0, n-1)}
+	if n == 1 {
+		return d, nil
+	}
+	if err := validateSquareRows(cm, l); err != nil {
+		return nil, err
+	}
+	if err := nnChainAgglomerate(ctx, cm, l, d, nil); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// validateSquareRows is the serial validation (and, for Ward,
+// squaring) pass over a working matrix: distances must be
+// non-negative and not NaN. The float32 square rounds exactly like
+// rounding the float64 product would — a product of two float32
+// values is exact in float64 — so the two instantiations agree.
+func validateSquareRows[F vecmath.Float](w *vecmath.Condensed[F], l Linkage) error {
+	n := w.N()
+	for i := 0; i < n-1; i++ {
+		row := w.RowTail(i)
+		for t, v := range row {
+			if v < 0 || math.IsNaN(float64(v)) {
+				return fmt.Errorf("cluster: invalid distance %v at (%d,%d)", v, i, i+1+t)
+			}
+			if l == Ward {
+				row[t] = v * v
+			}
+		}
+	}
+	return nil
+}
+
 // rawMerge records a merge in slot terms, to be relabelled later.
 type rawMerge struct {
 	a, b   int // slots at merge time (slot a absorbs b)
@@ -62,8 +118,8 @@ type rawMerge struct {
 // then runs without any heap allocation: the chain and raw-merge
 // slices are preallocated to their maximum sizes (n and n−1) and the
 // Lance–Williams update writes the condensed matrix in place.
-type nnChainState struct {
-	w         *vecmath.CondensedMatrix
+type nnChainState[F vecmath.Float] struct {
+	w         *vecmath.Condensed[F]
 	l         Linkage
 	n         int
 	active    []bool
@@ -71,11 +127,16 @@ type nnChainState struct {
 	chain     []int
 	raws      []rawMerge
 	remaining int
+	// first is the chain-restart cursor. Restarts want the lowest
+	// active slot; slots only ever deactivate, so that slot's index is
+	// non-decreasing over the run and the cursor never rescans the
+	// dead prefix — O(n) total instead of O(n) per restart.
+	first int
 }
 
-func newNNChainState(w *vecmath.CondensedMatrix, l Linkage) *nnChainState {
+func newNNChainState[F vecmath.Float](w *vecmath.Condensed[F], l Linkage) *nnChainState[F] {
 	n := w.N()
-	st := &nnChainState{
+	st := &nnChainState[F]{
 		w:         w,
 		l:         l,
 		n:         n,
@@ -97,38 +158,56 @@ func newNNChainState(w *vecmath.CondensedMatrix, l Linkage) *nnChainState {
 // nearest active neighbour or — when top and its predecessor are
 // reciprocal nearest neighbours — merge them. Ties prefer the chain
 // predecessor so reciprocal pairs terminate.
-func (st *nnChainState) step() {
+//
+// The nearest-neighbour scan visits slots in ascending order exactly
+// like the historical At-per-slot loop, but addresses the condensed
+// triangle incrementally: pairs (s, top) with s < top walk down
+// column top (stride n−s−2 per step), pairs with s > top run along
+// top's contiguous row tail. Same comparisons in the same order —
+// only the addressing changed.
+func (st *nnChainState[F]) step() {
 	if len(st.chain) == 0 {
-		for s := 0; s < st.n; s++ {
-			if st.active[s] {
-				st.chain = append(st.chain, s)
-				break
-			}
+		for !st.active[st.first] {
+			st.first++
 		}
+		st.chain = append(st.chain, st.first)
 	}
 	top := st.chain[len(st.chain)-1]
 	prev := -1
 	if len(st.chain) >= 2 {
 		prev = st.chain[len(st.chain)-2]
 	}
-	nn, best := -1, math.Inf(1)
-	for s := 0; s < st.n; s++ {
-		if !st.active[s] || s == top {
-			continue
+	data := st.w.Data()
+	n := st.n
+	nn := -1
+	best := F(math.Inf(1))
+	idx := top - 1 // idx(0, top)
+	for s := 0; s < top; s++ {
+		if st.active[s] {
+			if ds := data[idx]; ds < best || (ds == best && s == prev) {
+				nn, best = s, ds
+			}
 		}
-		ds := st.w.At(top, s)
-		if ds < best || (ds == best && s == prev) {
-			nn, best = s, ds
+		idx += n - s - 2
+	}
+	if top < n-1 {
+		base := st.w.Index0(top) - top - 1 // idx(top, s) = base + s
+		for s := top + 1; s < n; s++ {
+			if st.active[s] {
+				if ds := data[base+s]; ds < best || (ds == best && s == prev) {
+					nn, best = s, ds
+				}
+			}
 		}
 	}
 	if nn == prev && prev >= 0 {
 		// Reciprocal nearest neighbours: merge prev and top.
 		st.chain = st.chain[:len(st.chain)-2]
 		a, b := prev, top
-		st.l.mergeUpdate(st.w, st.active, st.size, a, b)
-		height := best
+		mergeUpdateCondensed(st.l, st.w, st.active, st.size, a, b)
+		height := float64(best)
 		if st.l == Ward {
-			height = math.Sqrt(best)
+			height = math.Sqrt(height)
 		}
 		st.raws = append(st.raws, rawMerge{a: a, b: b, height: height, size: st.size[a] + st.size[b]})
 		st.size[a] += st.size[b]
@@ -139,9 +218,87 @@ func (st *nnChainState) step() {
 	}
 }
 
-// nnChainFromCondensed runs the chain to completion and relabels the
-// discovered merges. When owned is true the input matrix becomes the
-// working matrix directly; otherwise it is cloned first.
+// nnChainCancelSteps spaces the chain's cooperative cancellation
+// checks: one context poll per this many chain moves keeps the poll
+// overhead invisible while still reacting within a bounded slice of
+// the O(n) work one move costs.
+const nnChainCancelSteps = 256
+
+// nnChainAgglomerate runs the chain to completion over a validated
+// (and, for Ward, squared) working matrix, then relabels the
+// discovered merges into d. progress, when non-nil, receives
+// (mergesDone, totalMerges) at a coarse cadence.
+func nnChainAgglomerate[F vecmath.Float](ctx context.Context, w *vecmath.Condensed[F], l Linkage, d *Dendrogram, progress func(done, total int)) error {
+	n := w.N()
+	st := newNNChainState(w, l)
+	progEvery := progressStride(n - 1)
+	steps, reported := 0, 0
+	for st.remaining > 1 {
+		if steps%nnChainCancelSteps == 0 && ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return fmt.Errorf("cluster: NN-chain cancelled after %d of %d merges: %w", len(st.raws), n-1, err)
+			}
+		}
+		st.step()
+		steps++
+		if progress != nil && len(st.raws)-reported >= progEvery {
+			reported = len(st.raws)
+			progress(reported, n-1)
+		}
+	}
+	return relabelMerges(st.raws, n, d)
+}
+
+// relabelMerges sorts the chain's slot-level merges by height (stable,
+// preserving discovery order among ties) and replays them assigning
+// scipy-style cluster ids. Reducibility guarantees the sorted order is
+// a valid bottom-up construction, so at replay time the two sides of
+// every merge are exactly two existing clusters. A union-find over the
+// leaves (path-halving; near-linear total) tracks which current
+// cluster id holds each leaf — every slot began life as its leaf, so
+// slot a at merge time identifies the cluster holding leaf a.
+func relabelMerges(raws []rawMerge, n int, d *Dendrogram) error {
+	order := make([]int, len(raws))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(x, y int) bool { return raws[order[x]].height < raws[order[y]].height })
+
+	parent := make([]int, n)
+	clusterID := make([]int, n) // current cluster id at each set root
+	for i := range parent {
+		parent[i] = i
+		clusterID[i] = i
+	}
+	find := func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	nextID := n
+	for _, oi := range order {
+		r := raws[oi]
+		ra, rb := find(r.a), find(r.b)
+		if ra == rb {
+			return errors.New("cluster: NN-chain relabelling failed (non-reducible input?)")
+		}
+		ia, ib := clusterID[ra], clusterID[rb]
+		if ia > ib {
+			ia, ib = ib, ia
+		}
+		d.merges = append(d.merges, Merge{A: ia, B: ib, Distance: r.height, Size: r.size})
+		parent[rb] = ra
+		clusterID[ra] = nextID
+		nextID++
+	}
+	return nil
+}
+
+// nnChainFromCondensed validates the input and runs the chain. When
+// owned is true the input matrix becomes the working matrix directly;
+// otherwise it is cloned first.
 func nnChainFromCondensed(cm *vecmath.CondensedMatrix, l Linkage, owned bool) (*Dendrogram, error) {
 	n := cm.N()
 	d := &Dendrogram{n: n, linkage: l, merges: make([]Merge, 0, n-1)}
@@ -154,60 +311,11 @@ func nnChainFromCondensed(cm *vecmath.CondensedMatrix, l Linkage, owned bool) (*
 	if !owned {
 		w = cm.Clone()
 	}
-	for i := 0; i < n-1; i++ {
-		row := w.RowTail(i)
-		for t, v := range row {
-			if v < 0 || math.IsNaN(v) {
-				return nil, fmt.Errorf("cluster: invalid distance %v at (%d,%d)", v, i, i+1+t)
-			}
-			if l == Ward {
-				row[t] = v * v
-			}
-		}
+	if err := validateSquareRows(w, l); err != nil {
+		return nil, err
 	}
-	st := newNNChainState(w, l)
-	for st.remaining > 1 {
-		st.step()
-	}
-	raws := st.raws
-
-	// Relabel: sort merges by height (stable to keep discovery order
-	// among ties), then assign scipy-style ids by replaying.
-	order := make([]int, len(raws))
-	for i := range order {
-		order[i] = i
-	}
-	sort.SliceStable(order, func(x, y int) bool { return raws[order[x]].height < raws[order[y]].height })
-
-	// Replay the sorted merges assigning scipy-style ids. Every slot
-	// began life as its leaf, so leaf r.a was on side a and leaf r.b
-	// on side b at merge time; idOf tracks which current cluster id
-	// holds each leaf. Reducibility guarantees the sorted order is a
-	// valid bottom-up construction, so at replay time the two sides
-	// are exactly two existing clusters.
-	idOf := make([]int, n) // current cluster id holding each leaf
-	for i := range idOf {
-		idOf[i] = i
-	}
-	nextID := n
-	for _, oi := range order {
-		r := raws[oi]
-		ia, ib := idOf[r.a], idOf[r.b]
-		if ia == ib {
-			return nil, errors.New("cluster: NN-chain relabelling failed (non-reducible input?)")
-		}
-		if ia > ib {
-			ia, ib = ib, ia
-		}
-		d.merges = append(d.merges, Merge{A: ia, B: ib, Distance: r.height, Size: r.size})
-		// Point every leaf of both sides at the new id. O(n) per
-		// merge keeps the total at O(n²).
-		for leaf := 0; leaf < n; leaf++ {
-			if idOf[leaf] == ia || idOf[leaf] == ib {
-				idOf[leaf] = nextID
-			}
-		}
-		nextID++
+	if err := nnChainAgglomerate(context.Background(), w, l, d, nil); err != nil {
+		return nil, err
 	}
 	return d, nil
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"testing"
 
+	"hmeans/internal/cluster"
 	"hmeans/internal/obs"
 )
 
@@ -100,6 +101,46 @@ func TestPipelineUninstrumented(t *testing.T) {
 	}
 	if sA != sB {
 		t.Fatalf("scores differ: %v vs %v", sA, sB)
+	}
+}
+
+// TestPipelineProgressGauges checks the stage-boundary gauges a
+// /metrics scrape sees during a run: after completion pipeline.stage
+// sits at the last stage, and both the pipeline-level and the cluster
+// stage's merge-fraction progress gauges read 1. It also pins the
+// PipelineConfig → cluster.Options algorithm plumbing via the
+// linkage span's algorithm attribute.
+func TestPipelineProgressGauges(t *testing.T) {
+	col := obs.NewCollector()
+	o := obs.New(col)
+	cfg := pipelineConfig()
+	cfg.Obs = o
+	cfg.LinkageAlgorithm = cluster.AlgoNNChain
+	if _, err := DetectClusters(syntheticSuite(t), cfg); err != nil {
+		t.Fatal(err)
+	}
+	if got := o.Metrics().Gauge("pipeline.stage").Value(); got != 4 {
+		t.Fatalf("pipeline.stage gauge = %v, want 4", got)
+	}
+	if got := o.Metrics().Gauge("pipeline.progress").Value(); got != 1 {
+		t.Fatalf("pipeline.progress gauge = %v, want 1", got)
+	}
+	if got := o.Metrics().Gauge("cluster.progress").Value(); got != 1 {
+		t.Fatalf("cluster.progress gauge = %v, want 1", got)
+	}
+	found := false
+	for _, s := range col.Trace().Spans {
+		if s.Name != "cluster.linkage" {
+			continue
+		}
+		for _, a := range s.Attrs {
+			if a.Key == "algorithm" && a.Val == "nnchain" {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no cluster.linkage span advertising algorithm=nnchain")
 	}
 }
 

@@ -38,6 +38,12 @@ type PipelineConfig struct {
 	// Linkage is the cluster-to-cluster distance (default Complete,
 	// the paper's choice).
 	Linkage cluster.Linkage
+	// LinkageAlgorithm selects the agglomeration algorithm (default
+	// AlgoAuto: the O(n²) NN-chain above cluster.DefaultAutoThreshold
+	// points, the reference scan below). See cluster.Algorithm for the
+	// equivalence guarantees; the choice never changes which clusters
+	// a cut produces.
+	LinkageAlgorithm cluster.Algorithm
 	// Metric is the point-to-point distance (default Euclidean, the
 	// paper's choice).
 	Metric vecmath.Metric
@@ -138,7 +144,20 @@ func DetectClustersCtx(ctx context.Context, table *chars.Table, cfg PipelineConf
 		o.Metrics().Counter("pipeline.runs").Add(1)
 		defer o.Metrics().CaptureMemStats()
 	}
+	// Stage-boundary gauges: pipeline.stage counts entered stages
+	// (1=validate … 4=cluster) and pipeline.progress is the completed
+	// fraction, so a /metrics scrape of a long run shows where it is.
+	// The cluster stage refines pipeline.progress's last quarter with
+	// its own cluster.progress merge-fraction gauge.
+	const pipelineStages = 4
+	stage := func(entered int) {
+		if o.Active() {
+			o.Metrics().Gauge("pipeline.stage").Set(float64(entered))
+			o.Metrics().Gauge("pipeline.progress").Set(float64(entered-1) / pipelineStages)
+		}
+	}
 	originalN := len(table.Rows)
+	stage(1)
 	vsp := root.Child("validate", obs.KV("quarantine", cfg.Quarantine))
 	var quarantined []Quarantine
 	var kept []int
@@ -171,6 +190,7 @@ func DetectClustersCtx(ctx context.Context, table *chars.Table, cfg PipelineConf
 		originalN:   originalN,
 		obs:         o,
 	}
+	stage(2)
 	sp := root.Child("characterize")
 	switch cfg.Kind {
 	case Bits:
@@ -188,6 +208,7 @@ func DetectClustersCtx(ctx context.Context, table *chars.Table, cfg PipelineConf
 	}
 	workers := par.Resolve(cfg.Parallelism)
 	vectors := p.Prepared.Vectors()
+	stage(3)
 	sp = root.Child("reduce")
 	if cfg.SkipSOM {
 		p.Positions = vectors
@@ -220,18 +241,23 @@ func DetectClustersCtx(ctx context.Context, table *chars.Table, cfg PipelineConf
 		sp.SetAttr("grid", fmt.Sprintf("%dx%d", m.Rows(), m.Cols()))
 		sp.End()
 	}
+	stage(4)
 	sp = root.Child("cluster", obs.KV("points", len(p.Positions)))
 	d, err := cluster.NewDendrogramOpts(p.Positions, cfg.Metric, cfg.Linkage, cluster.Options{
 		Workers:     workers,
 		Obs:         o,
 		MergeEvents: o.Detail(),
 		Ctx:         ctx,
+		Algorithm:   cfg.LinkageAlgorithm,
 	})
 	sp.End()
 	if err != nil {
 		return nil, fmt.Errorf("core: clustering: %w", err)
 	}
 	p.Dendrogram = d
+	if o.Active() {
+		o.Metrics().Gauge("pipeline.progress").Set(1)
+	}
 	return p, nil
 }
 

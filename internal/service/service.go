@@ -15,6 +15,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"hmeans/internal/cluster"
 	"hmeans/internal/core"
 	"hmeans/internal/obs"
 )
@@ -50,6 +51,17 @@ type Config struct {
 	// (core.PipelineConfig.Parallelism). Results are bit-identical
 	// for every value, which is why it is not part of the cache key.
 	Parallelism int
+	// LinkageAlgorithm selects the agglomeration algorithm for every
+	// pipeline run (core.PipelineConfig.LinkageAlgorithm). Like
+	// Parallelism it is a per-process deployment choice, not part of
+	// the request or its cache key: the algorithms produce equivalent
+	// trees on every input (identical whenever merge heights are
+	// distinct). One caveat follows from that choice: on inputs with
+	// exactly tied merge heights the equivalent trees need not be
+	// byte-identical, so a snapshot written under one algorithm and
+	// restored under another can serve the previous algorithm's bytes
+	// for those inputs. The clusters any cut produces are the same.
+	LinkageAlgorithm cluster.Algorithm
 	// MaxBodyBytes bounds the request body; <= 0 defaults to 64 MiB.
 	MaxBodyBytes int64
 	// Obs receives request spans and the service counters. Nil falls
@@ -222,6 +234,7 @@ func (s *Server) compute(ctx context.Context, req *Request) (*Response, error) {
 		return nil, err
 	}
 	cfg := req.pipelineConfig(s.cfg.Parallelism)
+	cfg.LinkageAlgorithm = s.cfg.LinkageAlgorithm
 	cfg.Obs = s.obs
 	p, err := core.DetectClustersCtx(ctx, t, cfg)
 	if err != nil {

@@ -11,6 +11,7 @@ import (
 	"testing"
 	"time"
 
+	"hmeans/internal/cluster"
 	"hmeans/internal/obs"
 )
 
@@ -114,6 +115,28 @@ func TestScoreMissThenHitBitIdentical(t *testing.T) {
 	}
 	if misses := o.Metrics().Counter("service.cache.miss").Value(); misses != 1 {
 		t.Fatalf("cache.miss counter = %d, want 1", misses)
+	}
+}
+
+// TestLinkageAlgorithmDeploymentChoice pins the reason the algorithm
+// stays out of the cache key: on inputs with distinct merge heights a
+// server forced onto the NN-chain must serve bytes identical to the
+// default server's.
+func TestLinkageAlgorithmDeploymentChoice(t *testing.T) {
+	req := testRequest(1)
+	// SkipSOM keeps the clustered points continuous, so every merge
+	// height is distinct and the identity guarantee is byte-level; SOM
+	// grid positions can tie, where the trees are only equivalent.
+	req.Config.SkipSOM = true
+	_, tsDefault := newTestServer(t, Config{})
+	_, raw1 := postScore(t, tsDefault.URL, req)
+	_, tsChain := newTestServer(t, Config{LinkageAlgorithm: cluster.AlgoNNChain})
+	r2, raw2 := postScore(t, tsChain.URL, req)
+	if r2.StatusCode != http.StatusOK {
+		t.Fatalf("nnchain server: status %d, body %s", r2.StatusCode, raw2)
+	}
+	if !bytes.Equal(raw1, raw2) {
+		t.Fatalf("nnchain response differs from the default server's:\n%s\nvs\n%s", raw2, raw1)
 	}
 }
 

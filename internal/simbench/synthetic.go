@@ -1,0 +1,83 @@
+package simbench
+
+import (
+	"hmeans/internal/rng"
+	"hmeans/internal/vecmath"
+)
+
+// SyntheticSpec describes a seeded clustered-Gaussian point cloud:
+// Clusters centers drawn uniformly in [0, 10)^Dims, then N points
+// assigned round-robin to the centers with isotropic Gaussian noise
+// of standard deviation Spread around each. The cloud is a pure
+// function of the spec — same spec, same bits, on every machine —
+// which is what lets the suite-scale clustering benchmarks and the
+// large-n campaign in EXPERIMENTS.md name their inputs by seed
+// instead of shipping data files.
+//
+// The shape mimics what the paper's pipeline hands its clustering
+// stage at scale: compact workload blobs separated by much more than
+// their internal spread, so merge heights are distinct with
+// probability one and every agglomeration algorithm produces the
+// identical tree.
+type SyntheticSpec struct {
+	// N is the point count (minimum 1).
+	N int
+	// Dims is the point dimensionality (0 means 3, the SOM-position
+	// scale the pipeline clusters at plus one).
+	Dims int
+	// Clusters is the number of Gaussian blobs (0 means 8; clamped
+	// to N).
+	Clusters int
+	// Seed drives center placement and the per-point noise.
+	Seed uint64
+	// Spread is the per-coordinate standard deviation around each
+	// center (0 means 0.05 — tight blobs in a [0, 10) box).
+	Spread float64
+}
+
+// Points materializes the cloud. One rng stream, consumed in a fixed
+// order (centers first, then points), makes the result deterministic;
+// callers own the returned vectors.
+func (s SyntheticSpec) Points() []vecmath.Vector {
+	n := s.N
+	if n < 1 {
+		n = 1
+	}
+	dims := s.Dims
+	if dims <= 0 {
+		dims = 3
+	}
+	k := s.Clusters
+	if k <= 0 {
+		k = 8
+	}
+	if k > n {
+		k = n
+	}
+	spread := s.Spread
+	if spread <= 0 {
+		spread = 0.05
+	}
+	r := rng.New(s.Seed)
+	centers := make([]vecmath.Vector, k)
+	for c := range centers {
+		v := vecmath.NewVector(dims)
+		for j := range v {
+			v[j] = r.Float64() * 10
+		}
+		centers[c] = v
+	}
+	// One backing array for all points: at n=100k the per-vector
+	// allocation overhead would dominate the generator.
+	flat := make([]float64, n*dims)
+	pts := make([]vecmath.Vector, n)
+	for i := range pts {
+		c := centers[i%k]
+		v := vecmath.Vector(flat[i*dims : (i+1)*dims : (i+1)*dims])
+		for j := range v {
+			v[j] = c[j] + r.NormFloat64()*spread
+		}
+		pts[i] = v
+	}
+	return pts
+}

@@ -1,0 +1,302 @@
+package som
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"hmeans/internal/vecmath"
+)
+
+// BMUSearch selects the best-matching-unit search strategy — the
+// innermost loop of training, placement and the quality measures.
+type BMUSearch int
+
+const (
+	// BMUSearchAuto (the default) picks per map: the brute scan below
+	// bmuPruneMinUnits, the pruned exact search at or above it. Both
+	// return identical results, so auto is a pure speed policy.
+	BMUSearchAuto BMUSearch = iota
+	// BMUSearchBrute forces the flat scan over every unit — the
+	// reference every fast path is proven against.
+	BMUSearchBrute
+	// BMUSearchPruned forces the triangle-inequality pruned search:
+	// units sorted by weight-vector norm, expanded outward from the
+	// query's norm, each side abandoned once (‖x‖−‖w‖)² — a lower
+	// bound on ‖x−w‖² — exceeds the best distance found. Exact: it
+	// returns the same unit as the brute scan on every query,
+	// including the lowest-index tie-break.
+	BMUSearchPruned
+	// BMUSearchCoarse is the opt-in approximate mode: a strided
+	// coarse pass over the grid picks a starting cell, then an exact
+	// scan of the surrounding window returns the winner. Queries can
+	// land on a nearby unit instead of the true BMU (the measured
+	// quality bound lives in TestCoarseBMUQualityBound and DESIGN.md
+	// §15), so it never participates in training — only post-training
+	// placements and quality measures — and only when selected
+	// explicitly.
+	BMUSearchCoarse
+)
+
+// String returns the mode's flag spelling.
+func (s BMUSearch) String() string {
+	switch s {
+	case BMUSearchAuto:
+		return "auto"
+	case BMUSearchBrute:
+		return "brute"
+	case BMUSearchPruned:
+		return "pruned"
+	case BMUSearchCoarse:
+		return "coarse"
+	default:
+		return "unknown"
+	}
+}
+
+// ParseBMUSearch maps a -som.bmu flag value to a BMUSearch.
+func ParseBMUSearch(s string) (BMUSearch, error) {
+	switch s {
+	case "auto":
+		return BMUSearchAuto, nil
+	case "brute":
+		return BMUSearchBrute, nil
+	case "pruned":
+		return BMUSearchPruned, nil
+	case "coarse":
+		return BMUSearchCoarse, nil
+	default:
+		return 0, fmt.Errorf("unknown BMU search mode %q (want auto, brute, pruned or coarse)", s)
+	}
+}
+
+// bmuPruneMinUnits is the unit count at which BMUSearchAuto switches
+// from the brute scan to the pruned search. Below it the whole weight
+// array fits in a few cache lines and the sort/binary-search overhead
+// of the index buys nothing; the paper's ~5√n grid heuristic crosses
+// it around n ≈ 160 samples.
+const bmuPruneMinUnits = 64
+
+// bmuIndex is the pruned search's precomputed view of a frozen weight
+// array: unit norms ascending, with the owning unit of each entry.
+// Weights mutate during training, so the index is rebuilt at every
+// safe point (each batch epoch boundary, end of training) and must
+// never exist while weights are being written.
+type bmuIndex struct {
+	norms []float64
+	ids   []int
+}
+
+// buildBMUIndex sorts the units by weight-vector norm. Equal norms
+// keep ascending unit order (stable sort), which the pruned search's
+// tie-break relies on never mattering: it compares candidate unit ids
+// directly.
+func (m *Map) buildBMUIndex() *bmuIndex {
+	units := len(m.weights)
+	raw := make([]float64, units)
+	for u, w := range m.weights {
+		s := 0.0
+		for _, v := range w {
+			s += v * v
+		}
+		raw[u] = math.Sqrt(s)
+	}
+	ids := make([]int, units)
+	for i := range ids {
+		ids[i] = i
+	}
+	sort.SliceStable(ids, func(a, b int) bool { return raw[ids[a]] < raw[ids[b]] })
+	norms := make([]float64, units)
+	for k, u := range ids {
+		norms[k] = raw[u]
+	}
+	return &bmuIndex{norms: norms, ids: ids}
+}
+
+// resolveBMUSearch collapses BMUSearchAuto to a concrete mode for
+// this map's size.
+func (m *Map) resolveBMUSearch(mode BMUSearch) BMUSearch {
+	if mode != BMUSearchAuto {
+		return mode
+	}
+	if len(m.weights) >= bmuPruneMinUnits {
+		return BMUSearchPruned
+	}
+	return BMUSearchBrute
+}
+
+// SetBMUSearch selects the BMU search strategy for subsequent queries
+// (Position, Placements, the quality measures), building or dropping
+// the pruned index as needed. Train applies Config.BMU automatically;
+// this entry point serves maps loaded from disk and tests.
+func (m *Map) SetBMUSearch(mode BMUSearch) error {
+	switch mode {
+	case BMUSearchAuto, BMUSearchBrute, BMUSearchPruned, BMUSearchCoarse:
+	default:
+		return fmt.Errorf("som: unknown BMU search mode %d", int(mode))
+	}
+	resolved := m.resolveBMUSearch(mode)
+	m.search = resolved
+	if resolved == BMUSearchPruned {
+		m.index = m.buildBMUIndex()
+	} else {
+		m.index = nil
+	}
+	return nil
+}
+
+// bmuPruneBound is the pruning threshold for the current best squared
+// distance: a side of the norm-sorted expansion is abandoned when its
+// norm gap squared exceeds it. In exact arithmetic gap² ≤ ‖x−w‖²
+// (reverse triangle inequality), so pruning at exactly best would
+// already be safe; the relative and norm-scaled absolute slack absorb
+// the rounding of the two norm computations, keeping the prune
+// strictly conservative — a pruned unit can never have beaten or tied
+// the running best — which is what makes the search exact, tie-break
+// included.
+func bmuPruneBound(best, xSq float64) float64 {
+	return best*(1+1e-9) + 1e-12*(1+xSq)
+}
+
+// bmuPruned is the exact pruned BMU search; see BMUSearchPruned. The
+// candidate distance loop is byte-for-byte the brute scan's
+// arithmetic, so any unit both paths evaluate gets the identical
+// squared distance; the comparison accepts a tie only from a
+// lower-index unit, reproducing the brute scan's first-minimal
+// winner.
+func (m *Map) bmuPruned(x vecmath.Vector) (unit int, sqDist float64) {
+	dim := m.dim
+	if len(x) != dim {
+		panic(fmt.Sprintf("som: input dim %d != map dim %d", len(x), dim))
+	}
+	idx := m.index
+	xSq := 0.0
+	for _, v := range x {
+		xSq += v * v
+	}
+	xn := math.Sqrt(xSq)
+	norms, ids, flat := idx.norms, idx.ids, m.flat
+	lo := sort.SearchFloat64s(norms, xn) - 1
+	hi := lo + 1
+	bestU, best := -1, math.Inf(1)
+	for lo >= 0 || hi < len(norms) {
+		// Expand the side with the smaller norm gap. Gaps grow
+		// monotonically outward on each side, so once the smaller gap
+		// fails the bound both sides are exhausted.
+		gapLo, gapHi := math.Inf(1), math.Inf(1)
+		if lo >= 0 {
+			gapLo = xn - norms[lo]
+		}
+		if hi < len(norms) {
+			gapHi = norms[hi] - xn
+		}
+		var k int
+		if gapLo <= gapHi {
+			if gapLo*gapLo > bmuPruneBound(best, xSq) {
+				break
+			}
+			k, lo = lo, lo-1
+		} else {
+			if gapHi*gapHi > bmuPruneBound(best, xSq) {
+				break
+			}
+			k, hi = hi, hi+1
+		}
+		u := ids[k]
+		w := flat[u*dim : u*dim+dim]
+		sum := 0.0
+		for i, xi := range x {
+			d := xi - w[i]
+			sum += d * d
+		}
+		if sum < best || (sum == best && u < bestU) {
+			bestU, best = u, sum
+		}
+	}
+	return bestU, best
+}
+
+// coarseStrideFor sizes the coarse pass: sampling every s-th row and
+// column with s ≈ √(smaller grid side)/2 balances the coarse scan
+// (units/s²) against the refine window ((4s+1)²) while keeping the
+// probe lattice dense enough that the true BMU usually sits inside
+// the window of the best probe — a trained SOM's weight surface is
+// locally smooth, but only locally.
+func coarseStrideFor(rows, cols int) int {
+	minDim := rows
+	if cols < minDim {
+		minDim = cols
+	}
+	s := int(math.Sqrt(float64(minDim)) / 2)
+	if s < 2 {
+		s = 2
+	}
+	return s
+}
+
+// bmuCoarse is the opt-in approximate search; see BMUSearchCoarse.
+// The coarse pass scans the strided subgrid exactly (same arithmetic
+// as the brute scan), then the window around the coarse winner is
+// scanned exactly in row-major order, so within the window the
+// lowest-index tie-break matches the brute scan.
+func (m *Map) bmuCoarse(x vecmath.Vector) (unit int, sqDist float64) {
+	dim := m.dim
+	if len(x) != dim {
+		panic(fmt.Sprintf("som: input dim %d != map dim %d", len(x), dim))
+	}
+	flat := m.flat
+	s := coarseStrideFor(m.rows, m.cols)
+	dist := func(u int) float64 {
+		w := flat[u*dim : u*dim+dim]
+		sum := 0.0
+		for i, xi := range x {
+			d := xi - w[i]
+			sum += d * d
+		}
+		return sum
+	}
+	// Track the best few probes, not just the winner: a trained map's
+	// weight surface can fold, leaving the true BMU near a runner-up
+	// probe, so each of the top coarseProbes gets a refine window.
+	var probes [coarseProbes]int
+	var probeD [coarseProbes]float64
+	for i := range probes {
+		probes[i], probeD[i] = -1, math.Inf(1)
+	}
+	for gr := 0; gr < m.rows; gr += s {
+		for gc := 0; gc < m.cols; gc += s {
+			u := gr*m.cols + gc
+			d := dist(u)
+			for i := 0; i < coarseProbes; i++ {
+				if d < probeD[i] {
+					copy(probeD[i+1:], probeD[i:coarseProbes-1])
+					copy(probes[i+1:], probes[i:coarseProbes-1])
+					probes[i], probeD[i] = u, d
+					break
+				}
+			}
+		}
+	}
+	bestU, best := -1, math.Inf(1)
+	for _, probe := range probes {
+		if probe < 0 {
+			continue
+		}
+		br, bc := probe/m.cols, probe%m.cols
+		r0, r1 := maxInt(0, br-2*s), minInt(m.rows-1, br+2*s)
+		c0, c1 := maxInt(0, bc-2*s), minInt(m.cols-1, bc+2*s)
+		for gr := r0; gr <= r1; gr++ {
+			for gc := c0; gc <= c1; gc++ {
+				u := gr*m.cols + gc
+				if d := dist(u); d < best || (d == best && u < bestU) {
+					bestU, best = u, d
+				}
+			}
+		}
+	}
+	return bestU, best
+}
+
+// coarseProbes is how many coarse-pass winners get an exact refine
+// window; see bmuCoarse.
+const coarseProbes = 3

@@ -1,0 +1,181 @@
+package som
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"hmeans/internal/rng"
+	"hmeans/internal/vecmath"
+)
+
+func TestParseBMUSearch(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want BMUSearch
+	}{
+		{"auto", BMUSearchAuto},
+		{"brute", BMUSearchBrute},
+		{"pruned", BMUSearchPruned},
+		{"coarse", BMUSearchCoarse},
+	} {
+		got, err := ParseBMUSearch(tc.in)
+		if err != nil || got != tc.want {
+			t.Fatalf("ParseBMUSearch(%q) = %v, %v; want %v", tc.in, got, err, tc.want)
+		}
+		if got.String() != tc.in {
+			t.Fatalf("%v.String() = %q, want %q", got, got.String(), tc.in)
+		}
+	}
+	if _, err := ParseBMUSearch("fast"); err == nil || !strings.Contains(err.Error(), "fast") {
+		t.Fatalf("ParseBMUSearch(fast) err = %v, want unknown-value error naming it", err)
+	}
+	m := newMap(4, 4, 2)
+	if err := m.SetBMUSearch(BMUSearch(9)); err == nil {
+		t.Fatal("SetBMUSearch accepted an out-of-range mode")
+	}
+	if _, err := Train(Config{BMU: BMUSearch(9)}, benchSamples(8, 4)); err == nil {
+		t.Fatal("Train accepted an out-of-range BMU mode")
+	}
+}
+
+// corpusMap builds a map with seeded random weights — including
+// deliberate exact-duplicate units, the hardest tie-break case — and
+// a matching query corpus: random points, exact unit weights, and
+// near-misses one ulp-ish away.
+func corpusMap(rows, cols, dim int, seed uint64) (*Map, []vecmath.Vector) {
+	r := rng.New(seed)
+	m := newMap(rows, cols, dim)
+	for i := range m.flat {
+		m.flat[i] = r.NormFloat64() * 3
+	}
+	units := rows * cols
+	// Duplicate a handful of units verbatim so several queries have
+	// genuinely tied BMU distances.
+	for i := 0; i < units/8; i++ {
+		src, dst := r.Intn(units), r.Intn(units)
+		copy(m.flat[dst*dim:(dst+1)*dim], m.flat[src*dim:(src+1)*dim])
+	}
+	var queries []vecmath.Vector
+	for i := 0; i < 200; i++ {
+		q := vecmath.NewVector(dim)
+		for j := range q {
+			q[j] = r.NormFloat64() * 3
+		}
+		queries = append(queries, q)
+	}
+	for u := 0; u < units; u += 3 {
+		queries = append(queries, m.weights[u].Clone())
+		near := m.weights[u].Clone()
+		near[0] += 1e-13
+		queries = append(queries, near)
+	}
+	return m, queries
+}
+
+// TestPrunedBMUMatchesBrute is the satellite property test: on every
+// query of the seeded corpus — random points, exact weight matches,
+// near-ulp misses, duplicate units — the pruned search must return
+// the same unit AND the same squared distance as the brute scan,
+// lowest-index tie-break included.
+func TestPrunedBMUMatchesBrute(t *testing.T) {
+	for seed := uint64(1); seed <= 5; seed++ {
+		for _, shape := range [][3]int{{9, 7, 5}, {16, 16, 12}, {3, 4, 2}} {
+			m, queries := corpusMap(shape[0], shape[1], shape[2], seed)
+			if err := m.SetBMUSearch(BMUSearchPruned); err != nil {
+				t.Fatal(err)
+			}
+			for qi, q := range queries {
+				bu, bd := m.bmuBrute(q)
+				pu, pd := m.bmuPruned(q)
+				if pu != bu || pd != bd {
+					t.Fatalf("seed %d shape %v query %d: pruned (%d, %v), brute (%d, %v)",
+						seed, shape, qi, pu, pd, bu, bd)
+				}
+			}
+		}
+	}
+}
+
+// TestTrainedMapIdenticalAcrossExactModes proves the exact search
+// modes interchangeable end to end: batch training under brute,
+// pruned and auto must converge to bit-identical weights, and the
+// coarse mode — exact during training by design — must too.
+func TestTrainedMapIdenticalAcrossExactModes(t *testing.T) {
+	samples := benchSamples(160, 8)
+	cfg := Config{Rows: 12, Cols: 10, Seed: 7, Algorithm: Batch}
+	cfg.BMU = BMUSearchBrute
+	ref, err := Train(cfg, samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range []BMUSearch{BMUSearchPruned, BMUSearchAuto, BMUSearchCoarse} {
+		cfg.BMU = mode
+		got, err := Train(cfg, samples)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range got.flat {
+			if v != ref.flat[i] {
+				t.Fatalf("mode %v: weight %d = %v, want %v (not bit-identical)", mode, i, v, ref.flat[i])
+			}
+		}
+	}
+}
+
+// TestCoarseBMUQualityBound measures the opt-in approximate mode on a
+// seeded trained map and pins its quality: the fraction of queries
+// where coarse agrees with the exact BMU, and the inflation of the
+// mean sample→unit distance. The asserted floors are deliberately
+// looser than the measured values recorded in DESIGN.md §15, so the
+// test fails only on a real regression, not on noise.
+func TestCoarseBMUQualityBound(t *testing.T) {
+	samples := benchSamples(400, 8)
+	m, err := Train(Config{Rows: 20, Cols: 20, Seed: 3, Algorithm: Batch}, samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, approx := 0, 0
+	var dExact, dCoarse float64
+	for _, x := range samples {
+		bu, bd := m.bmuBrute(x)
+		cu, cd := m.bmuCoarse(x)
+		if cd < bd {
+			t.Fatalf("coarse distance %v below exact minimum %v", cd, bd)
+		}
+		approx++
+		if cu == bu {
+			exact++
+		}
+		dExact += math.Sqrt(bd)
+		dCoarse += math.Sqrt(cd)
+	}
+	matchFrac := float64(exact) / float64(approx)
+	inflation := dCoarse / math.Max(dExact, 1e-300)
+	t.Logf("coarse BMU: exact-match fraction %.3f, QE inflation %.4f", matchFrac, inflation)
+	if matchFrac < 0.9 {
+		t.Fatalf("coarse exact-match fraction %.3f, want >= 0.9", matchFrac)
+	}
+	if inflation > 1.05 {
+		t.Fatalf("coarse QE inflation %.4f, want <= 1.05", inflation)
+	}
+}
+
+// TestSetBMUSearchAutoPolicy pins the auto threshold: small grids
+// stay brute (no index), large grids get the pruned index.
+func TestSetBMUSearchAutoPolicy(t *testing.T) {
+	small := newMap(5, 4, 3)
+	if err := small.SetBMUSearch(BMUSearchAuto); err != nil {
+		t.Fatal(err)
+	}
+	if small.search != BMUSearchBrute || small.index != nil {
+		t.Fatalf("small grid resolved to %v (index %v), want brute without index", small.search, small.index != nil)
+	}
+	big := newMap(8, 8, 3)
+	if err := big.SetBMUSearch(BMUSearchAuto); err != nil {
+		t.Fatal(err)
+	}
+	if big.search != BMUSearchPruned || big.index == nil {
+		t.Fatalf("big grid resolved to %v (index %v), want pruned with index", big.search, big.index != nil)
+	}
+}

@@ -42,6 +42,11 @@ func TrainCtx(ctx context.Context, cfg Config, samples []vecmath.Vector) (*Map, 
 		}
 	}
 	c := cfg.withDefaults()
+	switch c.BMU {
+	case BMUSearchAuto, BMUSearchBrute, BMUSearchPruned, BMUSearchCoarse:
+	default:
+		return nil, fmt.Errorf("som: unknown BMU search mode %d", int(c.BMU))
+	}
 	o := obs.Or(c.Obs)
 	sp := o.StartSpan("som.train",
 		obs.KV("algorithm", c.Algorithm.String()),
@@ -68,6 +73,11 @@ func TrainCtx(ctx context.Context, cfg Config, samples []vecmath.Vector) (*Map, 
 		if err := m.trainSequential(ctx, c, samples, r, o, sp); err != nil {
 			return nil, err
 		}
+	}
+	// Apply the configured query mode to the now-frozen weights (the
+	// coarse mode takes effect only here — training above was exact).
+	if err := m.SetBMUSearch(c.BMU); err != nil {
+		return nil, err
 	}
 	return m, nil
 }
@@ -299,6 +309,16 @@ func (m *Map) trainBatch(ctx context.Context, c Config, samples []vecmath.Vector
 	epochs := batchEpochs(c, len(samples))
 	workers := par.Resolve(c.Parallelism)
 	b := newBatchRun(m, samples, o.Active())
+	// Training must stay exact, so the coarse query mode trains under
+	// the auto policy; the pruned index is valid for exactly one epoch
+	// (the reduction rewrites the weights) and is rebuilt at each
+	// epoch's start, while the BMU scans inside the epoch read only
+	// the frozen previous-epoch weights.
+	trainingMode := c.BMU
+	if trainingMode == BMUSearchCoarse {
+		trainingMode = BMUSearchAuto
+	}
+	usePruned := m.resolveBMUSearch(trainingMode) == BMUSearchPruned
 	var qeGauge, sigmaGauge *obs.Gauge
 	if o.Active() {
 		qeGauge = o.Metrics().Gauge("som.qe")
@@ -313,6 +333,9 @@ func (m *Map) trainBatch(ctx context.Context, c Config, samples []vecmath.Vector
 		}
 		t := float64(e) / float64(epochs)
 		sigma := c.RadiusDecay.value(c.Sigma0, floor, t)
+		if usePruned {
+			m.index = m.buildBMUIndex()
+		}
 		if err := b.epoch(ctx, workers, sigma); err != nil {
 			return fmt.Errorf("som: epoch %d accumulation: %w", e, err)
 		}

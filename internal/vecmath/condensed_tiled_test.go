@@ -1,0 +1,68 @@
+package vecmath
+
+import (
+	"math"
+	"testing"
+)
+
+// TestCondensedTiledMatchesRowMajor proves the tiled build is
+// bit-identical to the retained row-major reference for every metric,
+// for sizes on both sides of the tile boundary, and for every worker
+// count — byte-for-byte, not approximately.
+func TestCondensedTiledMatchesRowMajor(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 17, condensedTile - 1, condensedTile, condensedTile + 1, 300} {
+		pts := condensedTestPoints(n, 6, uint64(n)+11)
+		for _, m := range []Metric{Euclidean, Manhattan, Chebyshev, Cosine} {
+			want := condensedDistanceRowMajor(m, pts)
+			for _, workers := range []int{1, 2, 8} {
+				got := CondensedDistanceMatrixP(m, pts, workers)
+				if got.N() != want.N() {
+					t.Fatalf("n=%d %v workers=%d: N=%d, want %d", n, m, workers, got.N(), want.N())
+				}
+				for s, v := range got.Data() {
+					if v != want.Data()[s] {
+						t.Fatalf("n=%d %v workers=%d: slot %d = %v, want %v (not bit-identical)",
+							n, m, workers, s, v, want.Data()[s])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestCondensed32ToleranceBound checks the documented Condensed32
+// error bound: each entry is the float64 distance rounded once to
+// nearest float32, so |widened − exact| ≤ |exact|·2⁻²⁴ (binary32 unit
+// roundoff) on every pair. Also proves the float32 build is identical
+// across worker counts.
+func TestCondensed32ToleranceBound(t *testing.T) {
+	const u = 1.0 / (1 << 24)
+	for _, n := range []int{5, condensedTile + 7} {
+		pts := condensedTestPoints(n, 6, uint64(n)+23)
+		for _, m := range []Metric{Euclidean, Manhattan, Chebyshev, Cosine} {
+			exact := condensedDistanceRowMajor(m, pts)
+			got := Condensed32DistanceMatrix(m, pts)
+			for s, v32 := range got.Data() {
+				e := exact.Data()[s]
+				if diff := math.Abs(float64(v32) - e); diff > math.Abs(e)*u {
+					t.Fatalf("n=%d %v: slot %d = %v, exact %v, err %g exceeds %g",
+						n, m, s, v32, e, diff, math.Abs(e)*u)
+				}
+				// Rounding must be exactly round-to-nearest of the exact
+				// value, not a differently-ordered float32 accumulation.
+				if v32 != float32(e) {
+					t.Fatalf("n=%d %v: slot %d = %v, want float32(%v) = %v",
+						n, m, s, v32, e, float32(e))
+				}
+			}
+			for _, workers := range []int{2, 8} {
+				gp := Condensed32DistanceMatrixP(m, pts, workers)
+				for s, v := range gp.Data() {
+					if v != got.Data()[s] {
+						t.Fatalf("n=%d %v workers=%d: slot %d differs from serial", n, m, workers, s)
+					}
+				}
+			}
+		}
+	}
+}
